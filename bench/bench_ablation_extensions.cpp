@@ -1,0 +1,115 @@
+// Ablation A4: the two extensions beyond the paper's method.
+//  (1) Measurement-error mitigation (confusion-matrix inversion, the QEM
+//      technique the paper cites next to ZNE): PST before/after on the
+//      benchmark suite under parallel execution.
+//  (2) Crosstalk serialization (software mitigation by scheduling, the
+//      gate-delay alternative to QuCP's avoidance): crosstalk events,
+//      makespan and fidelity with and without serialization when two
+//      CX-heavy programs are forced onto conflicting regions.
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "core/parallel.hpp"
+#include "mitigation/readout.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qucp;
+
+void print_readout_mitigation() {
+  bench::heading("Ablation A4.1: readout-error mitigation on batch output");
+  const Device d = make_toronto27();
+  const std::vector<const char*> names{"adder", "fred", "alu"};
+  std::vector<Circuit> circuits;
+  for (const char* n : names) circuits.push_back(get_benchmark(n).circuit);
+  ParallelOptions opts;
+  opts.exec.shots = 1024;
+  const BatchReport report = run_parallel(d, circuits, opts);
+
+  bench::row({"benchmark", "PST raw", "PST mitigated"}, 16);
+  bench::rule(3, 16);
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    const ProgramReport& pr = report.programs[i];
+    // Clbit b is measured on physical qubit final_layout[b]: build the
+    // exact per-bit confusion model from calibration.
+    std::vector<double> flips;
+    for (int phys : pr.final_layout) flips.push_back(d.readout_error(phys));
+    const auto mitigator =
+        ReadoutMitigator::from_flip_probs(std::move(flips));
+    const Distribution fixed = mitigator.mitigate(pr.noisy);
+    bench::row({names[i], fmt_double(pr.pst_value, 4),
+                fmt_double(fixed.prob(pr.ideal.most_likely()), 4)},
+               16);
+  }
+  std::printf("(readout errors removed classically; residual gap is gate + "
+              "crosstalk noise)\n");
+}
+
+void print_serialization() {
+  bench::heading("Ablation A4.2: crosstalk serialization vs amplification");
+  // Force two CX-heavy programs onto adjacent regions of a small device so
+  // one-hop overlap is unavoidable without scheduling.
+  Topology topo(4, {{0, 1}, {1, 2}, {2, 3}});
+  Rng rng(3);
+  CalibrationProfile profile;
+  profile.bad_edge_fraction = 0.0;
+  profile.bad_readout_fraction = 0.0;
+  Calibration cal = synthesize_calibration(topo, profile, rng);
+  for (auto& e : cal.cx_error) e = 0.02;
+  for (auto& r : cal.readout_error) r = 0.01;
+  CrosstalkModel xtalk;
+  xtalk.add_pair(0, 2, 6.0);
+  const Device d("xtalk4", std::move(topo), std::move(cal),
+                 std::move(xtalk));
+
+  auto ladder = [](int a, int b) {
+    Circuit c(4, 2);
+    c.x(a);
+    for (int i = 0; i < 8; ++i) c.cx(a, b);
+    c.measure(a, 0);
+    c.measure(b, 1);
+    return c;
+  };
+  const Distribution ideal = ideal_distribution(ladder(0, 1));
+
+  bench::row({"mode", "xtalk events", "makespan(us)", "PST(p0)"}, 15);
+  bench::rule(4, 15);
+  for (bool serialize : {false, true}) {
+    std::vector<PhysicalProgram> programs{{ladder(0, 1), "p0"},
+                                          {ladder(2, 3), "p1"}};
+    ExecOptions opts;
+    opts.serialize_crosstalk = serialize;
+    const ParallelRunReport r = execute_parallel(d, programs, opts);
+    bench::row({serialize ? "serialized" : "overlapped",
+                std::to_string(r.crosstalk_events),
+                fmt_double(r.makespan_ns / 1000.0, 2),
+                fmt_double(r.programs[0].distribution.prob(
+                               ideal.most_likely()),
+                           4)},
+               15);
+  }
+  std::printf("(serialization trades makespan + idle decoherence for "
+              "crosstalk immunity — Murali et al.'s approach; QuCP avoids "
+              "the conflict at partition time instead)\n");
+}
+
+void print_extensions() {
+  print_readout_mitigation();
+  print_serialization();
+}
+
+void BM_ReadoutMitigation(benchmark::State& state) {
+  const auto mitigator = ReadoutMitigator::from_flip_probs(
+      {0.02, 0.03, 0.025, 0.04, 0.01});
+  const Distribution d(5, {{0, 0.55}, {3, 0.2}, {17, 0.15}, {31, 0.1}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mitigator.mitigate(d));
+  }
+}
+BENCHMARK(BM_ReadoutMitigation);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_extensions)

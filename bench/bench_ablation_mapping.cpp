@@ -1,0 +1,97 @@
+// Ablation A3: mapping and scheduling design choices.
+//  (1) Router cost terms: distance-only vs noise-aware routing — SWAP
+//      counts and fidelity on the benchmark suite.
+//  (2) Scheduling: ALAP (the paper's choice) vs ASAP — fidelity of a short
+//      program co-running with a deep one (idle-decoherence exposure).
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "core/parallel.hpp"
+#include "mapping/transpiler.hpp"
+#include "partition/candidates.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qucp;
+
+void print_router_ablation() {
+  bench::heading("Ablation A3.1: routing cost terms (Toronto)");
+  const Device d = make_toronto27();
+  bench::row({"benchmark", "swaps(dist)", "swaps(noise)", "PST(dist)",
+              "PST(noise)"},
+             14);
+  bench::rule(5, 14);
+  for (const char* name : {"adder", "4mod", "fred", "alu", "qec", "var"}) {
+    const BenchmarkSpec& spec = get_benchmark(name);
+    const auto cands =
+        partition_candidates(d, spec.circuit.num_qubits(), {});
+    const std::vector<int>& partition = cands.front();
+
+    TranspileOptions distance_only = hardware_aware_options();
+    distance_only.router.noise_aware = false;
+    TranspileOptions noise_aware = hardware_aware_options();
+
+    const TranspiledProgram a =
+        transpile_to_partition(spec.circuit, d, partition, distance_only);
+    const TranspiledProgram b =
+        transpile_to_partition(spec.circuit, d, partition, noise_aware);
+
+    ExecOptions exec;
+    exec.shots = 512;
+    const ProgramOutcome oa = execute_single(d, a.physical, exec);
+    const ProgramOutcome ob = execute_single(d, b.physical, exec);
+    const Distribution ideal = ideal_distribution(spec.circuit);
+    bench::row({name, std::to_string(a.swaps_added),
+                std::to_string(b.swaps_added),
+                fmt_double(oa.distribution.prob(ideal.most_likely()), 4),
+                fmt_double(ob.distribution.prob(ideal.most_likely()), 4)},
+               14);
+  }
+}
+
+void print_schedule_ablation() {
+  bench::heading("Ablation A3.2: ALAP vs ASAP (short circuit beside deep)");
+  const Device d = make_toronto27();
+  const std::vector<Circuit> programs{get_benchmark("fred").circuit,
+                                      get_benchmark("var").circuit};
+  bench::row({"policy", "PST(fred)", "JSD(var)"}, 16);
+  bench::rule(3, 16);
+  for (SchedulePolicy policy :
+       {SchedulePolicy::ALAP, SchedulePolicy::ASAP}) {
+    ParallelOptions opts;
+    opts.exec.shots = 512;
+    opts.exec.schedule = policy;
+    const BatchReport report = run_parallel(d, programs, opts);
+    bench::row({policy == SchedulePolicy::ALAP ? "ALAP" : "ASAP",
+                fmt_double(report.programs[0].pst_value, 4),
+                fmt_double(report.programs[1].jsd_value, 4)},
+               16);
+  }
+  std::printf("(ALAP keeps the short program's qubits in |0> longer: the "
+              "paper's default)\n");
+}
+
+void print_mapping_ablation() {
+  print_router_ablation();
+  print_schedule_ablation();
+}
+
+void BM_TranspileBenchmark(benchmark::State& state) {
+  const Device d = make_toronto27();
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const auto cands = partition_candidates(d, spec.circuit.num_qubits(), {});
+  const std::vector<int>& partition = cands.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        transpile_to_partition(spec.circuit, d, partition));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_TranspileBenchmark)->DenseRange(0, 7)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_mapping_ablation)

@@ -1,0 +1,87 @@
+// Ablation A2: partitioner comparison across all implemented methods.
+// QuCP vs QuMC (SRB-informed) vs QuCloud-style vs MultiQC-style vs the
+// calibration-blind Naive baseline, measured on the Fig. 3 mixed workload
+// set (fidelity + throughput + crosstalk exposure).
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "core/parallel.hpp"
+
+namespace {
+
+using namespace qucp;
+
+const std::vector<std::vector<const char*>> kWorkloads = {
+    {"adder", "fred", "alu"},
+    {"4mod", "fred", "alu"},
+    {"adder", "4mod", "alu"},
+    {"qec", "var", "bell"},
+    {"var", "bell", "lin"},
+};
+
+void print_partitioner_ablation() {
+  bench::heading("Ablation A2: partitioner comparison (Toronto)");
+  const Device d = make_toronto27();
+  CrosstalkModel truth;
+  for (const auto& [e1, e2, g] : d.crosstalk_ground_truth().pairs()) {
+    truth.add_pair(e1, e2, g);
+  }
+
+  bench::row({"method", "avg PST", "avg JSD", "avg EFS", "xtalk events"},
+             14);
+  bench::rule(5, 14);
+  for (Method method : {Method::QuCP, Method::QuMC, Method::CNA,
+                        Method::QuCloud, Method::MultiQC, Method::Naive}) {
+    double pst_total = 0.0;
+    double jsd_total = 0.0;
+    double efs_total = 0.0;
+    int events = 0;
+    int programs = 0;
+    for (const auto& names : kWorkloads) {
+      std::vector<Circuit> circuits;
+      for (const char* n : names) circuits.push_back(get_benchmark(n).circuit);
+      ParallelOptions opts;
+      opts.method = method;
+      opts.exec.shots = 512;
+      opts.srb_estimates = truth;
+      const BatchReport report = run_parallel(d, circuits, opts);
+      events += report.crosstalk_events;
+      for (const ProgramReport& pr : report.programs) {
+        pst_total += pr.pst_value;
+        jsd_total += pr.jsd_value;
+        efs_total += pr.efs;
+        ++programs;
+      }
+    }
+    bench::row({std::string(method_name(method)),
+                fmt_double(pst_total / programs, 4),
+                fmt_double(jsd_total / programs, 4),
+                fmt_double(efs_total / programs, 4), std::to_string(events)},
+               14);
+  }
+  std::printf("(expected: QuCP/QuMC lead; Naive trails; crosstalk-aware "
+              "methods see fewer overlap events)\n");
+}
+
+void BM_MethodAllocation(benchmark::State& state) {
+  const Device d = make_toronto27();
+  const auto partitioner = make_partitioner(
+      static_cast<Method>(state.range(0)), 4.0, CrosstalkModel{});
+  std::vector<ProgramShape> programs;
+  for (const char* n : kWorkloads[0]) {
+    programs.push_back(shape_of(get_benchmark(n).circuit));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partitioner->allocate(d, programs));
+  }
+}
+BENCHMARK(BM_MethodAllocation)
+    ->Arg(static_cast<int>(qucp::Method::QuCP))
+    ->Arg(static_cast<int>(qucp::Method::QuCloud))
+    ->Arg(static_cast<int>(qucp::Method::Naive))
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_partitioner_ablation)

@@ -1,0 +1,130 @@
+// Fig. 3: fidelity of executing three benchmarks simultaneously on IBM Q
+// 27 Toronto — QuCP (partition-level sigma crosstalk avoidance) vs CNA
+// (gate-level crosstalk-aware mapping with SRB estimates).
+// (a) JSD workloads (lower better), (b) PST workloads (higher better).
+
+#include <numeric>
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "core/parallel.hpp"
+#include "srb/srb.hpp"
+
+namespace {
+
+using namespace qucp;
+
+struct Workload {
+  std::string label;
+  std::vector<std::string> programs;
+};
+
+const std::vector<Workload> kJsdWorkloads = {
+    {"lin x3", {"lin", "lin", "lin"}},
+    {"qec x3", {"qec", "qec", "qec"}},
+    {"var x3", {"var", "var", "var"}},
+    {"bell x3", {"bell", "bell", "bell"}},
+    {"qec-var-bell", {"qec", "var", "bell"}},
+    {"qec-bell-lin", {"qec", "bell", "lin"}},
+    {"var-bell-lin", {"var", "bell", "lin"}},
+    {"qec-var-lin", {"qec", "var", "lin"}},
+};
+
+const std::vector<Workload> kPstWorkloads = {
+    {"adder x3", {"adder", "adder", "adder"}},
+    {"4mod x3", {"4mod", "4mod", "4mod"}},
+    {"fred x3", {"fred", "fred", "fred"}},
+    {"alu x3", {"alu", "alu", "alu"}},
+    {"adder-fred-alu", {"adder", "fred", "alu"}},
+    {"adder-4mod-alu", {"adder", "4mod", "alu"}},
+    {"adder-fred-4mod", {"adder", "fred", "4mod"}},
+    {"4mod-fred-alu", {"4mod", "fred", "alu"}},
+};
+
+std::vector<Circuit> circuits_of(const Workload& w) {
+  std::vector<Circuit> out;
+  for (const std::string& name : w.programs) {
+    out.push_back(get_benchmark(name).circuit);
+  }
+  return out;
+}
+
+CrosstalkModel srb_estimates_for(const Device& d) {
+  SrbCharacterizationOptions opts;
+  opts.rb.lengths = {1, 3, 6, 10};
+  opts.rb.seeds = 2;
+  return characterize_crosstalk(d, opts, Rng(2022)).estimates;
+}
+
+double run_metric(const Device& d, const Workload& w, Method method,
+                  const CrosstalkModel& estimates, bool use_jsd) {
+  ParallelOptions opts;
+  opts.method = method;
+  opts.sigma = 4.0;  // the paper's tuned value
+  opts.exec.shots = 1024;
+  opts.srb_estimates = estimates;
+  const BatchReport report = run_parallel(d, circuits_of(w), opts);
+  double total = 0.0;
+  for (const ProgramReport& pr : report.programs) {
+    total += use_jsd ? pr.jsd_value : pr.pst_value;
+  }
+  return total / static_cast<double>(report.programs.size());
+}
+
+void print_fig3() {
+  const Device d = make_toronto27();
+  std::printf("characterizing crosstalk for CNA (SRB)...\n");
+  const CrosstalkModel estimates = srb_estimates_for(d);
+
+  bench::heading("Fig. 3a: JSD, three simultaneous circuits (lower better)");
+  bench::row({"workload", "QuCP", "CNA"}, 18);
+  bench::rule(3, 18);
+  double qucp_jsd = 0.0;
+  double cna_jsd = 0.0;
+  for (const Workload& w : kJsdWorkloads) {
+    const double q = run_metric(d, w, Method::QuCP, estimates, true);
+    const double c = run_metric(d, w, Method::CNA, estimates, true);
+    qucp_jsd += q;
+    cna_jsd += c;
+    bench::row({w.label, fmt_double(q, 4), fmt_double(c, 4)}, 18);
+  }
+  qucp_jsd /= kJsdWorkloads.size();
+  cna_jsd /= kJsdWorkloads.size();
+  std::printf("avg JSD: QuCP %.4f vs CNA %.4f -> improvement %.1f%% "
+              "(paper: 10.5%%)\n",
+              qucp_jsd, cna_jsd, 100.0 * (cna_jsd - qucp_jsd) / cna_jsd);
+
+  bench::heading("Fig. 3b: PST, three simultaneous circuits (higher better)");
+  bench::row({"workload", "QuCP", "CNA"}, 18);
+  bench::rule(3, 18);
+  double qucp_pst = 0.0;
+  double cna_pst = 0.0;
+  for (const Workload& w : kPstWorkloads) {
+    const double q = run_metric(d, w, Method::QuCP, estimates, false);
+    const double c = run_metric(d, w, Method::CNA, estimates, false);
+    qucp_pst += q;
+    cna_pst += c;
+    bench::row({w.label, fmt_double(q, 4), fmt_double(c, 4)}, 18);
+  }
+  qucp_pst /= kPstWorkloads.size();
+  cna_pst /= kPstWorkloads.size();
+  std::printf("avg PST: QuCP %.4f vs CNA %.4f -> improvement %.1f%% "
+              "(paper: 89.9%%)\n",
+              qucp_pst, cna_pst, 100.0 * (qucp_pst - cna_pst) / cna_pst);
+}
+
+void BM_QucpThreeBenchmarkBatch(benchmark::State& state) {
+  const Device d = make_toronto27();
+  const auto circuits = circuits_of(kPstWorkloads[4]);
+  ParallelOptions opts;
+  opts.exec.shots = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_parallel(d, circuits, opts));
+  }
+}
+BENCHMARK(BM_QucpThreeBenchmarkBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_fig3)

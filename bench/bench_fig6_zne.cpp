@@ -1,0 +1,83 @@
+// Fig. 6: absolute error of the parity observable without mitigation
+// (Baseline), with parallel ZNE (QuCP+ZNE: folded circuits in one batch)
+// and with serial ZNE, across the eight Table II benchmarks on IBM Q 65
+// Manhattan. Scale factors 1.0..2.5 step 0.5 (4 folded circuits).
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "zne/zne.hpp"
+
+namespace {
+
+using namespace qucp;
+
+void print_fig6() {
+  bench::heading(
+      "Fig. 6: ZNE absolute error per benchmark (Manhattan, scales 1-2.5)");
+  const Device d = make_manhattan65();
+  ZneOptions opts;
+  opts.parallel.exec.shots = 1024;
+
+  bench::row({"benchmark", "Baseline", "QuCP+ZNE", "ZNE", "factory"}, 13);
+  bench::rule(5, 13);
+  double base_total = 0.0;
+  double par_total = 0.0;
+  double ind_total = 0.0;
+  double best_factor = 0.0;
+  std::string best_name;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const ZneResult base =
+        run_zne(d, spec.circuit, ZneProcess::Baseline, opts);
+    const ZneResult par = run_zne(d, spec.circuit, ZneProcess::Parallel, opts);
+    const ZneResult ind =
+        run_zne(d, spec.circuit, ZneProcess::Independent, opts);
+    base_total += base.abs_error;
+    par_total += par.abs_error;
+    ind_total += ind.abs_error;
+    const double factor =
+        par.abs_error > 1e-12 ? base.abs_error / par.abs_error : 99.0;
+    if (factor > best_factor) {
+      best_factor = factor;
+      best_name = spec.name;
+    }
+    bench::row({spec.short_name, fmt_double(base.abs_error, 4),
+                fmt_double(par.abs_error, 4), fmt_double(ind.abs_error, 4),
+                par.best_factory},
+               13);
+  }
+  const double n = static_cast<double>(benchmark_suite().size());
+  std::printf(
+      "avg abs error: Baseline %.4f | QuCP+ZNE %.4f | ZNE %.4f\n",
+      base_total / n, par_total / n, ind_total / n);
+  std::printf(
+      "QuCP+ZNE error reduction vs Baseline: avg %.1fx, best %.1fx (%s); "
+      "paper: avg 2x, best 11x (alu-v0_27); throughput/runtime gain ~3x\n",
+      base_total / std::max(par_total, 1e-12), best_factor,
+      best_name.c_str());
+}
+
+void BM_ZneParallelBatch(benchmark::State& state) {
+  const Device d = make_manhattan65();
+  const Circuit& circuit = get_benchmark("adder").circuit;
+  ZneOptions opts;
+  opts.parallel.exec.shots = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_zne(d, circuit, ZneProcess::Parallel, opts));
+  }
+}
+BENCHMARK(BM_ZneParallelBatch)->Unit(benchmark::kMillisecond);
+
+void BM_FoldGatesAtRandom(benchmark::State& state) {
+  const Circuit& circuit = get_benchmark("var").circuit;
+  for (auto _ : state) {
+    Rng rng(state.iterations());
+    benchmark::DoNotOptimize(fold_gates_at_random(circuit, 2.5, rng));
+  }
+}
+BENCHMARK(BM_FoldGatesAtRandom);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_fig6)

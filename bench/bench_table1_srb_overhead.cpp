@@ -1,0 +1,53 @@
+// Table I: overhead of SRB crosstalk characterization on IBM Q 27 Toronto
+// and IBM Q 65 Manhattan. The paper counts "1-hop pairs" as the number of
+// chip CNOTs (28 / 72); we report that row plus the actual count of
+// disjoint one-hop edge pairs, the greedy SRB group count, and the job
+// arithmetic jobs = groups x seeds x 3.
+
+#include "bench_util.hpp"
+#include "hardware/device.hpp"
+#include "srb/srb.hpp"
+
+namespace {
+
+using namespace qucp;
+
+void print_table1() {
+  bench::heading("Table I: Overhead of SRB on IBM quantum chips");
+  const Device toronto = make_toronto27();
+  const Device manhattan = make_manhattan65();
+  const SrbOverhead a = srb_overhead(toronto.topology(), 5);
+  const SrbOverhead b = srb_overhead(manhattan.topology(), 5);
+  bench::row({"Chip", toronto.name(), manhattan.name()}, 20);
+  bench::rule(3, 20);
+  auto num = [](int v) { return std::to_string(v); };
+  bench::row({"qubit", num(a.qubits), num(b.qubits)}, 20);
+  bench::row({"1-hop pairs (paper)", num(a.edges), num(b.edges)}, 20);
+  bench::row({"one-hop edge pairs", num(a.one_hop_pairs),
+              num(b.one_hop_pairs)},
+             20);
+  bench::row({"groups", num(a.groups), num(b.groups)}, 20);
+  bench::row({"seeds", num(a.seeds), num(b.seeds)}, 20);
+  bench::row({"jobs", num(a.jobs), num(b.jobs)}, 20);
+  std::printf("(paper: pairs 28/72, groups 9/11, jobs 135/165)\n");
+}
+
+void BM_OneHopPairEnumeration(benchmark::State& state) {
+  const Device d = state.range(0) == 0 ? make_toronto27() : make_manhattan65();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.topology().one_hop_edge_pairs());
+  }
+}
+BENCHMARK(BM_OneHopPairEnumeration)->Arg(0)->Arg(1);
+
+void BM_GroupColoring(benchmark::State& state) {
+  const Device d = state.range(0) == 0 ? make_toronto27() : make_manhattan65();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(group_one_hop_pairs(d.topology()));
+  }
+}
+BENCHMARK(BM_GroupColoring)->Arg(0)->Arg(1);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_table1)

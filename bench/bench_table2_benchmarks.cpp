@@ -1,0 +1,41 @@
+// Table II: information of benchmarks. Regenerates the table from the
+// embedded circuits and checks the output class by ideal simulation.
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qucp;
+
+void print_table2() {
+  bench::heading("Table II: Information of benchmarks");
+  bench::row({"Benchmark", "Qubits", "Gates", "CX", "Result"}, 16);
+  bench::rule(5, 16);
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const Distribution ideal = ideal_distribution(spec.circuit);
+    const bool deterministic = ideal.prob(ideal.most_likely()) > 0.999;
+    bench::row({spec.name, std::to_string(spec.circuit.num_qubits()),
+                std::to_string(spec.circuit.gate_count()),
+                std::to_string(spec.circuit.two_qubit_count()),
+                deterministic ? "1" : "dist"},
+               16);
+  }
+  std::printf("(paper: adder 4/23/10, lin 3/19/4, 4mod 5/21/11, fred 3/19/8,"
+              " qec 5/25/10, alu 5/36/17, bell 4/33/7, var 4/54/16)\n");
+}
+
+void BM_IdealSimulation(benchmark::State& state) {
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ideal_distribution(spec.circuit));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_IdealSimulation)->DenseRange(0, 7);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_table2)

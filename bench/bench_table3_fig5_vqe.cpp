@@ -1,0 +1,79 @@
+// Table III + Fig. 5: ground-state energy of H2 under PG (independent
+// Pauli-grouped measurement) and QuCP+PG (all measurement circuits in one
+// parallel batch) on IBM Q 65 Manhattan. 8/10/12 tied-parameter points x 2
+// commuting groups = 16/20/24 simultaneous circuits.
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "vqe/estimator.hpp"
+
+namespace {
+
+using namespace qucp;
+
+void run_experiment(const Device& d, char tag, int num_thetas) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  // Half-open grid over one period: -pi and +pi are the same state.
+  const double kPi = 3.141592653589793;
+  const auto thetas =
+      theta_grid(num_thetas, -kPi, kPi - 2.0 * kPi / num_thetas);
+
+  VqeSweepOptions pg;
+  pg.run_parallel = false;
+  pg.parallel.exec.shots = 1024;
+  VqeSweepOptions qucp_pg = pg;
+  qucp_pg.run_parallel = true;
+
+  const VqeSweepResult ind = run_vqe_sweep(d, h2, thetas, pg);
+  const VqeSweepResult par = run_vqe_sweep(d, h2, thetas, qucp_pg);
+
+  std::printf("\n(%c) %d optimizations, %d measurement circuits\n", tag,
+              num_thetas, par.circuits_executed);
+  bench::row({"Experiment", "nc", "dE_base(%)", "dE_theory(%)",
+              "throughput"},
+             14);
+  bench::rule(5, 14);
+  bench::row({"PG", "1", fmt_double(ind.delta_e_base_pct, 1),
+              fmt_double(ind.delta_e_theory_pct, 1),
+              fmt_percent(ind.throughput, 1)},
+             14);
+  bench::row({"QuCP+PG", std::to_string(par.circuits_executed),
+              fmt_double(par.delta_e_base_pct, 1),
+              fmt_double(par.delta_e_theory_pct, 1),
+              fmt_percent(par.throughput, 1)},
+             14);
+
+  // Fig. 5 series: energy estimate per theta.
+  std::printf("Fig. 5(%c) series   theta : ideal | PG | QuCP+PG\n", tag);
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    std::printf("  %+.3f : %+.4f | %+.4f | %+.4f\n", thetas[i],
+                par.ideal_energies[i], ind.energies[i], par.energies[i]);
+  }
+  std::printf("  exact ground (theory): %+.6f Ha\n", par.exact_ground);
+}
+
+void print_table3_fig5() {
+  bench::heading(
+      "Table III / Fig. 5: VQE H2 ground state, PG vs QuCP+PG (Manhattan)");
+  const Device d = make_manhattan65();
+  run_experiment(d, 'a', 8);   // 16 circuits -> 49.2% throughput
+  run_experiment(d, 'b', 10);  // 20 circuits -> 61.5%
+  run_experiment(d, 'c', 12);  // 24 circuits -> 73.8%
+  std::printf("\n(paper: throughput up to 73.8%% with dE under 10%%)\n");
+}
+
+void BM_VqeParallelSweep(benchmark::State& state) {
+  const Device d = make_manhattan65();
+  const auto thetas = theta_grid(static_cast<int>(state.range(0)), -3.14159, 3.14159);
+  VqeSweepOptions opts;
+  opts.parallel.exec.shots = 256;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_vqe_sweep(d, h2_hamiltonian(), thetas, opts));
+  }
+}
+BENCHMARK(BM_VqeParallelSweep)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_table3_fig5)

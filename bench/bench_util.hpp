@@ -1,0 +1,44 @@
+#pragma once
+// Shared helpers for the reproduction benches.
+//
+// Every bench binary prints its paper artifact (table or figure series)
+// first, then runs google-benchmark timers over the underlying kernels, so
+// `for b in build/bench/*; do $b; done` regenerates the whole evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace qucp::bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) {
+    std::printf("%-*s", width, c.c_str());
+  }
+  std::printf("\n");
+}
+
+inline void rule(std::size_t cells, int width = 14) {
+  std::printf("%s\n", std::string(cells * static_cast<std::size_t>(width),
+                                  '-')
+                          .c_str());
+}
+
+}  // namespace qucp::bench
+
+/// Print the paper artifact, then hand over to google-benchmark.
+#define QUCP_BENCH_MAIN(print_artifact)                  \
+  int main(int argc, char** argv) {                      \
+    print_artifact();                                    \
+    ::benchmark::Initialize(&argc, argv);                \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();               \
+    ::benchmark::Shutdown();                             \
+    return 0;                                            \
+  }

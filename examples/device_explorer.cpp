@@ -1,0 +1,53 @@
+// Device explorer: print the topology, calibration summary and crosstalk
+// characterization of the simulated IBM machines — the information a
+// multi-programming scheduler works from.
+//
+//   build/examples/device_explorer [melbourne|toronto|manhattan]
+
+#include <cstdio>
+#include <string>
+
+#include "hardware/device.hpp"
+#include "srb/srb.hpp"
+
+using namespace qucp;
+
+int main(int argc, char** argv) {
+  const std::string which = argc > 1 ? argv[1] : "toronto";
+  Device device = which == "melbourne"   ? make_melbourne16()
+                  : which == "manhattan" ? make_manhattan65()
+                                         : make_toronto27();
+
+  const Topology& topo = device.topology();
+  const Calibration& cal = device.calibration();
+  std::printf("%s: %d qubits, %d couplers\n", device.name().c_str(),
+              topo.num_qubits(), topo.num_edges());
+  std::printf("avg CX error %.4f | avg readout %.4f | avg 1q %.5f\n",
+              cal.avg_cx_error(), cal.avg_readout_error(),
+              cal.avg_q1_error());
+
+  std::printf("\ncouplers (CX error; * marks worst decile):\n");
+  double worst = 0.0;
+  for (double e : cal.cx_error) worst = std::max(worst, e);
+  for (int e = 0; e < topo.num_edges(); ++e) {
+    const Edge& edge = topo.edges()[e];
+    std::printf("  %2d-%-2d : %.4f%s\n", edge.a, edge.b, cal.cx_error[e],
+                cal.cx_error[e] > 0.8 * worst ? " *" : "");
+  }
+
+  const SrbOverhead overhead = srb_overhead(topo, 5);
+  std::printf("\nSRB characterization cost: %d one-hop pairs -> %d groups "
+              "x %d seeds x 3 = %d jobs\n",
+              overhead.one_hop_pairs, overhead.groups, overhead.seeds,
+              overhead.jobs);
+
+  std::printf("\nplanted crosstalk ground truth (gamma):\n");
+  for (const auto& [e1, e2, g] : device.crosstalk_ground_truth().pairs()) {
+    const Edge& a = topo.edges()[e1];
+    const Edge& b = topo.edges()[e2];
+    std::printf("  (%d-%d) || (%d-%d) : %.2f\n", a.a, a.b, b.a, b.b, g);
+  }
+  std::printf("\nQuCP never reads the table above — that is the point: it "
+              "emulates crosstalk with sigma=4 at partition level.\n");
+  return 0;
+}

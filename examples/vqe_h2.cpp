@@ -1,0 +1,55 @@
+// VQE on H2 (paper Section IV-C): estimate the ground-state energy with
+// Pauli-grouped measurement, executing all measurement circuits of a
+// tied-parameter sweep simultaneously via QuCP.
+//
+//   build/examples/vqe_h2
+
+#include <cstdio>
+
+#include "vqe/estimator.hpp"
+#include "vqe/fermion.hpp"
+
+using namespace qucp;
+
+int main() {
+  // Derive the 2-qubit Hamiltonian the way the paper describes: parity
+  // mapping of the fermionic H2 Hamiltonian + two-qubit reduction...
+  const Hamiltonian derived = h2_via_parity_mapping();
+  // ...and use the canonical textbook coefficients for the experiment.
+  const Hamiltonian h2 = h2_hamiltonian();
+  std::printf("H2 @ 0.735 A: %zu Pauli terms; derived-from-integrals ground "
+              "%.5f Ha vs canonical %.5f Ha\n",
+              h2.terms().size(), derived.ground_energy(),
+              h2.ground_energy());
+
+  const auto groups = group_commuting_terms(h2);
+  std::printf("Pauli grouping: %zu commuting groups (paper: "
+              "{II,IZ,ZI,ZZ} and {XX})\n",
+              groups.size());
+
+  const Device device = make_manhattan65();
+  const double kPi = 3.141592653589793;
+  const auto thetas = theta_grid(10, -kPi, kPi - 2.0 * kPi / 10);
+
+  VqeSweepOptions pg;
+  pg.run_parallel = false;
+  pg.parallel.exec.shots = 2048;
+  VqeSweepOptions qucp_pg = pg;
+  qucp_pg.run_parallel = true;
+
+  const VqeSweepResult ind = run_vqe_sweep(device, h2, thetas, pg);
+  const VqeSweepResult par = run_vqe_sweep(device, h2, thetas, qucp_pg);
+
+  std::printf("\n%-10s %10s %12s %12s %12s\n", "process", "circuits",
+              "min E (Ha)", "dE_base(%)", "throughput");
+  std::printf("%-10s %10d %12.5f %12.2f %11.1f%%\n", "PG", 1,
+              ind.min_energy, ind.delta_e_base_pct, 100.0 * ind.throughput);
+  std::printf("%-10s %10d %12.5f %12.2f %11.1f%%\n", "QuCP+PG",
+              par.circuits_executed, par.min_energy, par.delta_e_base_pct,
+              100.0 * par.throughput);
+  std::printf("\nexact ground (eigensolver): %.5f Ha; + nuclear repulsion "
+              "%.5f -> total %.5f Ha\n",
+              par.exact_ground, h2_nuclear_repulsion(),
+              par.exact_ground + h2_nuclear_repulsion());
+  return 0;
+}

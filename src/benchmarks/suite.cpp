@@ -1,0 +1,236 @@
+#include "benchmarks/suite.hpp"
+
+#include <stdexcept>
+
+#include "circuit/qasm.hpp"
+
+namespace qucp {
+
+namespace {
+
+/// QASMBench adder_n4 (4-bit ripple adder kernel), verbatim.
+constexpr const char* kAdderQasm = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+x q[0];
+x q[1];
+h q[3];
+cx q[2],q[3];
+t q[0];
+t q[1];
+t q[2];
+tdg q[3];
+cx q[0],q[1];
+cx q[2],q[3];
+cx q[3],q[0];
+cx q[1],q[2];
+cx q[0],q[1];
+cx q[2],q[3];
+tdg q[0];
+tdg q[1];
+tdg q[2];
+t q[3];
+cx q[0],q[1];
+cx q[2],q[3];
+s q[3];
+cx q[3],q[0];
+h q[3];
+measure q -> c;
+)";
+
+/// QASMBench fredkin_n3: controlled-SWAP on |110>, Toffoli decomposed.
+constexpr const char* kFredkinQasm = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+x q[0];
+x q[1];
+cx q[2],q[1];
+ccx q[0],q[1],q[2];
+cx q[2],q[1];
+measure q -> c;
+)";
+
+/// RevLib 4mod5-v1_22 reconstruction: reversible mod-5 kernel with one
+/// Toffoli; matches Table II's 21 gates / 11 CX.
+constexpr const char* k4mod5Qasm = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+x q[4];
+cx q[4],q[3];
+cx q[3],q[2];
+cx q[2],q[1];
+cx q[1],q[0];
+ccx q[0],q[1],q[2];
+cx q[4],q[0];
+measure q -> c;
+)";
+
+/// RevLib alu-v0_27 reconstruction: reversible ALU kernel with two
+/// Toffolis; matches Table II's 36 gates / 17 CX.
+constexpr const char* kAluQasm = R"(
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+creg c[5];
+x q[0];
+ccx q[0],q[1],q[2];
+cx q[0],q[3];
+cx q[3],q[4];
+cx q[4],q[1];
+ccx q[1],q[2],q[0];
+cx q[2],q[4];
+cx q[0],q[2];
+measure q -> c;
+)";
+
+Circuit make_linearsolver() {
+  Circuit c(3, 3, "linearsolver");
+  c.ry(0.3, 0);
+  c.h(1);
+  c.ry(1.2, 2);
+  c.cx(0, 1);
+  c.rz(0.7, 1);
+  c.ry(-0.4, 2);
+  c.h(0);
+  c.cx(1, 2);
+  c.ry(0.8, 0);
+  c.rz(1.1, 1);
+  c.h(2);
+  c.cx(2, 0);
+  c.ry(0.5, 1);
+  c.rx(0.9, 2);
+  c.t(0);
+  c.cx(0, 1);
+  c.h(0);
+  c.ry(0.25, 1);
+  c.rz(0.6, 2);
+  c.measure_all();
+  return c;
+}
+
+Circuit make_qec_en() {
+  Circuit c(5, 5, "qec_en");
+  c.ry(0.9, 0);  // data qubit in superposition: distribution output
+  c.h(1);
+  c.h(2);
+  c.cx(0, 3);
+  c.cx(1, 3);
+  c.cx(0, 4);
+  c.cx(2, 4);
+  c.t(0);
+  c.t(1);
+  c.t(2);
+  c.tdg(3);
+  c.tdg(4);
+  c.cx(1, 0);
+  c.cx(2, 0);
+  c.h(3);
+  c.h(4);
+  c.cx(3, 2);
+  c.cx(4, 1);
+  c.s(0);
+  c.s(3);
+  c.h(0);
+  c.z(2);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  c.x(4);
+  c.measure_all();
+  return c;
+}
+
+Circuit make_bell() {
+  Circuit c(4, 4, "bell");
+  for (int q = 0; q < 4; ++q) c.h(q);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  c.ry(0.785, 0);
+  c.ry(-0.785, 1);
+  c.ry(0.393, 2);
+  c.ry(-0.393, 3);
+  c.cx(1, 2);
+  c.rz(0.25, 0);
+  c.rx(0.5, 1);
+  c.rz(-0.25, 2);
+  c.rx(-0.5, 3);
+  c.cx(0, 1);
+  c.cx(2, 3);
+  c.h(0);
+  c.s(1);
+  c.h(2);
+  c.s(3);
+  c.cx(1, 2);
+  c.t(0);
+  c.tdg(1);
+  c.t(2);
+  c.tdg(3);
+  c.cx(0, 3);
+  c.h(1);
+  c.h(2);
+  c.rz(0.35, 0);
+  c.ry(0.15, 1);
+  c.rz(-0.35, 2);
+  c.ry(-0.15, 3);
+  c.measure_all();
+  return c;
+}
+
+Circuit make_variational() {
+  Circuit c(4, 4, "variational");
+  // Four RyRz + ring-entangler layers, then a final partial rotation layer:
+  // 38 single-qubit gates + 16 CX = 54 gates (Table II).
+  for (int layer = 0; layer < 4; ++layer) {
+    for (int q = 0; q < 4; ++q) c.ry(0.2 + 0.15 * layer + 0.3 * q, q);
+    for (int q = 0; q < 4; ++q) c.rz(0.1 + 0.1 * layer + 0.2 * q, q);
+    for (int q = 0; q < 4; ++q) c.cx(q, (q + 1) % 4);
+  }
+  for (int q = 0; q < 4; ++q) c.ry(0.05 + 0.1 * q, q);
+  c.rz(0.4, 0);
+  c.rz(-0.4, 2);
+  c.measure_all();
+  return c;
+}
+
+std::vector<BenchmarkSpec> build_suite() {
+  std::vector<BenchmarkSpec> suite;
+  suite.push_back({"adder", "adder", parse_qasm(kAdderQasm, "adder"),
+                   ResultKind::Deterministic, 4, 23, 10});
+  suite.push_back({"linearsolver", "lin", make_linearsolver(),
+                   ResultKind::Distribution, 3, 19, 4});
+  suite.push_back({"4mod5-v1_22", "4mod", parse_qasm(k4mod5Qasm, "4mod5-v1_22"),
+                   ResultKind::Deterministic, 5, 21, 11});
+  suite.push_back({"fredkin", "fred", parse_qasm(kFredkinQasm, "fredkin"),
+                   ResultKind::Deterministic, 3, 19, 8});
+  suite.push_back({"qec_en", "qec", make_qec_en(), ResultKind::Distribution,
+                   5, 25, 10});
+  suite.push_back({"alu-v0_27", "alu", parse_qasm(kAluQasm, "alu-v0_27"),
+                   ResultKind::Deterministic, 5, 36, 17});
+  suite.push_back({"bell", "bell", make_bell(), ResultKind::Distribution, 4,
+                   33, 7});
+  suite.push_back({"variational", "var", make_variational(),
+                   ResultKind::Distribution, 4, 54, 16});
+  return suite;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkSpec>& benchmark_suite() {
+  static const std::vector<BenchmarkSpec> kSuite = build_suite();
+  return kSuite;
+}
+
+const BenchmarkSpec& get_benchmark(std::string_view name) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    if (spec.name == name || spec.short_name == name) return spec;
+  }
+  throw std::out_of_range("get_benchmark: unknown benchmark " +
+                          std::string(name));
+}
+
+}  // namespace qucp

@@ -1,0 +1,41 @@
+#pragma once
+// The paper's benchmark suite (Table II).
+//
+// Eight small circuits collected from QASMBench / RevLib. adder and fredkin
+// are the published QASMBench circuits verbatim; the remaining six are
+// reconstructed to match Table II's qubit/gate/CX counts and output class
+// exactly (the paper does not reprint their gate lists). "Deterministic"
+// circuits ideally produce a single outcome and are scored with PST;
+// "distribution" circuits are scored with JSD against the ideal output.
+//
+// All circuits carry terminal measure-all; gate/CX counts exclude
+// measurements, matching Table II's convention.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qucp {
+
+enum class ResultKind { Deterministic, Distribution };
+
+struct BenchmarkSpec {
+  std::string name;        ///< full benchmark name (Table II row)
+  std::string short_name;  ///< label used in Fig. 3 ("lin", "qec", ...)
+  Circuit circuit;         ///< measured circuit
+  ResultKind result = ResultKind::Distribution;
+  /// Table II reference values, asserted in tests.
+  int table_qubits = 0;
+  int table_gates = 0;
+  int table_cx = 0;
+};
+
+/// All eight Table II benchmarks, in the table's row order.
+[[nodiscard]] const std::vector<BenchmarkSpec>& benchmark_suite();
+
+/// Lookup by full or short name; throws std::out_of_range when unknown.
+[[nodiscard]] const BenchmarkSpec& get_benchmark(std::string_view name);
+
+}  // namespace qucp

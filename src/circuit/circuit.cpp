@@ -1,0 +1,297 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <numbers>
+#include <set>
+#include <stdexcept>
+
+namespace qucp {
+
+namespace {
+
+/// Embed a k-qubit gate matrix into the full 2^n space (little-endian basis;
+/// the first operand in `qs` is the HIGH bit of the gate's local index,
+/// matching gate_matrix's convention).
+Matrix embed(const Matrix& m, std::span<const int> qs, int n) {
+  const std::size_t dim = std::size_t{1} << n;
+  const int k = static_cast<int>(qs.size());
+  const std::size_t ldim = std::size_t{1} << k;
+  if (m.rows() != ldim || m.cols() != ldim) {
+    throw std::invalid_argument("embed: matrix/operand mismatch");
+  }
+  Matrix out(dim, dim);
+  for (std::size_t c = 0; c < dim; ++c) {
+    std::size_t lc = 0;
+    for (int j = 0; j < k; ++j) {
+      lc = (lc << 1) | ((c >> qs[j]) & 1U);
+    }
+    for (std::size_t lr = 0; lr < ldim; ++lr) {
+      const cx v = m(lr, lc);
+      if (v == cx{0.0, 0.0}) continue;
+      std::size_t r = c;
+      for (int j = 0; j < k; ++j) {
+        const std::size_t bit = (lr >> (k - 1 - j)) & 1U;
+        r = (r & ~(std::size_t{1} << qs[j])) | (bit << qs[j]);
+      }
+      out(r, c) += v;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Circuit::Circuit(int num_qubits, std::optional<int> num_clbits,
+                 std::string name)
+    : num_qubits_(num_qubits),
+      num_clbits_(num_clbits.value_or(num_qubits)),
+      name_(std::move(name)) {
+  if (num_qubits < 0 || num_clbits_ < 0) {
+    throw std::invalid_argument("Circuit: negative register size");
+  }
+}
+
+void Circuit::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("Circuit: qubit index out of range");
+  }
+}
+
+void Circuit::append(Gate g) {
+  if (g.kind == GateKind::Barrier) {
+    if (g.qubits.empty()) {
+      for (int q = 0; q < num_qubits_; ++q) g.qubits.push_back(q);
+    }
+    for (int q : g.qubits) check_qubit(q);
+  } else if (g.kind == GateKind::Measure) {
+    if (g.qubits.size() != 1) {
+      throw std::invalid_argument("Circuit: measure takes one qubit");
+    }
+    check_qubit(g.qubits[0]);
+    if (g.clbit < 0 || g.clbit >= num_clbits_) {
+      throw std::out_of_range("Circuit: clbit index out of range");
+    }
+  } else {
+    const int arity = gate_arity(g.kind);
+    if (static_cast<int>(g.qubits.size()) != arity) {
+      throw std::invalid_argument("Circuit: wrong operand count for " +
+                                  std::string(gate_name(g.kind)));
+    }
+    for (int q : g.qubits) check_qubit(q);
+    if (arity == 2 && g.qubits[0] == g.qubits[1]) {
+      throw std::invalid_argument("Circuit: duplicate qubit operand");
+    }
+    if (static_cast<int>(g.params.size()) != gate_param_count(g.kind)) {
+      throw std::invalid_argument("Circuit: wrong parameter count for " +
+                                  std::string(gate_name(g.kind)));
+    }
+  }
+  ops_.push_back(std::move(g));
+}
+
+void Circuit::barrier() { append({GateKind::Barrier, {}, {}}); }
+
+void Circuit::barrier(std::vector<int> qubits) {
+  append({GateKind::Barrier, std::move(qubits), {}});
+}
+
+void Circuit::measure(int qubit, int clbit) {
+  Gate g{GateKind::Measure, {qubit}, {}};
+  g.clbit = clbit;
+  append(std::move(g));
+}
+
+void Circuit::measure_all() {
+  if (num_clbits_ < num_qubits_) {
+    throw std::logic_error("Circuit::measure_all: too few clbits");
+  }
+  for (int q = 0; q < num_qubits_; ++q) measure(q, q);
+}
+
+void Circuit::ccx(int c0, int c1, int target) {
+  h(target);
+  cx(c1, target);
+  tdg(target);
+  cx(c0, target);
+  t(target);
+  cx(c1, target);
+  tdg(target);
+  cx(c0, target);
+  t(c1);
+  t(target);
+  cx(c0, c1);
+  h(target);
+  t(c0);
+  tdg(c1);
+  cx(c0, c1);
+}
+
+int Circuit::gate_count() const {
+  int n = 0;
+  for (const Gate& g : ops_) {
+    if (is_unitary_gate(g.kind)) ++n;
+  }
+  return n;
+}
+
+int Circuit::two_qubit_count() const {
+  int n = 0;
+  for (const Gate& g : ops_) {
+    if (is_two_qubit_gate(g.kind)) ++n;
+  }
+  return n;
+}
+
+std::map<std::string, int> Circuit::count_ops() const {
+  std::map<std::string, int> counts;
+  for (const Gate& g : ops_) {
+    ++counts[std::string(gate_name(g.kind))];
+  }
+  return counts;
+}
+
+int Circuit::depth() const {
+  std::vector<int> qlevel(num_qubits_, 0);
+  std::vector<int> clevel(num_clbits_, 0);
+  int depth = 0;
+  for (const Gate& g : ops_) {
+    if (g.kind == GateKind::Barrier) {
+      int m = 0;
+      for (int q : g.qubits) m = std::max(m, qlevel[q]);
+      for (int q : g.qubits) qlevel[q] = m;
+      continue;
+    }
+    int lvl = 0;
+    for (int q : g.qubits) lvl = std::max(lvl, qlevel[q]);
+    if (g.kind == GateKind::Measure) lvl = std::max(lvl, clevel[g.clbit]);
+    ++lvl;
+    for (int q : g.qubits) qlevel[q] = lvl;
+    if (g.kind == GateKind::Measure) clevel[g.clbit] = lvl;
+    depth = std::max(depth, lvl);
+  }
+  return depth;
+}
+
+int Circuit::two_qubit_depth() const {
+  std::vector<int> qlevel(num_qubits_, 0);
+  int depth = 0;
+  for (const Gate& g : ops_) {
+    if (!is_two_qubit_gate(g.kind)) continue;
+    const int lvl = std::max(qlevel[g.qubits[0]], qlevel[g.qubits[1]]) + 1;
+    qlevel[g.qubits[0]] = lvl;
+    qlevel[g.qubits[1]] = lvl;
+    depth = std::max(depth, lvl);
+  }
+  return depth;
+}
+
+bool Circuit::has_measurements() const {
+  return std::any_of(ops_.begin(), ops_.end(), [](const Gate& g) {
+    return g.kind == GateKind::Measure;
+  });
+}
+
+std::vector<int> Circuit::active_qubits() const {
+  std::set<int> used;
+  for (const Gate& g : ops_) {
+    if (g.kind == GateKind::Barrier) continue;
+    used.insert(g.qubits.begin(), g.qubits.end());
+  }
+  return {used.begin(), used.end()};
+}
+
+Circuit Circuit::without_final_ops() const {
+  Circuit out(num_qubits_, num_clbits_, name_);
+  for (const Gate& g : ops_) {
+    if (g.kind == GateKind::Measure || g.kind == GateKind::Barrier) continue;
+    out.append(g);
+  }
+  return out;
+}
+
+Circuit Circuit::compacted() const {
+  const std::vector<int> active = active_qubits();
+  std::vector<int> local(num_qubits_, -1);
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    local[active[i]] = static_cast<int>(i);
+  }
+  Circuit out(static_cast<int>(active.size()), num_clbits_, name_);
+  for (const Gate& g : ops_) {
+    Gate mapped = g;
+    for (int& q : mapped.qubits) q = local[q];
+    out.append(std::move(mapped));
+  }
+  return out;
+}
+
+Circuit Circuit::inverse() const {
+  if (has_measurements()) {
+    throw std::logic_error("Circuit::inverse: circuit has measurements");
+  }
+  Circuit out(num_qubits_, num_clbits_, name_.empty() ? "" : name_ + "_dg");
+  for (auto it = ops_.rbegin(); it != ops_.rend(); ++it) {
+    if (it->kind == GateKind::Barrier) {
+      out.append(*it);
+      continue;
+    }
+    out.append(inverse_gate(*it));
+  }
+  return out;
+}
+
+Circuit Circuit::remapped(std::span<const int> layout,
+                          int new_num_qubits) const {
+  if (static_cast<int>(layout.size()) != num_qubits_) {
+    throw std::invalid_argument("Circuit::remapped: layout size mismatch");
+  }
+  Circuit out(new_num_qubits, std::max(num_clbits_, new_num_qubits), name_);
+  for (const Gate& g : ops_) {
+    Gate mapped = g;
+    for (int& q : mapped.qubits) {
+      if (layout[q] < 0 || layout[q] >= new_num_qubits) {
+        throw std::out_of_range("Circuit::remapped: layout target invalid");
+      }
+      q = layout[q];
+    }
+    out.append(std::move(mapped));
+  }
+  return out;
+}
+
+void Circuit::compose(const Circuit& other, std::span<const int> qubit_map,
+                      int clbit_offset) {
+  std::vector<int> map;
+  if (qubit_map.empty()) {
+    if (other.num_qubits_ > num_qubits_) {
+      throw std::invalid_argument("Circuit::compose: other too wide");
+    }
+    map.resize(other.num_qubits_);
+    for (int i = 0; i < other.num_qubits_; ++i) map[i] = i;
+  } else {
+    if (static_cast<int>(qubit_map.size()) != other.num_qubits_) {
+      throw std::invalid_argument("Circuit::compose: qubit_map size");
+    }
+    map.assign(qubit_map.begin(), qubit_map.end());
+  }
+  for (const Gate& g : other.ops_) {
+    Gate mapped = g;
+    for (int& q : mapped.qubits) q = map.at(q);
+    if (mapped.kind == GateKind::Measure) mapped.clbit += clbit_offset;
+    append(std::move(mapped));
+  }
+}
+
+Matrix Circuit::to_unitary() const {
+  if (has_measurements()) {
+    throw std::logic_error("Circuit::to_unitary: circuit has measurements");
+  }
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  Matrix u = Matrix::identity(dim);
+  for (const Gate& g : ops_) {
+    if (g.kind == GateKind::Barrier) continue;
+    u = embed(gate_matrix(g), g.qubits, num_qubits_) * u;
+  }
+  return u;
+}
+
+}  // namespace qucp

@@ -1,0 +1,123 @@
+#pragma once
+// Quantum circuit intermediate representation.
+//
+// A Circuit is an ordered list of Gate ops over `num_qubits` qubits and
+// `num_clbits` classical bits. It is a plain value type: cheap to copy for
+// the small NISQ benchmarks this library targets, and every transformation
+// (mapping, folding, optimization) returns a new Circuit.
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "circuit/gate.hpp"
+
+namespace qucp {
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  /// Construct an empty circuit. num_clbits defaults to num_qubits.
+  explicit Circuit(int num_qubits, std::optional<int> num_clbits = {},
+                   std::string name = "");
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] int num_clbits() const noexcept { return num_clbits_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  [[nodiscard]] const std::vector<Gate>& ops() const noexcept { return ops_; }
+  [[nodiscard]] std::size_t size() const noexcept { return ops_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ops_.empty(); }
+
+  /// Append an op after validating operand counts and index ranges.
+  void append(Gate g);
+
+  // -- gate helpers -------------------------------------------------------
+  void i(int q) { append({GateKind::I, {q}, {}}); }
+  void x(int q) { append({GateKind::X, {q}, {}}); }
+  void y(int q) { append({GateKind::Y, {q}, {}}); }
+  void z(int q) { append({GateKind::Z, {q}, {}}); }
+  void h(int q) { append({GateKind::H, {q}, {}}); }
+  void s(int q) { append({GateKind::S, {q}, {}}); }
+  void sdg(int q) { append({GateKind::Sdg, {q}, {}}); }
+  void t(int q) { append({GateKind::T, {q}, {}}); }
+  void tdg(int q) { append({GateKind::Tdg, {q}, {}}); }
+  void sx(int q) { append({GateKind::SX, {q}, {}}); }
+  void rx(double theta, int q) { append({GateKind::RX, {q}, {theta}}); }
+  void ry(double theta, int q) { append({GateKind::RY, {q}, {theta}}); }
+  void rz(double theta, int q) { append({GateKind::RZ, {q}, {theta}}); }
+  void u1(double lam, int q) { append({GateKind::U1, {q}, {lam}}); }
+  void u2(double phi, double lam, int q) {
+    append({GateKind::U2, {q}, {phi, lam}});
+  }
+  void u3(double theta, double phi, double lam, int q) {
+    append({GateKind::U3, {q}, {theta, phi, lam}});
+  }
+  void cx(int control, int target) {
+    append({GateKind::CX, {control, target}, {}});
+  }
+  void cz(int a, int b) { append({GateKind::CZ, {a, b}, {}}); }
+  void swap(int a, int b) { append({GateKind::SWAP, {a, b}, {}}); }
+  void barrier();                       ///< barrier over all qubits
+  void barrier(std::vector<int> qubits);
+  void measure(int qubit, int clbit);
+  void measure_all();                   ///< measure qubit i into clbit i
+
+  /// Standard 15-op Toffoli decomposition (6 CX, 7 T/Tdg, 2 H).
+  void ccx(int c0, int c1, int target);
+
+  // -- queries ------------------------------------------------------------
+  /// Count of ops excluding barriers (the paper's "Gates" column counts
+  /// unitary gates; measurements excluded).
+  [[nodiscard]] int gate_count() const;
+  /// Count of two-qubit gates (CX/CZ/SWAP).
+  [[nodiscard]] int two_qubit_count() const;
+  /// Count per mnemonic.
+  [[nodiscard]] std::map<std::string, int> count_ops() const;
+  /// Circuit depth over unitary gates + measurements (barriers synchronize
+  /// but add no depth).
+  [[nodiscard]] int depth() const;
+  /// Depth counting only two-qubit gates.
+  [[nodiscard]] int two_qubit_depth() const;
+  /// True when any op is a measurement.
+  [[nodiscard]] bool has_measurements() const;
+  /// Qubits that appear in at least one op.
+  [[nodiscard]] std::vector<int> active_qubits() const;
+
+  // -- transformations (return new circuits) ------------------------------
+  /// Copy without measurements and barriers.
+  [[nodiscard]] Circuit without_final_ops() const;
+  /// Compact onto the active qubits only (relative order preserved, clbits
+  /// unchanged). Useful for simulating device-wide circuits whose ops all
+  /// sit inside one small partition.
+  [[nodiscard]] Circuit compacted() const;
+  /// Reverse op order with each unitary inverted. Requires no measurements.
+  [[nodiscard]] Circuit inverse() const;
+  /// Relabel qubits: new_qubit = layout[old_qubit]. The layout must be a
+  /// permutation injection into [0, new_num_qubits).
+  [[nodiscard]] Circuit remapped(std::span<const int> layout,
+                                 int new_num_qubits) const;
+  /// Append `other`'s ops onto `*this` (operand counts must fit). The
+  /// optional qubit_map relabels other's qubits into this circuit; clbits
+  /// are mapped through clbit_offset.
+  void compose(const Circuit& other, std::span<const int> qubit_map = {},
+               int clbit_offset = 0);
+  /// Total unitary of the circuit (no measurements allowed); little-endian:
+  /// qubit 0 is the least significant index bit. Exponential in qubits —
+  /// intended for <= ~12 qubits.
+  [[nodiscard]] Matrix to_unitary() const;
+
+ private:
+  void check_qubit(int q) const;
+
+  int num_qubits_ = 0;
+  int num_clbits_ = 0;
+  std::string name_;
+  std::vector<Gate> ops_;
+};
+
+}  // namespace qucp

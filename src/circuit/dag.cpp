@@ -1,0 +1,91 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qucp {
+
+DagCircuit::DagCircuit(const Circuit& circuit) : circuit_(&circuit) {
+  const auto& ops = circuit.ops();
+  succs_.resize(ops.size());
+  in_degree_.assign(ops.size(), 0);
+
+  // last op seen on each qubit / clbit wire
+  std::vector<int> last_q(circuit.num_qubits(), -1);
+  std::vector<int> last_c(circuit.num_clbits(), -1);
+
+  auto link = [&](int from, std::size_t to) {
+    if (from < 0) return;
+    auto& s = succs_[static_cast<std::size_t>(from)];
+    if (std::find(s.begin(), s.end(), to) == s.end()) {
+      s.push_back(to);
+      ++in_degree_[to];
+    }
+  };
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    const Gate& g = ops[i];
+    for (int q : g.qubits) {
+      link(last_q[q], i);
+      last_q[q] = static_cast<int>(i);
+    }
+    if (g.kind == GateKind::Measure) {
+      link(last_c[g.clbit], i);
+      last_c[g.clbit] = static_cast<int>(i);
+    }
+  }
+}
+
+std::vector<std::size_t> DagCircuit::initial_front() const {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < in_degree_.size(); ++i) {
+    if (in_degree_[i] == 0) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::size_t> DagCircuit::topological_order() const {
+  std::vector<int> pending = in_degree_;
+  std::vector<std::size_t> order;
+  order.reserve(num_nodes());
+  // Kahn's algorithm with an index-ordered worklist for stability.
+  std::vector<std::size_t> ready = initial_front();
+  std::make_heap(ready.begin(), ready.end(), std::greater<>{});
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), std::greater<>{});
+    const std::size_t n = ready.back();
+    ready.pop_back();
+    order.push_back(n);
+    for (std::size_t s : succs_[n]) {
+      if (--pending[s] == 0) {
+        ready.push_back(s);
+        std::push_heap(ready.begin(), ready.end(), std::greater<>{});
+      }
+    }
+  }
+  if (order.size() != num_nodes()) {
+    throw std::logic_error("DagCircuit: cycle detected");
+  }
+  return order;
+}
+
+FrontLayer::FrontLayer(const DagCircuit& dag)
+    : dag_(&dag), pending_(dag.num_nodes()) {
+  for (std::size_t i = 0; i < dag.num_nodes(); ++i) {
+    pending_[i] = dag.in_degree(i);
+  }
+  front_ = dag.initial_front();
+}
+
+void FrontLayer::complete(std::size_t node) {
+  auto it = std::find(front_.begin(), front_.end(), node);
+  if (it == front_.end()) {
+    throw std::invalid_argument("FrontLayer::complete: node not in front");
+  }
+  front_.erase(it);
+  for (std::size_t s : dag_->successors(node)) {
+    if (--pending_[s] == 0) front_.push_back(s);
+  }
+}
+
+}  // namespace qucp

@@ -1,0 +1,37 @@
+#include "circuit/decompose.hpp"
+
+namespace qucp {
+
+Circuit decompose_swaps(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits(), circuit.name());
+  for (const Gate& g : circuit.ops()) {
+    if (g.kind == GateKind::SWAP) {
+      out.cx(g.qubits[0], g.qubits[1]);
+      out.cx(g.qubits[1], g.qubits[0]);
+      out.cx(g.qubits[0], g.qubits[1]);
+    } else {
+      out.append(g);
+    }
+  }
+  return out;
+}
+
+Circuit decompose_cz(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits(), circuit.name());
+  for (const Gate& g : circuit.ops()) {
+    if (g.kind == GateKind::CZ) {
+      out.h(g.qubits[1]);
+      out.cx(g.qubits[0], g.qubits[1]);
+      out.h(g.qubits[1]);
+    } else {
+      out.append(g);
+    }
+  }
+  return out;
+}
+
+Circuit lower_to_cx_basis(const Circuit& circuit) {
+  return decompose_cz(decompose_swaps(circuit));
+}
+
+}  // namespace qucp

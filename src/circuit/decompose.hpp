@@ -1,0 +1,21 @@
+#pragma once
+// Basis decomposition passes.
+//
+// Routing inserts explicit SWAP gates; hardware executes CX only, so SWAPs
+// are lowered to 3 CX before execution/error accounting. CZ lowers to
+// H-CX-H when a device lacks native CZ.
+
+#include "circuit/circuit.hpp"
+
+namespace qucp {
+
+/// Replace each SWAP with 3 CX (orientation alternates to balance error).
+[[nodiscard]] Circuit decompose_swaps(const Circuit& circuit);
+
+/// Replace each CZ with H(target) CX H(target).
+[[nodiscard]] Circuit decompose_cz(const Circuit& circuit);
+
+/// Full lowering used before execution: SWAPs then CZs.
+[[nodiscard]] Circuit lower_to_cx_basis(const Circuit& circuit);
+
+}  // namespace qucp

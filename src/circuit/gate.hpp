@@ -1,0 +1,93 @@
+#pragma once
+// Gate set and per-gate metadata.
+//
+// The gate set covers what the paper's benchmarks (QASMBench / RevLib) and
+// the VQE / ZNE pipelines need: Pauli + Clifford 1q gates, T/Tdg, rotations,
+// the IBM u1/u2/u3 family, CX/CZ/SWAP entanglers, plus measurement and
+// barrier pseudo-ops.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qucp {
+
+enum class GateKind : std::uint8_t {
+  I,
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  SX,
+  RX,
+  RY,
+  RZ,
+  U1,
+  U2,
+  U3,
+  CX,
+  CZ,
+  SWAP,
+  Barrier,
+  Measure,
+};
+
+/// One operation in a circuit.
+///
+/// `qubits` holds 1 entry for single-qubit gates and measure, 2 for
+/// two-qubit gates, and any number (>=1) for barriers. `params` holds the
+/// rotation angles in radians (RX/RY/RZ/U1: 1, U2: 2, U3: 3, others: 0).
+/// For Measure, `clbit` is the destination classical bit.
+struct Gate {
+  GateKind kind = GateKind::I;
+  std::vector<int> qubits;
+  std::vector<double> params;
+  int clbit = -1;
+
+  [[nodiscard]] bool operator==(const Gate& other) const = default;
+};
+
+/// Number of qubit operands the kind requires (barrier is variadic: 0 here).
+[[nodiscard]] int gate_arity(GateKind kind) noexcept;
+
+/// Number of angle parameters the kind requires.
+[[nodiscard]] int gate_param_count(GateKind kind) noexcept;
+
+/// Lower-case OpenQASM mnemonic ("cx", "rz", ...).
+[[nodiscard]] std::string_view gate_name(GateKind kind) noexcept;
+
+/// Inverse mnemonic lookup; empty when unknown.
+[[nodiscard]] std::optional<GateKind> gate_from_name(std::string_view name);
+
+/// True for unitary gates (everything except Barrier and Measure).
+[[nodiscard]] bool is_unitary_gate(GateKind kind) noexcept;
+
+/// True for CX/CZ/SWAP.
+[[nodiscard]] bool is_two_qubit_gate(GateKind kind) noexcept;
+
+/// True when the gate is its own inverse (X,Y,Z,H,CX,CZ,SWAP,I,...).
+[[nodiscard]] bool is_self_inverse(GateKind kind) noexcept;
+
+/// The inverse gate of (kind, params). Self-inverse kinds return themselves;
+/// S<->Sdg, T<->Tdg; rotations negate angles; U2/U3 invert analytically.
+[[nodiscard]] Gate inverse_gate(const Gate& g);
+
+/// Unitary matrix of a gate kind with the given params (2x2 or 4x4 for
+/// two-qubit kinds, little-endian convention: qubit operand order
+/// {control, target} for CX). Throws for Barrier/Measure.
+[[nodiscard]] Matrix gate_matrix(GateKind kind,
+                                 std::span<const double> params = {});
+
+/// Convenience: unitary of a concrete gate.
+[[nodiscard]] Matrix gate_matrix(const Gate& g);
+
+}  // namespace qucp

@@ -1,0 +1,29 @@
+#pragma once
+// Peephole circuit optimizer.
+//
+// Emulates the cheap, always-profitable subset of what Qiskit's
+// optimization_level=3 performs on these benchmark sizes: cancellation of
+// adjacent inverse pairs (H-H, X-X, CX-CX, S-Sdg, T-Tdg, ...), merging of
+// consecutive same-axis rotations, and removal of identity rotations.
+// Passes iterate to a fixpoint.
+
+#include "circuit/circuit.hpp"
+
+namespace qucp {
+
+struct OptimizeStats {
+  int cancelled_pairs = 0;   ///< inverse pairs removed
+  int merged_rotations = 0;  ///< rotation gates folded into a predecessor
+  int removed_identities = 0;
+
+  [[nodiscard]] int total() const {
+    return cancelled_pairs * 2 + merged_rotations + removed_identities;
+  }
+};
+
+/// Run peephole optimization until no pass makes progress.
+/// Measurements and barriers act as optimization fences on their wires.
+[[nodiscard]] Circuit optimize(const Circuit& circuit,
+                               OptimizeStats* stats = nullptr);
+
+}  // namespace qucp

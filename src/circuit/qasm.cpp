@@ -1,0 +1,364 @@
+#include "circuit/qasm.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <numbers>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace qucp {
+
+namespace {
+
+/// Recursive-descent evaluator for QASM parameter expressions.
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view s) : s_(s) {}
+
+  double parse() {
+    const double v = expr();
+    skip_ws();
+    if (pos_ != s_.size()) throw QasmError("trailing tokens in expression");
+    return v;
+  }
+
+ private:
+  double expr() {
+    double v = term();
+    for (;;) {
+      skip_ws();
+      if (consume('+')) {
+        v += term();
+      } else if (consume('-')) {
+        v -= term();
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double term() {
+    double v = factor();
+    for (;;) {
+      skip_ws();
+      if (consume('*')) {
+        v *= factor();
+      } else if (consume('/')) {
+        const double d = factor();
+        if (d == 0.0) throw QasmError("division by zero in expression");
+        v /= d;
+      } else {
+        return v;
+      }
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (consume('-')) return -factor();
+    if (consume('+')) return factor();
+    if (consume('(')) {
+      const double v = expr();
+      skip_ws();
+      if (!consume(')')) throw QasmError("missing ')' in expression");
+      return v;
+    }
+    if (pos_ + 1 < s_.size() && s_.substr(pos_, 2) == "pi") {
+      pos_ += 2;
+      return std::numbers::pi;
+    }
+    // number literal
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            ((s_[pos_] == '+' || s_[pos_] == '-') && pos_ > start &&
+             (s_[pos_ - 1] == 'e' || s_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) throw QasmError("expected number in expression");
+    return std::stod(std::string(s_.substr(start, pos_ - start)));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+struct Register {
+  int offset = 0;
+  int size = 0;
+};
+
+struct Operand {
+  std::string reg;
+  int index = -1;  // -1 means whole-register broadcast
+};
+
+Operand parse_operand(std::string_view tok) {
+  tok = trim(tok);
+  const std::size_t lb = tok.find('[');
+  if (lb == std::string_view::npos) {
+    return {std::string(tok), -1};
+  }
+  const std::size_t rb = tok.find(']', lb);
+  if (rb == std::string_view::npos) throw QasmError("missing ']' in operand");
+  Operand op;
+  op.reg = std::string(trim(tok.substr(0, lb)));
+  const std::string idx(trim(tok.substr(lb + 1, rb - lb - 1)));
+  try {
+    op.index = std::stoi(idx);
+  } catch (const std::exception&) {
+    throw QasmError("bad register index: " + idx);
+  }
+  return op;
+}
+
+std::string strip_comments(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  std::size_t i = 0;
+  while (i < src.size()) {
+    if (i + 1 < src.size() && src[i] == '/' && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+    } else {
+      out += src[i++];
+    }
+  }
+  return out;
+}
+
+void expand_ccx(Circuit& c, int a, int b, int t) { c.ccx(a, b, t); }
+
+}  // namespace
+
+Circuit parse_qasm(std::string_view source, std::string name) {
+  const std::string clean = strip_comments(source);
+  std::map<std::string, Register> qregs;
+  std::map<std::string, Register> cregs;
+  int total_q = 0;
+  int total_c = 0;
+
+  struct PendingOp {
+    std::string mnemonic;
+    std::vector<double> params;
+    std::vector<Operand> operands;
+  };
+  std::vector<PendingOp> pending;
+
+  for (std::string_view stmt_raw : split(clean, ';')) {
+    std::string_view stmt = trim(stmt_raw);
+    if (stmt.empty()) continue;
+    if (starts_with(stmt, "OPENQASM") || starts_with(stmt, "include")) {
+      continue;
+    }
+    if (starts_with(stmt, "qreg") || starts_with(stmt, "creg")) {
+      const bool is_q = starts_with(stmt, "qreg");
+      const Operand decl = parse_operand(trim(stmt.substr(4)));
+      if (decl.index <= 0) throw QasmError("register size must be positive");
+      if (qregs.count(decl.reg) || cregs.count(decl.reg)) {
+        throw QasmError("duplicate register: " + decl.reg);
+      }
+      if (is_q) {
+        qregs[decl.reg] = {total_q, decl.index};
+        total_q += decl.index;
+      } else {
+        cregs[decl.reg] = {total_c, decl.index};
+        total_c += decl.index;
+      }
+      continue;
+    }
+
+    // gate application: name[(params)] operands
+    PendingOp op;
+    std::size_t head_end = 0;
+    while (head_end < stmt.size() &&
+           !std::isspace(static_cast<unsigned char>(stmt[head_end])) &&
+           stmt[head_end] != '(') {
+      ++head_end;
+    }
+    op.mnemonic = std::string(stmt.substr(0, head_end));
+    std::string_view rest = stmt.substr(head_end);
+    rest = trim(rest);
+    if (!rest.empty() && rest.front() == '(') {
+      // Find the matching close paren (parameters may nest parens).
+      std::size_t depth = 0;
+      std::size_t close = std::string_view::npos;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        if (rest[i] == '(') ++depth;
+        if (rest[i] == ')' && --depth == 0) {
+          close = i;
+          break;
+        }
+      }
+      if (close == std::string_view::npos) {
+        throw QasmError("missing ')' in gate parameters");
+      }
+      // Split on top-level commas only.
+      std::vector<std::string_view> parts;
+      std::size_t start = 1;
+      std::size_t d = 0;
+      for (std::size_t i = 1; i < close; ++i) {
+        if (rest[i] == '(') ++d;
+        if (rest[i] == ')') --d;
+        if (rest[i] == ',' && d == 0) {
+          parts.push_back(rest.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+      parts.push_back(rest.substr(start, close - start));
+      for (std::string_view p : parts) {
+        op.params.push_back(ExprParser(p).parse());
+      }
+      rest = trim(rest.substr(close + 1));
+    }
+    if (op.mnemonic == "measure") {
+      const std::size_t arrow = rest.find("->");
+      if (arrow == std::string_view::npos) {
+        throw QasmError("measure requires '->'");
+      }
+      op.operands.push_back(parse_operand(rest.substr(0, arrow)));
+      op.operands.push_back(parse_operand(rest.substr(arrow + 2)));
+    } else if (!rest.empty()) {
+      for (std::string_view tok : split(rest, ',')) {
+        op.operands.push_back(parse_operand(tok));
+      }
+    }
+    pending.push_back(std::move(op));
+  }
+
+  if (total_q == 0) throw QasmError("no qreg declared");
+  Circuit circuit(total_q, std::max(total_c, total_q), std::move(name));
+
+  auto resolve_q = [&](const Operand& op) -> int {
+    auto it = qregs.find(op.reg);
+    if (it == qregs.end()) throw QasmError("unknown qreg: " + op.reg);
+    if (op.index < 0 || op.index >= it->second.size) {
+      throw QasmError("qubit index out of range in " + op.reg);
+    }
+    return it->second.offset + op.index;
+  };
+  auto resolve_c = [&](const Operand& op) -> int {
+    auto it = cregs.find(op.reg);
+    if (it == cregs.end()) throw QasmError("unknown creg: " + op.reg);
+    if (op.index < 0 || op.index >= it->second.size) {
+      throw QasmError("clbit index out of range in " + op.reg);
+    }
+    return it->second.offset + op.index;
+  };
+
+  for (const auto& op : pending) {
+    if (op.mnemonic == "measure") {
+      const Operand& q = op.operands.at(0);
+      const Operand& c = op.operands.at(1);
+      if (q.index < 0) {  // broadcast: measure q -> c;
+        auto qit = qregs.find(q.reg);
+        auto cit = cregs.find(c.reg);
+        if (qit == qregs.end()) throw QasmError("unknown qreg: " + q.reg);
+        if (cit == cregs.end()) throw QasmError("unknown creg: " + c.reg);
+        if (qit->second.size != cit->second.size) {
+          throw QasmError("measure broadcast register size mismatch");
+        }
+        for (int i = 0; i < qit->second.size; ++i) {
+          circuit.measure(qit->second.offset + i, cit->second.offset + i);
+        }
+      } else {
+        circuit.measure(resolve_q(q), resolve_c(c));
+      }
+      continue;
+    }
+    if (op.mnemonic == "barrier") {
+      std::vector<int> qs;
+      for (const Operand& o : op.operands) {
+        if (o.index < 0) {
+          auto it = qregs.find(o.reg);
+          if (it == qregs.end()) throw QasmError("unknown qreg: " + o.reg);
+          for (int i = 0; i < it->second.size; ++i) {
+            qs.push_back(it->second.offset + i);
+          }
+        } else {
+          qs.push_back(resolve_q(o));
+        }
+      }
+      circuit.barrier(std::move(qs));
+      continue;
+    }
+    if (op.mnemonic == "ccx") {
+      if (op.operands.size() != 3) throw QasmError("ccx takes 3 operands");
+      expand_ccx(circuit, resolve_q(op.operands[0]),
+                 resolve_q(op.operands[1]), resolve_q(op.operands[2]));
+      continue;
+    }
+    const auto kind = gate_from_name(op.mnemonic);
+    if (!kind) throw QasmError("unknown gate: " + op.mnemonic);
+    const int arity = gate_arity(*kind);
+    if (arity == 1 && op.operands.size() == 1 && op.operands[0].index < 0) {
+      // single-qubit broadcast over a register
+      auto it = qregs.find(op.operands[0].reg);
+      if (it == qregs.end()) {
+        throw QasmError("unknown qreg: " + op.operands[0].reg);
+      }
+      for (int i = 0; i < it->second.size; ++i) {
+        circuit.append({*kind, {it->second.offset + i}, op.params});
+      }
+      continue;
+    }
+    if (static_cast<int>(op.operands.size()) != arity) {
+      throw QasmError("wrong operand count for " + op.mnemonic);
+    }
+    std::vector<int> qs;
+    qs.reserve(op.operands.size());
+    for (const Operand& o : op.operands) qs.push_back(resolve_q(o));
+    circuit.append({*kind, std::move(qs), op.params});
+  }
+  return circuit;
+}
+
+std::string to_qasm(const Circuit& circuit) {
+  std::ostringstream out;
+  out.precision(17);  // round-trip exact doubles
+  out << "OPENQASM 2.0;\n";
+  out << "include \"qelib1.inc\";\n";
+  out << "qreg q[" << circuit.num_qubits() << "];\n";
+  out << "creg c[" << circuit.num_clbits() << "];\n";
+  for (const Gate& g : circuit.ops()) {
+    if (g.kind == GateKind::Measure) {
+      out << "measure q[" << g.qubits[0] << "] -> c[" << g.clbit << "];\n";
+      continue;
+    }
+    out << gate_name(g.kind);
+    if (!g.params.empty()) {
+      out << '(';
+      for (std::size_t i = 0; i < g.params.size(); ++i) {
+        if (i != 0) out << ',';
+        out << g.params[i];
+      }
+      out << ')';
+    }
+    for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+      out << (i == 0 ? " " : ",") << "q[" << g.qubits[i] << "]";
+    }
+    out << ";\n";
+  }
+  return out.str();
+}
+
+}  // namespace qucp

@@ -1,0 +1,32 @@
+#pragma once
+// OpenQASM 2.0 subset parser and writer.
+//
+// Supported: OPENQASM/include headers (ignored), one or more qreg/creg
+// declarations (flattened into a single index space in declaration order),
+// the gate set from gate.hpp plus `ccx` (expanded to its standard 15-op
+// decomposition), `barrier`, `measure q[i] -> c[j]`, and parameter
+// expressions over float literals and `pi` with + - * / and parentheses.
+// Gate broadcasting over whole registers (e.g. `measure q -> c;`) is
+// supported for measure and single-qubit gates.
+
+#include <string>
+#include <string_view>
+
+#include "circuit/circuit.hpp"
+
+namespace qucp {
+
+/// Thrown on malformed QASM input; message carries the line number.
+class QasmError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parse OpenQASM 2.0 source text into a Circuit.
+[[nodiscard]] Circuit parse_qasm(std::string_view source,
+                                 std::string name = "");
+
+/// Serialize a Circuit to OpenQASM 2.0 (single q/c registers).
+[[nodiscard]] std::string to_qasm(const Circuit& circuit);
+
+}  // namespace qucp

@@ -1,0 +1,28 @@
+#include "core/runtime.hpp"
+
+#include <stdexcept>
+
+namespace qucp {
+
+double job_runtime_s(const RuntimeModel& model, double makespan_ns) {
+  if (makespan_ns < 0.0) {
+    throw std::invalid_argument("job_runtime_s: negative makespan");
+  }
+  const double per_shot_ns = makespan_ns + model.shot_overhead_ns;
+  return model.job_overhead_s + model.shots * per_shot_ns * 1e-9 +
+         model.queue_depth * model.queue_job_latency_s;
+}
+
+double serial_runtime_s(const RuntimeModel& model,
+                        const std::vector<double>& makespans_ns) {
+  double total = 0.0;
+  for (double m : makespans_ns) total += job_runtime_s(model, m);
+  return total;
+}
+
+double parallel_runtime_s(const RuntimeModel& model,
+                          double batch_makespan_ns) {
+  return job_runtime_s(model, batch_makespan_ns);
+}
+
+}  // namespace qucp

@@ -1,0 +1,35 @@
+#pragma once
+// Cloud runtime model: waiting time + execution time.
+//
+// The paper motivates multi-programming with queue pressure on shared IBM
+// devices (overall runtime = waiting time + execution time, §II-A). This
+// model quantifies the claimed "total runtime reduced by up to N" when N
+// programs share one job instead of queuing N jobs.
+
+#include <vector>
+
+namespace qucp {
+
+struct RuntimeModel {
+  double job_overhead_s = 8.0;     ///< queue/compile/load per submitted job
+  double shot_overhead_ns = 1000.0;  ///< reset etc. per shot
+  int shots = 4096;
+  /// Average latency contributed by each job already waiting in the queue.
+  double queue_job_latency_s = 30.0;
+  int queue_depth = 0;             ///< jobs ahead of ours
+};
+
+/// Wall-clock seconds for one job whose circuit makespan is `makespan_ns`.
+[[nodiscard]] double job_runtime_s(const RuntimeModel& model,
+                                   double makespan_ns);
+
+/// Total runtime of running programs serially: each is its own job, and
+/// each re-enters the queue.
+[[nodiscard]] double serial_runtime_s(const RuntimeModel& model,
+                                      const std::vector<double>& makespans_ns);
+
+/// Total runtime of one parallel batch (single job, single queue wait).
+[[nodiscard]] double parallel_runtime_s(const RuntimeModel& model,
+                                        double batch_makespan_ns);
+
+}  // namespace qucp

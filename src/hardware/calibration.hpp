@@ -1,0 +1,62 @@
+#pragma once
+// Device calibration data: error rates and gate durations.
+//
+// Mirrors the fields the paper's partitioners consume from the IBM
+// calibration API: per-qubit single-qubit error and readout error, per-edge
+// CX error, plus durations and relaxation times used by the scheduler and
+// the idle-decoherence noise term.
+
+#include <span>
+#include <vector>
+
+#include "hardware/topology.hpp"
+
+namespace qucp {
+
+class Rng;
+
+/// Calibration snapshot for a device with `num_qubits` qubits and
+/// `num_edges` coupling edges (indexed consistently with a Topology).
+struct Calibration {
+  std::vector<double> q1_error;       ///< single-qubit gate error per qubit
+  std::vector<double> readout_error;  ///< assignment error per qubit
+  std::vector<double> cx_error;       ///< CX error per edge id
+  std::vector<double> t1_us;          ///< relaxation time per qubit (us)
+  std::vector<double> t2_us;          ///< dephasing time per qubit (us)
+  std::vector<double> cx_duration_ns;  ///< CX duration per edge id
+  double q1_duration_ns = 35.0;
+  double readout_duration_ns = 3500.0;
+
+  /// Validate sizes against a topology and ranges (errors within [0,1),
+  /// positive durations/times). Throws std::invalid_argument on violation.
+  void validate(const Topology& topo) const;
+
+  [[nodiscard]] double avg_cx_error() const;
+  [[nodiscard]] double avg_readout_error() const;
+  [[nodiscard]] double avg_q1_error() const;
+};
+
+/// Knobs for synthesizing a plausible IBM-like calibration snapshot.
+struct CalibrationProfile {
+  double cx_error_median = 0.012;
+  double cx_error_spread = 0.35;      ///< lognormal sigma
+  double readout_median = 0.025;
+  double readout_spread = 0.45;
+  double q1_error_median = 3.5e-4;
+  double q1_error_spread = 0.4;
+  double t1_mean_us = 95.0;
+  double t2_mean_us = 85.0;
+  double cx_duration_mean_ns = 380.0;
+  /// Fraction of edges/qubits degraded to "bad" (red in Fig. 1).
+  double bad_edge_fraction = 0.12;
+  double bad_edge_multiplier = 4.0;
+  double bad_readout_fraction = 0.1;
+  double bad_readout_multiplier = 3.0;
+};
+
+/// Generate a deterministic calibration snapshot for the topology.
+[[nodiscard]] Calibration synthesize_calibration(const Topology& topo,
+                                                 const CalibrationProfile& p,
+                                                 Rng rng);
+
+}  // namespace qucp

@@ -1,0 +1,154 @@
+#include "hardware/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <stdexcept>
+
+namespace qucp {
+
+Topology::Topology(int num_qubits, std::vector<std::pair<int, int>> edge_list)
+    : num_qubits_(num_qubits) {
+  if (num_qubits <= 0) {
+    throw std::invalid_argument("Topology: non-positive qubit count");
+  }
+  adj_.resize(num_qubits);
+  std::set<Edge> seen;
+  for (const auto& [x, y] : edge_list) {
+    if (x == y) throw std::invalid_argument("Topology: self edge");
+    if (x < 0 || x >= num_qubits || y < 0 || y >= num_qubits) {
+      throw std::out_of_range("Topology: edge endpoint out of range");
+    }
+    const Edge e(x, y);
+    if (!seen.insert(e).second) {
+      throw std::invalid_argument("Topology: duplicate edge");
+    }
+    edges_.push_back(e);
+    adj_[e.a].push_back(e.b);
+    adj_[e.b].push_back(e.a);
+  }
+  for (auto& nb : adj_) std::sort(nb.begin(), nb.end());
+
+  // All-pairs BFS.
+  dist_.assign(num_qubits, std::vector<int>(num_qubits, -1));
+  for (int src = 0; src < num_qubits; ++src) {
+    std::deque<int> queue{src};
+    dist_[src][src] = 0;
+    while (!queue.empty()) {
+      const int u = queue.front();
+      queue.pop_front();
+      for (int v : adj_[u]) {
+        if (dist_[src][v] < 0) {
+          dist_[src][v] = dist_[src][u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+}
+
+void Topology::check_qubit(int q) const {
+  if (q < 0 || q >= num_qubits_) {
+    throw std::out_of_range("Topology: qubit out of range");
+  }
+}
+
+bool Topology::adjacent(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  return std::binary_search(adj_[a].begin(), adj_[a].end(), b);
+}
+
+const std::vector<int>& Topology::neighbors(int q) const {
+  check_qubit(q);
+  return adj_[q];
+}
+
+int Topology::degree(int q) const {
+  check_qubit(q);
+  return static_cast<int>(adj_[q].size());
+}
+
+std::optional<int> Topology::edge_index(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  const Edge e(a, b);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i] == e) return static_cast<int>(i);
+  }
+  return std::nullopt;
+}
+
+int Topology::distance(int a, int b) const {
+  check_qubit(a);
+  check_qubit(b);
+  return dist_[a][b];
+}
+
+std::vector<std::pair<int, int>> Topology::one_hop_edge_pairs() const {
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < num_edges(); ++i) {
+    for (int j = i + 1; j < num_edges(); ++j) {
+      const Edge& e = edges_[i];
+      const Edge& f = edges_[j];
+      if (e.shares_qubit(f)) continue;
+      const int d = std::min(
+          std::min(dist_[e.a][f.a], dist_[e.a][f.b]),
+          std::min(dist_[e.b][f.a], dist_[e.b][f.b]));
+      if (d == 1) pairs.emplace_back(i, j);
+    }
+  }
+  return pairs;
+}
+
+std::vector<int> Topology::one_hop_neighbors_of_edge(int e) const {
+  if (e < 0 || e >= num_edges()) {
+    throw std::out_of_range("Topology: edge id out of range");
+  }
+  std::vector<int> out;
+  for (int j = 0; j < num_edges(); ++j) {
+    if (j == e) continue;
+    const Edge& a = edges_[e];
+    const Edge& b = edges_[j];
+    if (a.shares_qubit(b)) continue;
+    const int d = std::min(std::min(dist_[a.a][b.a], dist_[a.a][b.b]),
+                           std::min(dist_[a.b][b.a], dist_[a.b][b.b]));
+    if (d == 1) out.push_back(j);
+  }
+  return out;
+}
+
+bool Topology::is_connected_subset(std::span<const int> qubits) const {
+  if (qubits.empty()) return true;
+  std::set<int> subset;
+  for (int q : qubits) {
+    check_qubit(q);
+    subset.insert(q);
+  }
+  std::deque<int> queue{*subset.begin()};
+  std::set<int> visited{*subset.begin()};
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    for (int v : adj_[u]) {
+      if (subset.count(v) && !visited.count(v)) {
+        visited.insert(v);
+        queue.push_back(v);
+      }
+    }
+  }
+  return visited.size() == subset.size();
+}
+
+std::vector<int> Topology::induced_edges(std::span<const int> qubits) const {
+  std::set<int> subset(qubits.begin(), qubits.end());
+  std::vector<int> out;
+  for (int i = 0; i < num_edges(); ++i) {
+    if (subset.count(edges_[i].a) && subset.count(edges_[i].b)) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace qucp

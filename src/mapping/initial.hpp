@@ -1,0 +1,38 @@
+#pragma once
+// Initial qubit placement inside a partition.
+//
+// Implements the hardware-aware heuristic of Niu et al. [18] (the mapper
+// MultiQC/QuMC/QuCP use): logical qubits are placed in descending
+// interaction order; each is pinned to the free partition qubit that
+// minimizes distance to its placed partners, breaking ties toward
+// better-calibrated qubits when noise awareness is on. The CNA baseline
+// uses the Murali-style variant that maximizes link reliability instead of
+// hop distance.
+
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hardware/device.hpp"
+
+namespace qucp {
+
+enum class PlacementStyle {
+  HardwareAware,  ///< distance-first, error tie-break (Niu et al.)
+  NoiseAdaptive,  ///< reliability-first (Murali et al., used by CNA)
+};
+
+/// Logical-interaction weights: weight[i][j] = number of 2q gates between
+/// logical i and j.
+[[nodiscard]] std::vector<std::vector<int>> interaction_weights(
+    const Circuit& circuit);
+
+/// Compute layout[logical] = physical (device index), using only qubits in
+/// `partition` (connected, size >= active logical count). Every logical
+/// qubit of the circuit gets a distinct physical qubit.
+[[nodiscard]] std::vector<int> initial_layout(const Circuit& circuit,
+                                              const Device& device,
+                                              std::span<const int> partition,
+                                              PlacementStyle style);
+
+}  // namespace qucp

@@ -1,0 +1,266 @@
+#include "mapping/router.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "circuit/dag.hpp"
+
+namespace qucp {
+
+namespace {
+
+/// Hop distances inside the partition-induced subgraph.
+class PartitionDistances {
+ public:
+  PartitionDistances(const Topology& topo, std::span<const int> partition) {
+    int next = 0;
+    for (int q : partition) local_[q] = next++;
+    const int n = next;
+    dist_.assign(n, std::vector<int>(n, -1));
+    for (int src : partition) {
+      const int ls = local_[src];
+      dist_[ls][ls] = 0;
+      std::deque<int> queue{src};
+      while (!queue.empty()) {
+        const int u = queue.front();
+        queue.pop_front();
+        for (int v : topo.neighbors(u)) {
+          const auto it = local_.find(v);
+          if (it == local_.end()) continue;
+          if (dist_[ls][it->second] < 0) {
+            dist_[ls][it->second] = dist_[ls][local_[u]] + 1;
+            queue.push_back(v);
+          }
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] int distance(int phys_a, int phys_b) const {
+    return dist_[local_.at(phys_a)][local_.at(phys_b)];
+  }
+
+ private:
+  std::map<int, int> local_;
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace
+
+RoutingResult route_on_partition(const Circuit& circuit, const Device& device,
+                                 std::span<const int> partition,
+                                 std::span<const int> initial_layout,
+                                 const RouterOptions& options) {
+  const Topology& topo = device.topology();
+  const std::set<int> part_set(partition.begin(), partition.end());
+  if (!topo.is_connected_subset(partition)) {
+    throw std::invalid_argument("route_on_partition: partition not connected");
+  }
+  if (static_cast<int>(initial_layout.size()) != circuit.num_qubits()) {
+    throw std::invalid_argument("route_on_partition: layout size mismatch");
+  }
+  {
+    std::set<int> seen;
+    for (int phys : initial_layout) {
+      if (!part_set.count(phys) || !seen.insert(phys).second) {
+        throw std::invalid_argument(
+            "route_on_partition: layout not injective into partition");
+      }
+    }
+  }
+
+  // Validate terminal measurements and separate them from the gate body.
+  std::vector<std::pair<int, int>> measurements;  // (logical qubit, clbit)
+  Circuit body(circuit.num_qubits(), circuit.num_clbits());
+  {
+    std::set<int> measured;
+    for (const Gate& g : circuit.ops()) {
+      if (g.kind == GateKind::Measure) {
+        measurements.emplace_back(g.qubits[0], g.clbit);
+        measured.insert(g.qubits[0]);
+        continue;
+      }
+      if (g.kind == GateKind::Barrier) continue;
+      for (int q : g.qubits) {
+        if (measured.count(q)) {
+          throw std::invalid_argument(
+              "route_on_partition: non-terminal measurement");
+        }
+      }
+      body.append(g);
+    }
+  }
+
+  const PartitionDistances dists(topo, partition);
+  const std::vector<int> part_edges = topo.induced_edges(partition);
+
+  std::vector<int> layout(initial_layout.begin(), initial_layout.end());
+  std::map<int, int> log_of;  // physical -> logical
+  for (int l = 0; l < circuit.num_qubits(); ++l) log_of[layout[l]] = l;
+
+  const DagCircuit dag(body);
+  FrontLayer front(dag);
+  Circuit physical(device.num_qubits(), circuit.num_clbits(), circuit.name());
+  std::map<int, double> decay;
+  for (int q : partition) decay[q] = 0.0;
+  int swaps_added = 0;
+  int since_reset = 0;
+
+  auto phys_gate = [&](const Gate& g) {
+    Gate out = g;
+    for (int& q : out.qubits) q = layout[q];
+    return out;
+  };
+
+  // Extended (look-ahead) set: the next few 2q gates past the front.
+  auto extended_set = [&](const std::vector<std::size_t>& front_nodes) {
+    std::vector<std::size_t> ext;
+    std::deque<std::size_t> queue(front_nodes.begin(), front_nodes.end());
+    std::set<std::size_t> seen(front_nodes.begin(), front_nodes.end());
+    while (!queue.empty() &&
+           static_cast<int>(ext.size()) < options.lookahead_depth) {
+      const std::size_t n = queue.front();
+      queue.pop_front();
+      for (std::size_t s : dag.successors(n)) {
+        if (!seen.insert(s).second) continue;
+        if (is_two_qubit_gate(dag.gate(s).kind)) ext.push_back(s);
+        queue.push_back(s);
+      }
+    }
+    return ext;
+  };
+
+  int guard = 0;
+  const int max_iterations =
+      10000 + 200 * static_cast<int>(body.size() + 1);
+  while (!front.empty()) {
+    if (++guard > max_iterations) {
+      throw std::runtime_error("route_on_partition: routing did not converge");
+    }
+    // Apply every currently-executable front gate.
+    bool applied = false;
+    for (std::size_t node : std::vector<std::size_t>(front.nodes().begin(),
+                                                     front.nodes().end())) {
+      const Gate& g = dag.gate(node);
+      const bool executable =
+          !is_two_qubit_gate(g.kind) ||
+          topo.adjacent(layout[g.qubits[0]], layout[g.qubits[1]]);
+      if (!executable) continue;
+      physical.append(phys_gate(g));
+      front.complete(node);
+      applied = true;
+    }
+    if (applied) continue;
+
+    // Blocked: every front gate is a non-adjacent 2q gate. Pick a SWAP.
+    const std::vector<std::size_t>& front_nodes = front.nodes();
+    const auto ext = extended_set(front_nodes);
+
+    // Candidate swaps: partition edges touching a front gate's qubit.
+    std::set<int> involved;
+    for (std::size_t node : front_nodes) {
+      for (int l : dag.gate(node).qubits) involved.insert(layout[l]);
+    }
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_edge = -1;
+    for (int e : part_edges) {
+      const Edge& edge = topo.edges()[e];
+      if (!involved.count(edge.a) && !involved.count(edge.b)) continue;
+
+      // Tentative layout after the swap.
+      auto dist_after = [&](int l0, int l1) {
+        int p0 = layout[l0];
+        int p1 = layout[l1];
+        auto swapped = [&](int p) {
+          if (p == edge.a) return edge.b;
+          if (p == edge.b) return edge.a;
+          return p;
+        };
+        return dists.distance(swapped(p0), swapped(p1));
+      };
+
+      double h_front = 0.0;
+      for (std::size_t node : front_nodes) {
+        const Gate& g = dag.gate(node);
+        if (is_two_qubit_gate(g.kind)) {
+          h_front += dist_after(g.qubits[0], g.qubits[1]);
+        }
+      }
+      h_front /= static_cast<double>(front_nodes.size());
+
+      double h_look = 0.0;
+      if (!ext.empty()) {
+        for (std::size_t node : ext) {
+          const Gate& g = dag.gate(node);
+          h_look += dist_after(g.qubits[0], g.qubits[1]);
+        }
+        h_look /= static_cast<double>(ext.size());
+      }
+
+      double score = (h_front + options.lookahead_weight * h_look) *
+                     (1.0 + std::max(decay[edge.a], decay[edge.b]));
+      if (options.noise_aware) {
+        score += options.error_weight * device.calibration().cx_error[e];
+      }
+      if (options.crosstalk_aware) {
+        for (int f : options.context_edges) {
+          const Edge& fe = topo.edges()[f];
+          if (edge.shares_qubit(fe)) continue;
+          const int d =
+              std::min({topo.distance(edge.a, fe.a), topo.distance(edge.a, fe.b),
+                        topo.distance(edge.b, fe.a), topo.distance(edge.b, fe.b)});
+          if (d != 1) continue;
+          const double gamma = options.crosstalk_estimates != nullptr
+                                   ? options.crosstalk_estimates->gamma(e, f)
+                                   : 2.0;
+          score += options.crosstalk_weight *
+                   device.calibration().cx_error[e] * (gamma - 1.0);
+        }
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_edge = e;
+      }
+    }
+    if (best_edge < 0) {
+      throw std::runtime_error("route_on_partition: no usable swap");
+    }
+    const Edge& se = topo.edges()[best_edge];
+    physical.swap(se.a, se.b);
+    ++swaps_added;
+    // Update layout maps.
+    const auto la = log_of.find(se.a);
+    const auto lb = log_of.find(se.b);
+    const int log_a = la == log_of.end() ? -1 : la->second;
+    const int log_b = lb == log_of.end() ? -1 : lb->second;
+    if (log_a >= 0) layout[log_a] = se.b;
+    if (log_b >= 0) layout[log_b] = se.a;
+    log_of.erase(se.a);
+    log_of.erase(se.b);
+    if (log_a >= 0) log_of[se.b] = log_a;
+    if (log_b >= 0) log_of[se.a] = log_b;
+
+    decay[se.a] += options.decay;
+    decay[se.b] += options.decay;
+    if (++since_reset >= options.decay_reset_interval) {
+      for (auto& [q, d] : decay) d = 0.0;
+      since_reset = 0;
+    }
+  }
+
+  for (const auto& [logical, clbit] : measurements) {
+    physical.measure(layout[logical], clbit);
+  }
+
+  RoutingResult result;
+  result.physical = std::move(physical);
+  result.final_layout = std::move(layout);
+  result.swaps_added = swaps_added;
+  return result;
+}
+
+}  // namespace qucp

@@ -1,0 +1,52 @@
+#pragma once
+// SWAP routing restricted to a partition (SABRE-style).
+//
+// Makes every two-qubit gate act on coupled qubits by inserting SWAPs along
+// partition-internal edges. The cost function blends hop distance for the
+// front layer, a look-ahead over upcoming gates, a per-qubit decay term
+// against ping-ponging, an optional noise term (3x the edge's CX error —
+// the SWAP's real cost), and — for the CNA baseline — a gate-level
+// crosstalk penalty against edges one-hop from co-runner partitions.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hardware/device.hpp"
+
+namespace qucp {
+
+struct RouterOptions {
+  bool noise_aware = true;     ///< add CX-error term to swap scores
+  double error_weight = 10.0;  ///< weight of the noise term
+  double lookahead_weight = 0.5;
+  int lookahead_depth = 20;    ///< number of future 2q gates considered
+  double decay = 0.001;        ///< per-use decay increment
+  int decay_reset_interval = 5;
+
+  /// Gate-level crosstalk penalty (CNA): edges one-hop from any context
+  /// edge are discouraged proportionally to the estimated gamma.
+  bool crosstalk_aware = false;
+  double crosstalk_weight = 5.0;
+  std::vector<int> context_edges;            ///< co-runner partition edges
+  const CrosstalkModel* crosstalk_estimates = nullptr;  ///< SRB estimates
+};
+
+struct RoutingResult {
+  Circuit physical;              ///< over device-qubit indices
+  std::vector<int> final_layout; ///< logical -> physical after routing
+  int swaps_added = 0;
+};
+
+/// Route `circuit` (logical) onto the partition starting from
+/// `initial_layout` (logical -> physical). Measurements must be terminal;
+/// they are re-emitted on the final physical positions with their original
+/// clbits. Throws std::runtime_error if routing cannot progress (partition
+/// not connected).
+[[nodiscard]] RoutingResult route_on_partition(
+    const Circuit& circuit, const Device& device,
+    std::span<const int> partition, std::span<const int> initial_layout,
+    const RouterOptions& options = {});
+
+}  // namespace qucp

@@ -1,0 +1,45 @@
+#include "mapping/transpiler.hpp"
+
+#include "circuit/optimize.hpp"
+
+namespace qucp {
+
+TranspileOptions hardware_aware_options() {
+  TranspileOptions opts;
+  opts.placement = PlacementStyle::HardwareAware;
+  opts.router.noise_aware = true;
+  opts.router.crosstalk_aware = false;
+  return opts;
+}
+
+TranspileOptions cna_options(std::vector<int> context_edges,
+                             const CrosstalkModel* estimates) {
+  TranspileOptions opts;
+  opts.placement = PlacementStyle::NoiseAdaptive;
+  opts.router.noise_aware = true;
+  opts.router.crosstalk_aware = true;
+  opts.router.context_edges = std::move(context_edges);
+  opts.router.crosstalk_estimates = estimates;
+  return opts;
+}
+
+TranspiledProgram transpile_to_partition(const Circuit& logical,
+                                         const Device& device,
+                                         std::span<const int> partition,
+                                         const TranspileOptions& options) {
+  const Circuit prepared =
+      options.optimize_input ? optimize(logical) : logical;
+  const std::vector<int> layout =
+      initial_layout(prepared, device, partition, options.placement);
+  RoutingResult routed = route_on_partition(prepared, device, partition,
+                                            layout, options.router);
+  TranspiledProgram out;
+  out.initial_layout = layout;
+  out.final_layout = std::move(routed.final_layout);
+  out.swaps_added = routed.swaps_added;
+  out.physical = options.optimize_output ? optimize(routed.physical)
+                                         : std::move(routed.physical);
+  return out;
+}
+
+}  // namespace qucp

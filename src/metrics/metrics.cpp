@@ -1,0 +1,80 @@
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace qucp {
+
+namespace {
+
+double log2_safe(double x) { return std::log2(x); }
+
+std::set<std::uint64_t> support_union(const Distribution& p,
+                                      const Distribution& q) {
+  std::set<std::uint64_t> keys;
+  for (const auto& [k, v] : p.probs()) keys.insert(k);
+  for (const auto& [k, v] : q.probs()) keys.insert(k);
+  return keys;
+}
+
+}  // namespace
+
+double pst(const Counts& counts, std::uint64_t expected) {
+  if (counts.total() == 0) throw std::invalid_argument("pst: no shots");
+  return static_cast<double>(counts.count(expected)) / counts.total();
+}
+
+double pst(const Distribution& dist, std::uint64_t expected) {
+  return dist.prob(expected);
+}
+
+double kl_divergence(const Distribution& p, const Distribution& q) {
+  double d = 0.0;
+  for (const auto& [k, pk] : p.probs()) {
+    const double qk = q.prob(k);
+    if (qk <= 0.0) return std::numeric_limits<double>::infinity();
+    d += pk * log2_safe(pk / qk);
+  }
+  return d;
+}
+
+double jsd(const Distribution& p, const Distribution& q) {
+  double d = 0.0;
+  for (std::uint64_t k : support_union(p, q)) {
+    const double pk = p.prob(k);
+    const double qk = q.prob(k);
+    const double mk = 0.5 * (pk + qk);
+    if (pk > 0.0) d += 0.5 * pk * log2_safe(pk / mk);
+    if (qk > 0.0) d += 0.5 * qk * log2_safe(qk / mk);
+  }
+  // Numerical guard: JSD in base 2 lies in [0, 1].
+  return std::min(1.0, std::max(0.0, d));
+}
+
+double tvd(const Distribution& p, const Distribution& q) {
+  double d = 0.0;
+  for (std::uint64_t k : support_union(p, q)) {
+    d += std::abs(p.prob(k) - q.prob(k));
+  }
+  return 0.5 * d;
+}
+
+double hellinger(const Distribution& p, const Distribution& q) {
+  double s = 0.0;
+  for (std::uint64_t k : support_union(p, q)) {
+    const double diff = std::sqrt(p.prob(k)) - std::sqrt(q.prob(k));
+    s += diff * diff;
+  }
+  return std::sqrt(s / 2.0);
+}
+
+double hardware_throughput(int qubits_used, int device_qubits) {
+  if (device_qubits <= 0 || qubits_used < 0 || qubits_used > device_qubits) {
+    throw std::invalid_argument("hardware_throughput: bad arguments");
+  }
+  return static_cast<double>(qubits_used) / device_qubits;
+}
+
+}  // namespace qucp

@@ -1,0 +1,123 @@
+#include "partition/candidates.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace qucp {
+
+namespace {
+
+/// Average error of edges incident to q that stay inside `usable`.
+double local_edge_error(const Device& device, int q,
+                        const std::set<int>& usable) {
+  const Topology& topo = device.topology();
+  double total = 0.0;
+  int count = 0;
+  for (int nb : topo.neighbors(q)) {
+    if (!usable.count(nb)) continue;
+    total += device.cx_error(q, nb);
+    ++count;
+  }
+  return count == 0 ? 1.0 : total / count;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> partition_candidates(
+    const Device& device, int k, std::span<const int> allocated) {
+  if (k <= 0) throw std::invalid_argument("partition_candidates: k <= 0");
+  const Topology& topo = device.topology();
+  std::set<int> blocked(allocated.begin(), allocated.end());
+  std::set<int> usable;
+  for (int q = 0; q < topo.num_qubits(); ++q) {
+    if (!blocked.count(q)) usable.insert(q);
+  }
+  std::set<std::vector<int>> dedup;
+  for (int start : usable) {
+    std::vector<int> part{start};
+    std::set<int> in_part{start};
+    while (static_cast<int>(part.size()) < k) {
+      // Frontier: usable neighbors of the current subgraph.
+      int best = -1;
+      int best_conn = -1;
+      double best_err = 2.0;
+      for (int q : part) {
+        for (int nb : topo.neighbors(q)) {
+          if (in_part.count(nb) || !usable.count(nb)) continue;
+          // Quality: connections into the usable region (descending), then
+          // local error (ascending), then index for determinism.
+          int conn = 0;
+          for (int nb2 : topo.neighbors(nb)) {
+            if (usable.count(nb2)) ++conn;
+          }
+          const double err = local_edge_error(device, nb, usable);
+          if (conn > best_conn ||
+              (conn == best_conn && err < best_err - 1e-15) ||
+              (conn == best_conn && std::abs(err - best_err) <= 1e-15 &&
+               nb < best)) {
+            best = nb;
+            best_conn = conn;
+            best_err = err;
+          }
+        }
+      }
+      if (best < 0) break;  // region exhausted; candidate unusable
+      part.push_back(best);
+      in_part.insert(best);
+    }
+    if (static_cast<int>(part.size()) == k) {
+      std::sort(part.begin(), part.end());
+      dedup.insert(std::move(part));
+    }
+  }
+  return {dedup.begin(), dedup.end()};
+}
+
+std::vector<std::vector<int>> enumerate_connected_subsets(
+    const Topology& topo, int k, std::span<const int> allocated,
+    std::size_t max_count) {
+  if (k <= 0) {
+    throw std::invalid_argument("enumerate_connected_subsets: k <= 0");
+  }
+  std::set<int> blocked(allocated.begin(), allocated.end());
+  std::set<std::vector<int>> found;
+
+  // Standard connected-subgraph enumeration: expand only through qubits
+  // greater than the anchor to avoid duplicates, then dedup defensively.
+  for (int anchor = 0; anchor < topo.num_qubits(); ++anchor) {
+    if (blocked.count(anchor)) continue;
+    std::vector<std::vector<int>> stack{{anchor}};
+    while (!stack.empty()) {
+      std::vector<int> cur = std::move(stack.back());
+      stack.pop_back();
+      if (static_cast<int>(cur.size()) == k) {
+        std::vector<int> sorted = cur;
+        std::sort(sorted.begin(), sorted.end());
+        found.insert(std::move(sorted));
+        if (found.size() > max_count) {
+          throw std::runtime_error(
+              "enumerate_connected_subsets: bound exceeded");
+        }
+        continue;
+      }
+      std::set<int> in_cur(cur.begin(), cur.end());
+      std::set<int> frontier;
+      for (int q : cur) {
+        for (int nb : topo.neighbors(q)) {
+          if (nb > anchor && !in_cur.count(nb) && !blocked.count(nb)) {
+            frontier.insert(nb);
+          }
+        }
+      }
+      for (int nb : frontier) {
+        std::vector<int> next = cur;
+        next.push_back(nb);
+        stack.push_back(std::move(next));
+      }
+    }
+  }
+  return {found.begin(), found.end()};
+}
+
+}  // namespace qucp

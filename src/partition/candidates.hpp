@@ -1,0 +1,29 @@
+#pragma once
+// Candidate partition generation (QuMC's heuristic).
+//
+// For a k-qubit program, grow a connected subgraph greedily from every
+// available physical qubit: at each step add the frontier neighbor with the
+// best quality (connectivity into the available region first, then lower
+// local error). Deduplicated candidate sets are then ranked by EFS by the
+// partitioners. An exhaustive enumerator (bounded) backs property tests.
+
+#include <span>
+#include <vector>
+
+#include "hardware/device.hpp"
+
+namespace qucp {
+
+/// Greedy candidates: one attempt per available start qubit, deduplicated,
+/// each a sorted connected qubit set of size k avoiding `allocated`.
+[[nodiscard]] std::vector<std::vector<int>> partition_candidates(
+    const Device& device, int k, std::span<const int> allocated);
+
+/// All connected subsets of size k avoiding `allocated`, up to `max_count`
+/// (throws std::runtime_error if the bound is exceeded). For tests and
+/// small devices.
+[[nodiscard]] std::vector<std::vector<int>> enumerate_connected_subsets(
+    const Topology& topo, int k, std::span<const int> allocated,
+    std::size_t max_count = 200000);
+
+}  // namespace qucp

@@ -1,0 +1,90 @@
+#pragma once
+// Estimated Fidelity Score (paper Eq. 1) and crosstalk policies.
+//
+//   EFS = Avg2q(cross) * #2q + Avg1q * #1q + sum_{Qi in P} R_Qi
+//
+// EFS estimates the *error* a program accumulates on a partition (lower is
+// better, despite the name). Avg2q(cross) averages CX errors over the
+// partition's internal edges, where edges one-hop away from already-
+// allocated edges ("q_crosstalk") have their error inflated by a crosstalk
+// policy:
+//   - SigmaPolicy       : fixed sigma multiplier (QuCP — no characterization)
+//   - EstimatePolicy    : per-pair multipliers from SRB estimates (QuMC)
+//   - NoCrosstalkPolicy : ignore crosstalk (QuCloud/MultiQC-style baselines)
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hardware/device.hpp"
+
+namespace qucp {
+
+/// What a program needs from a partition; derived from its circuit.
+struct ProgramShape {
+  int num_qubits = 0;
+  int num_2q = 0;  ///< two-qubit gate count
+  int num_1q = 0;  ///< single-qubit gate count
+};
+
+/// Crosstalk multiplier applied to a candidate edge adjacent (one-hop) to
+/// an allocated edge.
+class CrosstalkPolicy {
+ public:
+  virtual ~CrosstalkPolicy() = default;
+  /// Multiplier (>= 1) for candidate edge `cand_edge` given allocated
+  /// neighbor edge `alloc_edge` (device edge ids).
+  [[nodiscard]] virtual double multiplier(int cand_edge,
+                                          int alloc_edge) const = 0;
+};
+
+class NoCrosstalkPolicy final : public CrosstalkPolicy {
+ public:
+  [[nodiscard]] double multiplier(int, int) const override { return 1.0; }
+};
+
+/// QuCP: every one-hop conflict costs a flat sigma (paper sets sigma = 4).
+class SigmaPolicy final : public CrosstalkPolicy {
+ public:
+  explicit SigmaPolicy(double sigma);
+  [[nodiscard]] double multiplier(int, int) const override { return sigma_; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// QuMC: per-pair multipliers measured by SRB (or any CrosstalkModel).
+class EstimatePolicy final : public CrosstalkPolicy {
+ public:
+  explicit EstimatePolicy(const CrosstalkModel& estimates)
+      : estimates_(&estimates) {}
+  [[nodiscard]] double multiplier(int cand_edge,
+                                  int alloc_edge) const override {
+    return estimates_->gamma(cand_edge, alloc_edge);
+  }
+
+ private:
+  const CrosstalkModel* estimates_;
+};
+
+/// EFS evaluation detail for reporting and tests.
+struct EfsBreakdown {
+  double avg_2q = 0.0;       ///< crosstalk-adjusted average CX error
+  double avg_1q = 0.0;
+  double readout_sum = 0.0;
+  double score = 0.0;        ///< Eq. 1 total
+  std::vector<int> crosstalk_edges;  ///< candidate edges flagged one-hop
+};
+
+/// Score a candidate partition for a program. `allocated` holds qubits
+/// already granted to co-running programs (empty for the first program).
+/// The partition must be a connected subset of unallocated device qubits
+/// with exactly shape.num_qubits members.
+[[nodiscard]] EfsBreakdown efs_score(const Device& device,
+                                     std::span<const int> partition,
+                                     const ProgramShape& shape,
+                                     std::span<const int> allocated,
+                                     const CrosstalkPolicy& policy);
+
+}  // namespace qucp

@@ -1,0 +1,193 @@
+#include "partition/partitioners.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "partition/candidates.hpp"
+
+namespace qucp {
+
+ProgramShape shape_of(const Circuit& circuit) {
+  ProgramShape shape;
+  shape.num_qubits = static_cast<int>(circuit.active_qubits().size());
+  shape.num_2q = circuit.two_qubit_count();
+  shape.num_1q = circuit.gate_count() - circuit.two_qubit_count();
+  return shape;
+}
+
+std::vector<std::size_t> allocation_order(
+    std::span<const ProgramShape> programs) {
+  std::vector<std::size_t> order(programs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (programs[a].num_qubits != programs[b].num_qubits) {
+                       return programs[a].num_qubits > programs[b].num_qubits;
+                     }
+                     return programs[a].num_2q > programs[b].num_2q;
+                   });
+  return order;
+}
+
+namespace {
+
+/// Shared EFS-greedy allocation used by QuCP and QuMC.
+std::optional<std::vector<PartitionAssignment>> efs_greedy_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    const CrosstalkPolicy& policy) {
+  std::vector<PartitionAssignment> result(programs.size());
+  std::vector<int> allocated;
+  for (std::size_t idx = 0; idx < programs.size(); ++idx) {
+    const ProgramShape& shape = programs[idx];
+    const auto candidates =
+        partition_candidates(device, shape.num_qubits, allocated);
+    const PartitionAssignment* best = nullptr;
+    PartitionAssignment current;
+    double best_score = 0.0;
+    for (const auto& cand : candidates) {
+      EfsBreakdown efs = efs_score(device, cand, shape, allocated, policy);
+      if (best == nullptr || efs.score < best_score) {
+        current = {cand, std::move(efs)};
+        best = &current;
+        best_score = current.efs.score;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    allocated.insert(allocated.end(), current.qubits.begin(),
+                     current.qubits.end());
+    result[idx] = std::move(current);
+  }
+  return result;
+}
+
+/// Score-based allocation for calibration-aware, crosstalk-blind baselines.
+template <typename ScoreFn>
+std::optional<std::vector<PartitionAssignment>> score_greedy_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    ScoreFn score /* higher is better */) {
+  const NoCrosstalkPolicy no_xtalk;
+  std::vector<PartitionAssignment> result(programs.size());
+  std::vector<int> allocated;
+  for (std::size_t idx = 0; idx < programs.size(); ++idx) {
+    const ProgramShape& shape = programs[idx];
+    const auto candidates =
+        partition_candidates(device, shape.num_qubits, allocated);
+    bool found = false;
+    std::vector<int> best_cand;
+    double best_score = 0.0;
+    for (const auto& cand : candidates) {
+      const double s = score(device, cand);
+      if (!found || s > best_score) {
+        best_cand = cand;
+        best_score = s;
+        found = true;
+      }
+    }
+    if (!found) return std::nullopt;
+    PartitionAssignment assignment;
+    assignment.qubits = best_cand;
+    assignment.efs =
+        efs_score(device, best_cand, shape, allocated, no_xtalk);
+    allocated.insert(allocated.end(), best_cand.begin(), best_cand.end());
+    result[idx] = std::move(assignment);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::optional<std::vector<PartitionAssignment>> QucpPartitioner::allocate(
+    const Device& device, std::span<const ProgramShape> programs) const {
+  return efs_greedy_allocate(device, programs, policy_);
+}
+
+std::optional<std::vector<PartitionAssignment>> QumcPartitioner::allocate(
+    const Device& device, std::span<const ProgramShape> programs) const {
+  return efs_greedy_allocate(device, programs, policy_);
+}
+
+std::optional<std::vector<PartitionAssignment>> QucloudPartitioner::allocate(
+    const Device& device, std::span<const ProgramShape> programs) const {
+  // Fidelity degree of qubit q: sum over incident edges of (1 - cx error),
+  // penalized by readout error — QuCloud's CMR-style heuristic.
+  auto score = [](const Device& dev, const std::vector<int>& cand) {
+    const std::set<int> in_cand(cand.begin(), cand.end());
+    double total = 0.0;
+    for (int q : cand) {
+      double fd = 0.0;
+      for (int nb : dev.topology().neighbors(q)) {
+        if (in_cand.count(nb)) fd += 1.0 - dev.cx_error(q, nb);
+      }
+      total += fd - dev.readout_error(q);
+    }
+    return total;
+  };
+  return score_greedy_allocate(device, programs, score);
+}
+
+std::optional<std::vector<PartitionAssignment>> MultiqcPartitioner::allocate(
+    const Device& device, std::span<const ProgramShape> programs) const {
+  // Region utility: product of edge and readout survival probabilities
+  // (log-sum for numeric stability) — Das et al.'s reliability ranking.
+  auto score = [](const Device& dev, const std::vector<int>& cand) {
+    const std::set<int> in_cand(cand.begin(), cand.end());
+    double log_survival = 0.0;
+    for (int e : dev.topology().induced_edges(cand)) {
+      log_survival += std::log1p(-dev.calibration().cx_error[e]);
+    }
+    for (int q : cand) {
+      log_survival += std::log1p(-dev.readout_error(q));
+    }
+    return log_survival;
+  };
+  return score_greedy_allocate(device, programs, score);
+}
+
+std::optional<std::vector<PartitionAssignment>> NaivePartitioner::allocate(
+    const Device& device, std::span<const ProgramShape> programs) const {
+  const Topology& topo = device.topology();
+  const NoCrosstalkPolicy no_xtalk;
+  std::vector<PartitionAssignment> result(programs.size());
+  std::set<int> blocked;
+  for (std::size_t idx = 0; idx < programs.size(); ++idx) {
+    const ProgramShape& shape = programs[idx];
+    std::vector<int> region;
+    for (int start = 0; start < topo.num_qubits(); ++start) {
+      if (blocked.count(start)) continue;
+      // BFS region of the requested size.
+      std::vector<int> part;
+      std::set<int> visited;
+      std::deque<int> queue{start};
+      visited.insert(start);
+      while (!queue.empty() &&
+             static_cast<int>(part.size()) < shape.num_qubits) {
+        const int u = queue.front();
+        queue.pop_front();
+        part.push_back(u);
+        for (int nb : topo.neighbors(u)) {
+          if (!visited.count(nb) && !blocked.count(nb)) {
+            visited.insert(nb);
+            queue.push_back(nb);
+          }
+        }
+      }
+      if (static_cast<int>(part.size()) == shape.num_qubits) {
+        std::sort(part.begin(), part.end());
+        region = std::move(part);
+        break;
+      }
+    }
+    if (region.empty()) return std::nullopt;
+    PartitionAssignment assignment;
+    assignment.qubits = region;
+    const std::vector<int> allocated(blocked.begin(), blocked.end());
+    assignment.efs = efs_score(device, region, shape, allocated, no_xtalk);
+    blocked.insert(region.begin(), region.end());
+    result[idx] = std::move(assignment);
+  }
+  return result;
+}
+
+}  // namespace qucp

@@ -1,0 +1,45 @@
+#include "partition/threshold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qucp {
+
+ThresholdSelection select_parallel_count(const Device& device,
+                                         const ProgramShape& shape,
+                                         int max_copies, double threshold,
+                                         const Partitioner& partitioner) {
+  if (max_copies < 1) {
+    throw std::invalid_argument("select_parallel_count: max_copies < 1");
+  }
+  if (threshold < 0.0) {
+    throw std::invalid_argument("select_parallel_count: negative threshold");
+  }
+  // Independent reference: the program alone on the empty device.
+  const std::vector<ProgramShape> solo{shape};
+  const auto solo_alloc = partitioner.allocate(device, solo);
+  if (!solo_alloc) {
+    throw std::runtime_error(
+        "select_parallel_count: program does not fit on device");
+  }
+  const double independent_efs = (*solo_alloc)[0].efs.score;
+
+  ThresholdSelection best;
+  best.independent_efs = independent_efs;
+  for (int m = 1; m <= max_copies; ++m) {
+    const std::vector<ProgramShape> batch(static_cast<std::size_t>(m), shape);
+    const auto alloc = partitioner.allocate(device, batch);
+    if (!alloc) break;  // device exhausted
+    double worst_delta = 0.0;
+    for (const PartitionAssignment& a : *alloc) {
+      worst_delta = std::max(worst_delta, a.efs.score - independent_efs);
+    }
+    if (m > 1 && worst_delta > threshold) break;
+    best.num_circuits = m;
+    best.assignments = *alloc;
+    best.worst_delta = worst_delta;
+  }
+  return best;
+}
+
+}  // namespace qucp

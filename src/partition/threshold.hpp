@@ -1,0 +1,29 @@
+#pragma once
+// Fidelity-threshold selection of the parallel circuit count (paper §IV-B).
+//
+// QuMC/QuCP estimate, via EFS, how much worse the i-th simultaneous copy's
+// partition is compared with running the program alone on the whole chip.
+// A threshold tau on that EFS difference decides how many circuits execute
+// simultaneously: tau = 0 forces independent execution; larger tau admits
+// more co-runners (more throughput, less fidelity) — the Fig. 4 trade-off.
+
+#include <optional>
+
+#include "partition/partitioners.hpp"
+
+namespace qucp {
+
+struct ThresholdSelection {
+  int num_circuits = 0;  ///< chosen number of simultaneous copies
+  std::vector<PartitionAssignment> assignments;  ///< one per copy
+  double independent_efs = 0.0;  ///< EFS of the best solo partition
+  double worst_delta = 0.0;      ///< max EFS_i - independent_efs accepted
+};
+
+/// Pick the largest m <= max_copies such that every copy's EFS exceeds the
+/// solo-best EFS by at most `threshold`. At least one copy always runs.
+[[nodiscard]] ThresholdSelection select_parallel_count(
+    const Device& device, const ProgramShape& shape, int max_copies,
+    double threshold, const Partitioner& partitioner);
+
+}  // namespace qucp

@@ -1,0 +1,77 @@
+#include "schedule/schedule.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qucp {
+
+double op_duration_ns(const Gate& g, const Device& device) {
+  const Calibration& cal = device.calibration();
+  switch (g.kind) {
+    case GateKind::Barrier:
+      return 0.0;
+    case GateKind::Measure:
+      return cal.readout_duration_ns;
+    case GateKind::CX:
+    case GateKind::CZ:
+      return device.cx_duration_ns(g.qubits[0], g.qubits[1]);
+    case GateKind::SWAP:
+      return 3.0 * device.cx_duration_ns(g.qubits[0], g.qubits[1]);
+    default:
+      return cal.q1_duration_ns;
+  }
+}
+
+namespace {
+
+Schedule schedule_asap(const Circuit& circuit, const Device& device) {
+  std::vector<double> ready(circuit.num_qubits(), 0.0);
+  Schedule sched;
+  sched.ops.resize(circuit.size());
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.ops()[i];
+    double start = 0.0;
+    for (int q : g.qubits) start = std::max(start, ready[q]);
+    const double dur = op_duration_ns(g, device);
+    sched.ops[i] = {i, start, start + dur};
+    for (int q : g.qubits) ready[q] = start + dur;
+    sched.makespan_ns = std::max(sched.makespan_ns, start + dur);
+  }
+  return sched;
+}
+
+}  // namespace
+
+Schedule schedule_circuit(const Circuit& circuit, const Device& device,
+                          SchedulePolicy policy) {
+  if (circuit.num_qubits() > device.num_qubits()) {
+    throw std::invalid_argument("schedule_circuit: circuit wider than device");
+  }
+  if (policy == SchedulePolicy::ASAP) {
+    return schedule_asap(circuit, device);
+  }
+  // ALAP: run ASAP over the reversed op list (keeping the same gates — only
+  // dependency order matters for timing), then mirror times.
+  Circuit reversed(circuit.num_qubits(), circuit.num_clbits());
+  const auto& ops = circuit.ops();
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) reversed.append(*it);
+  const Schedule rev = schedule_asap(reversed, device);
+
+  Schedule sched;
+  sched.makespan_ns = rev.makespan_ns;
+  sched.ops.resize(circuit.size());
+  for (std::size_t ri = 0; ri < rev.ops.size(); ++ri) {
+    const std::size_t i = circuit.size() - 1 - ri;
+    const ScheduledOp& r = rev.ops[ri];
+    sched.ops[i] = {i, rev.makespan_ns - r.end_ns,
+                    rev.makespan_ns - r.start_ns};
+  }
+  return sched;
+}
+
+bool intervals_overlap(double a_start, double a_end, double b_start,
+                       double b_end) noexcept {
+  return a_start < b_end && b_start < a_end;
+}
+
+}  // namespace qucp

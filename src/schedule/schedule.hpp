@@ -1,0 +1,46 @@
+#pragma once
+// Time scheduling of physical circuits.
+//
+// All parallel-execution methods in the paper schedule As-Late-As-Possible
+// (ALAP, the Qiskit default): qubits stay in the ground state as long as
+// possible, which minimizes exposed idle decoherence when circuits of
+// different depths run side by side. ASAP is provided for the ablation
+// bench. Start times feed the crosstalk-overlap detection in the executor.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hardware/device.hpp"
+
+namespace qucp {
+
+enum class SchedulePolicy { ASAP, ALAP };
+
+struct ScheduledOp {
+  std::size_t op_index = 0;  ///< index into the source circuit's ops()
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+};
+
+struct Schedule {
+  std::vector<ScheduledOp> ops;  ///< in source op order
+  double makespan_ns = 0.0;
+};
+
+/// Duration of one op on the device (SWAP = 3 CX on its edge; barrier = 0).
+/// Two-qubit ops must sit on coupled qubits.
+[[nodiscard]] double op_duration_ns(const Gate& g, const Device& device);
+
+/// Schedule a physical circuit (qubits = device qubits). ASAP packs ops as
+/// early as wire dependencies allow; ALAP mirrors the ASAP schedule of the
+/// reversed circuit so every op finishes as late as dependencies permit.
+[[nodiscard]] Schedule schedule_circuit(const Circuit& circuit,
+                                        const Device& device,
+                                        SchedulePolicy policy);
+
+/// True when [a_start, a_end) and [b_start, b_end) intersect.
+[[nodiscard]] bool intervals_overlap(double a_start, double a_end,
+                                     double b_start, double b_end) noexcept;
+
+}  // namespace qucp

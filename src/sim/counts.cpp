@@ -1,0 +1,105 @@
+#include "sim/counts.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace qucp {
+
+Distribution::Distribution(int num_bits, std::map<std::uint64_t, double> probs)
+    : num_bits_(num_bits) {
+  if (num_bits < 0 || num_bits > 63) {
+    throw std::invalid_argument("Distribution: bad bit count");
+  }
+  double total = 0.0;
+  for (const auto& [outcome, p] : probs) {
+    if (p < -1e-12) throw std::invalid_argument("Distribution: negative prob");
+    if (outcome >> num_bits) {
+      throw std::invalid_argument("Distribution: outcome exceeds bit width");
+    }
+    total += std::max(0.0, p);
+  }
+  if (total <= 0.0) throw std::invalid_argument("Distribution: empty support");
+  for (const auto& [outcome, p] : probs) {
+    if (p > 1e-15) probs_[outcome] = p / total;
+  }
+}
+
+double Distribution::prob(std::uint64_t outcome) const {
+  const auto it = probs_.find(outcome);
+  return it == probs_.end() ? 0.0 : it->second;
+}
+
+std::uint64_t Distribution::most_likely() const {
+  if (probs_.empty()) throw std::logic_error("Distribution: empty");
+  std::uint64_t best = 0;
+  double best_p = -1.0;
+  for (const auto& [outcome, p] : probs_) {
+    if (p > best_p) {
+      best_p = p;
+      best = outcome;
+    }
+  }
+  return best;
+}
+
+Counts::Counts(int num_bits, std::map<std::uint64_t, int> counts)
+    : num_bits_(num_bits), counts_(std::move(counts)) {
+  for (const auto& [outcome, n] : counts_) {
+    if (n < 0) throw std::invalid_argument("Counts: negative count");
+    if (outcome >> num_bits) {
+      throw std::invalid_argument("Counts: outcome exceeds bit width");
+    }
+    total_ += n;
+  }
+}
+
+int Counts::count(std::uint64_t outcome) const {
+  const auto it = counts_.find(outcome);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+void Counts::add(std::uint64_t outcome, int n) {
+  if (n < 0) throw std::invalid_argument("Counts::add: negative count");
+  if (outcome >> num_bits_) {
+    throw std::invalid_argument("Counts::add: outcome exceeds bit width");
+  }
+  counts_[outcome] += n;
+  total_ += n;
+}
+
+Distribution Counts::to_distribution() const {
+  if (total_ == 0) throw std::logic_error("Counts: no shots");
+  std::map<std::uint64_t, double> probs;
+  for (const auto& [outcome, n] : counts_) {
+    probs[outcome] = static_cast<double>(n) / total_;
+  }
+  return Distribution(num_bits_, std::move(probs));
+}
+
+Counts sample_counts(const Distribution& dist, int shots, Rng& rng) {
+  if (shots <= 0) throw std::invalid_argument("sample_counts: shots <= 0");
+  std::vector<std::uint64_t> outcomes;
+  std::vector<double> weights;
+  outcomes.reserve(dist.probs().size());
+  for (const auto& [outcome, p] : dist.probs()) {
+    outcomes.push_back(outcome);
+    weights.push_back(p);
+  }
+  Counts counts(dist.num_bits(), {});
+  for (int s = 0; s < shots; ++s) {
+    counts.add(outcomes[rng.discrete(weights)]);
+  }
+  return counts;
+}
+
+std::string outcome_to_string(std::uint64_t outcome, int num_bits) {
+  std::string s(static_cast<std::size_t>(num_bits), '0');
+  for (int b = 0; b < num_bits; ++b) {
+    if ((outcome >> b) & 1U) s[static_cast<std::size_t>(num_bits - 1 - b)] = '1';
+  }
+  return s;
+}
+
+}  // namespace qucp

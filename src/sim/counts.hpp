@@ -1,0 +1,71 @@
+#pragma once
+// Measurement outcome containers.
+//
+// Counts maps classical-bit outcomes (packed little-endian: clbit 0 is bit
+// 0) to shot counts. Distribution is its normalized sibling and the common
+// currency of the fidelity metrics (PST, JSD).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qucp {
+
+class Rng;
+
+/// Normalized probability distribution over packed clbit outcomes.
+class Distribution {
+ public:
+  Distribution() = default;
+  /// Construct from outcome->probability map; normalizes; drops zeros.
+  Distribution(int num_bits, std::map<std::uint64_t, double> probs);
+
+  [[nodiscard]] int num_bits() const noexcept { return num_bits_; }
+  [[nodiscard]] const std::map<std::uint64_t, double>& probs() const noexcept {
+    return probs_;
+  }
+  [[nodiscard]] double prob(std::uint64_t outcome) const;
+  [[nodiscard]] bool empty() const noexcept { return probs_.empty(); }
+
+  /// Outcome with highest probability; throws when empty.
+  [[nodiscard]] std::uint64_t most_likely() const;
+
+ private:
+  int num_bits_ = 0;
+  std::map<std::uint64_t, double> probs_;
+};
+
+/// Raw shot counts.
+class Counts {
+ public:
+  Counts() = default;
+  Counts(int num_bits, std::map<std::uint64_t, int> counts);
+
+  [[nodiscard]] int num_bits() const noexcept { return num_bits_; }
+  [[nodiscard]] const std::map<std::uint64_t, int>& data() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] int total() const noexcept { return total_; }
+  [[nodiscard]] int count(std::uint64_t outcome) const;
+
+  void add(std::uint64_t outcome, int n = 1);
+
+  [[nodiscard]] Distribution to_distribution() const;
+
+ private:
+  int num_bits_ = 0;
+  std::map<std::uint64_t, int> counts_;
+  int total_ = 0;
+};
+
+/// Draw `shots` samples from a distribution (multinomial).
+[[nodiscard]] Counts sample_counts(const Distribution& dist, int shots,
+                                   Rng& rng);
+
+/// Render an outcome as a bitstring, clbit (num_bits-1) first — matching
+/// the usual Qiskit display convention.
+[[nodiscard]] std::string outcome_to_string(std::uint64_t outcome,
+                                            int num_bits);
+
+}  // namespace qucp

@@ -1,0 +1,217 @@
+#include "sim/density.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qucp {
+
+namespace {
+
+/// Build the global index from a base index (local bits cleared) and a
+/// local value (qubits[0] = high bit).
+std::size_t with_local(std::size_t base, std::size_t local,
+                       std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  for (int j = 0; j < k; ++j) {
+    if ((local >> (k - 1 - j)) & 1U) base |= std::size_t{1} << qubits[j];
+  }
+  return base;
+}
+
+}  // namespace
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : num_qubits_(num_qubits), dim_(std::size_t{1} << num_qubits) {
+  if (num_qubits < 0 || num_qubits > 12) {
+    throw std::invalid_argument("DensityMatrix: unsupported qubit count");
+  }
+  rho_.assign(dim_ * dim_, cx{0.0, 0.0});
+  rho_[0] = 1.0;
+}
+
+void DensityMatrix::check_qubits(std::span<const int> qubits) const {
+  for (int q : qubits) {
+    if (q < 0 || q >= num_qubits_) {
+      throw std::out_of_range("DensityMatrix: qubit out of range");
+    }
+  }
+}
+
+void DensityMatrix::apply_unitary(const Matrix& u,
+                                  std::span<const int> qubits) {
+  check_qubits(qubits);
+  const int k = static_cast<int>(qubits.size());
+  const std::size_t ldim = std::size_t{1} << k;
+  if (u.rows() != ldim || u.cols() != ldim) {
+    throw std::invalid_argument("DensityMatrix: matrix/operand mismatch");
+  }
+  std::size_t submask = 0;
+  for (int q : qubits) submask |= std::size_t{1} << q;
+
+  std::vector<cx> local(ldim);
+  // Left-multiply U on the row index: for each column, transform rows.
+  for (std::size_t c = 0; c < dim_; ++c) {
+    for (std::size_t base = 0; base < dim_; ++base) {
+      if (base & submask) continue;
+      for (std::size_t li = 0; li < ldim; ++li) {
+        local[li] = rho_[with_local(base, li, qubits) * dim_ + c];
+      }
+      for (std::size_t lr = 0; lr < ldim; ++lr) {
+        cx acc{0.0, 0.0};
+        for (std::size_t lc = 0; lc < ldim; ++lc) {
+          acc += u(lr, lc) * local[lc];
+        }
+        rho_[with_local(base, lr, qubits) * dim_ + c] = acc;
+      }
+    }
+  }
+  // Right-multiply U^dagger on the column index: for each row, transform
+  // columns with conj(U): (rho U^dag)[r][c] = sum_k rho[r][k] conj(u[c][k]).
+  for (std::size_t r = 0; r < dim_; ++r) {
+    cx* row = &rho_[r * dim_];
+    for (std::size_t base = 0; base < dim_; ++base) {
+      if (base & submask) continue;
+      for (std::size_t li = 0; li < ldim; ++li) {
+        local[li] = row[with_local(base, li, qubits)];
+      }
+      for (std::size_t lc = 0; lc < ldim; ++lc) {
+        cx acc{0.0, 0.0};
+        for (std::size_t lk = 0; lk < ldim; ++lk) {
+          acc += std::conj(u(lc, lk)) * local[lk];
+        }
+        row[with_local(base, lc, qubits)] = acc;
+      }
+    }
+  }
+}
+
+void DensityMatrix::apply_depolarizing(double p, std::span<const int> qubits) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("DensityMatrix: depolarizing p outside [0,1]");
+  }
+  if (p == 0.0) return;
+  check_qubits(qubits);
+  const int k = static_cast<int>(qubits.size());
+  const std::size_t ldim = std::size_t{1} << k;
+  const double pauli_dim = std::pow(4.0, k);
+  // Uniform-Pauli channel via the twirl identity:
+  //   sum_{all P} P rho P = 4^m * ptrace(rho) (x) I/2^m
+  // so rho' = c1 * rho + c2 * [ptrace(rho) (x) I/2^m] with:
+  const double c2 = p * pauli_dim / (pauli_dim - 1.0);
+  const double c1 = 1.0 - c2;
+
+  std::size_t submask = 0;
+  for (int q : qubits) submask |= std::size_t{1} << q;
+
+  std::vector<cx> out(dim_ * dim_, cx{0.0, 0.0});
+  for (std::size_t i = 0; i < rho_.size(); ++i) out[i] = c1 * rho_[i];
+  const double inv_ldim = 1.0 / static_cast<double>(ldim);
+  for (std::size_t rb = 0; rb < dim_; ++rb) {
+    if (rb & submask) continue;
+    for (std::size_t cb = 0; cb < dim_; ++cb) {
+      if (cb & submask) continue;
+      cx traced{0.0, 0.0};
+      for (std::size_t s = 0; s < ldim; ++s) {
+        traced += rho_[with_local(rb, s, qubits) * dim_ +
+                       with_local(cb, s, qubits)];
+      }
+      const cx fill = c2 * traced * inv_ldim;
+      for (std::size_t s = 0; s < ldim; ++s) {
+        out[with_local(rb, s, qubits) * dim_ + with_local(cb, s, qubits)] +=
+            fill;
+      }
+    }
+  }
+  rho_ = std::move(out);
+}
+
+void DensityMatrix::apply_kraus(std::span<const Matrix> kraus,
+                                std::span<const int> qubits) {
+  check_qubits(qubits);
+  if (kraus.empty()) {
+    throw std::invalid_argument("DensityMatrix: empty Kraus set");
+  }
+  const std::size_t ldim = std::size_t{1} << qubits.size();
+  Matrix completeness(ldim, ldim);
+  for (const Matrix& k : kraus) completeness += k.dagger() * k;
+  if (!completeness.approx_equal(Matrix::identity(ldim), 1e-8)) {
+    throw std::invalid_argument("DensityMatrix: Kraus set not trace-preserving");
+  }
+
+  const std::vector<cx> original = rho_;
+  std::vector<cx> acc(dim_ * dim_, cx{0.0, 0.0});
+  for (const Matrix& k : kraus) {
+    rho_ = original;
+    // K rho K^dagger via the same two-sided transform as apply_unitary —
+    // the transform itself never requires unitarity.
+    apply_unitary(k, qubits);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += rho_[i];
+  }
+  rho_ = std::move(acc);
+}
+
+void DensityMatrix::apply_relaxation(int qubit, double duration_ns,
+                                     double t1_us, double t2_us) {
+  check_qubits(std::span<const int>(&qubit, 1));
+  if (duration_ns <= 0.0) return;
+  if (t1_us <= 0.0 || t2_us <= 0.0) {
+    throw std::invalid_argument("DensityMatrix: non-positive T1/T2");
+  }
+  const double t_us = duration_ns * 1e-3;
+  const double gamma = 1.0 - std::exp(-t_us / t1_us);
+  // Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1); clamp at 0 when T2 is
+  // reported above the 2*T1 physical limit.
+  const double inv_tphi = std::max(0.0, 1.0 / t2_us - 0.5 / t1_us);
+  const double lambda = 1.0 - std::exp(-t_us * inv_tphi);
+
+  const double sg = std::sqrt(std::max(0.0, 1.0 - gamma));
+  const Matrix ad0(2, 2, {1, 0, 0, sg});
+  const Matrix ad1(2, 2, {0, std::sqrt(gamma), 0, 0});
+  const Matrix ads[] = {ad0, ad1};
+  apply_kraus(ads, std::span<const int>(&qubit, 1));
+
+  const double sl = std::sqrt(std::max(0.0, 1.0 - lambda));
+  const Matrix pd0(2, 2, {1, 0, 0, sl});
+  const Matrix pd1(2, 2, {0, 0, 0, std::sqrt(lambda)});
+  const Matrix pds[] = {pd0, pd1};
+  apply_kraus(pds, std::span<const int>(&qubit, 1));
+}
+
+std::vector<double> DensityMatrix::probabilities() const {
+  std::vector<double> probs(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    probs[i] = std::max(0.0, rho_[i * dim_ + i].real());
+  }
+  return probs;
+}
+
+double DensityMatrix::expectation(const Matrix& observable) const {
+  if (observable.rows() != dim_ || observable.cols() != dim_) {
+    throw std::invalid_argument("DensityMatrix: observable shape mismatch");
+  }
+  cx acc{0.0, 0.0};
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      acc += rho_[r * dim_ + c] * observable(c, r);
+    }
+  }
+  return acc.real();
+}
+
+double DensityMatrix::trace_real() const {
+  double t = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) t += rho_[i * dim_ + i].real();
+  return t;
+}
+
+double DensityMatrix::purity() const {
+  double t = 0.0;
+  for (std::size_t r = 0; r < dim_; ++r) {
+    for (std::size_t c = 0; c < dim_; ++c) {
+      t += std::norm(rho_[r * dim_ + c]);
+    }
+  }
+  return t;
+}
+
+}  // namespace qucp

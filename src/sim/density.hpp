@@ -1,0 +1,62 @@
+#pragma once
+// Exact noisy simulation via density matrices.
+//
+// Programs in this library are small (<= ~10 qubits per partition), so we
+// can afford the exact mixed-state evolution: no trajectory sampling noise,
+// which keeps JSD/PST comparisons between methods deterministic up to the
+// final (optional) shot sampling.
+
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/matrix.hpp"
+#include "sim/counts.hpp"
+
+namespace qucp {
+
+class DensityMatrix {
+ public:
+  /// |0..0><0..0| on n qubits. Practical up to ~10 qubits.
+  explicit DensityMatrix(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+
+  /// rho -> U rho U^dagger with U acting on `qubits` (first operand = high
+  /// local bit).
+  void apply_unitary(const Matrix& u, std::span<const int> qubits);
+
+  /// Uniform-Pauli depolarizing channel with parameter p on the given
+  /// qubits: rho -> (1-p) rho + p/(4^m - 1) * sum_{P != I} P rho P.
+  void apply_depolarizing(double p, std::span<const int> qubits);
+
+  /// General Kraus channel: rho -> sum_k K rho K^dagger. Kraus operators
+  /// must satisfy sum K^dagger K == I (checked to tolerance).
+  void apply_kraus(std::span<const Matrix> kraus, std::span<const int> qubits);
+
+  /// Thermal relaxation on one qubit for duration_ns given T1/T2 in us
+  /// (amplitude damping followed by pure dephasing).
+  void apply_relaxation(int qubit, double duration_ns, double t1_us,
+                        double t2_us);
+
+  /// Diagonal of rho (populations), clamped at 0.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// tr(rho * observable).
+  [[nodiscard]] double expectation(const Matrix& observable) const;
+
+  [[nodiscard]] double trace_real() const;
+
+  /// Purity tr(rho^2).
+  [[nodiscard]] double purity() const;
+
+ private:
+  int num_qubits_;
+  std::size_t dim_;
+  std::vector<cx> rho_;  // row-major dim x dim
+
+  void check_qubits(std::span<const int> qubits) const;
+};
+
+}  // namespace qucp

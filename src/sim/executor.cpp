@@ -1,0 +1,309 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "circuit/decompose.hpp"
+#include "sim/density.hpp"
+#include "sim/noise.hpp"
+
+namespace qucp {
+
+namespace {
+
+struct CxEvent {
+  std::size_t program = 0;
+  std::size_t op = 0;       // op index in the lowered program circuit
+  int edge = -1;            // device edge id
+  double start_ns = 0.0;
+  double end_ns = 0.0;
+  double gamma = 1.0;       // accumulated crosstalk multiplier
+};
+
+}  // namespace
+
+ParallelRunReport execute_parallel(const Device& device,
+                                   std::vector<PhysicalProgram> programs,
+                                   const ExecOptions& options) {
+  if (programs.empty()) {
+    throw std::invalid_argument("execute_parallel: no programs");
+  }
+  if (options.shots <= 0) {
+    throw std::invalid_argument("execute_parallel: shots <= 0");
+  }
+  const Topology& topo = device.topology();
+  const Calibration& cal = device.calibration();
+
+  // Lower to CX basis and validate qubit usage / coupling.
+  std::vector<Circuit> lowered;
+  lowered.reserve(programs.size());
+  std::set<int> all_used;
+  for (const PhysicalProgram& prog : programs) {
+    if (prog.circuit.num_qubits() > device.num_qubits()) {
+      throw std::invalid_argument("execute_parallel: program wider than device");
+    }
+    Circuit low = lower_to_cx_basis(prog.circuit);
+    for (const Gate& g : low.ops()) {
+      if (is_two_qubit_gate(g.kind) &&
+          !topo.adjacent(g.qubits[0], g.qubits[1])) {
+        throw std::invalid_argument(
+            "execute_parallel: two-qubit gate on uncoupled qubits in " +
+            prog.name);
+      }
+    }
+    for (int q : low.active_qubits()) {
+      if (!all_used.insert(q).second) {
+        throw std::invalid_argument(
+            "execute_parallel: programs overlap on qubit " +
+            std::to_string(q));
+      }
+    }
+    lowered.push_back(std::move(low));
+  }
+
+  // Schedule each program; align ALAP schedules to the common end time.
+  std::vector<Schedule> schedules;
+  double global_makespan = 0.0;
+  for (const Circuit& c : lowered) {
+    schedules.push_back(schedule_circuit(c, device, options.schedule));
+    global_makespan = std::max(global_makespan, schedules.back().makespan_ns);
+  }
+  if (options.schedule == SchedulePolicy::ALAP) {
+    for (Schedule& s : schedules) {
+      const double shift = global_makespan - s.makespan_ns;
+      for (ScheduledOp& op : s.ops) {
+        op.start_ns += shift;
+        op.end_ns += shift;
+      }
+      s.makespan_ns = global_makespan;
+    }
+  }
+
+  // Collect CX events and amplify overlapping one-hop pairs.
+  auto collect_events = [&] {
+    std::vector<CxEvent> events;
+    for (std::size_t p = 0; p < lowered.size(); ++p) {
+      for (std::size_t i = 0; i < lowered[p].size(); ++i) {
+        const Gate& g = lowered[p].ops()[i];
+        if (g.kind != GateKind::CX) continue;
+        const auto edge = topo.edge_index(g.qubits[0], g.qubits[1]);
+        events.push_back({p, i, *edge, schedules[p].ops[i].start_ns,
+                          schedules[p].ops[i].end_ns, 1.0});
+      }
+    }
+    return events;
+  };
+  std::vector<CxEvent> events = collect_events();
+
+  if (options.serialize_crosstalk) {
+    // Program-level serialization: shift the later program past the
+    // earlier one whenever a (hinted) one-hop CX pair overlaps. Coarse but
+    // sound — overlap strictly decreases each round.
+    auto pair_conflicts = [&](const CxEvent& a, const CxEvent& b) {
+      if (a.program == b.program || a.edge == b.edge) return false;
+      if (!intervals_overlap(a.start_ns, a.end_ns, b.start_ns, b.end_ns)) {
+        return false;
+      }
+      const Edge& ea = topo.edges()[a.edge];
+      const Edge& eb = topo.edges()[b.edge];
+      if (ea.shares_qubit(eb)) return false;
+      const int dist = std::min(
+          {topo.distance(ea.a, eb.a), topo.distance(ea.a, eb.b),
+           topo.distance(ea.b, eb.a), topo.distance(ea.b, eb.b)});
+      if (dist != 1) return false;
+      return options.serialize_hints == nullptr ||
+             options.serialize_hints->gamma(a.edge, b.edge) > 1.0;
+    };
+    for (int round = 0; round < 100; ++round) {
+      bool shifted = false;
+      for (std::size_t i = 0; i < events.size() && !shifted; ++i) {
+        for (std::size_t j = i + 1; j < events.size() && !shifted; ++j) {
+          const CxEvent& a = events[i];
+          const CxEvent& b = events[j];
+          if (!pair_conflicts(a, b)) continue;
+          // Delay the program whose conflicting gate starts later.
+          const bool delay_b = b.start_ns >= a.start_ns;
+          const std::size_t victim = delay_b ? b.program : a.program;
+          const double delta = delay_b ? a.end_ns - b.start_ns
+                                       : b.end_ns - a.start_ns;
+          for (ScheduledOp& op : schedules[victim].ops) {
+            op.start_ns += delta;
+            op.end_ns += delta;
+          }
+          schedules[victim].makespan_ns += delta;
+          shifted = true;
+        }
+      }
+      if (!shifted) break;
+      events = collect_events();
+    }
+    global_makespan = 0.0;
+    for (const Schedule& s : schedules) {
+      global_makespan = std::max(global_makespan, s.makespan_ns);
+    }
+  }
+  int crosstalk_events = 0;
+  double max_gamma = 1.0;
+  const CrosstalkModel& xtalk = device.crosstalk_ground_truth();
+  if (options.crosstalk_noise && !xtalk.empty()) {
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        CxEvent& a = events[i];
+        CxEvent& b = events[j];
+        if (a.edge == b.edge) continue;
+        if (!intervals_overlap(a.start_ns, a.end_ns, b.start_ns, b.end_ns)) {
+          continue;
+        }
+        const double g = xtalk.gamma(a.edge, b.edge);
+        if (g > 1.0) {
+          // Conditional-error semantics (Murali et al.): the CX error in
+          // the presence of any conflicting neighbor is gamma * base, so
+          // concurrent partners take the max rather than compounding.
+          a.gamma = std::max(a.gamma, g);
+          b.gamma = std::max(b.gamma, g);
+          ++crosstalk_events;
+          max_gamma = std::max(max_gamma, g);
+        }
+      }
+    }
+  }
+  // Index the amplified gamma per (program, op).
+  std::vector<std::map<std::size_t, double>> gamma_of(programs.size());
+  for (const CxEvent& ev : events) gamma_of[ev.program][ev.op] = ev.gamma;
+
+  // Simulate each program's partition.
+  Rng rng(options.seed);
+  ParallelRunReport report;
+  report.makespan_ns = global_makespan;
+  report.crosstalk_events = crosstalk_events;
+  report.max_gamma_applied = max_gamma;
+  report.qubits_used = static_cast<int>(all_used.size());
+  report.throughput =
+      static_cast<double>(all_used.size()) / device.num_qubits();
+
+  for (std::size_t p = 0; p < lowered.size(); ++p) {
+    const Circuit& circ = lowered[p];
+    const std::vector<int> active = circ.active_qubits();
+    std::map<int, int> local_of;  // device qubit -> local index
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      local_of[active[i]] = static_cast<int>(i);
+    }
+    DensityMatrix dm(static_cast<int>(active.size()));
+
+    // Process ops in time order (stable on op index for ties).
+    std::vector<std::size_t> order(circ.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t x, std::size_t y) {
+                       return schedules[p].ops[x].start_ns <
+                              schedules[p].ops[y].start_ns;
+                     });
+
+    std::map<int, double> busy_until;  // device qubit -> time
+    for (int q : active) busy_until[q] = 0.0;
+    std::vector<std::pair<int, int>> measurements;  // (device qubit, clbit)
+
+    auto apply_idle = [&](int q, double until_ns) {
+      if (!options.idle_noise) return;
+      const double gap = until_ns - busy_until[q];
+      if (gap > 1e-9) {
+        dm.apply_relaxation(local_of[q], gap, cal.t1_us[q], cal.t2_us[q]);
+      }
+    };
+
+    for (std::size_t idx : order) {
+      const Gate& g = circ.ops()[idx];
+      const ScheduledOp& so = schedules[p].ops[idx];
+      if (g.kind == GateKind::Barrier) continue;
+      for (int q : g.qubits) {
+        apply_idle(q, so.start_ns);
+        busy_until[q] = so.end_ns;
+      }
+      if (g.kind == GateKind::Measure) {
+        measurements.emplace_back(g.qubits[0], g.clbit);
+        continue;
+      }
+      std::vector<int> local;
+      local.reserve(g.qubits.size());
+      for (int q : g.qubits) local.push_back(local_of[q]);
+      dm.apply_unitary(gate_matrix(g), local);
+      if (!options.gate_noise) continue;
+      if (g.kind == GateKind::CX) {
+        const auto it = gamma_of[p].find(idx);
+        const double gamma = it == gamma_of[p].end() ? 1.0 : it->second;
+        const int edge = *topo.edge_index(g.qubits[0], g.qubits[1]);
+        dm.apply_depolarizing(
+            depolarizing_param(cal.cx_error[edge] * gamma), local);
+      } else {
+        dm.apply_depolarizing(depolarizing_param(cal.q1_error[g.qubits[0]]),
+                              local);
+      }
+    }
+
+    if (measurements.empty()) {
+      throw std::invalid_argument("execute_parallel: program '" +
+                                  programs[p].name +
+                                  "' has no measurements");
+    }
+    // Sort by clbit so bit j of the packed index is measurement j.
+    std::sort(measurements.begin(), measurements.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    const std::size_t m = measurements.size();
+    std::vector<double> meas_probs(std::size_t{1} << m, 0.0);
+    const std::vector<double> local_probs = dm.probabilities();
+    for (std::size_t basis = 0; basis < local_probs.size(); ++basis) {
+      if (local_probs[basis] < 1e-15) continue;
+      std::size_t packed = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const int lq = local_of.at(measurements[j].first);
+        if ((basis >> lq) & 1U) packed |= std::size_t{1} << j;
+      }
+      meas_probs[packed] += local_probs[basis];
+    }
+    if (options.readout_noise) {
+      std::vector<double> flips;
+      flips.reserve(m);
+      for (const auto& [q, c] : measurements) {
+        flips.push_back(cal.readout_error[q]);
+      }
+      apply_readout_flips(meas_probs, flips);
+    }
+    int num_bits = 0;
+    for (const auto& [q, c] : measurements) num_bits = std::max(num_bits, c + 1);
+    std::map<std::uint64_t, double> dist_map;
+    for (std::size_t packed = 0; packed < meas_probs.size(); ++packed) {
+      if (meas_probs[packed] < 1e-15) continue;
+      std::uint64_t outcome = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        if ((packed >> j) & 1U) {
+          outcome |= std::uint64_t{1} << measurements[j].second;
+        }
+      }
+      dist_map[outcome] += meas_probs[packed];
+    }
+    ProgramOutcome outcome;
+    outcome.name = programs[p].name;
+    outcome.distribution = Distribution(num_bits, std::move(dist_map));
+    Rng prog_rng = rng.derive(programs[p].name + "#" + std::to_string(p));
+    outcome.counts = sample_counts(outcome.distribution, options.shots,
+                                   prog_rng);
+    report.programs.push_back(std::move(outcome));
+  }
+  return report;
+}
+
+ProgramOutcome execute_single(const Device& device,
+                              const Circuit& physical_circuit,
+                              const ExecOptions& options) {
+  std::vector<PhysicalProgram> programs;
+  programs.push_back({physical_circuit, physical_circuit.name().empty()
+                                            ? "program"
+                                            : physical_circuit.name()});
+  ParallelRunReport report =
+      execute_parallel(device, std::move(programs), options);
+  return std::move(report.programs.front());
+}
+
+}  // namespace qucp

@@ -1,0 +1,42 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qucp {
+
+double depolarizing_param(double err, double max_p) {
+  if (err < 0.0) throw std::invalid_argument("depolarizing_param: err < 0");
+  return std::min(err, max_p);
+}
+
+void apply_readout_flips(std::vector<double>& probs,
+                         std::span<const double> flip_probs) {
+  const std::size_t dim = probs.size();
+  if (dim == 0 || (dim & (dim - 1)) != 0) {
+    throw std::invalid_argument("apply_readout_flips: size not a power of 2");
+  }
+  std::size_t bits = 0;
+  while ((std::size_t{1} << bits) < dim) ++bits;
+  if (flip_probs.size() != bits) {
+    throw std::invalid_argument("apply_readout_flips: flip count mismatch");
+  }
+  for (std::size_t b = 0; b < bits; ++b) {
+    const double e = flip_probs[b];
+    if (e < 0.0 || e > 1.0) {
+      throw std::invalid_argument("apply_readout_flips: prob outside [0,1]");
+    }
+    if (e == 0.0) continue;
+    const std::size_t mask = std::size_t{1} << b;
+    for (std::size_t x = 0; x < dim; ++x) {
+      if (x & mask) continue;  // handle each pair once
+      const double p0 = probs[x];
+      const double p1 = probs[x | mask];
+      probs[x] = (1.0 - e) * p0 + e * p1;
+      probs[x | mask] = (1.0 - e) * p1 + e * p0;
+    }
+  }
+}
+
+}  // namespace qucp

@@ -1,0 +1,23 @@
+#pragma once
+// Noise parameter conversions and classical readout-error application.
+//
+// Calibration error rates map to uniform-Pauli depolarizing parameters; the
+// mapping is the identity by convention here — what matters for the paper's
+// comparisons is that every method is evaluated under the same model.
+// Readout error acts classically on the final outcome distribution.
+
+#include <span>
+#include <vector>
+
+namespace qucp {
+
+/// Depolarizing parameter used for a gate with reported error rate `err`
+/// (clamped into [0, max_p]); crosstalk multipliers are applied upstream.
+[[nodiscard]] double depolarizing_param(double err, double max_p = 0.75);
+
+/// Apply independent per-bit assignment flips to a dense probability
+/// vector over 2^k outcomes. flip_probs[b] is the flip probability of bit b.
+void apply_readout_flips(std::vector<double>& probs,
+                         std::span<const double> flip_probs);
+
+}  // namespace qucp

@@ -1,0 +1,128 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qucp {
+
+Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
+  if (num_qubits < 0 || num_qubits > 24) {
+    throw std::invalid_argument("Statevector: unsupported qubit count");
+  }
+  amps_.assign(std::size_t{1} << num_qubits, cx{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+void Statevector::apply_unitary(const Matrix& u, std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const std::size_t ldim = std::size_t{1} << k;
+  if (u.rows() != ldim || u.cols() != ldim) {
+    throw std::invalid_argument("Statevector: matrix/operand mismatch");
+  }
+  for (int q : qubits) {
+    if (q < 0 || q >= num_qubits_) {
+      throw std::out_of_range("Statevector: qubit out of range");
+    }
+  }
+  const std::size_t dim = amps_.size();
+  std::vector<std::size_t> masks(qubits.size());
+  for (int j = 0; j < k; ++j) masks[j] = std::size_t{1} << qubits[j];
+
+  std::vector<cx> local(ldim);
+  for (std::size_t base = 0; base < dim; ++base) {
+    bool is_base = true;
+    for (std::size_t m : masks) {
+      if (base & m) {
+        is_base = false;
+        break;
+      }
+    }
+    if (!is_base) continue;
+    // Gather local amplitudes: local index li has qubits[0] as HIGH bit.
+    for (std::size_t li = 0; li < ldim; ++li) {
+      std::size_t idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((li >> (k - 1 - j)) & 1U) idx |= masks[j];
+      }
+      local[li] = amps_[idx];
+    }
+    for (std::size_t lr = 0; lr < ldim; ++lr) {
+      cx acc{0.0, 0.0};
+      for (std::size_t lc = 0; lc < ldim; ++lc) acc += u(lr, lc) * local[lc];
+      std::size_t idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((lr >> (k - 1 - j)) & 1U) idx |= masks[j];
+      }
+      amps_[idx] = acc;
+    }
+  }
+}
+
+void Statevector::apply_circuit(const Circuit& circuit) {
+  if (circuit.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Statevector: qubit count mismatch");
+  }
+  for (const Gate& g : circuit.ops()) {
+    if (g.kind == GateKind::Barrier) continue;
+    if (g.kind == GateKind::Measure) {
+      throw std::logic_error("Statevector: measurement not supported");
+    }
+    apply_unitary(gate_matrix(g), g.qubits);
+  }
+}
+
+std::vector<double> Statevector::probabilities() const {
+  std::vector<double> probs(amps_.size());
+  for (std::size_t i = 0; i < amps_.size(); ++i) probs[i] = std::norm(amps_[i]);
+  return probs;
+}
+
+double Statevector::expectation(const Matrix& observable) const {
+  if (observable.rows() != amps_.size() || observable.cols() != amps_.size()) {
+    throw std::invalid_argument("Statevector: observable shape mismatch");
+  }
+  cx acc{0.0, 0.0};
+  for (std::size_t r = 0; r < amps_.size(); ++r) {
+    cx row{0.0, 0.0};
+    for (std::size_t c = 0; c < amps_.size(); ++c) {
+      row += observable(r, c) * amps_[c];
+    }
+    acc += std::conj(amps_[r]) * row;
+  }
+  return acc.real();
+}
+
+double Statevector::norm() const {
+  double s = 0.0;
+  for (const cx& a : amps_) s += std::norm(a);
+  return std::sqrt(s);
+}
+
+Distribution ideal_distribution(const Circuit& circuit) {
+  Statevector sv(circuit.num_qubits());
+  std::vector<std::pair<int, int>> measurements;  // (qubit, clbit)
+  for (const Gate& g : circuit.ops()) {
+    if (g.kind == GateKind::Barrier) continue;
+    if (g.kind == GateKind::Measure) {
+      measurements.emplace_back(g.qubits[0], g.clbit);
+      continue;
+    }
+    sv.apply_unitary(gate_matrix(g), g.qubits);
+  }
+  if (measurements.empty()) {
+    throw std::logic_error("ideal_distribution: circuit has no measurements");
+  }
+  const std::vector<double> probs = sv.probabilities();
+  std::map<std::uint64_t, double> out;
+  for (std::size_t basis = 0; basis < probs.size(); ++basis) {
+    if (probs[basis] < 1e-15) continue;
+    std::uint64_t outcome = 0;
+    for (const auto& [q, c] : measurements) {
+      if ((basis >> q) & 1U) outcome |= std::uint64_t{1} << c;
+    }
+    out[outcome] += probs[basis];
+  }
+  return Distribution(circuit.num_clbits(), std::move(out));
+}
+
+}  // namespace qucp

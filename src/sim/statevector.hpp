@@ -1,0 +1,53 @@
+#pragma once
+// Ideal (noiseless) statevector simulator.
+//
+// Little-endian convention: qubit k is bit k of the basis index. Used for
+// reference distributions (JSD baselines, PST targets), exact expectation
+// values, and RB recovery-unitary construction. Practical up to ~20 qubits;
+// all the paper's programs are <= 5.
+
+#include <span>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/matrix.hpp"
+#include "sim/counts.hpp"
+
+namespace qucp {
+
+class Statevector {
+ public:
+  /// |0...0> on n qubits.
+  explicit Statevector(int num_qubits);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] std::span<const cx> amplitudes() const noexcept {
+    return amps_;
+  }
+
+  /// Apply a 1- or 2-qubit unitary (first operand = high local bit,
+  /// matching gate_matrix's convention).
+  void apply_unitary(const Matrix& u, std::span<const int> qubits);
+
+  /// Apply all unitary ops of a circuit (barriers skipped; measurements
+  /// rejected — use ideal_distribution for measured circuits).
+  void apply_circuit(const Circuit& circuit);
+
+  /// Probability of each basis state.
+  [[nodiscard]] std::vector<double> probabilities() const;
+
+  /// <psi| P |psi> for an observable given as a full matrix.
+  [[nodiscard]] double expectation(const Matrix& observable) const;
+
+  [[nodiscard]] double norm() const;
+
+ private:
+  int num_qubits_;
+  std::vector<cx> amps_;
+};
+
+/// Exact outcome distribution of a measured circuit under ideal execution.
+/// Only measured clbits contribute; unmeasured clbits read 0.
+[[nodiscard]] Distribution ideal_distribution(const Circuit& circuit);
+
+}  // namespace qucp

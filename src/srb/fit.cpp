@@ -1,0 +1,140 @@
+#include "srb/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace qucp {
+
+namespace {
+
+/// Solve a 3x3 linear system in place (partial pivoting). Returns false on
+/// a (near-)singular matrix.
+bool solve3(double a[3][3], double b[3], double x[3]) {
+  int perm[3] = {0, 1, 2};
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(a[perm[r]][col]) > std::abs(a[perm[pivot]][col])) pivot = r;
+    }
+    std::swap(perm[col], perm[pivot]);
+    const double diag = a[perm[col]][col];
+    if (std::abs(diag) < 1e-14) return false;
+    for (int r = col + 1; r < 3; ++r) {
+      const double f = a[perm[r]][col] / diag;
+      for (int c = col; c < 3; ++c) a[perm[r]][c] -= f * a[perm[col]][c];
+      b[perm[r]] -= f * b[perm[col]];
+    }
+  }
+  for (int row = 2; row >= 0; --row) {
+    double acc = b[perm[row]];
+    for (int c = row + 1; c < 3; ++c) acc -= a[perm[row]][c] * x[c];
+    x[row] = acc / a[perm[row]][row];
+  }
+  return true;
+}
+
+double rmse_of(std::span<const double> xs, std::span<const double> ys,
+               double A, double alpha, double B) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - (A * std::pow(alpha, xs[i]) + B);
+    s += r * r;
+  }
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+DecayFit fit_exponential_decay(std::span<const double> xs,
+                               std::span<const double> ys,
+                               double asymptote_guess) {
+  if (xs.size() != ys.size() || xs.size() < 3) {
+    throw std::invalid_argument("fit_exponential_decay: need >= 3 points");
+  }
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] <= xs[i - 1]) {
+      throw std::invalid_argument(
+          "fit_exponential_decay: xs must be strictly increasing");
+    }
+  }
+
+  // Log-linear initialization on (y - B).
+  double B = asymptote_guess;
+  const double y_min = *std::min_element(ys.begin(), ys.end());
+  if (B >= y_min) B = std::max(0.0, y_min - 0.01);
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int n_used = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double shifted = ys[i] - B;
+    if (shifted <= 1e-9) continue;
+    const double ly = std::log(shifted);
+    sx += xs[i];
+    sy += ly;
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ly;
+    ++n_used;
+  }
+  double alpha = 0.9;
+  double A = ys[0] - B;
+  if (n_used >= 2) {
+    const double denom = n_used * sxx - sx * sx;
+    if (std::abs(denom) > 1e-12) {
+      const double slope = (n_used * sxy - sx * sy) / denom;
+      const double intercept = (sy - slope * sx) / n_used;
+      alpha = std::clamp(std::exp(slope), 1e-6, 1.0);
+      A = std::exp(intercept);
+    }
+  }
+
+  // Levenberg-Marquardt refinement: damping shrinks on success and grows
+  // on a rejected step, so a bad initialization still escapes.
+  DecayFit fit{A, alpha, B, rmse_of(xs, ys, A, alpha, B), false};
+  double lambda = 1e-3;
+  for (int iter = 0; iter < 200; ++iter) {
+    double jtj[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+    double jtr[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double ax = std::pow(alpha, xs[i]);
+      const double model = A * ax + B;
+      const double resid = ys[i] - model;
+      // d/dA = alpha^x ; d/dalpha = A x alpha^(x-1) ; d/dB = 1
+      const double j[3] = {ax,
+                           alpha > 0 ? A * xs[i] * ax / alpha : 0.0,
+                           1.0};
+      for (int r = 0; r < 3; ++r) {
+        for (int c = 0; c < 3; ++c) jtj[r][c] += j[r] * j[c];
+        jtr[r] += j[r] * resid;
+      }
+    }
+    for (int d = 0; d < 3; ++d) jtj[d][d] *= 1.0 + lambda;
+    for (int d = 0; d < 3; ++d) jtj[d][d] += 1e-12;
+    double step[3];
+    if (!solve3(jtj, jtr, step)) break;
+    const double new_A = A + step[0];
+    const double new_alpha = std::clamp(alpha + step[1], 1e-6, 1.0);
+    const double new_B = B + step[2];
+    const double new_rmse = rmse_of(xs, ys, new_A, new_alpha, new_B);
+    if (new_rmse <= fit.rmse + 1e-15) {
+      A = new_A;
+      alpha = new_alpha;
+      B = new_B;
+      const bool tiny_step = std::abs(step[0]) + std::abs(step[1]) +
+                                 std::abs(step[2]) <
+                             1e-12;
+      fit = {A, alpha, B, new_rmse, tiny_step || new_rmse < 1e-14};
+      if (fit.converged) break;
+      lambda = std::max(lambda * 0.3, 1e-9);
+    } else {
+      lambda *= 10.0;
+      if (lambda > 1e9) {
+        fit.converged = true;  // cannot improve further
+        break;
+      }
+    }
+  }
+  return fit;
+}
+
+}  // namespace qucp

@@ -1,0 +1,26 @@
+#pragma once
+// Exponential-decay fitting for randomized benchmarking.
+//
+// Fits y = A * alpha^x + B by log-linear initialization followed by
+// Gauss-Newton refinement on (A, alpha, B). RB survival curves are smooth
+// here (exact simulation), so a handful of iterations converges.
+
+#include <span>
+
+namespace qucp {
+
+struct DecayFit {
+  double amplitude = 0.0;  ///< A
+  double alpha = 0.0;      ///< decay base per unit x
+  double offset = 0.0;     ///< B (asymptote)
+  double rmse = 0.0;       ///< root-mean-square residual
+  bool converged = false;
+};
+
+/// Fit y = A * alpha^x + B. Requires >= 3 points and xs strictly
+/// increasing. `asymptote_guess` seeds B (2-qubit RB: 0.25).
+[[nodiscard]] DecayFit fit_exponential_decay(std::span<const double> xs,
+                                             std::span<const double> ys,
+                                             double asymptote_guess = 0.25);
+
+}  // namespace qucp

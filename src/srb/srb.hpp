@@ -1,0 +1,67 @@
+#pragma once
+// Simultaneous RB orchestration: crosstalk characterization (Fig. 2) and
+// overhead accounting (Table I).
+//
+// Characterization runs, for every one-hop edge pair, individual RB on each
+// edge and simultaneous RB on both; a pair whose simultaneous error-per-
+// cycle ratio exceeds `ratio_threshold` is flagged as a crosstalk pair with
+// gamma = that ratio. The result feeds QuMC (as its SRB estimates) and is
+// validated against the device's planted ground truth in tests.
+//
+// Overhead accounting mirrors the paper's arithmetic: one-hop pairs are
+// packed into a minimum number of non-interfering groups (greedy coloring,
+// largest degree first); jobs = groups x seeds x 3 (two individual RB jobs
+// + one simultaneous job per group and seed).
+
+#include <string>
+#include <vector>
+
+#include "srb/rb.hpp"
+
+namespace qucp {
+
+struct PairCharacterization {
+  int edge1 = 0;  ///< device edge id
+  int edge2 = 0;
+  double epc1_individual = 0.0;
+  double epc1_simultaneous = 0.0;
+  double epc2_individual = 0.0;
+  double epc2_simultaneous = 0.0;
+  double ratio = 1.0;  ///< max of the two per-edge EPC ratios, >= 1
+  bool significant = false;
+};
+
+struct CharacterizationResult {
+  std::vector<PairCharacterization> pairs;
+  CrosstalkModel estimates;  ///< significant pairs with gamma = ratio
+};
+
+struct SrbCharacterizationOptions {
+  RbOptions rb;
+  double ratio_threshold = 2.0;  ///< Murali et al. use E(gi|gj)/E(gi) > 2
+};
+
+/// Characterize all one-hop pairs of the device by simulated SRB.
+[[nodiscard]] CharacterizationResult characterize_crosstalk(
+    const Device& device, const SrbCharacterizationOptions& options,
+    Rng rng);
+
+/// SRB cost accounting (Table I).
+struct SrbOverhead {
+  int qubits = 0;
+  int edges = 0;           ///< CNOTs on the chip (paper's "1-hop pairs" row)
+  int one_hop_pairs = 0;   ///< disjoint edge pairs at one-hop distance
+  int groups = 0;          ///< parallel SRB groups after coloring
+  int seeds = 0;
+  int jobs = 0;            ///< groups * seeds * 3
+};
+
+[[nodiscard]] SrbOverhead srb_overhead(const Topology& topo, int seeds = 5);
+
+/// Greedy coloring of the pair-conflict graph. Two one-hop pairs conflict
+/// when any of their edges share a qubit or lie within one hop of each
+/// other (they would crosstalk during simultaneous benchmarking). Returns
+/// the group index of each pair (same order as topo.one_hop_edge_pairs()).
+[[nodiscard]] std::vector<int> group_one_hop_pairs(const Topology& topo);
+
+}  // namespace qucp

@@ -1,0 +1,44 @@
+#include "vqe/ansatz.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace qucp {
+
+int ansatz_parameter_count(int num_qubits, int reps) {
+  if (num_qubits <= 0 || reps < 0) {
+    throw std::invalid_argument("ansatz_parameter_count: bad arguments");
+  }
+  return 2 * num_qubits * (reps + 1);
+}
+
+Circuit make_ryrz_ansatz(int num_qubits, int reps,
+                         std::span<const double> parameters) {
+  const int want = ansatz_parameter_count(num_qubits, reps);
+  if (static_cast<int>(parameters.size()) != want) {
+    throw std::invalid_argument("make_ryrz_ansatz: parameter count mismatch");
+  }
+  Circuit c(num_qubits, num_qubits, "ryrz_ansatz");
+  std::size_t p = 0;
+  auto rotation_layer = [&] {
+    for (int q = 0; q < num_qubits; ++q) c.ry(parameters[p++], q);
+    for (int q = 0; q < num_qubits; ++q) c.rz(parameters[p++], q);
+  };
+  // 2 qubits, 2 reps: 12 rotation parameters and 2 CX entanglers — exactly
+  // the paper's ansatz.
+  for (int r = 0; r < reps; ++r) {
+    rotation_layer();
+    for (int q = 0; q + 1 < num_qubits; ++q) c.cx(q, q + 1);
+  }
+  rotation_layer();
+  return c;
+}
+
+Circuit make_tied_ansatz(int num_qubits, int reps, double theta) {
+  const std::vector<double> params(
+      static_cast<std::size_t>(ansatz_parameter_count(num_qubits, reps)),
+      theta);
+  return make_ryrz_ansatz(num_qubits, reps, params);
+}
+
+}  // namespace qucp

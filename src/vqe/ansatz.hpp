@@ -1,0 +1,28 @@
+#pragma once
+// Hardware-efficient RyRz ansatz (Kandala et al. [10]).
+//
+// Each repetition applies Ry and Rz on every qubit followed by a CX
+// entangler chain; a final rotation layer closes the circuit. The paper
+// ties all 12 parameters of its 2-qubit, 2-rep ansatz to a single value
+// theta and sweeps it — make_tied_ansatz reproduces that.
+
+#include <span>
+
+#include "circuit/circuit.hpp"
+
+namespace qucp {
+
+/// Number of parameters of the RyRz ansatz: 2 * num_qubits * (reps + 1).
+[[nodiscard]] int ansatz_parameter_count(int num_qubits, int reps);
+
+/// Build the ansatz with explicit parameters (size must match
+/// ansatz_parameter_count). Layout per layer: Ry(q0..qn-1) then
+/// Rz(q0..qn-1).
+[[nodiscard]] Circuit make_ryrz_ansatz(int num_qubits, int reps,
+                                       std::span<const double> parameters);
+
+/// All parameters tied to one value (the paper's simplification).
+[[nodiscard]] Circuit make_tied_ansatz(int num_qubits, int reps,
+                                       double theta);
+
+}  // namespace qucp

@@ -1,0 +1,72 @@
+#include "vqe/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace qucp {
+
+std::vector<double> hermitian_eigenvalues(const Matrix& m) {
+  if (!m.is_square()) {
+    throw std::invalid_argument("hermitian_eigenvalues: not square");
+  }
+  if (!m.is_hermitian(1e-9)) {
+    throw std::invalid_argument("hermitian_eigenvalues: not Hermitian");
+  }
+  const std::size_t n = m.rows();
+  Matrix a = m;
+
+  // Complex Jacobi: repeatedly zero the largest off-diagonal element with a
+  // unitary 2x2 rotation.
+  for (int sweep = 0; sweep < 200; ++sweep) {
+    double off = 0.0;
+    std::size_t p = 0;
+    std::size_t q = 1;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = r + 1; c < n; ++c) {
+        const double mag = std::abs(a(r, c));
+        if (mag > off) {
+          off = mag;
+          p = r;
+          q = c;
+        }
+      }
+    }
+    if (off < 1e-13) break;
+
+    const cx apq = a(p, q);
+    const double app = a(p, p).real();
+    const double aqq = a(q, q).real();
+    // Phase to make the pivot real, then a standard Jacobi angle.
+    const double absapq = std::abs(apq);
+    const cx phase = apq / absapq;
+    const double theta = 0.5 * std::atan2(2.0 * absapq, app - aqq);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+
+    // Rotation: rows/cols p,q with U = [[c, s*phase],[-s*conj(phase), c]].
+    for (std::size_t k = 0; k < n; ++k) {
+      const cx akp = a(k, p);
+      const cx akq = a(k, q);
+      a(k, p) = c * akp + s * std::conj(phase) * akq;
+      a(k, q) = -s * phase * akp + c * akq;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const cx apk = a(p, k);
+      const cx aqk = a(q, k);
+      a(p, k) = c * apk + s * phase * aqk;
+      a(q, k) = -s * std::conj(phase) * apk + c * aqk;
+    }
+  }
+
+  std::vector<double> eig(n);
+  for (std::size_t i = 0; i < n; ++i) eig[i] = a(i, i).real();
+  std::sort(eig.begin(), eig.end());
+  return eig;
+}
+
+double ground_state_energy(const Matrix& hamiltonian) {
+  return hermitian_eigenvalues(hamiltonian).front();
+}
+
+}  // namespace qucp

@@ -1,0 +1,21 @@
+#pragma once
+// Dense Hermitian eigensolver (cyclic Jacobi on the complex matrix).
+//
+// Stands in for Scipy's eigensolver in the paper's Table III "theory"
+// column. Sizes here are tiny (4x4 for the H2 Hamiltonian), so the classic
+// Jacobi sweep is exact to machine precision and dependency-free.
+
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qucp {
+
+/// Eigenvalues of a Hermitian matrix, ascending. Throws when the matrix is
+/// not square/Hermitian (1e-9 tolerance).
+[[nodiscard]] std::vector<double> hermitian_eigenvalues(const Matrix& m);
+
+/// Smallest eigenvalue (ground energy for Hamiltonians).
+[[nodiscard]] double ground_state_energy(const Matrix& hamiltonian);
+
+}  // namespace qucp

@@ -1,0 +1,94 @@
+#include "vqe/grouping.hpp"
+
+#include <stdexcept>
+
+namespace qucp {
+
+std::vector<MeasurementGroup> group_commuting_terms(
+    const Hamiltonian& hamiltonian) {
+  const int n = hamiltonian.num_qubits();
+  std::vector<MeasurementGroup> groups;
+  for (const PauliTerm& term : hamiltonian.terms()) {
+    bool placed = false;
+    for (MeasurementGroup& group : groups) {
+      bool compatible = true;
+      for (const PauliTerm& existing : group.terms) {
+        if (!term.pauli.qubit_wise_commutes_with(existing.pauli)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (compatible) {
+        group.terms.push_back(term);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      groups.push_back({{term}, {}});
+    }
+  }
+  // Resolve each group's measurement basis: the non-identity op per qubit
+  // (unique by qubit-wise commutation), defaulting to Z.
+  for (MeasurementGroup& group : groups) {
+    group.basis.assign(static_cast<std::size_t>(n), PauliOp::Z);
+    for (const PauliTerm& term : group.terms) {
+      for (int q = 0; q < n; ++q) {
+        const PauliOp op = term.pauli.op(q);
+        if (op != PauliOp::I) group.basis[static_cast<std::size_t>(q)] = op;
+      }
+    }
+  }
+  return groups;
+}
+
+Circuit measurement_circuit(const Circuit& state_prep,
+                            const MeasurementGroup& group) {
+  if (state_prep.has_measurements()) {
+    throw std::invalid_argument(
+        "measurement_circuit: state prep already measured");
+  }
+  if (group.basis.size() != static_cast<std::size_t>(state_prep.num_qubits())) {
+    throw std::invalid_argument("measurement_circuit: basis width mismatch");
+  }
+  Circuit out = state_prep;
+  for (int q = 0; q < state_prep.num_qubits(); ++q) {
+    switch (group.basis[static_cast<std::size_t>(q)]) {
+      case PauliOp::X:
+        out.h(q);
+        break;
+      case PauliOp::Y:
+        out.sdg(q);
+        out.h(q);
+        break;
+      case PauliOp::I:
+      case PauliOp::Z:
+        break;
+    }
+  }
+  out.measure_all();
+  return out;
+}
+
+double term_expectation(const PauliString& pauli, const Distribution& dist) {
+  if (pauli.is_identity()) return 1.0;
+  double e = 0.0;
+  for (const auto& [outcome, p] : dist.probs()) {
+    int parity = 0;
+    for (int q : pauli.support()) {
+      parity ^= static_cast<int>((outcome >> q) & 1U);
+    }
+    e += (parity ? -1.0 : 1.0) * p;
+  }
+  return e;
+}
+
+double group_energy(const MeasurementGroup& group, const Distribution& dist) {
+  double e = 0.0;
+  for (const PauliTerm& term : group.terms) {
+    e += term.coefficient * term_expectation(term.pauli, dist);
+  }
+  return e;
+}
+
+}  // namespace qucp

@@ -1,0 +1,43 @@
+#pragma once
+// Pauli operator grouping (PG) for simultaneous measurement.
+//
+// Qubit-wise commuting terms share one measurement circuit (Gokhale et
+// al., McClean et al.): the paper groups H2's 5 terms into
+// {II, IZ, ZI, ZZ} and {XX}, turning 5 naive measurement circuits into 2.
+// Greedy first-fit grouping; the shared measurement basis per group
+// rotates X -> Z with H and Y -> Z with Sdg-H before readout.
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/counts.hpp"
+#include "vqe/hamiltonian.hpp"
+
+namespace qucp {
+
+struct MeasurementGroup {
+  std::vector<PauliTerm> terms;       ///< qubit-wise commuting
+  std::vector<PauliOp> basis;         ///< per-qubit measured Pauli (I -> Z)
+};
+
+/// Greedy qubit-wise-commuting grouping, preserving term order. Identity
+/// terms land in the first group (they need no measurement but keep their
+/// coefficient in the energy sum).
+[[nodiscard]] std::vector<MeasurementGroup> group_commuting_terms(
+    const Hamiltonian& hamiltonian);
+
+/// Append basis-change rotations + measure-all to a state-preparation
+/// circuit, producing the group's measurement circuit.
+[[nodiscard]] Circuit measurement_circuit(const Circuit& state_prep,
+                                          const MeasurementGroup& group);
+
+/// <P> for one term evaluated from a measured distribution in the group's
+/// basis: sum over outcomes of p(outcome) * prod_{q in support} (-1)^bit_q.
+[[nodiscard]] double term_expectation(const PauliString& pauli,
+                                      const Distribution& dist);
+
+/// Group energy contribution: sum coeff * <P> over the group's terms.
+[[nodiscard]] double group_energy(const MeasurementGroup& group,
+                                  const Distribution& dist);
+
+}  // namespace qucp

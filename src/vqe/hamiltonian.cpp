@@ -1,0 +1,65 @@
+#include "vqe/hamiltonian.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace qucp {
+
+Hamiltonian::Hamiltonian(int num_qubits, std::vector<PauliTerm> terms)
+    : num_qubits_(num_qubits), terms_(std::move(terms)) {
+  if (num_qubits <= 0) {
+    throw std::invalid_argument("Hamiltonian: non-positive qubit count");
+  }
+  for (const PauliTerm& t : terms_) {
+    if (t.pauli.num_qubits() != num_qubits) {
+      throw std::invalid_argument("Hamiltonian: term width mismatch");
+    }
+  }
+}
+
+Matrix Hamiltonian::matrix() const {
+  const std::size_t dim = std::size_t{1} << num_qubits_;
+  Matrix m(dim, dim);
+  for (const PauliTerm& t : terms_) {
+    Matrix pm = t.pauli.matrix();
+    pm *= cx{t.coefficient, 0.0};
+    m += pm;
+  }
+  return m;
+}
+
+double Hamiltonian::ground_energy() const {
+  return ground_state_energy(matrix());
+}
+
+Hamiltonian Hamiltonian::simplified(double tol) const {
+  std::map<std::string, double> merged;
+  for (const PauliTerm& t : terms_) {
+    merged[t.pauli.label()] += t.coefficient;
+  }
+  std::vector<PauliTerm> out;
+  for (const auto& [label, coeff] : merged) {
+    if (std::abs(coeff) > tol) {
+      out.push_back({PauliString(label), coeff});
+    }
+  }
+  return Hamiltonian(num_qubits_, std::move(out));
+}
+
+Hamiltonian h2_hamiltonian() {
+  // Canonical parity-mapped, 2-qubit-reduced H2/STO-3G coefficients at
+  // R = 0.735 A (e.g. Kandala et al. 2017 / Qiskit textbook).
+  return Hamiltonian(
+      2, {
+             {PauliString("II"), -1.052373245772859},
+             {PauliString("IZ"), +0.39793742484318045},
+             {PauliString("ZI"), -0.39793742484318045},
+             {PauliString("ZZ"), -0.01128010425623538},
+             {PauliString("XX"), +0.18093119978423156},
+         });
+}
+
+double h2_nuclear_repulsion() { return 0.7199689944489797; }
+
+}  // namespace qucp

@@ -1,0 +1,53 @@
+#pragma once
+// Qubit Hamiltonians as weighted Pauli sums.
+//
+// Includes the paper's working example: the parity-mapped, two-qubit H2
+// Hamiltonian at 0.735 angstrom (5 Pauli terms {II, IZ, ZI, ZZ, XX}),
+// whose ground energy is the Table III reference.
+
+#include <vector>
+
+#include "vqe/eigen.hpp"
+#include "vqe/pauli.hpp"
+
+namespace qucp {
+
+struct PauliTerm {
+  PauliString pauli;
+  double coefficient = 0.0;
+};
+
+class Hamiltonian {
+ public:
+  Hamiltonian() = default;
+  Hamiltonian(int num_qubits, std::vector<PauliTerm> terms);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] const std::vector<PauliTerm>& terms() const noexcept {
+    return terms_;
+  }
+
+  /// Dense matrix representation.
+  [[nodiscard]] Matrix matrix() const;
+
+  /// Exact ground-state energy (Jacobi eigensolver).
+  [[nodiscard]] double ground_energy() const;
+
+  /// Merge duplicate Pauli strings and drop negligible coefficients.
+  [[nodiscard]] Hamiltonian simplified(double tol = 1e-12) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<PauliTerm> terms_;
+};
+
+/// Parity-mapped two-qubit H2 Hamiltonian at equilibrium bond length
+/// (0.735 A, STO-3G, two-qubit reduction), electronic part. Ground energy
+/// ~= -1.85727 Ha; adding nuclear repulsion (+0.71997 Ha) gives the total
+/// ~= -1.13730 Ha.
+[[nodiscard]] Hamiltonian h2_hamiltonian();
+
+/// Nuclear repulsion energy of H2 at 0.735 A (Hartree).
+[[nodiscard]] double h2_nuclear_repulsion();
+
+}  // namespace qucp

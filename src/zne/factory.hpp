@@ -1,0 +1,62 @@
+#pragma once
+// Zero-noise extrapolation factories (Mitiq's Linear/Poly/Richardson).
+//
+// Each factory fits expectation values measured at scale factors >= 1 and
+// extrapolates to scale 0. Richardson interpolates exactly through all
+// points (Lagrange at 0); Linear and Poly are least-squares fits, which
+// tolerate noisy expectation values better.
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qucp {
+
+class ExtrapolationFactory {
+ public:
+  virtual ~ExtrapolationFactory() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Extrapolate to zero noise from (scale, expectation) samples.
+  /// Requires enough points for the model; throws otherwise.
+  [[nodiscard]] virtual double extrapolate(
+      std::span<const double> scales,
+      std::span<const double> values) const = 0;
+};
+
+class LinearFactory final : public ExtrapolationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+  [[nodiscard]] double extrapolate(
+      std::span<const double> scales,
+      std::span<const double> values) const override;
+};
+
+class PolyFactory final : public ExtrapolationFactory {
+ public:
+  explicit PolyFactory(int order);
+  [[nodiscard]] std::string name() const override {
+    return "Poly" + std::to_string(order_);
+  }
+  [[nodiscard]] double extrapolate(
+      std::span<const double> scales,
+      std::span<const double> values) const override;
+
+ private:
+  int order_;
+};
+
+class RichardsonFactory final : public ExtrapolationFactory {
+ public:
+  [[nodiscard]] std::string name() const override { return "Richardson"; }
+  [[nodiscard]] double extrapolate(
+      std::span<const double> scales,
+      std::span<const double> values) const override;
+};
+
+/// Least-squares polynomial fit returning coefficients c0..c_order
+/// (normal equations with partial-pivot elimination; sizes here are tiny).
+[[nodiscard]] std::vector<double> polyfit(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          int order);
+
+}  // namespace qucp

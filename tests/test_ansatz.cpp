@@ -1,0 +1,72 @@
+#include "vqe/ansatz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/statevector.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(Ansatz, ParameterCount) {
+  EXPECT_EQ(ansatz_parameter_count(2, 2), 12);  // the paper's 12 parameters
+  EXPECT_EQ(ansatz_parameter_count(4, 1), 16);
+  EXPECT_EQ(ansatz_parameter_count(3, 0), 6);
+  EXPECT_THROW((void)ansatz_parameter_count(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)ansatz_parameter_count(2, -1), std::invalid_argument);
+}
+
+TEST(Ansatz, PaperStructureTwoQubitsTwoReps) {
+  const Circuit c = make_tied_ansatz(2, 2, 0.4);
+  // 12 rotations + 2 CX entanglers = 14 gates.
+  EXPECT_EQ(c.gate_count(), 14);
+  EXPECT_EQ(c.two_qubit_count(), 2);
+  const auto counts = c.count_ops();
+  EXPECT_EQ(counts.at("ry"), 6);
+  EXPECT_EQ(counts.at("rz"), 6);
+  EXPECT_EQ(counts.at("cx"), 2);
+}
+
+TEST(Ansatz, ExplicitParametersBound) {
+  std::vector<double> params(12);
+  for (std::size_t i = 0; i < params.size(); ++i) params[i] = 0.1 * i;
+  const Circuit c = make_ryrz_ansatz(2, 2, params);
+  // First layer: ry(params[0]) q0, ry(params[1]) q1, rz(params[2]) q0 ...
+  EXPECT_EQ(c.ops()[0].kind, GateKind::RY);
+  EXPECT_NEAR(c.ops()[0].params[0], 0.0, 1e-12);
+  EXPECT_NEAR(c.ops()[1].params[0], 0.1, 1e-12);
+  EXPECT_EQ(c.ops()[2].kind, GateKind::RZ);
+  EXPECT_NEAR(c.ops()[2].params[0], 0.2, 1e-12);
+}
+
+TEST(Ansatz, ParameterCountEnforced) {
+  const std::vector<double> wrong(11, 0.0);
+  EXPECT_THROW((void)make_ryrz_ansatz(2, 2, wrong), std::invalid_argument);
+}
+
+TEST(Ansatz, ZeroThetaIsComputationalBasis) {
+  const Circuit c = make_tied_ansatz(2, 2, 0.0);
+  Statevector sv(2);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probabilities()[0], 1.0, 1e-12);
+}
+
+TEST(Ansatz, ThetaChangesState) {
+  Statevector a(2);
+  a.apply_circuit(make_tied_ansatz(2, 2, 0.3));
+  Statevector b(2);
+  b.apply_circuit(make_tied_ansatz(2, 2, 0.9));
+  double diff = 0.0;
+  const auto pa = a.probabilities();
+  const auto pb = b.probabilities();
+  for (std::size_t i = 0; i < pa.size(); ++i) diff += std::abs(pa[i] - pb[i]);
+  EXPECT_GT(diff, 0.05);
+}
+
+TEST(Ansatz, EntanglerChainForWiderRegisters) {
+  const Circuit c = make_tied_ansatz(4, 2, 0.2);
+  EXPECT_EQ(c.two_qubit_count(), 6);  // 3 per rep
+  EXPECT_EQ(c.gate_count(), 2 * 4 * 3 + 6);
+}
+
+}  // namespace
+}  // namespace qucp

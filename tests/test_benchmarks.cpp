@@ -1,0 +1,92 @@
+#include "benchmarks/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/statevector.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(Benchmarks, SuiteHasEightEntries) {
+  EXPECT_EQ(benchmark_suite().size(), 8u);
+}
+
+class TableIITest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TableIITest, CountsMatchTableII) {
+  const BenchmarkSpec& spec = get_benchmark(GetParam());
+  EXPECT_EQ(spec.circuit.num_qubits(), spec.table_qubits) << spec.name;
+  EXPECT_EQ(spec.circuit.gate_count(), spec.table_gates) << spec.name;
+  EXPECT_EQ(spec.circuit.two_qubit_count(), spec.table_cx) << spec.name;
+}
+
+TEST_P(TableIITest, MeasuresAllQubits) {
+  const BenchmarkSpec& spec = get_benchmark(GetParam());
+  EXPECT_EQ(spec.circuit.count_ops().at("measure"),
+            spec.circuit.num_qubits());
+}
+
+TEST_P(TableIITest, OutputClassIsCorrect) {
+  const BenchmarkSpec& spec = get_benchmark(GetParam());
+  const Distribution ideal = ideal_distribution(spec.circuit);
+  const double top = ideal.prob(ideal.most_likely());
+  if (spec.result == ResultKind::Deterministic) {
+    EXPECT_GT(top, 0.999) << spec.name << " should be deterministic";
+  } else {
+    EXPECT_LT(top, 0.95) << spec.name << " should be a distribution";
+    EXPECT_GT(ideal.probs().size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TableIITest,
+                         ::testing::Values("adder", "linearsolver",
+                                           "4mod5-v1_22", "fredkin", "qec_en",
+                                           "alu-v0_27", "bell", "variational"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+TEST(Benchmarks, ShortNameLookup) {
+  EXPECT_EQ(get_benchmark("lin").name, "linearsolver");
+  EXPECT_EQ(get_benchmark("4mod").name, "4mod5-v1_22");
+  EXPECT_EQ(get_benchmark("fred").name, "fredkin");
+  EXPECT_EQ(get_benchmark("qec").name, "qec_en");
+  EXPECT_EQ(get_benchmark("var").name, "variational");
+  EXPECT_EQ(get_benchmark("alu").name, "alu-v0_27");
+  EXPECT_THROW((void)get_benchmark("nope"), std::out_of_range);
+}
+
+TEST(Benchmarks, FredkinSwapsOnControl) {
+  // Inputs |q0=1, q1=1, q2=0>; control q0 swaps q1,q2 -> |101>.
+  const BenchmarkSpec& spec = get_benchmark("fredkin");
+  const Distribution ideal = ideal_distribution(spec.circuit);
+  EXPECT_EQ(ideal.most_likely(), 0b101u);
+}
+
+TEST(Benchmarks, AluDeterministicOutput) {
+  const Distribution ideal =
+      ideal_distribution(get_benchmark("alu-v0_27").circuit);
+  EXPECT_EQ(ideal.most_likely(), 0b11111u);
+}
+
+TEST(Benchmarks, FourMod5DeterministicOutput) {
+  const Distribution ideal =
+      ideal_distribution(get_benchmark("4mod5-v1_22").circuit);
+  EXPECT_EQ(ideal.most_likely(), 0b11010u);
+}
+
+TEST(Benchmarks, TableOrderMatchesPaper) {
+  const auto& suite = benchmark_suite();
+  EXPECT_EQ(suite[0].name, "adder");
+  EXPECT_EQ(suite[1].name, "linearsolver");
+  EXPECT_EQ(suite[7].name, "variational");
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,103 @@
+#include "partition/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qucp {
+namespace {
+
+TEST(Candidates, AllConnectedAndRightSize) {
+  const Device d = make_toronto27();
+  for (int k : {2, 3, 4, 5}) {
+    const auto cands = partition_candidates(d, k, {});
+    ASSERT_FALSE(cands.empty()) << "k=" << k;
+    for (const auto& cand : cands) {
+      EXPECT_EQ(static_cast<int>(cand.size()), k);
+      EXPECT_TRUE(d.topology().is_connected_subset(cand));
+      EXPECT_TRUE(std::is_sorted(cand.begin(), cand.end()));
+    }
+  }
+}
+
+TEST(Candidates, AvoidAllocatedQubits) {
+  const Device d = make_toronto27();
+  const std::vector<int> allocated{0, 1, 2, 3, 4, 5};
+  const auto cands = partition_candidates(d, 4, allocated);
+  const std::set<int> blocked(allocated.begin(), allocated.end());
+  for (const auto& cand : cands) {
+    for (int q : cand) EXPECT_FALSE(blocked.count(q));
+  }
+}
+
+TEST(Candidates, Deduplicated) {
+  const Device d = make_line_device(6);
+  const auto cands = partition_candidates(d, 3, {});
+  std::set<std::vector<int>> unique(cands.begin(), cands.end());
+  EXPECT_EQ(unique.size(), cands.size());
+}
+
+TEST(Candidates, LineCandidatesAreIntervals) {
+  const Device d = make_line_device(6);
+  const auto cands = partition_candidates(d, 3, {});
+  for (const auto& cand : cands) {
+    EXPECT_EQ(cand.back() - cand.front(), 2);  // contiguous on a line
+  }
+}
+
+TEST(Candidates, EmptyWhenNoRoom) {
+  const Device d = make_line_device(4);
+  const std::vector<int> allocated{1, 2};
+  // Remaining {0} and {3} are isolated: no 2-qubit candidate.
+  EXPECT_TRUE(partition_candidates(d, 2, allocated).empty());
+  // Size bigger than the device.
+  EXPECT_TRUE(partition_candidates(d, 9, {}).empty());
+}
+
+TEST(Candidates, RejectsBadK) {
+  const Device d = make_line_device(4);
+  EXPECT_THROW((void)partition_candidates(d, 0, {}), std::invalid_argument);
+}
+
+TEST(Enumerate, LineSubsetsExact) {
+  const Topology line(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  // Connected subsets of size 3 on a path of 5: the 3 windows.
+  const auto subs = enumerate_connected_subsets(line, 3, {});
+  EXPECT_EQ(subs.size(), 3u);
+}
+
+TEST(Enumerate, CountsOnRing) {
+  const Topology ring(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_EQ(enumerate_connected_subsets(ring, 2, {}).size(), 4u);
+  EXPECT_EQ(enumerate_connected_subsets(ring, 3, {}).size(), 4u);
+  EXPECT_EQ(enumerate_connected_subsets(ring, 4, {}).size(), 1u);
+}
+
+TEST(Enumerate, RespectsBlocked) {
+  const Topology line(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const std::vector<int> blocked{2};
+  const auto subs = enumerate_connected_subsets(line, 2, blocked);
+  // {0,1} and {3,4} remain.
+  EXPECT_EQ(subs.size(), 2u);
+}
+
+TEST(Enumerate, GreedyCandidatesAreSubsetOfEnumeration) {
+  const Device d = make_grid_device(3, 3);
+  const auto greedy = partition_candidates(d, 4, {});
+  const auto all = enumerate_connected_subsets(d.topology(), 4, {});
+  const std::set<std::vector<int>> all_set(all.begin(), all.end());
+  for (const auto& cand : greedy) {
+    EXPECT_TRUE(all_set.count(cand));
+  }
+  EXPECT_LE(greedy.size(), all.size());
+}
+
+TEST(Enumerate, BoundEnforced) {
+  const Device d = make_manhattan65();
+  EXPECT_THROW(
+      (void)enumerate_connected_subsets(d.topology(), 8, {}, 100),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qucp

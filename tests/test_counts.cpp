@@ -1,0 +1,86 @@
+#include "sim/counts.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(Distribution, NormalizesOnConstruction) {
+  const Distribution d(2, {{0, 2.0}, {3, 6.0}});
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.prob(3), 0.75);
+  EXPECT_DOUBLE_EQ(d.prob(1), 0.0);
+}
+
+TEST(Distribution, Validation) {
+  EXPECT_THROW(Distribution(2, {{0, -0.5}}), std::invalid_argument);
+  EXPECT_THROW(Distribution(2, {{4, 1.0}}), std::invalid_argument);
+  EXPECT_THROW(Distribution(2, {}), std::invalid_argument);
+  EXPECT_THROW(Distribution(-1, {{0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Distribution, MostLikely) {
+  const Distribution d(3, {{1, 0.2}, {5, 0.5}, {7, 0.3}});
+  EXPECT_EQ(d.most_likely(), 5u);
+}
+
+TEST(Distribution, DropsZeroEntries) {
+  const Distribution d(2, {{0, 1.0}, {1, 0.0}});
+  EXPECT_EQ(d.probs().size(), 1u);
+}
+
+TEST(Counts, AddAndTotal) {
+  Counts c(2, {});
+  c.add(0, 10);
+  c.add(3, 5);
+  c.add(3);
+  EXPECT_EQ(c.total(), 16);
+  EXPECT_EQ(c.count(3), 6);
+  EXPECT_EQ(c.count(1), 0);
+  EXPECT_THROW(c.add(4), std::invalid_argument);
+  EXPECT_THROW(c.add(0, -1), std::invalid_argument);
+}
+
+TEST(Counts, ToDistribution) {
+  Counts c(1, {{0, 25}, {1, 75}});
+  const Distribution d = c.to_distribution();
+  EXPECT_DOUBLE_EQ(d.prob(1), 0.75);
+  EXPECT_THROW(Counts(1, {}).to_distribution(), std::logic_error);
+}
+
+TEST(Counts, SampleMatchesDistribution) {
+  const Distribution d(2, {{0, 0.7}, {3, 0.3}});
+  Rng rng(17);
+  const Counts c = sample_counts(d, 20000, rng);
+  EXPECT_EQ(c.total(), 20000);
+  EXPECT_NEAR(static_cast<double>(c.count(0)) / c.total(), 0.7, 0.02);
+  EXPECT_EQ(c.count(1), 0);
+  EXPECT_EQ(c.count(2), 0);
+}
+
+TEST(Counts, SampleDeterministicPerSeed) {
+  const Distribution d(1, {{0, 0.5}, {1, 0.5}});
+  Rng r1(9);
+  Rng r2(9);
+  EXPECT_EQ(sample_counts(d, 100, r1).data(),
+            sample_counts(d, 100, r2).data());
+}
+
+TEST(Counts, SampleRejectsBadShots) {
+  const Distribution d(1, {{0, 1.0}});
+  Rng rng(1);
+  EXPECT_THROW((void)sample_counts(d, 0, rng), std::invalid_argument);
+}
+
+TEST(OutcomeToString, QiskitBitOrder) {
+  EXPECT_EQ(outcome_to_string(0b101, 3), "101");
+  EXPECT_EQ(outcome_to_string(0b001, 3), "001");
+  EXPECT_EQ(outcome_to_string(0, 4), "0000");
+  EXPECT_EQ(outcome_to_string(1, 4), "0001");  // clbit 0 is rightmost
+  EXPECT_EQ(outcome_to_string(8, 4), "1000");
+}
+
+}  // namespace
+}  // namespace qucp

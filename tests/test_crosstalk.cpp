@@ -1,0 +1,97 @@
+#include "hardware/crosstalk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(CrosstalkModel, DefaultGammaIsOne) {
+  const CrosstalkModel m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_DOUBLE_EQ(m.gamma(0, 1), 1.0);
+}
+
+TEST(CrosstalkModel, AddAndQuerySymmetric) {
+  CrosstalkModel m;
+  m.add_pair(2, 5, 3.0);
+  EXPECT_DOUBLE_EQ(m.gamma(2, 5), 3.0);
+  EXPECT_DOUBLE_EQ(m.gamma(5, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.gamma(2, 6), 1.0);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(CrosstalkModel, Validation) {
+  CrosstalkModel m;
+  EXPECT_THROW(m.add_pair(1, 1, 2.0), std::invalid_argument);
+  EXPECT_THROW(m.add_pair(1, 2, 0.5), std::invalid_argument);
+}
+
+TEST(CrosstalkModel, PairsListedCanonically) {
+  CrosstalkModel m;
+  m.add_pair(7, 3, 2.0);
+  m.add_pair(1, 2, 4.0);
+  const auto pairs = m.pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(std::get<0>(pairs[0]), 1);
+  EXPECT_EQ(std::get<1>(pairs[0]), 2);
+  EXPECT_EQ(std::get<0>(pairs[1]), 3);
+  EXPECT_EQ(std::get<1>(pairs[1]), 7);
+}
+
+TEST(PlantCrosstalk, FractionControlsCount) {
+  // 3x3 grid has plenty of one-hop pairs.
+  const Topology grid(9, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8},
+                          {0, 3}, {3, 6}, {1, 4}, {4, 7}, {2, 5}, {5, 8}});
+  const std::size_t total = grid.one_hop_edge_pairs().size();
+  ASSERT_GT(total, 4u);
+  const CrosstalkModel half = plant_crosstalk(grid, 0.5, 2.0, 4.0, Rng(3));
+  EXPECT_NEAR(static_cast<double>(half.size()),
+              0.5 * static_cast<double>(total), 1.0);
+  const CrosstalkModel none = plant_crosstalk(grid, 0.0, 2.0, 4.0, Rng(3));
+  EXPECT_TRUE(none.empty());
+  const CrosstalkModel all = plant_crosstalk(grid, 1.0, 2.0, 4.0, Rng(3));
+  EXPECT_EQ(all.size(), total);
+}
+
+TEST(PlantCrosstalk, GammasWithinRange) {
+  const Topology grid(9, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8},
+                          {0, 3}, {3, 6}, {1, 4}, {4, 7}, {2, 5}, {5, 8}});
+  const CrosstalkModel m = plant_crosstalk(grid, 1.0, 2.0, 4.0, Rng(11));
+  for (const auto& [e1, e2, g] : m.pairs()) {
+    EXPECT_GE(g, 2.0);
+    EXPECT_LE(g, 4.0);
+  }
+}
+
+TEST(PlantCrosstalk, OnlyOneHopPairs) {
+  const Topology line(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  const CrosstalkModel m = plant_crosstalk(line, 1.0, 2.0, 3.0, Rng(4));
+  const auto allowed = line.one_hop_edge_pairs();
+  for (const auto& [e1, e2, g] : m.pairs()) {
+    EXPECT_TRUE(std::find(allowed.begin(), allowed.end(),
+                          std::make_pair(e1, e2)) != allowed.end());
+  }
+}
+
+TEST(PlantCrosstalk, Validation) {
+  const Topology line(3, {{0, 1}, {1, 2}});
+  EXPECT_THROW((void)plant_crosstalk(line, -0.1, 2.0, 3.0, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)plant_crosstalk(line, 0.5, 0.5, 3.0, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW((void)plant_crosstalk(line, 0.5, 3.0, 2.0, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(PlantCrosstalk, Deterministic) {
+  const Topology grid(9, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8},
+                          {0, 3}, {3, 6}, {1, 4}, {4, 7}, {2, 5}, {5, 8}});
+  const CrosstalkModel a = plant_crosstalk(grid, 0.4, 2.0, 4.0, Rng(21));
+  const CrosstalkModel b = plant_crosstalk(grid, 0.4, 2.0, 4.0, Rng(21));
+  EXPECT_EQ(a.pairs(), b.pairs());
+}
+
+}  // namespace
+}  // namespace qucp

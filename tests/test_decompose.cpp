@@ -1,0 +1,69 @@
+#include "circuit/decompose.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qucp {
+namespace {
+
+TEST(Decompose, SwapBecomesThreeCx) {
+  Circuit c(2);
+  c.swap(0, 1);
+  const Circuit out = decompose_swaps(c);
+  EXPECT_EQ(out.size(), 3u);
+  for (const Gate& g : out.ops()) EXPECT_EQ(g.kind, GateKind::CX);
+  EXPECT_TRUE(out.to_unitary().approx_equal(c.to_unitary(), 1e-12));
+}
+
+TEST(Decompose, SwapOrientationAlternates) {
+  Circuit c(2);
+  c.swap(0, 1);
+  const Circuit out = decompose_swaps(c);
+  EXPECT_EQ(out.ops()[0].qubits, (std::vector<int>{0, 1}));
+  EXPECT_EQ(out.ops()[1].qubits, (std::vector<int>{1, 0}));
+  EXPECT_EQ(out.ops()[2].qubits, (std::vector<int>{0, 1}));
+}
+
+TEST(Decompose, CzBecomesHCxH) {
+  Circuit c(2);
+  c.cz(0, 1);
+  const Circuit out = decompose_cz(c);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_TRUE(out.to_unitary().approx_equal(c.to_unitary(), 1e-12));
+}
+
+TEST(Decompose, LowerToCxBasisHandlesBoth) {
+  Circuit c(3);
+  c.h(0);
+  c.swap(0, 1);
+  c.cz(1, 2);
+  c.measure_all();
+  const Circuit out = lower_to_cx_basis(c);
+  for (const Gate& g : out.ops()) {
+    EXPECT_NE(g.kind, GateKind::SWAP);
+    EXPECT_NE(g.kind, GateKind::CZ);
+  }
+  EXPECT_EQ(out.two_qubit_count(), 4);  // 3 from swap + 1 from cz
+  EXPECT_EQ(out.count_ops().at("measure"), 3);
+}
+
+TEST(Decompose, PreservesSemanticsOnMixedCircuit) {
+  Circuit c(3);
+  c.h(0);
+  c.t(1);
+  c.swap(1, 2);
+  c.cz(0, 2);
+  c.rz(0.3, 1);
+  const Matrix before = c.to_unitary();
+  EXPECT_TRUE(lower_to_cx_basis(c).to_unitary().approx_equal(before, 1e-10));
+}
+
+TEST(Decompose, NoOpOnPlainCircuit) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  const Circuit out = lower_to_cx_basis(c);
+  EXPECT_EQ(out.size(), c.size());
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,88 @@
+#include "vqe/eigen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "vqe/pauli.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m(0, 0) = 2.0;
+  m(1, 1) = -1.0;
+  m(2, 2) = 0.5;
+  const auto eig = hermitian_eigenvalues(m);
+  ASSERT_EQ(eig.size(), 3u);
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 0.5, 1e-12);
+  EXPECT_NEAR(eig[2], 2.0, 1e-12);
+}
+
+TEST(Eigen, PauliX) {
+  const auto eig = hermitian_eigenvalues(PauliString("X").matrix());
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, PauliY_ComplexEntries) {
+  const auto eig = hermitian_eigenvalues(PauliString("Y").matrix());
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], 1.0, 1e-12);
+}
+
+TEST(Eigen, TwoByTwoWithComplexOffDiagonal) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(1, 1) = -1.0;
+  m(0, 1) = cx{0.5, 0.5};
+  m(1, 0) = cx{0.5, -0.5};
+  const auto eig = hermitian_eigenvalues(m);
+  // Eigenvalues of [[1, c],[c*, -1]] are +/- sqrt(1 + |c|^2).
+  const double expect = std::sqrt(1.0 + 0.5);
+  EXPECT_NEAR(eig[0], -expect, 1e-10);
+  EXPECT_NEAR(eig[1], expect, 1e-10);
+}
+
+TEST(Eigen, TraceAndSumInvariant) {
+  // Random-ish Hermitian 4x4 built as A + A^dagger.
+  Matrix a(4, 4);
+  int k = 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      a(i, j) = cx{0.1 * k, 0.05 * (k % 3)};
+      ++k;
+    }
+  }
+  Matrix h = a + a.dagger();
+  const auto eig = hermitian_eigenvalues(h);
+  double sum = 0.0;
+  for (double e : eig) sum += e;
+  EXPECT_NEAR(sum, h.trace().real(), 1e-9);
+}
+
+TEST(Eigen, PauliSumSpectrum) {
+  // H = Z(x)Z has eigenvalues {1,-1,-1,1}.
+  const auto eig = hermitian_eigenvalues(PauliString("ZZ").matrix());
+  EXPECT_NEAR(eig[0], -1.0, 1e-12);
+  EXPECT_NEAR(eig[1], -1.0, 1e-12);
+  EXPECT_NEAR(eig[2], 1.0, 1e-12);
+  EXPECT_NEAR(eig[3], 1.0, 1e-12);
+}
+
+TEST(Eigen, GroundStateEnergy) {
+  Matrix m(2, 2);
+  m(0, 0) = 3.0;
+  m(1, 1) = -7.0;
+  EXPECT_NEAR(ground_state_energy(m), -7.0, 1e-12);
+}
+
+TEST(Eigen, RejectsNonHermitian) {
+  Matrix m(2, 2, {1, 2, 3, 4});  // not Hermitian (m01 != conj(m10))
+  EXPECT_THROW((void)hermitian_eigenvalues(m), std::invalid_argument);
+  EXPECT_THROW((void)hermitian_eigenvalues(Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qucp

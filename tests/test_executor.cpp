@@ -1,0 +1,249 @@
+#include "sim/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucp {
+namespace {
+
+/// Line device with uniform mild noise and no crosstalk.
+Device quiet_line(int n) { return make_line_device(n, 7); }
+
+Circuit bell_on(int a, int b, int n) {
+  Circuit c(n, 2);
+  c.h(a);
+  c.cx(a, b);
+  c.measure(a, 0);
+  c.measure(b, 1);
+  return c;
+}
+
+TEST(Executor, NoiselessMatchesIdeal) {
+  const Device d = quiet_line(4);
+  Circuit c = bell_on(0, 1, 4);
+  ExecOptions opts;
+  opts.gate_noise = false;
+  opts.readout_noise = false;
+  opts.idle_noise = false;
+  opts.crosstalk_noise = false;
+  const ProgramOutcome out = execute_single(d, c, opts);
+  EXPECT_NEAR(out.distribution.prob(0b00), 0.5, 1e-9);
+  EXPECT_NEAR(out.distribution.prob(0b11), 0.5, 1e-9);
+}
+
+TEST(Executor, NoiseReducesFidelity) {
+  const Device d = quiet_line(4);
+  Circuit c(4, 4);
+  c.x(0);
+  for (int i = 0; i < 6; ++i) {
+    c.cx(0, 1);
+    c.cx(1, 2);
+  }
+  c.measure(0, 0);
+  c.measure(1, 1);
+  c.measure(2, 2);
+  ExecOptions noisy;
+  const ProgramOutcome out = execute_single(d, c, noisy);
+  const Distribution ideal = ideal_distribution(c);
+  const double fidelity = out.distribution.prob(ideal.most_likely());
+  EXPECT_LT(fidelity, 0.999);
+  EXPECT_GT(fidelity, 0.3);  // mild noise should not destroy the state
+}
+
+TEST(Executor, ShotsAreSampledAndSeeded) {
+  const Device d = quiet_line(3);
+  Circuit c = bell_on(0, 1, 3);
+  ExecOptions opts;
+  opts.shots = 512;
+  opts.seed = 5;
+  const ProgramOutcome a = execute_single(d, c, opts);
+  const ProgramOutcome b = execute_single(d, c, opts);
+  EXPECT_EQ(a.counts.total(), 512);
+  EXPECT_EQ(a.counts.data(), b.counts.data());
+  opts.seed = 6;
+  const ProgramOutcome e = execute_single(d, c, opts);
+  EXPECT_NE(a.counts.data(), e.counts.data());
+}
+
+TEST(Executor, RejectsOverlappingPrograms) {
+  const Device d = quiet_line(4);
+  std::vector<PhysicalProgram> progs;
+  progs.push_back({bell_on(0, 1, 4), "a"});
+  progs.push_back({bell_on(1, 2, 4), "b"});
+  EXPECT_THROW((void)execute_parallel(d, std::move(progs), {}),
+               std::invalid_argument);
+}
+
+TEST(Executor, RejectsUncoupledGates) {
+  const Device d = quiet_line(4);
+  Circuit c(4, 2);
+  c.h(0);
+  c.cx(0, 2);  // not adjacent on a line
+  c.measure(0, 0);
+  EXPECT_THROW((void)execute_single(d, c, {}), std::invalid_argument);
+}
+
+TEST(Executor, RejectsUnmeasuredProgram) {
+  const Device d = quiet_line(3);
+  Circuit c(3);
+  c.h(0);
+  EXPECT_THROW((void)execute_single(d, c, {}), std::invalid_argument);
+}
+
+TEST(Executor, ThroughputAndQubitsUsed) {
+  const Device d = quiet_line(8);
+  std::vector<PhysicalProgram> progs;
+  progs.push_back({bell_on(0, 1, 8), "a"});
+  progs.push_back({bell_on(4, 5, 8), "b"});
+  const ParallelRunReport report = execute_parallel(d, std::move(progs), {});
+  EXPECT_EQ(report.qubits_used, 4);
+  EXPECT_NEAR(report.throughput, 0.5, 1e-12);
+  EXPECT_EQ(report.programs.size(), 2u);
+  EXPECT_GT(report.makespan_ns, 0.0);
+}
+
+TEST(Executor, SwapsAreLowered) {
+  const Device d = quiet_line(3);
+  Circuit c(3, 2);
+  c.x(0);
+  c.swap(0, 1);
+  c.measure(1, 0);
+  ExecOptions opts;
+  opts.gate_noise = false;
+  opts.readout_noise = false;
+  opts.idle_noise = false;
+  const ProgramOutcome out = execute_single(d, c, opts);
+  EXPECT_NEAR(out.distribution.prob(1), 1.0, 1e-9);
+}
+
+/// Crosstalk: two CX-heavy programs on one-hop edges with a planted gamma
+/// must lose fidelity when run simultaneously.
+class CrosstalkExecutionTest : public ::testing::Test {
+ protected:
+  static Device make_xtalk_device() {
+    Topology topo(4, {{0, 1}, {1, 2}, {2, 3}});
+    Rng rng(3);
+    CalibrationProfile profile;
+    profile.bad_edge_fraction = 0.0;
+    profile.bad_readout_fraction = 0.0;
+    Calibration cal = synthesize_calibration(topo, profile, rng);
+    for (auto& e : cal.cx_error) e = 0.02;
+    for (auto& r : cal.readout_error) r = 0.01;
+    CrosstalkModel xtalk;
+    xtalk.add_pair(0, 2, 5.0);  // edges (0,1) and (2,3) are one-hop
+    return Device("xtalk4", std::move(topo), std::move(cal),
+                  std::move(xtalk));
+  }
+
+  static Circuit cx_ladder(int a, int b) {
+    Circuit c(4, 2);
+    c.x(a);
+    for (int i = 0; i < 8; ++i) c.cx(a, b);
+    c.measure(a, 0);
+    c.measure(b, 1);
+    return c;
+  }
+};
+
+TEST_F(CrosstalkExecutionTest, SimultaneousLosesFidelity) {
+  const Device d = make_xtalk_device();
+  const Circuit p0 = cx_ladder(0, 1);
+  const Circuit p1 = cx_ladder(2, 3);
+
+  const ProgramOutcome solo = execute_single(d, p0, {});
+  std::vector<PhysicalProgram> progs;
+  progs.push_back({p0, "p0"});
+  progs.push_back({p1, "p1"});
+  const ParallelRunReport both = execute_parallel(d, std::move(progs), {});
+
+  EXPECT_GT(both.crosstalk_events, 0);
+  EXPECT_NEAR(both.max_gamma_applied, 5.0, 1e-12);
+  const Distribution ideal = ideal_distribution(p0);
+  const double pst_solo = solo.distribution.prob(ideal.most_likely());
+  const double pst_parallel =
+      both.programs[0].distribution.prob(ideal.most_likely());
+  EXPECT_LT(pst_parallel, pst_solo - 0.01);
+}
+
+TEST_F(CrosstalkExecutionTest, CrosstalkToggleRestoresFidelity) {
+  const Device d = make_xtalk_device();
+  std::vector<PhysicalProgram> progs;
+  progs.push_back({cx_ladder(0, 1), "p0"});
+  progs.push_back({cx_ladder(2, 3), "p1"});
+  ExecOptions opts;
+  opts.crosstalk_noise = false;
+  const ParallelRunReport off = execute_parallel(d, progs, opts);
+  EXPECT_EQ(off.crosstalk_events, 0);
+  const ParallelRunReport on = execute_parallel(d, progs, {});
+  const Distribution ideal = ideal_distribution(cx_ladder(0, 1));
+  EXPECT_GT(off.programs[0].distribution.prob(ideal.most_likely()),
+            on.programs[0].distribution.prob(ideal.most_likely()));
+}
+
+TEST_F(CrosstalkExecutionTest, NonOverlappingEdgesNoCrosstalk) {
+  // Programs on edges (0,1) and (1,2) share qubit 1 -> rejected; instead
+  // test edges (0,1) alone: no partner, no events.
+  const Device d = make_xtalk_device();
+  std::vector<PhysicalProgram> progs;
+  progs.push_back({cx_ladder(0, 1), "p0"});
+  const ParallelRunReport report = execute_parallel(d, std::move(progs), {});
+  EXPECT_EQ(report.crosstalk_events, 0);
+  EXPECT_DOUBLE_EQ(report.max_gamma_applied, 1.0);
+}
+
+TEST(Executor, AlapNotWorseThanAsapForUnequalDepths) {
+  // A short program next to a long one: ALAP delays the short one so its
+  // qubits idle in |0> instead of in an excited state.
+  const Device d = quiet_line(5);
+  Circuit longer(5, 2);
+  longer.x(0);
+  for (int i = 0; i < 20; ++i) longer.cx(0, 1);
+  longer.measure(0, 0);
+  longer.measure(1, 1);
+  Circuit shorter(5, 1);
+  shorter.x(3);
+  shorter.measure(3, 0);
+
+  auto run = [&](SchedulePolicy policy) {
+    std::vector<PhysicalProgram> progs;
+    progs.push_back({longer, "long"});
+    progs.push_back({shorter, "short"});
+    ExecOptions opts;
+    opts.schedule = policy;
+    return execute_parallel(d, std::move(progs), opts);
+  };
+  const auto alap = run(SchedulePolicy::ALAP);
+  const auto asap = run(SchedulePolicy::ASAP);
+  const double f_alap = alap.programs[1].distribution.prob(1);
+  const double f_asap = asap.programs[1].distribution.prob(1);
+  EXPECT_GE(f_alap, f_asap - 1e-9);
+}
+
+TEST(Executor, MeasurementClbitMapping) {
+  const Device d = quiet_line(3);
+  Circuit c(3, 3);
+  c.x(2);
+  c.measure(2, 0);  // q2 -> clbit 0
+  c.measure(0, 2);  // q0 -> clbit 2
+  ExecOptions opts;
+  opts.gate_noise = false;
+  opts.readout_noise = false;
+  opts.idle_noise = false;
+  const ProgramOutcome out = execute_single(d, c, opts);
+  EXPECT_NEAR(out.distribution.prob(0b001), 1.0, 1e-9);
+}
+
+TEST(Executor, ValidatesOptions) {
+  const Device d = quiet_line(3);
+  Circuit c = bell_on(0, 1, 3);
+  ExecOptions opts;
+  opts.shots = 0;
+  EXPECT_THROW((void)execute_single(d, c, opts), std::invalid_argument);
+  EXPECT_THROW((void)execute_parallel(d, {}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,262 @@
+#include "vqe/fermion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qucp {
+namespace {
+
+TEST(PauliProduct, MultiplicationTable) {
+  // XY = iZ, YX = -iZ, etc.
+  auto check = [](PauliOp a, PauliOp b, PauliOp want, cx phase) {
+    const auto [op, ph] = pauli_product(a, b);
+    EXPECT_EQ(op, want);
+    EXPECT_NEAR(std::abs(ph - phase), 0.0, 1e-12);
+  };
+  const cx i{0, 1};
+  check(PauliOp::X, PauliOp::Y, PauliOp::Z, i);
+  check(PauliOp::Y, PauliOp::X, PauliOp::Z, -i);
+  check(PauliOp::Y, PauliOp::Z, PauliOp::X, i);
+  check(PauliOp::Z, PauliOp::Y, PauliOp::X, -i);
+  check(PauliOp::Z, PauliOp::X, PauliOp::Y, i);
+  check(PauliOp::X, PauliOp::Z, PauliOp::Y, -i);
+  check(PauliOp::X, PauliOp::X, PauliOp::I, 1.0);
+  check(PauliOp::I, PauliOp::Y, PauliOp::Y, 1.0);
+  check(PauliOp::Z, PauliOp::I, PauliOp::Z, 1.0);
+}
+
+TEST(PauliProduct, MatchesMatrixProduct) {
+  for (PauliOp a : {PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z}) {
+    for (PauliOp b : {PauliOp::I, PauliOp::X, PauliOp::Y, PauliOp::Z}) {
+      const auto [op, phase] = pauli_product(a, b);
+      Matrix expect = pauli_matrix(op);
+      expect *= phase;
+      EXPECT_TRUE(
+          (pauli_matrix(a) * pauli_matrix(b)).approx_equal(expect, 1e-12));
+    }
+  }
+}
+
+TEST(QubitOperatorTest, AdditionMergesTerms) {
+  QubitOperator a(2);
+  a.add_term(PauliString("XX"), 1.0);
+  QubitOperator b(2);
+  b.add_term(PauliString("XX"), cx{0.5, 0.0});
+  b.add_term(PauliString("ZI"), 2.0);
+  a += b;
+  EXPECT_EQ(a.terms().size(), 2u);
+  EXPECT_NEAR(a.terms().at("XX").real(), 1.5, 1e-12);
+}
+
+TEST(QubitOperatorTest, ProductAccumulatesPhases) {
+  QubitOperator x(1);
+  x.add_term(PauliString("X"), 1.0);
+  QubitOperator y(1);
+  y.add_term(PauliString("Y"), 1.0);
+  const QubitOperator xy = x * y;
+  ASSERT_EQ(xy.terms().size(), 1u);
+  EXPECT_NEAR(std::abs(xy.terms().at("Z") - cx{0, 1}), 0.0, 1e-12);
+}
+
+TEST(QubitOperatorTest, ToHamiltonianRejectsImaginary) {
+  QubitOperator op(1);
+  op.add_term(PauliString("X"), cx{0.0, 1.0});
+  EXPECT_THROW((void)op.to_hamiltonian(), std::logic_error);
+}
+
+TEST(Mapping, JwAnnihilationSatisfiesAnticommutation) {
+  // {a_p, a_q^dagger} = delta_pq must hold after mapping.
+  const int n = 3;
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      FermionicOp apaq(n);
+      apaq.add_term({{{p, false}, {q, true}}, 1.0});
+      FermionicOp aqap(n);
+      aqap.add_term({{{q, true}, {p, false}}, 1.0});
+      QubitOperator anti = map_to_qubits(apaq, FermionMapping::JordanWigner);
+      anti += map_to_qubits(aqap, FermionMapping::JordanWigner);
+      anti.prune(1e-12);
+      if (p == q) {
+        ASSERT_EQ(anti.terms().size(), 1u) << p << q;
+        EXPECT_NEAR(std::abs(anti.terms().begin()->second - cx{1.0}), 0.0,
+                    1e-12);
+        EXPECT_EQ(anti.terms().begin()->first, std::string(n, 'I'));
+      } else {
+        EXPECT_TRUE(anti.terms().empty()) << p << " " << q;
+      }
+    }
+  }
+}
+
+TEST(Mapping, ParityAnnihilationSatisfiesAnticommutation) {
+  const int n = 3;
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      FermionicOp apaq(n);
+      apaq.add_term({{{p, false}, {q, true}}, 1.0});
+      FermionicOp aqap(n);
+      aqap.add_term({{{q, true}, {p, false}}, 1.0});
+      QubitOperator anti = map_to_qubits(apaq, FermionMapping::Parity);
+      anti += map_to_qubits(aqap, FermionMapping::Parity);
+      anti.prune(1e-12);
+      if (p == q) {
+        ASSERT_EQ(anti.terms().size(), 1u);
+        EXPECT_NEAR(std::abs(anti.terms().begin()->second - cx{1.0}), 0.0,
+                    1e-12);
+      } else {
+        EXPECT_TRUE(anti.terms().empty()) << p << " " << q;
+      }
+    }
+  }
+}
+
+TEST(Mapping, NumberOperatorSpectrum) {
+  // n_0 = a0^dagger a0 has eigenvalues {0, 1} on each mode.
+  FermionicOp number(2);
+  number.add_term({{{0, true}, {0, false}}, 1.0});
+  for (FermionMapping mapping :
+       {FermionMapping::JordanWigner, FermionMapping::Parity}) {
+    const Hamiltonian h =
+        map_to_qubits(number, mapping).to_hamiltonian();
+    const auto eig = hermitian_eigenvalues(h.matrix());
+    EXPECT_NEAR(eig.front(), 0.0, 1e-10);
+    EXPECT_NEAR(eig.back(), 1.0, 1e-10);
+  }
+}
+
+TEST(Mapping, BravyiKitaevAnticommutation) {
+  const int n = 4;
+  for (int p = 0; p < n; ++p) {
+    for (int q = 0; q < n; ++q) {
+      FermionicOp apaq(n);
+      apaq.add_term({{{p, false}, {q, true}}, 1.0});
+      FermionicOp aqap(n);
+      aqap.add_term({{{q, true}, {p, false}}, 1.0});
+      QubitOperator anti = map_to_qubits(apaq, FermionMapping::BravyiKitaev);
+      anti += map_to_qubits(aqap, FermionMapping::BravyiKitaev);
+      anti.prune(1e-12);
+      if (p == q) {
+        ASSERT_EQ(anti.terms().size(), 1u) << p << " " << q;
+        EXPECT_NEAR(std::abs(anti.terms().begin()->second - cx{1.0}), 0.0,
+                    1e-12);
+      } else {
+        EXPECT_TRUE(anti.terms().empty()) << p << " " << q;
+      }
+    }
+  }
+}
+
+TEST(Mapping, BravyiKitaevNumberOperator) {
+  FermionicOp number(4);
+  number.add_term({{{2, true}, {2, false}}, 1.0});
+  const Hamiltonian h =
+      map_to_qubits(number, FermionMapping::BravyiKitaev).to_hamiltonian();
+  const auto eig = hermitian_eigenvalues(h.matrix());
+  EXPECT_NEAR(eig.front(), 0.0, 1e-10);
+  EXPECT_NEAR(eig.back(), 1.0, 1e-10);
+}
+
+TEST(Mapping, BravyiKitaevSpectrumMatchesJw) {
+  const FermionicOp h2 = h2_fermionic_hamiltonian();
+  const auto jw = hermitian_eigenvalues(
+      map_to_qubits(h2, FermionMapping::JordanWigner).to_hamiltonian()
+          .matrix());
+  const auto bk = hermitian_eigenvalues(
+      map_to_qubits(h2, FermionMapping::BravyiKitaev).to_hamiltonian()
+          .matrix());
+  ASSERT_EQ(jw.size(), bk.size());
+  for (std::size_t i = 0; i < jw.size(); ++i) {
+    EXPECT_NEAR(jw[i], bk[i], 1e-8) << i;
+  }
+}
+
+TEST(Mapping, BravyiKitaevLocalityBeatsJwOnHighModes) {
+  // BK's selling point: ladder operators touch O(log n) qubits. For mode
+  // 6 of 8, JW's string covers 7 qubits; BK's covers fewer.
+  const int n = 8;
+  FermionicOp a6(n);
+  a6.add_term({{{6, false}}, 1.0});
+  auto max_support = [](const QubitOperator& op) {
+    std::size_t mx = 0;
+    for (const auto& [label, coeff] : op.terms()) {
+      mx = std::max(mx, static_cast<std::size_t>(
+                            PauliString(label).support().size()));
+    }
+    return mx;
+  };
+  const auto jw = map_to_qubits(a6, FermionMapping::JordanWigner);
+  const auto bk = map_to_qubits(a6, FermionMapping::BravyiKitaev);
+  EXPECT_EQ(max_support(jw), 7u);
+  EXPECT_LT(max_support(bk), 7u);
+}
+
+TEST(Mapping, JwAndParitySpectraAgree) {
+  const FermionicOp h2 = h2_fermionic_hamiltonian();
+  const auto jw =
+      hermitian_eigenvalues(
+          map_to_qubits(h2, FermionMapping::JordanWigner).to_hamiltonian()
+              .matrix());
+  const auto parity = hermitian_eigenvalues(
+      map_to_qubits(h2, FermionMapping::Parity).to_hamiltonian().matrix());
+  ASSERT_EQ(jw.size(), parity.size());
+  for (std::size_t i = 0; i < jw.size(); ++i) {
+    EXPECT_NEAR(jw[i], parity[i], 1e-8) << i;
+  }
+}
+
+TEST(Mapping, H2GroundEnergyFromIntegrals) {
+  const Hamiltonian full =
+      map_to_qubits(h2_fermionic_hamiltonian(), FermionMapping::JordanWigner)
+          .to_hamiltonian();
+  // Electronic ground energy near equilibrium, STO-3G: about -1.85 Ha.
+  EXPECT_NEAR(full.ground_energy(), -1.857, 2e-2);
+}
+
+TEST(Taper, RemovesSymmetryQubit) {
+  // Parity-mapped H2 has only I/Z on qubits 1 and 3 (conserved parities).
+  const QubitOperator mapped =
+      map_to_qubits(h2_fermionic_hamiltonian(), FermionMapping::Parity);
+  for (const auto& [label, coeff] : mapped.terms()) {
+    const PauliString p(label);
+    EXPECT_TRUE(p.op(1) == PauliOp::I || p.op(1) == PauliOp::Z) << label;
+    EXPECT_TRUE(p.op(3) == PauliOp::I || p.op(3) == PauliOp::Z) << label;
+  }
+  const QubitOperator reduced = taper_qubit(taper_qubit(mapped, 3, -1), 1, 1);
+  EXPECT_EQ(reduced.num_qubits(), 2);
+}
+
+TEST(Taper, Validation) {
+  QubitOperator op(2);
+  op.add_term(PauliString("XI"), 1.0);
+  EXPECT_THROW((void)taper_qubit(op, 1, 1), std::logic_error);
+  EXPECT_THROW((void)taper_qubit(op, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)taper_qubit(op, 5, 1), std::out_of_range);
+}
+
+TEST(Taper, H2ViaParityMatchesCanonical) {
+  // The paper's derivation: 4-mode parity mapping + 2-qubit reduction must
+  // reproduce the canonical 2-qubit Hamiltonian's ground energy.
+  const Hamiltonian reduced = h2_via_parity_mapping();
+  EXPECT_EQ(reduced.num_qubits(), 2);
+  EXPECT_NEAR(reduced.ground_energy(), h2_hamiltonian().ground_energy(),
+              2e-2);
+  // And exactly the full 4-qubit ground energy (reduction is exact).
+  const Hamiltonian full =
+      map_to_qubits(h2_fermionic_hamiltonian(), FermionMapping::Parity)
+          .to_hamiltonian();
+  EXPECT_NEAR(reduced.ground_energy(), full.ground_energy(), 1e-9);
+}
+
+TEST(Taper, H2ReducedStructureMatchesPaper) {
+  // 5 Pauli terms {II, IZ, ZI, ZZ, XX} as in the paper's Section IV-C.
+  const Hamiltonian reduced = h2_via_parity_mapping().simplified(1e-10);
+  std::set<std::string> labels;
+  for (const auto& t : reduced.terms()) labels.insert(t.pauli.label());
+  for (const auto& want : {"IZ", "ZI", "ZZ", "XX"}) {
+    EXPECT_TRUE(labels.count(want)) << want;
+  }
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,95 @@
+#include "srb/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qucp {
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> synth(double A,
+                                                          double alpha,
+                                                          double B,
+                                                          double noise_sd,
+                                                          Rng* rng) {
+  std::vector<double> xs{1, 2, 4, 8, 12, 20, 30};
+  std::vector<double> ys;
+  for (double x : xs) {
+    double y = A * std::pow(alpha, x) + B;
+    if (rng != nullptr) y += rng->normal(0.0, noise_sd);
+    ys.push_back(y);
+  }
+  return {xs, ys};
+}
+
+TEST(Fit, ExactRecoveryNoiseless) {
+  const auto [xs, ys] = synth(0.75, 0.93, 0.25, 0.0, nullptr);
+  const DecayFit fit = fit_exponential_decay(xs, ys, 0.25);
+  EXPECT_NEAR(fit.alpha, 0.93, 1e-6);
+  EXPECT_NEAR(fit.amplitude, 0.75, 1e-5);
+  EXPECT_NEAR(fit.offset, 0.25, 1e-5);
+  EXPECT_LT(fit.rmse, 1e-8);
+}
+
+TEST(Fit, RecoveryWithWrongAsymptoteGuess) {
+  const auto [xs, ys] = synth(0.7, 0.9, 0.3, 0.0, nullptr);
+  const DecayFit fit = fit_exponential_decay(xs, ys, 0.1);
+  EXPECT_NEAR(fit.alpha, 0.9, 1e-4);
+  EXPECT_NEAR(fit.offset, 0.3, 1e-3);
+}
+
+TEST(Fit, ToleratesMildNoise) {
+  Rng rng(5);
+  const auto [xs, ys] = synth(0.75, 0.95, 0.25, 0.005, &rng);
+  const DecayFit fit = fit_exponential_decay(xs, ys, 0.25);
+  EXPECT_NEAR(fit.alpha, 0.95, 0.02);
+}
+
+class FitSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FitSweep, RecoversAlphaAcrossRange) {
+  const double alpha = GetParam();
+  const auto [xs, ys] = synth(0.7, alpha, 0.25, 0.0, nullptr);
+  const DecayFit fit = fit_exponential_decay(xs, ys, 0.25);
+  EXPECT_NEAR(fit.alpha, alpha, 1e-4) << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaRange, FitSweep,
+                         ::testing::Values(0.5, 0.7, 0.85, 0.95, 0.99));
+
+TEST(Fit, FlatDataStillFitsWell) {
+  // Nearly flat at the asymptote: the (A, alpha) pair is weakly
+  // identified, but the fitted curve itself must match the data.
+  std::vector<double> xs{1, 2, 4, 8, 16};
+  std::vector<double> ys{0.26, 0.252, 0.25, 0.25, 0.25};
+  const DecayFit fit = fit_exponential_decay(xs, ys, 0.25);
+  EXPECT_LT(fit.rmse, 0.01);
+  EXPECT_NEAR(fit.offset, 0.25, 0.05);
+}
+
+TEST(Fit, Validation) {
+  const std::vector<double> two_x{1, 2};
+  const std::vector<double> two_y{0.9, 0.8};
+  EXPECT_THROW((void)fit_exponential_decay(two_x, two_y), std::invalid_argument);
+  const std::vector<double> bad_x{1, 3, 2};
+  const std::vector<double> y3{0.9, 0.8, 0.7};
+  EXPECT_THROW((void)fit_exponential_decay(bad_x, y3), std::invalid_argument);
+  const std::vector<double> x3{1, 2, 3};
+  const std::vector<double> y2{0.9, 0.8};
+  EXPECT_THROW((void)fit_exponential_decay(x3, y2), std::invalid_argument);
+}
+
+TEST(Fit, AlphaStaysInUnitInterval) {
+  // Increasing data would want alpha > 1; the fit clamps.
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{0.3, 0.5, 0.7, 0.9};
+  const DecayFit fit = fit_exponential_decay(xs, ys, 0.25);
+  EXPECT_LE(fit.alpha, 1.0);
+  EXPECT_GE(fit.alpha, 0.0);
+}
+
+}  // namespace
+}  // namespace qucp

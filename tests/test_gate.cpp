@@ -1,0 +1,150 @@
+#include "circuit/gate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace qucp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Gate, ArityAndParams) {
+  EXPECT_EQ(gate_arity(GateKind::H), 1);
+  EXPECT_EQ(gate_arity(GateKind::CX), 2);
+  EXPECT_EQ(gate_arity(GateKind::SWAP), 2);
+  EXPECT_EQ(gate_param_count(GateKind::RZ), 1);
+  EXPECT_EQ(gate_param_count(GateKind::U2), 2);
+  EXPECT_EQ(gate_param_count(GateKind::U3), 3);
+  EXPECT_EQ(gate_param_count(GateKind::CX), 0);
+}
+
+TEST(Gate, NameRoundTrip) {
+  for (GateKind k :
+       {GateKind::I, GateKind::X, GateKind::Y, GateKind::Z, GateKind::H,
+        GateKind::S, GateKind::Sdg, GateKind::T, GateKind::Tdg, GateKind::SX,
+        GateKind::RX, GateKind::RY, GateKind::RZ, GateKind::U1, GateKind::U2,
+        GateKind::U3, GateKind::CX, GateKind::CZ, GateKind::SWAP,
+        GateKind::Barrier, GateKind::Measure}) {
+    const auto back = gate_from_name(gate_name(k));
+    ASSERT_TRUE(back.has_value()) << gate_name(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_FALSE(gate_from_name("nonsense").has_value());
+  EXPECT_EQ(*gate_from_name("cnot"), GateKind::CX);
+  EXPECT_EQ(*gate_from_name("u"), GateKind::U3);
+  EXPECT_EQ(*gate_from_name("p"), GateKind::U1);
+}
+
+TEST(Gate, UnitaryClassification) {
+  EXPECT_TRUE(is_unitary_gate(GateKind::H));
+  EXPECT_FALSE(is_unitary_gate(GateKind::Measure));
+  EXPECT_FALSE(is_unitary_gate(GateKind::Barrier));
+  EXPECT_TRUE(is_two_qubit_gate(GateKind::CZ));
+  EXPECT_FALSE(is_two_qubit_gate(GateKind::T));
+}
+
+class UnitaryGateTest : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(UnitaryGateTest, MatrixIsUnitary) {
+  const GateKind kind = GetParam();
+  const std::vector<double> params{0.37, -1.2, 2.5};
+  const Matrix m = gate_matrix(
+      kind, std::span<const double>(params.data(),
+                                    gate_param_count(kind)));
+  EXPECT_TRUE(m.is_unitary(1e-12)) << gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, UnitaryGateTest,
+    ::testing::Values(GateKind::I, GateKind::X, GateKind::Y, GateKind::Z,
+                      GateKind::H, GateKind::S, GateKind::Sdg, GateKind::T,
+                      GateKind::Tdg, GateKind::SX, GateKind::RX, GateKind::RY,
+                      GateKind::RZ, GateKind::U1, GateKind::U2, GateKind::U3,
+                      GateKind::CX, GateKind::CZ, GateKind::SWAP),
+    [](const auto& info) { return std::string(gate_name(info.param)); });
+
+class InverseGateTest : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(InverseGateTest, InverseComposesToIdentityUpToPhase) {
+  const GateKind kind = GetParam();
+  const std::vector<double> params{0.81, -0.33, 1.7};
+  Gate g{kind, {}, {}};
+  g.qubits.resize(static_cast<std::size_t>(gate_arity(kind)));
+  for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+    g.qubits[i] = static_cast<int>(i);
+  }
+  g.params.assign(params.begin(),
+                  params.begin() + gate_param_count(kind));
+  const Gate inv = inverse_gate(g);
+  const Matrix prod = gate_matrix(inv) * gate_matrix(g);
+  // Identity up to global phase: |prod[0][0]| == 1 and prod proportional
+  // to I.
+  const cx phase = prod(0, 0);
+  EXPECT_NEAR(std::abs(phase), 1.0, 1e-12) << gate_name(kind);
+  Matrix expected = Matrix::identity(prod.rows());
+  expected *= phase;
+  EXPECT_TRUE(prod.approx_equal(expected, 1e-10)) << gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, InverseGateTest,
+    ::testing::Values(GateKind::I, GateKind::X, GateKind::Y, GateKind::Z,
+                      GateKind::H, GateKind::S, GateKind::Sdg, GateKind::T,
+                      GateKind::Tdg, GateKind::SX, GateKind::RX, GateKind::RY,
+                      GateKind::RZ, GateKind::U1, GateKind::U2, GateKind::U3,
+                      GateKind::CX, GateKind::CZ, GateKind::SWAP),
+    [](const auto& info) { return std::string(gate_name(info.param)); });
+
+TEST(Gate, KnownMatrices) {
+  const Matrix cxm = gate_matrix(GateKind::CX);
+  // First operand (control) is the high bit: |10> -> |11>.
+  EXPECT_EQ(cxm(3, 2), cx{1.0});
+  EXPECT_EQ(cxm(2, 3), cx{1.0});
+  EXPECT_EQ(cxm(0, 0), cx{1.0});
+  EXPECT_EQ(cxm(1, 1), cx{1.0});
+
+  const Matrix swap = gate_matrix(GateKind::SWAP);
+  EXPECT_EQ(swap(1, 2), cx{1.0});
+  EXPECT_EQ(swap(2, 1), cx{1.0});
+
+  const Matrix rz = gate_matrix(GateKind::RZ, std::vector<double>{kPi});
+  EXPECT_NEAR(rz(0, 0).imag(), -1.0, 1e-12);
+  EXPECT_NEAR(rz(1, 1).imag(), 1.0, 1e-12);
+}
+
+TEST(Gate, SRelations) {
+  const Matrix s = gate_matrix(GateKind::S);
+  const Matrix z = gate_matrix(GateKind::Z);
+  EXPECT_TRUE((s * s).approx_equal(z, 1e-12));
+  const Matrix t = gate_matrix(GateKind::T);
+  EXPECT_TRUE((t * t).approx_equal(s, 1e-12));
+}
+
+TEST(Gate, SxSquaredIsX) {
+  const Matrix sx = gate_matrix(GateKind::SX);
+  EXPECT_TRUE((sx * sx).approx_equal(gate_matrix(GateKind::X), 1e-12));
+}
+
+TEST(Gate, U3GeneralizesOthers) {
+  // U3(pi/2, phi, lambda) == U2(phi, lambda)
+  const std::vector<double> u2p{0.4, 1.1};
+  const std::vector<double> u3p{kPi / 2.0, 0.4, 1.1};
+  EXPECT_TRUE(gate_matrix(GateKind::U2, u2p)
+                  .approx_equal(gate_matrix(GateKind::U3, u3p), 1e-12));
+}
+
+TEST(Gate, MatrixRejectsNonUnitaryOps) {
+  EXPECT_THROW((void)gate_matrix(GateKind::Measure), std::invalid_argument);
+  EXPECT_THROW((void)gate_matrix(GateKind::Barrier), std::invalid_argument);
+  EXPECT_THROW((void)gate_matrix(GateKind::RZ), std::invalid_argument);
+}
+
+TEST(Gate, InverseRejectsNonUnitary) {
+  Gate m{GateKind::Measure, {0}, {}};
+  m.clbit = 0;
+  EXPECT_THROW((void)inverse_gate(m), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qucp

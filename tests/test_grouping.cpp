@@ -1,0 +1,119 @@
+#include "vqe/grouping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/statevector.hpp"
+#include "vqe/ansatz.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(Grouping, H2SplitsIntoTwoGroups) {
+  // The paper: {II, IZ, ZI, ZZ} and {XX}.
+  const auto groups = group_commuting_terms(h2_hamiltonian());
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].terms.size(), 4u);
+  EXPECT_EQ(groups[1].terms.size(), 1u);
+  EXPECT_EQ(groups[1].terms[0].pauli.label(), "XX");
+}
+
+TEST(Grouping, GroupsAreInternallyQwc) {
+  const Hamiltonian h(3, {{PauliString("XXI"), 1.0},
+                          {PauliString("IXX"), 1.0},
+                          {PauliString("ZZZ"), 1.0},
+                          {PauliString("IZZ"), 1.0},
+                          {PauliString("XIX"), 1.0}});
+  const auto groups = group_commuting_terms(h);
+  for (const auto& group : groups) {
+    for (std::size_t i = 0; i < group.terms.size(); ++i) {
+      for (std::size_t j = i + 1; j < group.terms.size(); ++j) {
+        EXPECT_TRUE(group.terms[i].pauli.qubit_wise_commutes_with(
+            group.terms[j].pauli));
+      }
+    }
+  }
+  // All terms preserved.
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.terms.size();
+  EXPECT_EQ(total, h.terms().size());
+}
+
+TEST(Grouping, BasisResolvedPerQubit) {
+  const auto groups = group_commuting_terms(h2_hamiltonian());
+  // Group 0 measures Z on both qubits; group 1 measures X on both.
+  EXPECT_EQ(groups[0].basis[0], PauliOp::Z);
+  EXPECT_EQ(groups[0].basis[1], PauliOp::Z);
+  EXPECT_EQ(groups[1].basis[0], PauliOp::X);
+  EXPECT_EQ(groups[1].basis[1], PauliOp::X);
+}
+
+TEST(MeasurementCircuit, AddsBasisRotationAndMeasure) {
+  const auto groups = group_commuting_terms(h2_hamiltonian());
+  Circuit prep(2);
+  prep.ry(0.3, 0);
+  prep.cx(0, 1);
+  const Circuit zbasis = measurement_circuit(prep, groups[0]);
+  EXPECT_EQ(zbasis.count_ops().at("measure"), 2);
+  EXPECT_EQ(zbasis.count_ops().count("h"), 0u);
+  const Circuit xbasis = measurement_circuit(prep, groups[1]);
+  EXPECT_EQ(xbasis.count_ops().at("h"), 2);
+}
+
+TEST(MeasurementCircuit, RejectsMeasuredPrep) {
+  const auto groups = group_commuting_terms(h2_hamiltonian());
+  Circuit prep(2);
+  prep.measure_all();
+  EXPECT_THROW((void)measurement_circuit(prep, groups[0]),
+               std::invalid_argument);
+}
+
+TEST(TermExpectation, ComputedFromDistribution) {
+  // <IZ> on |01> (outcome bit0 = 1): parity of qubit 0 -> -1.
+  const Distribution d(2, {{0b01, 1.0}});
+  EXPECT_NEAR(term_expectation(PauliString("IZ"), d), -1.0, 1e-12);
+  EXPECT_NEAR(term_expectation(PauliString("ZI"), d), 1.0, 1e-12);
+  EXPECT_NEAR(term_expectation(PauliString("ZZ"), d), -1.0, 1e-12);
+  EXPECT_NEAR(term_expectation(PauliString("II"), d), 1.0, 1e-12);
+}
+
+TEST(TermExpectation, MixedDistribution) {
+  const Distribution d(1, {{0, 0.8}, {1, 0.2}});
+  EXPECT_NEAR(term_expectation(PauliString("Z"), d), 0.6, 1e-12);
+}
+
+TEST(GroupEnergy, SumsWeightedExpectations) {
+  const auto groups = group_commuting_terms(h2_hamiltonian());
+  // All-zeros distribution in the Z group: <IZ>=<ZI>=<ZZ>=1, <II>=1.
+  const Distribution d(2, {{0, 1.0}});
+  double expected = 0.0;
+  for (const auto& t : groups[0].terms) expected += t.coefficient;
+  EXPECT_NEAR(group_energy(groups[0], d), expected, 1e-12);
+}
+
+TEST(GroupEnergy, ReconstructsExactEnergyFromIdealMeasurements) {
+  // Energy from grouped ideal measurement must match <psi|H|psi>.
+  const Hamiltonian h2 = h2_hamiltonian();
+  const auto groups = group_commuting_terms(h2);
+  const Circuit prep = make_tied_ansatz(2, 2, 0.35);
+
+  Statevector sv(2);
+  sv.apply_circuit(prep);
+  const double direct = sv.expectation(h2.matrix());
+
+  double from_groups = 0.0;
+  for (const auto& group : groups) {
+    const Circuit mc = measurement_circuit(prep, group);
+    from_groups += group_energy(group, ideal_distribution(mc));
+  }
+  EXPECT_NEAR(from_groups, direct, 1e-9);
+}
+
+TEST(Grouping, SingleTermHamiltonian) {
+  const Hamiltonian h(1, {{PauliString("Z"), 2.5}});
+  const auto groups = group_commuting_terms(h);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].basis[0], PauliOp::Z);
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,73 @@
+#include "vqe/hamiltonian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qucp {
+namespace {
+
+TEST(Hamiltonian, ConstructionValidation) {
+  EXPECT_THROW(Hamiltonian(0, {}), std::invalid_argument);
+  EXPECT_THROW(Hamiltonian(2, {{PauliString("X"), 1.0}}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Hamiltonian(2, {{PauliString("XX"), 1.0}}));
+}
+
+TEST(Hamiltonian, MatrixAssembly) {
+  const Hamiltonian h(1, {{PauliString("Z"), 2.0}, {PauliString("X"), 1.0}});
+  const Matrix m = h.matrix();
+  EXPECT_NEAR(m(0, 0).real(), 2.0, 1e-12);
+  EXPECT_NEAR(m(1, 1).real(), -2.0, 1e-12);
+  EXPECT_NEAR(m(0, 1).real(), 1.0, 1e-12);
+  // Eigenvalues +- sqrt(5).
+  EXPECT_NEAR(h.ground_energy(), -std::sqrt(5.0), 1e-10);
+}
+
+TEST(Hamiltonian, SimplifiedMergesDuplicates) {
+  const Hamiltonian h(1, {{PauliString("Z"), 1.0},
+                          {PauliString("Z"), 0.5},
+                          {PauliString("X"), 1e-15}});
+  const Hamiltonian s = h.simplified();
+  ASSERT_EQ(s.terms().size(), 1u);
+  EXPECT_EQ(s.terms()[0].pauli.label(), "Z");
+  EXPECT_NEAR(s.terms()[0].coefficient, 1.5, 1e-12);
+}
+
+TEST(H2, FiveTermsOfThePaper) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  EXPECT_EQ(h2.num_qubits(), 2);
+  ASSERT_EQ(h2.terms().size(), 5u);
+  std::set<std::string> labels;
+  for (const auto& t : h2.terms()) labels.insert(t.pauli.label());
+  EXPECT_EQ(labels,
+            (std::set<std::string>{"II", "IZ", "ZI", "ZZ", "XX"}));
+}
+
+TEST(H2, GroundEnergyMatchesLiterature) {
+  // Electronic ground energy at 0.735 A, STO-3G: ~ -1.8572750302 Ha.
+  EXPECT_NEAR(h2_hamiltonian().ground_energy(), -1.857275030202382, 1e-6);
+}
+
+TEST(H2, TotalEnergyWithNuclearRepulsion) {
+  const double total =
+      h2_hamiltonian().ground_energy() + h2_nuclear_repulsion();
+  EXPECT_NEAR(total, -1.1373, 2e-3);
+}
+
+TEST(H2, SymmetryOfIzZiCoefficients) {
+  const Hamiltonian h2 = h2_hamiltonian();
+  double iz = 0.0, zi = 0.0;
+  for (const auto& t : h2.terms()) {
+    if (t.pauli.label() == "IZ") iz = t.coefficient;
+    if (t.pauli.label() == "ZI") zi = t.coefficient;
+  }
+  EXPECT_NEAR(iz, -zi, 1e-12);
+}
+
+TEST(H2, MatrixIsHermitian) {
+  EXPECT_TRUE(h2_hamiltonian().matrix().is_hermitian(1e-12));
+}
+
+}  // namespace
+}  // namespace qucp

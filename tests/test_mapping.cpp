@@ -1,0 +1,122 @@
+#include "mapping/initial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchmarks/suite.hpp"
+#include "common/rng.hpp"
+
+namespace qucp {
+namespace {
+
+TEST(InteractionWeights, CountsTwoQubitGates) {
+  Circuit c(3);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.h(0);
+  const auto w = interaction_weights(c);
+  EXPECT_EQ(w[0][1], 2);
+  EXPECT_EQ(w[1][0], 2);
+  EXPECT_EQ(w[1][2], 1);
+  EXPECT_EQ(w[0][2], 0);
+}
+
+class LayoutStyleTest : public ::testing::TestWithParam<PlacementStyle> {};
+
+TEST_P(LayoutStyleTest, LayoutIsInjectiveIntoPartition) {
+  const Device d = make_toronto27();
+  const BenchmarkSpec& spec = get_benchmark("adder");
+  const std::vector<int> partition{1, 2, 3, 4, 5};
+  const auto layout =
+      initial_layout(spec.circuit, d, partition, GetParam());
+  ASSERT_EQ(layout.size(), 4u);
+  std::set<int> seen;
+  const std::set<int> part_set(partition.begin(), partition.end());
+  for (int phys : layout) {
+    EXPECT_TRUE(part_set.count(phys));
+    EXPECT_TRUE(seen.insert(phys).second);
+  }
+}
+
+TEST_P(LayoutStyleTest, InteractingPairsPlacedClose) {
+  const Device d = make_line_device(8);
+  Circuit c(2);
+  for (int i = 0; i < 6; ++i) c.cx(0, 1);
+  const std::vector<int> partition{2, 3, 4, 5};
+  const auto layout = initial_layout(c, d, partition, GetParam());
+  EXPECT_EQ(d.topology().distance(layout[0], layout[1]), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStyles, LayoutStyleTest,
+                         ::testing::Values(PlacementStyle::HardwareAware,
+                                           PlacementStyle::NoiseAdaptive),
+                         [](const auto& info) {
+                           return info.param == PlacementStyle::HardwareAware
+                                      ? "HardwareAware"
+                                      : "NoiseAdaptive";
+                         });
+
+TEST(InitialLayout, HeavyPairOnBestEdge) {
+  // Two logical pairs: (0,1) heavily interacting, (2,3) lightly. The
+  // heavy pair should sit on the lower-error edge.
+  Topology topo(4, {{0, 1}, {1, 2}, {2, 3}});
+  Rng rng(8);
+  CalibrationProfile profile;
+  profile.bad_edge_fraction = 0.0;
+  profile.bad_readout_fraction = 0.0;
+  Calibration cal = synthesize_calibration(topo, profile, rng);
+  cal.cx_error[0] = 0.005;  // (0,1) good
+  cal.cx_error[1] = 0.02;
+  cal.cx_error[2] = 0.05;   // (2,3) bad
+  for (auto& r : cal.readout_error) r = 0.02;
+  Device d("bias4", std::move(topo), std::move(cal), CrosstalkModel{});
+
+  Circuit c(4);
+  for (int i = 0; i < 10; ++i) c.cx(0, 1);
+  c.cx(2, 3);
+  const std::vector<int> partition{0, 1, 2, 3};
+  const auto layout =
+      initial_layout(c, d, partition, PlacementStyle::HardwareAware);
+  const std::set<int> heavy{layout[0], layout[1]};
+  EXPECT_EQ(heavy, (std::set<int>{0, 1}));
+}
+
+TEST(InitialLayout, Validation) {
+  const Device d = make_line_device(6);
+  const Circuit c(4);
+  EXPECT_THROW((void)initial_layout(c, d, std::vector<int>{0, 1, 2},
+                                    PlacementStyle::HardwareAware),
+               std::invalid_argument);
+  EXPECT_THROW((void)initial_layout(c, d, std::vector<int>{0, 1, 3, 4},
+                                    PlacementStyle::HardwareAware),
+               std::invalid_argument);
+}
+
+TEST(InitialLayout, IsolatedQubitsStillPlaced) {
+  const Device d = make_line_device(6);
+  Circuit c(3);
+  c.h(0);
+  c.h(1);
+  c.h(2);  // no interactions at all
+  const std::vector<int> partition{1, 2, 3};
+  const auto layout =
+      initial_layout(c, d, partition, PlacementStyle::HardwareAware);
+  std::set<int> seen(layout.begin(), layout.end());
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(InitialLayout, DeterministicForFixedInputs) {
+  const Device d = make_toronto27();
+  const BenchmarkSpec& spec = get_benchmark("alu-v0_27");
+  const std::vector<int> partition{12, 13, 14, 15, 16};
+  const auto a =
+      initial_layout(spec.circuit, d, partition, PlacementStyle::HardwareAware);
+  const auto b =
+      initial_layout(spec.circuit, d, partition, PlacementStyle::HardwareAware);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace qucp

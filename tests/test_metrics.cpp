@@ -1,0 +1,112 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qucp {
+namespace {
+
+Distribution uniform2() { return Distribution(1, {{0, 0.5}, {1, 0.5}}); }
+Distribution point(std::uint64_t x) { return Distribution(2, {{x, 1.0}}); }
+
+TEST(Metrics, PstFromCounts) {
+  const Counts c(2, {{0b11, 900}, {0b01, 100}});
+  EXPECT_DOUBLE_EQ(pst(c, 0b11), 0.9);
+  EXPECT_DOUBLE_EQ(pst(c, 0b00), 0.0);
+  EXPECT_THROW((void)pst(Counts(2, {}), 0), std::invalid_argument);
+}
+
+TEST(Metrics, PstFromDistribution) {
+  const Distribution d(2, {{0b11, 0.7}, {0b00, 0.3}});
+  EXPECT_DOUBLE_EQ(pst(d, 0b11), 0.7);
+}
+
+TEST(Metrics, KlZeroForIdentical) {
+  EXPECT_NEAR(kl_divergence(uniform2(), uniform2()), 0.0, 1e-12);
+}
+
+TEST(Metrics, KlKnownValue) {
+  const Distribution p(1, {{0, 0.75}, {1, 0.25}});
+  const Distribution q(1, {{0, 0.5}, {1, 0.5}});
+  const double expected =
+      0.75 * std::log2(0.75 / 0.5) + 0.25 * std::log2(0.25 / 0.5);
+  EXPECT_NEAR(kl_divergence(p, q), expected, 1e-12);
+}
+
+TEST(Metrics, KlInfiniteOnDisjointSupport) {
+  EXPECT_TRUE(std::isinf(kl_divergence(point(0), point(1))));
+}
+
+TEST(Metrics, KlAsymmetric) {
+  const Distribution p(1, {{0, 0.9}, {1, 0.1}});
+  const Distribution q(1, {{0, 0.4}, {1, 0.6}});
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(Metrics, JsdSymmetricAndFinite) {
+  const Distribution p = point(0);
+  const Distribution q = point(3);
+  EXPECT_NEAR(jsd(p, q), 1.0, 1e-12);  // disjoint points: max JSD in base 2
+  EXPECT_DOUBLE_EQ(jsd(p, q), jsd(q, p));
+}
+
+TEST(Metrics, JsdZeroForIdentical) {
+  EXPECT_NEAR(jsd(uniform2(), uniform2()), 0.0, 1e-12);
+}
+
+TEST(Metrics, JsdBounds) {
+  const Distribution p(2, {{0, 0.6}, {1, 0.3}, {2, 0.1}});
+  const Distribution q(2, {{0, 0.1}, {2, 0.5}, {3, 0.4}});
+  const double v = jsd(p, q);
+  EXPECT_GT(v, 0.0);
+  EXPECT_LT(v, 1.0);
+}
+
+TEST(Metrics, JsdMatchesKlDefinition) {
+  // JSD = (KL(P||M) + KL(Q||M)) / 2 with M the mixture.
+  const Distribution p(1, {{0, 0.8}, {1, 0.2}});
+  const Distribution q(1, {{0, 0.3}, {1, 0.7}});
+  const Distribution m(1, {{0, 0.55}, {1, 0.45}});
+  const double expected =
+      0.5 * (kl_divergence(p, m) + kl_divergence(q, m));
+  EXPECT_NEAR(jsd(p, q), expected, 1e-12);
+}
+
+TEST(Metrics, TvdKnownValues) {
+  EXPECT_NEAR(tvd(point(0), point(1)), 1.0, 1e-12);
+  EXPECT_NEAR(tvd(uniform2(), uniform2()), 0.0, 1e-12);
+  const Distribution p(1, {{0, 0.75}, {1, 0.25}});
+  EXPECT_NEAR(tvd(p, uniform2()), 0.25, 1e-12);
+}
+
+TEST(Metrics, HellingerKnownValues) {
+  EXPECT_NEAR(hellinger(point(0), point(1)), 1.0, 1e-12);
+  EXPECT_NEAR(hellinger(uniform2(), uniform2()), 0.0, 1e-12);
+  const Distribution p(1, {{0, 1.0}});
+  const double expected = std::sqrt(1.0 - std::sqrt(0.5));
+  EXPECT_NEAR(hellinger(p, uniform2()), expected, 1e-12);
+}
+
+TEST(Metrics, MetricOrderingConsistency) {
+  // A closer distribution must score better on every metric.
+  const Distribution target(1, {{0, 0.9}, {1, 0.1}});
+  const Distribution close(1, {{0, 0.85}, {1, 0.15}});
+  const Distribution far(1, {{0, 0.5}, {1, 0.5}});
+  EXPECT_LT(jsd(close, target), jsd(far, target));
+  EXPECT_LT(tvd(close, target), tvd(far, target));
+  EXPECT_LT(hellinger(close, target), hellinger(far, target));
+}
+
+TEST(Metrics, HardwareThroughput) {
+  EXPECT_NEAR(hardware_throughput(4, 15), 0.2667, 1e-3);
+  EXPECT_NEAR(hardware_throughput(8, 15), 0.5333, 1e-3);
+  EXPECT_DOUBLE_EQ(hardware_throughput(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(hardware_throughput(10, 10), 1.0);
+  EXPECT_THROW((void)hardware_throughput(11, 10), std::invalid_argument);
+  EXPECT_THROW((void)hardware_throughput(-1, 10), std::invalid_argument);
+  EXPECT_THROW((void)hardware_throughput(1, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qucp

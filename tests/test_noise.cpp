@@ -1,0 +1,71 @@
+#include "sim/noise.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qucp {
+namespace {
+
+TEST(Noise, DepolarizingParamPassthrough) {
+  EXPECT_DOUBLE_EQ(depolarizing_param(0.01), 0.01);
+  EXPECT_DOUBLE_EQ(depolarizing_param(0.0), 0.0);
+}
+
+TEST(Noise, DepolarizingParamClamped) {
+  EXPECT_DOUBLE_EQ(depolarizing_param(0.9), 0.75);
+  EXPECT_DOUBLE_EQ(depolarizing_param(0.9, 0.5), 0.5);
+  EXPECT_THROW((void)depolarizing_param(-0.1), std::invalid_argument);
+}
+
+TEST(Noise, ReadoutFlipSingleBit) {
+  std::vector<double> probs{1.0, 0.0};
+  apply_readout_flips(probs, std::vector<double>{0.1});
+  EXPECT_NEAR(probs[0], 0.9, 1e-12);
+  EXPECT_NEAR(probs[1], 0.1, 1e-12);
+}
+
+TEST(Noise, ReadoutFlipSymmetricOnUniform) {
+  std::vector<double> probs{0.5, 0.5};
+  apply_readout_flips(probs, std::vector<double>{0.2});
+  EXPECT_NEAR(probs[0], 0.5, 1e-12);
+  EXPECT_NEAR(probs[1], 0.5, 1e-12);
+}
+
+TEST(Noise, ReadoutFlipsIndependentAcrossBits) {
+  // Start in |11> (index 3) with flips e0 = 0.1, e1 = 0.2.
+  std::vector<double> probs{0.0, 0.0, 0.0, 1.0};
+  apply_readout_flips(probs, std::vector<double>{0.1, 0.2});
+  EXPECT_NEAR(probs[3], 0.9 * 0.8, 1e-12);
+  EXPECT_NEAR(probs[2], 0.1 * 0.8, 1e-12);  // bit0 flipped
+  EXPECT_NEAR(probs[1], 0.9 * 0.2, 1e-12);  // bit1 flipped
+  EXPECT_NEAR(probs[0], 0.1 * 0.2, 1e-12);
+}
+
+TEST(Noise, ReadoutPreservesTotalMass) {
+  std::vector<double> probs{0.4, 0.1, 0.3, 0.2};
+  apply_readout_flips(probs, std::vector<double>{0.07, 0.13});
+  double total = 0.0;
+  for (double p : probs) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Noise, ReadoutZeroErrorIsIdentity) {
+  std::vector<double> probs{0.25, 0.25, 0.25, 0.25};
+  const auto before = probs;
+  apply_readout_flips(probs, std::vector<double>{0.0, 0.0});
+  EXPECT_EQ(probs, before);
+}
+
+TEST(Noise, ReadoutValidation) {
+  std::vector<double> probs{0.5, 0.5};
+  EXPECT_THROW(apply_readout_flips(probs, std::vector<double>{0.1, 0.1}),
+               std::invalid_argument);
+  std::vector<double> three{0.3, 0.3, 0.4};
+  EXPECT_THROW(apply_readout_flips(three, std::vector<double>{0.1}),
+               std::invalid_argument);
+  std::vector<double> two{0.5, 0.5};
+  EXPECT_THROW(apply_readout_flips(two, std::vector<double>{1.5}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qucp

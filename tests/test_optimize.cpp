@@ -1,0 +1,152 @@
+#include "circuit/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace qucp {
+namespace {
+
+TEST(Optimize, CancelsAdjacentSelfInverse) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.cancelled_pairs, 1);
+}
+
+TEST(Optimize, CancelsCxPairs) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+TEST(Optimize, KeepsReversedCx) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.cx(1, 0);  // different orientation: NOT an inverse pair
+  EXPECT_EQ(optimize(c).size(), 2u);
+}
+
+TEST(Optimize, CancelsSymmetricCzEitherOrientation) {
+  Circuit c(2);
+  c.cz(0, 1);
+  c.cz(1, 0);
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+TEST(Optimize, CancelsSTdgPairs) {
+  Circuit c(1);
+  c.s(0);
+  c.sdg(0);
+  c.t(0);
+  c.tdg(0);
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+TEST(Optimize, InterveningGateBlocksCancellation) {
+  Circuit c(2);
+  c.h(0);
+  c.cx(0, 1);
+  c.h(0);
+  EXPECT_EQ(optimize(c).size(), 3u);
+}
+
+TEST(Optimize, InterveningOnEitherWireBlocks2qCancellation) {
+  Circuit c(2);
+  c.cx(0, 1);
+  c.x(1);
+  c.cx(0, 1);
+  EXPECT_EQ(optimize(c).size(), 3u);
+}
+
+TEST(Optimize, MergesRotations) {
+  Circuit c(1);
+  c.rz(0.25, 0);
+  c.rz(0.50, 0);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out.ops()[0].params[0], 0.75, 1e-12);
+  EXPECT_EQ(stats.merged_rotations, 1);
+}
+
+TEST(Optimize, MergedRotationsCancelToIdentity) {
+  Circuit c(1);
+  c.rx(0.7, 0);
+  c.rx(-0.7, 0);
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+TEST(Optimize, RemovesIdentityAndZeroRotations) {
+  Circuit c(1);
+  c.i(0);
+  c.rz(0.0, 0);
+  c.ry(2 * std::numbers::pi, 0);  // global phase only
+  OptimizeStats stats;
+  EXPECT_TRUE(optimize(c, &stats).empty());
+  EXPECT_EQ(stats.removed_identities, 3);
+}
+
+TEST(Optimize, MeasureIsAFence) {
+  Circuit c(1);
+  c.h(0);
+  c.measure(0, 0);
+  c.h(0);
+  EXPECT_EQ(optimize(c).size(), 3u);
+}
+
+TEST(Optimize, CascadingCancellation) {
+  // h x x h -> h h -> empty (requires fixpoint iteration).
+  Circuit c(1);
+  c.h(0);
+  c.x(0);
+  c.x(0);
+  c.h(0);
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+TEST(Optimize, PreservesUnitary) {
+  Circuit c(3);
+  c.h(0);
+  c.t(1);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.rz(0.4, 2);
+  c.rz(0.6, 2);
+  c.x(1);
+  c.x(1);
+  c.s(2);
+  const Matrix before = c.to_unitary();
+  const Circuit out = optimize(c);
+  EXPECT_LT(out.size(), c.size());
+  EXPECT_TRUE(out.to_unitary().approx_equal(before, 1e-10));
+}
+
+TEST(Optimize, StatsTotalConsistent) {
+  Circuit c(1);
+  c.h(0);
+  c.h(0);
+  c.rz(0.1, 0);
+  c.rz(0.2, 0);
+  c.i(0);
+  OptimizeStats stats;
+  (void)optimize(c, &stats);
+  EXPECT_EQ(stats.total(),
+            stats.cancelled_pairs * 2 + stats.merged_rotations +
+                stats.removed_identities);
+  EXPECT_GT(stats.total(), 0);
+}
+
+TEST(Optimize, SwapPairCancels) {
+  Circuit c(2);
+  c.swap(0, 1);
+  c.swap(1, 0);
+  EXPECT_TRUE(optimize(c).empty());
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,183 @@
+// Randomized property tests: invariants that must hold for *any* circuit,
+// checked over seeded random instances.
+//  - transpilation preserves semantics (ideal output distribution)
+//  - the peephole optimizer preserves the unitary
+//  - statevector and density-matrix simulators agree on pure evolution
+//  - QASM serialization round-trips
+//  - folding preserves semantics at random scales
+//  - executor distributions are valid probability distributions
+
+#include <gtest/gtest.h>
+
+#include "circuit/optimize.hpp"
+#include "circuit/qasm.hpp"
+#include "common/rng.hpp"
+#include "mapping/transpiler.hpp"
+#include "partition/candidates.hpp"
+#include "sim/density.hpp"
+#include "sim/executor.hpp"
+#include "sim/statevector.hpp"
+#include "zne/folding.hpp"
+
+namespace qucp {
+namespace {
+
+/// Random circuit over n qubits with `gates` ops from a mixed gate set.
+Circuit random_circuit(int n, int gates, Rng& rng, bool measured) {
+  Circuit c(n, n, "fuzz");
+  for (int i = 0; i < gates; ++i) {
+    switch (rng.index(8)) {
+      case 0: c.h(static_cast<int>(rng.index(n))); break;
+      case 1: c.t(static_cast<int>(rng.index(n))); break;
+      case 2: c.x(static_cast<int>(rng.index(n))); break;
+      case 3: c.s(static_cast<int>(rng.index(n))); break;
+      case 4: c.ry(rng.uniform(-3.1, 3.1), static_cast<int>(rng.index(n)));
+        break;
+      case 5: c.rz(rng.uniform(-3.1, 3.1), static_cast<int>(rng.index(n)));
+        break;
+      default: {
+        if (n < 2) {
+          c.h(0);
+          break;
+        }
+        const int a = static_cast<int>(rng.index(n));
+        int b = static_cast<int>(rng.index(n - 1));
+        if (b >= a) ++b;
+        if (rng.bernoulli(0.8)) {
+          c.cx(a, b);
+        } else {
+          c.cz(a, b);
+        }
+        break;
+      }
+    }
+  }
+  if (measured) c.measure_all();
+  return c;
+}
+
+void expect_same_distribution(const Distribution& a, const Distribution& b,
+                              double tol = 1e-9) {
+  for (const auto& [outcome, p] : a.probs()) {
+    EXPECT_NEAR(b.prob(outcome), p, tol) << "outcome " << outcome;
+  }
+  for (const auto& [outcome, p] : b.probs()) {
+    EXPECT_NEAR(a.prob(outcome), p, tol) << "outcome " << outcome;
+  }
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, OptimizerPreservesUnitary) {
+  Rng rng(1000 + GetParam());
+  const Circuit c = random_circuit(3, 30, rng, false);
+  const Circuit opt = optimize(c);
+  EXPECT_TRUE(opt.to_unitary().approx_equal(c.to_unitary(), 1e-9));
+}
+
+TEST_P(FuzzSeeds, StatevectorAndDensityAgree) {
+  Rng rng(2000 + GetParam());
+  const Circuit c = random_circuit(4, 25, rng, false);
+  Statevector sv(4);
+  sv.apply_circuit(c);
+  DensityMatrix dm(4);
+  for (const Gate& g : c.ops()) {
+    if (g.kind == GateKind::Barrier) continue;
+    dm.apply_unitary(gate_matrix(g), g.qubits);
+  }
+  const auto sp = sv.probabilities();
+  const auto dp = dm.probabilities();
+  for (std::size_t i = 0; i < sp.size(); ++i) {
+    EXPECT_NEAR(sp[i], dp[i], 1e-10) << i;
+  }
+}
+
+TEST_P(FuzzSeeds, QasmRoundTrip) {
+  Rng rng(3000 + GetParam());
+  const Circuit c = random_circuit(4, 20, rng, true);
+  const Circuit back = parse_qasm(to_qasm(c), "fuzz");
+  expect_same_distribution(ideal_distribution(c), ideal_distribution(back));
+}
+
+TEST_P(FuzzSeeds, TranspilationPreservesSemantics) {
+  Rng rng(4000 + GetParam());
+  const Circuit c = random_circuit(4, 18, rng, true);
+  const Device d = make_toronto27(17 + GetParam());
+  const auto cands = partition_candidates(d, 4, {});
+  ASSERT_FALSE(cands.empty());
+  const auto& partition = cands[rng.index(cands.size())];
+  const TranspiledProgram tp = transpile_to_partition(c, d, partition);
+  expect_same_distribution(ideal_distribution(c),
+                           ideal_distribution(tp.physical.compacted()));
+}
+
+TEST_P(FuzzSeeds, FoldingPreservesSemantics) {
+  Rng rng(5000 + GetParam());
+  const Circuit c = random_circuit(3, 15, rng, true);
+  const double scale = rng.uniform(1.0, 3.5);
+  const Circuit folded = fold_gates_at_random(c, scale, rng.derive("fold"));
+  expect_same_distribution(ideal_distribution(c),
+                           ideal_distribution(folded), 1e-8);
+}
+
+TEST_P(FuzzSeeds, ExecutorDistributionIsNormalized) {
+  Rng rng(6000 + GetParam());
+  Circuit c = random_circuit(3, 20, rng, true);
+  // Route onto the first three qubits of a line device.
+  const Device d = make_line_device(6, 23 + GetParam());
+  const TranspiledProgram tp =
+      transpile_to_partition(c, d, std::vector<int>{0, 1, 2});
+  ExecOptions opts;
+  opts.shots = 64;
+  const ProgramOutcome out = execute_single(d, tp.physical, opts);
+  double total = 0.0;
+  for (const auto& [outcome, p] : out.distribution.probs()) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(out.counts.total(), 64);
+}
+
+TEST_P(FuzzSeeds, InverseCircuitComposesToIdentity) {
+  Rng rng(7000 + GetParam());
+  const Circuit c = random_circuit(3, 20, rng, false);
+  Circuit full = c;
+  full.compose(c.inverse());
+  Statevector sv(3);
+  sv.apply_circuit(full);
+  EXPECT_NEAR(sv.probabilities()[0], 1.0, 1e-9);
+}
+
+TEST_P(FuzzSeeds, NoiseOnlyReducesPeakProbability) {
+  // Depolarizing + readout noise can never make the modal outcome more
+  // likely than ideal for a deterministic-output circuit built from
+  // classical gates.
+  Rng rng(8000 + GetParam());
+  Circuit c(3, 3);
+  // Random classical reversible circuit: X and CX only.
+  for (int i = 0; i < 15; ++i) {
+    if (rng.bernoulli(0.4)) {
+      c.x(static_cast<int>(rng.index(3)));
+    } else {
+      const int a = static_cast<int>(rng.index(3));
+      int b = static_cast<int>(rng.index(2));
+      if (b >= a) ++b;
+      c.cx(a, b);
+    }
+  }
+  c.measure_all();
+  const Device d = make_line_device(5, 31 + GetParam());
+  const TranspiledProgram tp =
+      transpile_to_partition(c, d, std::vector<int>{0, 1, 2});
+  const ProgramOutcome out = execute_single(d, tp.physical, {});
+  const Distribution ideal = ideal_distribution(c);
+  EXPECT_LT(out.distribution.prob(ideal.most_likely()), 1.0);
+  EXPECT_GT(out.distribution.prob(ideal.most_likely()), 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,141 @@
+#include "circuit/qasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace qucp {
+namespace {
+
+TEST(Qasm, ParseMinimal) {
+  const Circuit c = parse_qasm(R"(
+    OPENQASM 2.0;
+    include "qelib1.inc";
+    qreg q[2];
+    creg c[2];
+    h q[0];
+    cx q[0],q[1];
+    measure q[0] -> c[0];
+    measure q[1] -> c[1];
+  )");
+  EXPECT_EQ(c.num_qubits(), 2);
+  EXPECT_EQ(c.gate_count(), 2);
+  EXPECT_EQ(c.count_ops().at("measure"), 2);
+}
+
+TEST(Qasm, ParseParameterExpressions) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[1];
+    rz(pi/2) q[0];
+    rx(-pi/4) q[0];
+    ry(2*pi) q[0];
+    u1(0.5) q[0];
+    u3(pi/2, -1.5e-1, (pi+1)/2) q[0];
+  )");
+  EXPECT_NEAR(c.ops()[0].params[0], std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(c.ops()[1].params[0], -std::numbers::pi / 4, 1e-12);
+  EXPECT_NEAR(c.ops()[2].params[0], 2 * std::numbers::pi, 1e-12);
+  EXPECT_NEAR(c.ops()[3].params[0], 0.5, 1e-12);
+  EXPECT_NEAR(c.ops()[4].params[1], -0.15, 1e-12);
+  EXPECT_NEAR(c.ops()[4].params[2], (std::numbers::pi + 1) / 2, 1e-12);
+}
+
+TEST(Qasm, CommentsStripped) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[1]; // register
+    // a full-line comment; h q[0];
+    x q[0];
+  )");
+  EXPECT_EQ(c.gate_count(), 1);
+  EXPECT_EQ(c.ops()[0].kind, GateKind::X);
+}
+
+TEST(Qasm, MultipleRegistersFlattened) {
+  const Circuit c = parse_qasm(R"(
+    qreg a[2];
+    qreg b[2];
+    creg m[4];
+    x a[1];
+    x b[0];
+    measure b[1] -> m[3];
+  )");
+  EXPECT_EQ(c.num_qubits(), 4);
+  EXPECT_EQ(c.ops()[0].qubits[0], 1);
+  EXPECT_EQ(c.ops()[1].qubits[0], 2);
+  EXPECT_EQ(c.ops()[2].qubits[0], 3);
+  EXPECT_EQ(c.ops()[2].clbit, 3);
+}
+
+TEST(Qasm, BroadcastMeasureAndSingleQubitGate) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[3];
+    creg c[3];
+    h q;
+    measure q -> c;
+  )");
+  EXPECT_EQ(c.count_ops().at("h"), 3);
+  EXPECT_EQ(c.count_ops().at("measure"), 3);
+}
+
+TEST(Qasm, CcxExpands) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[3];
+    ccx q[0],q[1],q[2];
+  )");
+  EXPECT_EQ(c.gate_count(), 15);
+  EXPECT_EQ(c.two_qubit_count(), 6);
+}
+
+TEST(Qasm, BarrierForms) {
+  const Circuit c = parse_qasm(R"(
+    qreg q[3];
+    barrier q;
+    barrier q[0],q[2];
+  )");
+  EXPECT_EQ(c.ops()[0].qubits.size(), 3u);
+  EXPECT_EQ(c.ops()[1].qubits, (std::vector<int>{0, 2}));
+}
+
+TEST(Qasm, Errors) {
+  EXPECT_THROW((void)parse_qasm("x q[0];"), QasmError);  // no qreg
+  EXPECT_THROW((void)parse_qasm("qreg q[2]; x q[5];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[2]; frobnicate q[0];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[2]; cx q[0];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[2]; measure q[0];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[2]; qreg q[3];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[0];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[1]; rz(pi/0) q[0];"), QasmError);
+  EXPECT_THROW((void)parse_qasm("qreg q[1]; rz((pi q[0];"), QasmError);
+}
+
+TEST(Qasm, RoundTripPreservesSemantics) {
+  Circuit c(3, 3, "rt");
+  c.h(0);
+  c.rz(0.25, 1);
+  c.cx(0, 2);
+  c.u3(0.1, 0.2, 0.3, 2);
+  c.swap(1, 2);
+  c.measure_all();
+  const Circuit back = parse_qasm(to_qasm(c), "rt");
+  ASSERT_EQ(back.size(), c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_EQ(back.ops()[i].kind, c.ops()[i].kind) << i;
+    EXPECT_EQ(back.ops()[i].qubits, c.ops()[i].qubits) << i;
+    ASSERT_EQ(back.ops()[i].params.size(), c.ops()[i].params.size());
+    for (std::size_t p = 0; p < c.ops()[i].params.size(); ++p) {
+      EXPECT_NEAR(back.ops()[i].params[p], c.ops()[i].params[p], 1e-9);
+    }
+  }
+}
+
+TEST(Qasm, WriterEmitsHeader) {
+  Circuit c(1);
+  c.x(0);
+  const std::string text = to_qasm(c);
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[1];"), std::string::npos);
+  EXPECT_NE(text.find("x q[0];"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,198 @@
+#include "mapping/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchmarks/suite.hpp"
+#include "common/rng.hpp"
+#include "mapping/transpiler.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucp {
+namespace {
+
+/// Verify the routed circuit equals the logical one under the final
+/// layout: undo the permutation and compare ideal distributions.
+void expect_equivalent(const Circuit& logical, const RoutingResult& routed) {
+  const Distribution want = ideal_distribution(logical);
+  const Distribution got = ideal_distribution(routed.physical.compacted());
+  ASSERT_EQ(want.probs().size(), got.probs().size());
+  for (const auto& [outcome, p] : want.probs()) {
+    EXPECT_NEAR(got.prob(outcome), p, 1e-9) << "outcome " << outcome;
+  }
+}
+
+TEST(Router, NoSwapsWhenAlreadyRoutable) {
+  const Device d = make_line_device(5);
+  Circuit c(3);
+  c.h(0);
+  c.cx(0, 1);
+  c.cx(1, 2);
+  c.measure_all();
+  const std::vector<int> partition{1, 2, 3};
+  const std::vector<int> layout{1, 2, 3};
+  const RoutingResult r = route_on_partition(c, d, partition, layout);
+  EXPECT_EQ(r.swaps_added, 0);
+  expect_equivalent(c, r);
+}
+
+TEST(Router, InsertsSwapForDistantPair) {
+  const Device d = make_line_device(5);
+  Circuit c(3);
+  c.x(0);
+  c.cx(0, 2);  // endpoints of the partition line
+  c.measure_all();
+  const std::vector<int> partition{0, 1, 2};
+  const std::vector<int> layout{0, 1, 2};
+  const RoutingResult r = route_on_partition(c, d, partition, layout);
+  EXPECT_GE(r.swaps_added, 1);
+  expect_equivalent(c, r);
+}
+
+TEST(Router, StaysInsidePartition) {
+  const Device d = make_line_device(8);
+  Circuit c(3);
+  c.cx(0, 2);
+  c.cx(1, 2);
+  c.cx(0, 1);
+  c.measure_all();
+  const std::vector<int> partition{3, 4, 5};
+  const std::vector<int> layout{3, 4, 5};
+  const RoutingResult r = route_on_partition(c, d, partition, layout);
+  for (const Gate& g : r.physical.ops()) {
+    for (int q : g.qubits) {
+      EXPECT_GE(q, 3);
+      EXPECT_LE(q, 5);
+    }
+  }
+  expect_equivalent(c, r);
+}
+
+TEST(Router, BenchmarksRouteOnToronto) {
+  const Device d = make_toronto27();
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const int k = spec.circuit.num_qubits();
+    // A path partition through the heavy-hex: qubits 0..k via BFS order.
+    std::vector<int> partition;
+    for (int q = 0; q < d.num_qubits() && static_cast<int>(partition.size()) < k + 1; ++q) {
+      partition.push_back(q);
+    }
+    if (!d.topology().is_connected_subset(partition)) continue;
+    std::vector<int> layout(k);
+    for (int i = 0; i < k; ++i) layout[i] = partition[i];
+    const RoutingResult r =
+        route_on_partition(spec.circuit, d, partition, layout);
+    expect_equivalent(spec.circuit, r);
+  }
+}
+
+TEST(Router, NonTerminalMeasureRejected) {
+  const Device d = make_line_device(4);
+  Circuit c(2);
+  c.measure(0, 0);
+  c.h(0);
+  const std::vector<int> partition{0, 1};
+  const std::vector<int> layout{0, 1};
+  EXPECT_THROW((void)route_on_partition(c, d, partition, layout),
+               std::invalid_argument);
+}
+
+TEST(Router, LayoutValidation) {
+  const Device d = make_line_device(4);
+  Circuit c(2);
+  c.cx(0, 1);
+  const std::vector<int> partition{0, 1};
+  EXPECT_THROW((void)route_on_partition(c, d, partition,
+                                        std::vector<int>{0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)route_on_partition(c, d, partition,
+                                        std::vector<int>{0, 3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)route_on_partition(c, d, std::vector<int>{0, 2},
+                                        std::vector<int>{0, 2}),
+               std::invalid_argument);
+}
+
+TEST(Router, NoiseAwareAvoidsBadEdge) {
+  // Ring of 4: two equal-length routes; one passes a terrible edge.
+  Topology topo(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  Rng rng(9);
+  CalibrationProfile profile;
+  profile.bad_edge_fraction = 0.0;
+  Calibration cal = synthesize_calibration(topo, profile, rng);
+  for (auto& e : cal.cx_error) e = 0.01;
+  const int bad = *topo.edge_index(1, 2);
+  cal.cx_error[bad] = 0.30;
+  Device d("ring4", std::move(topo), std::move(cal), CrosstalkModel{});
+
+  Circuit c(4);
+  c.x(0);
+  c.cx(0, 2);  // distance 2 both ways around the ring
+  c.measure_all();
+  const std::vector<int> partition{0, 1, 2, 3};
+  const std::vector<int> layout{0, 1, 2, 3};
+  RouterOptions noise_on;
+  noise_on.noise_aware = true;
+  noise_on.error_weight = 20.0;
+  const RoutingResult r =
+      route_on_partition(c, d, partition, layout, noise_on);
+  for (const Gate& g : r.physical.ops()) {
+    if (g.kind == GateKind::SWAP) {
+      EXPECT_FALSE((g.qubits[0] == 1 && g.qubits[1] == 2) ||
+                   (g.qubits[0] == 2 && g.qubits[1] == 1))
+          << "router used the bad edge";
+    }
+  }
+  expect_equivalent(c, r);
+}
+
+TEST(Transpiler, EndToEndPreservesSemantics) {
+  const Device d = make_toronto27();
+  const BenchmarkSpec& spec = get_benchmark("fredkin");
+  const std::vector<int> partition{1, 4, 7};
+  const TranspiledProgram tp =
+      transpile_to_partition(spec.circuit, d, partition);
+  const Distribution want = ideal_distribution(spec.circuit);
+  const Distribution got = ideal_distribution(tp.physical.compacted());
+  for (const auto& [outcome, p] : want.probs()) {
+    EXPECT_NEAR(got.prob(outcome), p, 1e-9);
+  }
+  // Ops confined to the partition.
+  const std::set<int> part_set(partition.begin(), partition.end());
+  for (const Gate& g : tp.physical.ops()) {
+    for (int q : g.qubits) EXPECT_TRUE(part_set.count(q));
+  }
+}
+
+TEST(Transpiler, CnaOptionsCarryContext) {
+  CrosstalkModel est;
+  est.add_pair(0, 2, 3.0);
+  const TranspileOptions opts = cna_options({0, 1}, &est);
+  EXPECT_EQ(opts.placement, PlacementStyle::NoiseAdaptive);
+  EXPECT_TRUE(opts.router.crosstalk_aware);
+  EXPECT_EQ(opts.router.context_edges, (std::vector<int>{0, 1}));
+  EXPECT_EQ(opts.router.crosstalk_estimates, &est);
+}
+
+TEST(Transpiler, CnaRoutesCorrectly) {
+  const Device d = make_toronto27();
+  const BenchmarkSpec& spec = get_benchmark("adder");
+  const std::vector<int> partition{12, 13, 14, 15, 16};
+  CrosstalkModel est;
+  for (const auto& [e1, e2] : d.topology().one_hop_edge_pairs()) {
+    est.add_pair(e1, e2, 2.5);
+  }
+  const std::vector<int> context = d.topology().induced_edges(
+      std::vector<int>{17, 18, 21});
+  const TranspiledProgram tp = transpile_to_partition(
+      spec.circuit, d, partition, cna_options(context, &est));
+  const Distribution want = ideal_distribution(spec.circuit);
+  const Distribution got = ideal_distribution(tp.physical.compacted());
+  for (const auto& [outcome, p] : want.probs()) {
+    EXPECT_NEAR(got.prob(outcome), p, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace qucp

@@ -1,0 +1,61 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qucp {
+namespace {
+
+TEST(Runtime, JobRuntimeComponents) {
+  RuntimeModel model;
+  model.job_overhead_s = 10.0;
+  model.shot_overhead_ns = 1000.0;
+  model.shots = 1000;
+  model.queue_depth = 0;
+  // 1000 shots * (9000 + 1000) ns = 1e7 ns = 0.01 s.
+  EXPECT_NEAR(job_runtime_s(model, 9000.0), 10.0 + 0.01, 1e-9);
+  EXPECT_THROW((void)job_runtime_s(model, -1.0), std::invalid_argument);
+}
+
+TEST(Runtime, QueueDepthAddsWaiting) {
+  RuntimeModel model;
+  model.queue_depth = 3;
+  model.queue_job_latency_s = 30.0;
+  const double with_queue = job_runtime_s(model, 1000.0);
+  model.queue_depth = 0;
+  const double without = job_runtime_s(model, 1000.0);
+  EXPECT_NEAR(with_queue - without, 90.0, 1e-9);
+}
+
+TEST(Runtime, SerialSumsJobs) {
+  RuntimeModel model;
+  const std::vector<double> makespans{1000.0, 2000.0, 3000.0};
+  double expect = 0.0;
+  for (double m : makespans) expect += job_runtime_s(model, m);
+  EXPECT_NEAR(serial_runtime_s(model, makespans), expect, 1e-9);
+}
+
+TEST(Runtime, ParallelBeatsSerialForEqualJobs) {
+  RuntimeModel model;
+  model.queue_depth = 2;
+  const std::vector<double> makespans(4, 5000.0);
+  const double serial = serial_runtime_s(model, makespans);
+  // Parallel batch: slightly longer makespan but one job.
+  const double parallel = parallel_runtime_s(model, 6000.0);
+  EXPECT_LT(parallel, serial);
+  EXPECT_GT(serial / parallel, 3.0);  // close to 4x for 4 programs
+}
+
+TEST(Runtime, PaperClaimUpToNTimesReduction) {
+  // With negligible makespan differences, N identical programs in one
+  // batch reduce total runtime by ~N.
+  RuntimeModel model;
+  model.queue_depth = 0;
+  const int n = 6;
+  const std::vector<double> makespans(n, 4000.0);
+  const double ratio = serial_runtime_s(model, makespans) /
+                       parallel_runtime_s(model, 4000.0);
+  EXPECT_NEAR(ratio, static_cast<double>(n), 0.01);
+}
+
+}  // namespace
+}  // namespace qucp

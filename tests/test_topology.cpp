@@ -1,0 +1,118 @@
+#include "hardware/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace qucp {
+namespace {
+
+Topology line5() {
+  return Topology(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+}
+
+TEST(Edge, CanonicalOrder) {
+  const Edge e(3, 1);
+  EXPECT_EQ(e.a, 1);
+  EXPECT_EQ(e.b, 3);
+  EXPECT_TRUE(e.contains(1));
+  EXPECT_TRUE(e.contains(3));
+  EXPECT_FALSE(e.contains(2));
+  EXPECT_EQ(e, Edge(1, 3));
+}
+
+TEST(Edge, SharesQubit) {
+  EXPECT_TRUE(Edge(0, 1).shares_qubit(Edge(1, 2)));
+  EXPECT_FALSE(Edge(0, 1).shares_qubit(Edge(2, 3)));
+}
+
+TEST(Topology, ConstructionValidation) {
+  EXPECT_THROW(Topology(0, {}), std::invalid_argument);
+  EXPECT_THROW(Topology(2, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(Topology(2, {{0, 5}}), std::out_of_range);
+  EXPECT_THROW(Topology(3, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(Topology, AdjacencyAndDegree) {
+  const Topology t = line5();
+  EXPECT_TRUE(t.adjacent(0, 1));
+  EXPECT_TRUE(t.adjacent(1, 0));
+  EXPECT_FALSE(t.adjacent(0, 2));
+  EXPECT_EQ(t.degree(0), 1);
+  EXPECT_EQ(t.degree(2), 2);
+  EXPECT_EQ(t.neighbors(2), (std::vector<int>{1, 3}));
+  EXPECT_THROW((void)t.adjacent(0, 9), std::out_of_range);
+}
+
+TEST(Topology, EdgeIndexLookup) {
+  const Topology t = line5();
+  EXPECT_TRUE(t.edge_index(1, 2).has_value());
+  EXPECT_EQ(t.edge_index(2, 1), t.edge_index(1, 2));
+  EXPECT_FALSE(t.edge_index(0, 4).has_value());
+}
+
+TEST(Topology, BfsDistances) {
+  const Topology t = line5();
+  EXPECT_EQ(t.distance(0, 0), 0);
+  EXPECT_EQ(t.distance(0, 4), 4);
+  EXPECT_EQ(t.distance(4, 0), 4);
+  EXPECT_EQ(t.distance(1, 3), 2);
+}
+
+TEST(Topology, DisconnectedDistanceIsMinusOne) {
+  const Topology t(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(t.distance(0, 3), -1);
+  EXPECT_EQ(t.distance(0, 1), 1);
+}
+
+TEST(Topology, OneHopEdgePairsOnLine) {
+  const Topology t = line5();
+  // Edges: 0:(0,1) 1:(1,2) 2:(2,3) 3:(3,4). Disjoint pairs at one hop:
+  // {0,2} via 1-2, {1,3} via 2-3. {0,3} is two hops.
+  const auto pairs = t.one_hop_edge_pairs();
+  const std::set<std::pair<int, int>> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got, (std::set<std::pair<int, int>>{{0, 2}, {1, 3}}));
+}
+
+TEST(Topology, OneHopNeighborsOfEdge) {
+  const Topology t = line5();
+  EXPECT_EQ(t.one_hop_neighbors_of_edge(0), (std::vector<int>{2}));
+  EXPECT_EQ(t.one_hop_neighbors_of_edge(1), (std::vector<int>{3}));
+  EXPECT_THROW((void)t.one_hop_neighbors_of_edge(99), std::out_of_range);
+}
+
+TEST(Topology, OneHopPairsConsistentWithNeighborLists) {
+  const Topology grid(9, {{0, 1}, {1, 2}, {3, 4}, {4, 5}, {6, 7}, {7, 8},
+                          {0, 3}, {3, 6}, {1, 4}, {4, 7}, {2, 5}, {5, 8}});
+  const auto pairs = grid.one_hop_edge_pairs();
+  std::size_t from_lists = 0;
+  for (int e = 0; e < grid.num_edges(); ++e) {
+    from_lists += grid.one_hop_neighbors_of_edge(e).size();
+  }
+  EXPECT_EQ(pairs.size() * 2, from_lists);
+}
+
+TEST(Topology, ConnectedSubset) {
+  const Topology t = line5();
+  EXPECT_TRUE(t.is_connected_subset(std::vector<int>{1, 2, 3}));
+  EXPECT_FALSE(t.is_connected_subset(std::vector<int>{0, 2}));
+  EXPECT_TRUE(t.is_connected_subset(std::vector<int>{}));
+  EXPECT_TRUE(t.is_connected_subset(std::vector<int>{4}));
+}
+
+TEST(Topology, InducedEdges) {
+  const Topology t = line5();
+  const auto edges = t.induced_edges(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(edges, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(t.induced_edges(std::vector<int>{0, 2}).empty());
+}
+
+TEST(Topology, RingOneHopPairs) {
+  const Topology ring(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  // Opposite edges of a square are disjoint and at one hop.
+  const auto pairs = ring.one_hop_edge_pairs();
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qucp
