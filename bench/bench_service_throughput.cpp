@@ -1,0 +1,138 @@
+// Service throughput: how the ExecutionService's batch packer and worker
+// pool convert queue pressure into runtime reduction (§II-A's motivation,
+// operationalized). The artifact sweeps the batch capacity over a 24-job
+// queue and reports modeled total runtime (waiting + execution), fidelity,
+// spill and cache behavior; the timers measure the real wall-clock drain
+// of the worker pool and the transpilation cache's effect.
+
+#include <cinttypes>
+#include <map>
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "core/runtime.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace qucp;
+
+constexpr const char* kMix[] = {"adder", "fred", "lin", "4mod",
+                                "bell",  "qec",  "alu", "var"};
+constexpr int kQueueJobs = 24;
+
+std::vector<JobHandle> submit_queue(ExecutionService& service, int jobs) {
+  std::vector<JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    JobOptions jopts;
+    jopts.name = std::string(kMix[i % std::size(kMix)]) + "#" +
+                 std::to_string(i);
+    handles.push_back(
+        service.submit(get_benchmark(kMix[i % std::size(kMix)]).circuit,
+                       jopts));
+  }
+  return handles;
+}
+
+void print_capacity_sweep() {
+  bench::heading(
+      "Service throughput: 24-job queue on toronto27 (shots 256)");
+  bench::row({"batch_cap", "batches", "spills", "cache_hit%", "avg_PST",
+              "runtime_s", "speedup"});
+  bench::rule(7);
+
+  RuntimeModel model;
+  model.shots = 4096;
+  model.queue_depth = 5;
+
+  double serial_runtime = 0.0;
+  for (int cap : {1, 2, 4, 6, 8}) {
+    ServiceOptions opts;
+    opts.exec.shots = 256;
+    opts.max_batch_size = cap;
+    opts.num_workers = 4;
+    ExecutionService service(make_toronto27(), opts);
+    const std::vector<JobHandle> handles =
+        submit_queue(service, kQueueJobs);
+    service.flush();
+
+    double pst_sum = 0.0;
+    std::map<std::uint64_t, double> batch_makespans;
+    for (const JobHandle& h : handles) {
+      const JobResult& r = h.result();
+      pst_sum += r.report.pst_value;
+      batch_makespans[r.batch.batch_index] = r.batch.makespan_ns;
+    }
+    double runtime = 0.0;
+    for (const auto& [index, makespan] : batch_makespans) {
+      runtime += parallel_runtime_s(model, makespan);
+    }
+    if (cap == 1) serial_runtime = runtime;
+
+    const ServiceStats stats = service.stats();
+    const double hit_rate =
+        100.0 * static_cast<double>(stats.transpile_cache.hits) /
+        static_cast<double>(std::max<std::uint64_t>(
+            1, stats.transpile_cache.hits + stats.transpile_cache.misses));
+    bench::row({std::to_string(cap),
+                std::to_string(stats.batches_executed),
+                std::to_string(stats.spill_events),
+                fmt_double(hit_rate, 0),
+                fmt_double(pst_sum / kQueueJobs, 3),
+                fmt_double(runtime, 1),
+                fmt_double(serial_runtime / runtime, 2) + "x"});
+  }
+  std::printf(
+      "\nBatching converts per-job queue waits into one shared wait: the\n"
+      "runtime drop tracks the batch count, while avg PST pays the\n"
+      "paper's fidelity cost of denser packing.\n");
+}
+
+void drain_queue(benchmark::State& state, int workers) {
+  for (auto _ : state) {
+    ServiceOptions opts;
+    opts.exec.shots = 64;
+    opts.max_batch_size = 4;
+    opts.num_workers = workers;
+    ExecutionService service(make_toronto27(), opts);
+    const auto handles = submit_queue(service, 16);
+    service.flush();
+    benchmark::DoNotOptimize(handles.front().result().report.pst_value);
+  }
+}
+
+void BM_DrainWorkers1(benchmark::State& state) { drain_queue(state, 1); }
+void BM_DrainWorkers2(benchmark::State& state) { drain_queue(state, 2); }
+void BM_DrainWorkers4(benchmark::State& state) { drain_queue(state, 4); }
+BENCHMARK(BM_DrainWorkers1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DrainWorkers2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DrainWorkers4)->Unit(benchmark::kMillisecond);
+
+void transpile_cache(benchmark::State& state, std::size_t capacity) {
+  for (auto _ : state) {
+    ServiceOptions opts;
+    opts.exec.shots = 64;
+    opts.max_batch_size = 4;
+    opts.num_workers = 2;
+    opts.transpile_cache_capacity = capacity;
+    ExecutionService service(make_toronto27(), opts);
+    const auto handles = submit_queue(service, 16);
+    service.flush();
+    benchmark::DoNotOptimize(handles.front().result().report.pst_value);
+  }
+}
+
+void BM_TranspileCacheOff(benchmark::State& state) {
+  transpile_cache(state, 0);
+}
+void BM_TranspileCacheOn(benchmark::State& state) {
+  transpile_cache(state, 1024);
+}
+BENCHMARK(BM_TranspileCacheOff)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TranspileCacheOn)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_capacity_sweep)

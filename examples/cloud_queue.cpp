@@ -1,66 +1,101 @@
 // Cloud-queue scenario from the paper's introduction: many small jobs
-// queued on one shared device. Compares turnaround time of serial
-// execution (one job each, re-queuing) against QuCP batches, and shows the
-// fidelity cost of packing more aggressively.
+// queued on one shared device. The ExecutionService owns the queueing,
+// batch packing and bookkeeping this example used to hand-roll around
+// run_parallel(): jobs are submitted as they "arrive", the packer groups
+// them into parallel batches (partial tail batches included), and the
+// worker pool drains them. Compares turnaround time of serial execution
+// (one job each, re-queuing) against service batches, and shows the
+// fidelity cost of packing.
 //
 //   build/examples/cloud_queue
 
 #include <cstdio>
+#include <map>
 #include <vector>
 
 #include "benchmarks/suite.hpp"
-#include "core/parallel.hpp"
 #include "core/runtime.hpp"
-#include "schedule/schedule.hpp"
+#include "service/service.hpp"
 
 using namespace qucp;
 
 int main() {
   const Device device = make_manhattan65();
   // A queue of 12 user jobs drawn from the benchmark suite.
-  std::vector<Circuit> queue;
   const char* mix[] = {"adder", "fred", "lin",  "4mod", "bell", "qec",
                        "alu",   "var",  "adder", "fred", "lin",  "4mod"};
-  for (const char* name : mix) queue.push_back(get_benchmark(name).circuit);
 
   RuntimeModel model;
   model.shots = 4096;
   model.queue_depth = 5;  // five strangers' jobs ahead of each submission
 
-  // Serial: every job waits in the queue and runs alone.
-  ParallelOptions solo_opts;
-  solo_opts.exec.shots = 512;
+  ServiceOptions base_opts;
+  base_opts.exec.shots = 512;
+  base_opts.order = JobOrder::Fifo;  // jobs run in arrival order
+
+  // Serial: every job is its own batch — it waits in the queue and runs
+  // alone (max_batch_size = 1 models today's one-job-per-submission flow).
+  ServiceOptions solo_opts = base_opts;
+  solo_opts.max_batch_size = 1;
+  ExecutionService solo(device, solo_opts);
+  std::vector<JobHandle> solo_jobs;
+  for (const char* name : mix) {
+    solo_jobs.push_back(solo.submit(get_benchmark(name).circuit));
+  }
+  solo.flush();
   std::vector<double> solo_makespans;
   double solo_pst = 0.0;
-  for (const Circuit& job : queue) {
-    const BatchReport r = run_parallel(device, {job}, solo_opts);
-    solo_makespans.push_back(r.makespan_ns);
-    solo_pst += r.programs[0].pst_value;
+  for (const JobHandle& job : solo_jobs) {
+    solo_makespans.push_back(job.result().batch.makespan_ns);
+    solo_pst += job.result().report.pst_value;
   }
   const double serial_s = serial_runtime_s(model, solo_makespans);
 
-  // Parallel: pack the queue into batches of 4 jobs.
-  double parallel_s = 0.0;
+  // Batched: the service packs up to 4 jobs per parallel batch and the
+  // worker pool executes independent batches concurrently.
+  ServiceOptions packed_opts = base_opts;
+  packed_opts.max_batch_size = 4;
+  packed_opts.num_workers = 4;
+  ExecutionService service(device, packed_opts);
+  std::vector<JobHandle> jobs;
+  for (const char* name : mix) {
+    jobs.push_back(service.submit(get_benchmark(name).circuit));
+  }
+  service.flush();
+
   double packed_pst = 0.0;
-  for (std::size_t start = 0; start < queue.size(); start += 4) {
-    std::vector<Circuit> batch(queue.begin() + start,
-                               queue.begin() + start + 4);
-    const BatchReport r = run_parallel(device, batch, solo_opts);
-    parallel_s += parallel_runtime_s(model, r.makespan_ns);
-    for (const auto& pr : r.programs) packed_pst += pr.pst_value;
-    std::printf("batch %zu: throughput %.1f%%, crosstalk overlaps %d\n",
-                start / 4 + 1, 100.0 * r.throughput, r.crosstalk_events);
+  std::map<std::uint64_t, BatchStats> batches;  // dedup by batch index
+  for (const JobHandle& job : jobs) {
+    const JobResult& r = job.result();
+    packed_pst += r.report.pst_value;
+    batches[r.batch.batch_index] = r.batch;
+  }
+  double parallel_s = 0.0;
+  for (const auto& [index, batch] : batches) {
+    parallel_s += parallel_runtime_s(model, batch.makespan_ns);
+    std::printf("batch %llu: %zu jobs, throughput %.1f%%, "
+                "crosstalk overlaps %d\n",
+                static_cast<unsigned long long>(index + 1), batch.batch_size,
+                100.0 * batch.throughput, batch.crosstalk_events);
   }
 
-  std::printf("\n12 jobs, queue depth %d:\n", model.queue_depth);
+  const std::size_t n = jobs.size();
+  const ServiceStats stats = service.stats();
+  std::printf("\n%zu jobs, queue depth %d:\n", n, model.queue_depth);
   std::printf("  serial   : %7.1f s total, avg PST %.3f\n", serial_s,
-              solo_pst / queue.size());
+              solo_pst / n);
   std::printf("  batched  : %7.1f s total, avg PST %.3f\n", parallel_s,
-              packed_pst / queue.size());
+              packed_pst / n);
   std::printf("  speedup  : %.1fx (avg PST delta %+.3f; EFS is a\n"
               "             heuristic, so individual placements can win or\n"
               "             lose a little either way)\n",
-              serial_s / parallel_s,
-              packed_pst / queue.size() - solo_pst / queue.size());
+              serial_s / parallel_s, packed_pst / n - solo_pst / n);
+  std::printf("  service  : %llu batches, %llu spills, transpile cache "
+              "%llu/%llu hits\n",
+              static_cast<unsigned long long>(stats.batches_executed),
+              static_cast<unsigned long long>(stats.spill_events),
+              static_cast<unsigned long long>(stats.transpile_cache.hits),
+              static_cast<unsigned long long>(stats.transpile_cache.hits +
+                                              stats.transpile_cache.misses));
   return 0;
 }

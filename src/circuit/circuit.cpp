@@ -1,9 +1,13 @@
 #include "circuit/circuit.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <numbers>
 #include <set>
 #include <stdexcept>
+
+#include "common/rng.hpp"
 
 namespace qucp {
 
@@ -292,6 +296,24 @@ Matrix Circuit::to_unitary() const {
     u = embed(gate_matrix(g), g.qubits, num_qubits_) * u;
   }
   return u;
+}
+
+std::uint64_t circuit_fingerprint(const Circuit& circuit) {
+  // FNV-1a over the structural content. Doubles hash by bit pattern so the
+  // fingerprint is exact (no epsilon aliasing) and platform-stable.
+  std::uint64_t h = kFnv1aBasis;
+  const auto mix = [&h](std::uint64_t v) { h = fnv1a_mix(h, v); };
+  mix(static_cast<std::uint64_t>(circuit.num_qubits()));
+  mix(static_cast<std::uint64_t>(circuit.num_clbits()));
+  for (const Gate& g : circuit.ops()) {
+    mix(static_cast<std::uint64_t>(g.kind));
+    mix(static_cast<std::uint64_t>(g.qubits.size()));
+    for (int q : g.qubits) mix(static_cast<std::uint64_t>(q));
+    mix(static_cast<std::uint64_t>(g.params.size()));
+    for (double p : g.params) mix(std::bit_cast<std::uint64_t>(p));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(g.clbit)));
+  }
+  return h;
 }
 
 }  // namespace qucp

@@ -120,4 +120,12 @@ class Circuit {
   std::vector<Gate> ops_;
 };
 
+/// Stable 64-bit content hash of a circuit: qubit/clbit counts plus every
+/// op's kind, operands, clbit and exact parameter bit patterns. The name is
+/// deliberately excluded — two same-named circuits with different gates
+/// must not collide, and renaming must not invalidate transpilation
+/// caches. Used as the cache and canonical-ordering key by the
+/// ExecutionService.
+[[nodiscard]] std::uint64_t circuit_fingerprint(const Circuit& circuit);
+
 }  // namespace qucp

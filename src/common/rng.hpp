@@ -81,4 +81,19 @@ class Rng {
 /// FNV-1a hash of a string, used for substream derivation tags.
 [[nodiscard]] std::uint64_t fnv1a(std::string_view s) noexcept;
 
+/// FNV-1a offset basis, the seed for incremental fnv1a_mix chains.
+inline constexpr std::uint64_t kFnv1aBasis = 14695981039346656037ull;
+
+/// Fold the 8 bytes of `v` (little-endian) into an FNV-1a running hash.
+/// Shared kernel of circuit_fingerprint and the service cache keys — keep
+/// one definition so fingerprints stay mutually stable.
+[[nodiscard]] constexpr std::uint64_t fnv1a_mix(std::uint64_t h,
+                                                std::uint64_t v) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 }  // namespace qucp

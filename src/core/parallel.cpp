@@ -1,12 +1,8 @@
 #include "core/parallel.hpp"
 
-#include <algorithm>
-#include <set>
 #include <stdexcept>
 
-#include "core/runtime.hpp"
-#include "mapping/transpiler.hpp"
-#include "sim/statevector.hpp"
+#include "service/service.hpp"
 
 namespace qucp {
 
@@ -55,96 +51,15 @@ BatchReport run_parallel(const Device& device,
   if (programs.empty()) {
     throw std::invalid_argument("run_parallel: no programs");
   }
-  // Partition in QuMC's largest-first order.
-  std::vector<ProgramShape> shapes;
-  shapes.reserve(programs.size());
-  for (const Circuit& c : programs) shapes.push_back(shape_of(c));
-  const std::vector<std::size_t> order = allocation_order(shapes);
-  std::vector<ProgramShape> ordered_shapes;
-  ordered_shapes.reserve(shapes.size());
-  for (std::size_t idx : order) ordered_shapes.push_back(shapes[idx]);
-
-  const auto partitioner =
-      make_partitioner(options.method, options.sigma, options.srb_estimates);
-  const auto allocations = partitioner->allocate(device, ordered_shapes);
-  if (!allocations) {
-    throw std::runtime_error("run_parallel: batch does not fit on " +
-                             device.name());
-  }
-  // Assignment per original program index.
-  std::vector<PartitionAssignment> assignment(programs.size());
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    assignment[order[pos]] = (*allocations)[pos];
-  }
-
-  // Transpile each program onto its partition. CNA builds its gate-level
-  // crosstalk context from all co-runner partitions.
-  std::vector<PhysicalProgram> physical(programs.size());
-  std::vector<int> swaps(programs.size(), 0);
-  std::vector<std::vector<int>> layouts(programs.size());
-  for (std::size_t i = 0; i < programs.size(); ++i) {
-    TranspileOptions topts;
-    if (options.method == Method::CNA) {
-      std::vector<int> context;
-      for (std::size_t j = 0; j < programs.size(); ++j) {
-        if (j == i) continue;
-        const auto edges =
-            device.topology().induced_edges(assignment[j].qubits);
-        context.insert(context.end(), edges.begin(), edges.end());
-      }
-      topts = cna_options(std::move(context),
-                          options.srb_estimates ? &*options.srb_estimates
-                                                : nullptr);
-    } else {
-      topts = hardware_aware_options();
-    }
-    topts.optimize_input = options.optimize_circuits;
-    topts.optimize_output = options.optimize_circuits;
-    TranspiledProgram tp = transpile_to_partition(
-        programs[i], device, assignment[i].qubits, topts);
-    swaps[i] = tp.swaps_added;
-    layouts[i] = tp.final_layout;
-    std::string name = programs[i].name().empty()
-                           ? "program" + std::to_string(i)
-                           : programs[i].name();
-    physical[i] = {std::move(tp.physical), std::move(name)};
-  }
-
-  const ParallelRunReport run =
-      execute_parallel(device, physical, options.exec);
-
-  BatchReport report;
-  report.throughput = run.throughput;
-  report.makespan_ns = run.makespan_ns;
-  report.crosstalk_events = run.crosstalk_events;
-  report.programs.resize(programs.size());
-  for (std::size_t i = 0; i < programs.size(); ++i) {
-    ProgramReport& pr = report.programs[i];
-    pr.name = run.programs[i].name;
-    pr.partition = assignment[i].qubits;
-    pr.final_layout = layouts[i];
-    pr.efs = assignment[i].efs.score;
-    pr.swaps_added = swaps[i];
-    pr.ideal = ideal_distribution(programs[i]);
-    pr.noisy = run.programs[i].distribution;
-    pr.counts = run.programs[i].counts;
-    pr.jsd_value = jsd(pr.noisy, pr.ideal);
-    pr.pst_value = pst(pr.noisy, pr.ideal.most_likely());
-  }
-
-  // Modeled runtime reduction: N queued jobs vs one batch job.
-  RuntimeModel model;
-  model.shots = options.exec.shots;
-  std::vector<double> solo_makespans;
-  for (const PhysicalProgram& prog : physical) {
-    solo_makespans.push_back(
-        schedule_circuit(prog.circuit, device, options.exec.schedule)
-            .makespan_ns);
-  }
-  report.runtime_reduction =
-      serial_runtime_s(model, solo_makespans) /
-      parallel_runtime_s(model, run.makespan_ns);
-  return report;
+  // Compatibility shim: one synchronous pass through the service's batch
+  // pipeline — the exact code path an ExecutionService worker runs for a
+  // batch, on a throwaway Backend. Input order and the caller's seed are
+  // preserved, so the output is bit-identical to the historical facade
+  // (asserted by tests/test_service.cpp), and pipeline exceptions
+  // (invalid_argument for config errors, runtime_error for an
+  // unplaceable batch) propagate with their original types.
+  Backend backend(device, /*transpile_cache_capacity=*/0);
+  return run_batch_pipeline(backend, programs, {}, options);
 }
 
 }  // namespace qucp

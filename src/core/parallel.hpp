@@ -1,5 +1,12 @@
 #pragma once
-// Public facade: parallel circuit execution end to end.
+// Compatibility facade: one-shot parallel circuit execution.
+//
+// NOTE: the primary public API now lives in service/service.hpp — an
+// asynchronous job-queue ExecutionService with submit()/flush()/shutdown(),
+// an online batch packer and a worker pool. run_parallel() remains as a
+// thin synchronous shim over the service (one FIFO single batch, seed
+// preserved bit for bit) for existing callers; new code should construct
+// an ExecutionService and submit jobs instead.
 //
 // run_parallel() takes logical circuits and a device and performs the full
 // multi-programming pipeline of the paper: partition allocation (per

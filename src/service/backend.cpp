@@ -1,0 +1,65 @@
+#include "service/backend.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qucp {
+
+Backend::Backend(Device device, std::size_t transpile_cache_capacity)
+    : device_(std::move(device)), capacity_(transpile_cache_capacity) {}
+
+TranspiledProgram Backend::transpile(const Circuit& logical,
+                                     std::span<const int> partition,
+                                     const TranspileOptions& options,
+                                     std::uint64_t options_fp) {
+  if (capacity_ == 0) {
+    return transpile_to_partition(logical, device_, partition, options);
+  }
+  CacheKey key{circuit_fingerprint(logical), options_fp,
+               std::vector<int>(partition.begin(), partition.end())};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+    ++stats_.misses;
+  }
+  // Transpile outside the lock: routing is the expensive part and two
+  // threads racing on the same key both produce the identical result.
+  TranspiledProgram result =
+      transpile_to_partition(logical, device_, partition, options);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = cache_.emplace(key, result);
+  if (inserted) {
+    insertion_order_.push_back(std::move(key));
+    if (cache_.size() > capacity_) {
+      cache_.erase(insertion_order_.front());
+      insertion_order_.erase(insertion_order_.begin());
+      ++stats_.evictions;
+    }
+  }
+  stats_.entries = cache_.size();
+  return result;
+}
+
+ParallelRunReport Backend::execute(std::vector<PhysicalProgram> programs,
+                                   const ExecOptions& options) const {
+  return execute_parallel(device_, std::move(programs), options);
+}
+
+TranspileCacheStats Backend::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  TranspileCacheStats stats = stats_;
+  stats.entries = cache_.size();
+  return stats;
+}
+
+void Backend::clear_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+  insertion_order_.clear();
+  stats_.entries = 0;
+}
+
+}  // namespace qucp

@@ -1,0 +1,82 @@
+#pragma once
+// Backend: a device endpoint for the ExecutionService.
+//
+// Wraps a Device together with its noisy executor and a thread-safe
+// transpilation cache. The service (and the run_parallel() compatibility
+// shim) never call transpile_to_partition() or execute_parallel() directly;
+// they go through a Backend so that repeated submissions of the same
+// circuit onto the same partition pay transpilation once, and so future
+// PRs can slot in other endpoints (real hardware transports, remote
+// simulators, shards) behind the same interface.
+//
+// The cache key covers everything transpile_to_partition() reads: the
+// circuit's content fingerprint, the target partition, and an
+// options fingerprint the caller derives from the method configuration
+// (placement style, optimize flags, CNA crosstalk context). Transpilation
+// is deterministic, so a cache hit is observationally identical to a
+// fresh transpile.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "hardware/device.hpp"
+#include "mapping/transpiler.hpp"
+#include "sim/executor.hpp"
+
+namespace qucp {
+
+struct TranspileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+};
+
+class Backend {
+ public:
+  /// `transpile_cache_capacity` = 0 disables caching.
+  explicit Backend(Device device, std::size_t transpile_cache_capacity = 1024);
+
+  [[nodiscard]] const Device& device() const noexcept { return device_; }
+
+  /// Transpile `logical` onto `partition`, consulting the cache first.
+  /// `options_fp` must fingerprint every TranspileOptions field that can
+  /// differ between calls (the service derives it from method, optimize
+  /// flags and CNA context). Thread-safe.
+  [[nodiscard]] TranspiledProgram transpile(const Circuit& logical,
+                                            std::span<const int> partition,
+                                            const TranspileOptions& options,
+                                            std::uint64_t options_fp);
+
+  /// Execute pre-mapped programs on the simulated hardware. Thread-safe:
+  /// execute_parallel only reads the device.
+  [[nodiscard]] ParallelRunReport execute(std::vector<PhysicalProgram> programs,
+                                          const ExecOptions& options) const;
+
+  [[nodiscard]] TranspileCacheStats cache_stats() const;
+  void clear_cache();
+
+ private:
+  struct CacheKey {
+    std::uint64_t circuit_fp = 0;
+    std::uint64_t options_fp = 0;
+    std::vector<int> partition;
+    [[nodiscard]] bool operator<(const CacheKey& o) const {
+      if (circuit_fp != o.circuit_fp) return circuit_fp < o.circuit_fp;
+      if (options_fp != o.options_fp) return options_fp < o.options_fp;
+      return partition < o.partition;
+    }
+  };
+
+  Device device_;
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<CacheKey, TranspiledProgram> cache_;
+  std::vector<CacheKey> insertion_order_;  ///< FIFO eviction queue
+  TranspileCacheStats stats_;
+};
+
+}  // namespace qucp

@@ -1,0 +1,69 @@
+#pragma once
+// Online batch packer: groups queued jobs into parallel batches.
+//
+// Greedy policy in queue order: a job joins the current batch when (a) the
+// partitioner can still place every member of the grown batch on the
+// device, and (b) the paper's fidelity-threshold check passes — the job's
+// estimated EFS in batch context may exceed its best solo EFS by at most
+// `efs_threshold` (§IV-B: tau = 0 forces independent execution, larger tau
+// trades fidelity for throughput). A job that fails either check spills to
+// the next batch; a job that cannot be placed even alone is reported
+// unplaceable. The scan never assumes the queue length is a multiple of
+// the batch size — partial tail batches are first-class (the bug the old
+// examples/cloud_queue.cpp slicing had).
+//
+// Pure logic, no threads: the ExecutionService drives it under its own
+// locking, and tests exercise it directly.
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "partition/partitioners.hpp"
+
+namespace qucp {
+
+struct PackJob {
+  std::size_t index = 0;        ///< caller's identifier, echoed back
+  ProgramShape shape;
+  std::uint64_t fingerprint = 0;  ///< solo-EFS cache key
+  bool exclusive = false;         ///< must run alone in its batch
+};
+
+struct PackedBatch {
+  std::vector<std::size_t> jobs;  ///< PackJob::index values, queue order
+};
+
+struct PackResult {
+  std::vector<PackedBatch> batches;      ///< dispatch order
+  std::vector<std::size_t> unplaceable;  ///< jobs that do not fit even alone
+  /// Co-placement rejections: the allocation failed or the EFS threshold
+  /// tripped with co-runners present, deferring the job to a later batch.
+  /// Waiting behind a batch that is simply full is not counted.
+  std::uint64_t spill_events = 0;
+};
+
+struct PackOptions {
+  int max_batch_size = 4;  ///< <= 0 means unbounded
+  /// Max allowed (EFS in batch context) - (best solo EFS) before a
+  /// co-placement is rejected. EFS measures accumulated *error*, so larger
+  /// thresholds admit noisier packings. infinity() disables the check.
+  double efs_threshold = std::numeric_limits<double>::infinity();
+  /// Pack everything into exactly one batch with no feasibility checks;
+  /// the execution pipeline then reports failure for the whole batch when
+  /// it does not fit. This is run_parallel()'s historical contract.
+  bool single_batch = false;
+};
+
+/// Pack `jobs` (already in the desired queue order) into batches.
+/// `solo_efs_cache` memoizes best-solo-partition EFS per circuit
+/// fingerprint across calls; pass a service-owned map. Not thread-safe —
+/// callers serialize packing.
+[[nodiscard]] PackResult pack_batches(
+    const Device& device, std::span<const PackJob> jobs,
+    const Partitioner& partitioner, const PackOptions& options,
+    std::map<std::uint64_t, double>& solo_efs_cache);
+
+}  // namespace qucp

@@ -1,0 +1,399 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "core/runtime.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucp {
+
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15ull;
+
+constexpr auto mix = fnv1a_mix;
+
+/// Fingerprint of everything besides (circuit, partition) that can change
+/// a transpilation result: method presets, optimize flags, the CNA
+/// crosstalk context, and the SRB estimates the CNA router reads.
+std::uint64_t transpile_options_fp(
+    Method method, double sigma, bool optimize,
+    std::span<const int> context_edges,
+    const std::optional<CrosstalkModel>& estimates) {
+  std::uint64_t h = kFnv1aBasis;
+  h = mix(h, static_cast<std::uint64_t>(method));
+  h = mix(h, std::bit_cast<std::uint64_t>(sigma));
+  h = mix(h, optimize ? 1 : 0);
+  h = mix(h, context_edges.size());
+  for (int e : context_edges) h = mix(h, static_cast<std::uint64_t>(e));
+  if (estimates) {
+    for (const auto& [e1, e2, gamma] : estimates->pairs()) {
+      h = mix(h, static_cast<std::uint64_t>(e1));
+      h = mix(h, static_cast<std::uint64_t>(e2));
+      h = mix(h, std::bit_cast<std::uint64_t>(gamma));
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+BatchReport run_batch_pipeline(Backend& backend,
+                               const std::vector<Circuit>& programs,
+                               const std::vector<std::string>& names,
+                               const ParallelOptions& options) {
+  if (programs.empty()) {
+    throw std::invalid_argument("run_batch_pipeline: no programs");
+  }
+  const Device& device = backend.device();
+
+  // Partition in QuMC's largest-first order.
+  std::vector<ProgramShape> shapes;
+  shapes.reserve(programs.size());
+  for (const Circuit& c : programs) shapes.push_back(shape_of(c));
+  const std::vector<std::size_t> order = allocation_order(shapes);
+  std::vector<ProgramShape> ordered_shapes;
+  ordered_shapes.reserve(shapes.size());
+  for (std::size_t idx : order) ordered_shapes.push_back(shapes[idx]);
+
+  const auto partitioner =
+      make_partitioner(options.method, options.sigma, options.srb_estimates);
+  const auto allocations = partitioner->allocate(device, ordered_shapes);
+  if (!allocations) {
+    throw std::runtime_error("run_batch_pipeline: batch does not fit on " +
+                             device.name());
+  }
+  // Assignment per original program index.
+  std::vector<PartitionAssignment> assignment(programs.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    assignment[order[pos]] = (*allocations)[pos];
+  }
+
+  // Transpile each program onto its partition, through the backend's
+  // cache. CNA builds its gate-level crosstalk context from all co-runner
+  // partitions, which therefore participates in the cache key.
+  std::vector<PhysicalProgram> physical(programs.size());
+  std::vector<int> swaps(programs.size(), 0);
+  std::vector<std::vector<int>> layouts(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    TranspileOptions topts;
+    std::vector<int> context;
+    if (options.method == Method::CNA) {
+      for (std::size_t j = 0; j < programs.size(); ++j) {
+        if (j == i) continue;
+        const auto edges =
+            device.topology().induced_edges(assignment[j].qubits);
+        context.insert(context.end(), edges.begin(), edges.end());
+      }
+      topts = cna_options(context, options.srb_estimates
+                                       ? &*options.srb_estimates
+                                       : nullptr);
+    } else {
+      topts = hardware_aware_options();
+    }
+    topts.optimize_input = options.optimize_circuits;
+    topts.optimize_output = options.optimize_circuits;
+    const std::uint64_t opts_fp = transpile_options_fp(
+        options.method, options.sigma, options.optimize_circuits, context,
+        options.srb_estimates);
+    TranspiledProgram tp =
+        backend.transpile(programs[i], assignment[i].qubits, topts, opts_fp);
+    swaps[i] = tp.swaps_added;
+    layouts[i] = tp.final_layout;
+    std::string name = (i < names.size() && !names[i].empty())
+                           ? names[i]
+                           : programs[i].name();
+    if (name.empty()) name = "program" + std::to_string(i);
+    physical[i] = {std::move(tp.physical), std::move(name)};
+  }
+
+  const ParallelRunReport run =
+      backend.execute(physical, options.exec);
+
+  BatchReport report;
+  report.throughput = run.throughput;
+  report.makespan_ns = run.makespan_ns;
+  report.crosstalk_events = run.crosstalk_events;
+  report.programs.resize(programs.size());
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    ProgramReport& pr = report.programs[i];
+    pr.name = run.programs[i].name;
+    pr.partition = assignment[i].qubits;
+    pr.final_layout = layouts[i];
+    pr.efs = assignment[i].efs.score;
+    pr.swaps_added = swaps[i];
+    pr.ideal = ideal_distribution(programs[i]);
+    pr.noisy = run.programs[i].distribution;
+    pr.counts = run.programs[i].counts;
+    pr.jsd_value = jsd(pr.noisy, pr.ideal);
+    pr.pst_value = pst(pr.noisy, pr.ideal.most_likely());
+  }
+
+  // Modeled runtime reduction: N queued jobs vs one batch job.
+  RuntimeModel model;
+  model.shots = options.exec.shots;
+  std::vector<double> solo_makespans;
+  for (const PhysicalProgram& prog : physical) {
+    solo_makespans.push_back(
+        schedule_circuit(prog.circuit, device, options.exec.schedule)
+            .makespan_ns);
+  }
+  report.runtime_reduction =
+      serial_runtime_s(model, solo_makespans) /
+      parallel_runtime_s(model, run.makespan_ns);
+  return report;
+}
+
+ExecutionService::ExecutionService(Device device, ServiceOptions options)
+    : ExecutionService(
+          std::make_shared<Backend>(std::move(device),
+                                    options.transpile_cache_capacity),
+          std::move(options)) {}
+
+ExecutionService::ExecutionService(std::shared_ptr<Backend> backend,
+                                   ServiceOptions options)
+    : backend_(std::move(backend)), options_(std::move(options)) {
+  if (!backend_) {
+    throw std::invalid_argument("ExecutionService: null backend");
+  }
+  // Fail configuration errors at construction, not at execution: QuMC
+  // without SRB estimates throws std::invalid_argument here. The
+  // partitioner also drives the packer.
+  partitioner_ = make_partitioner(options_.method, options_.sigma,
+                                  options_.srb_estimates);
+  options_.num_workers = std::max(1, options_.num_workers);
+  start_workers();
+}
+
+ExecutionService::~ExecutionService() {
+  try {
+    shutdown();
+  } catch (...) {
+    // Destructors must not throw; pending jobs were already failed or the
+    // process is tearing down anyway.
+  }
+}
+
+void ExecutionService::start_workers() {
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+JobHandle ExecutionService::submit(Circuit circuit, JobOptions options) {
+  auto state = std::make_shared<detail::JobState>();
+  state->fingerprint = circuit_fingerprint(circuit);
+  state->name = options.name.empty() ? circuit.name() : options.name;
+  state->exclusive = options.exclusive;
+  state->circuit = std::move(circuit);
+  bool auto_flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      throw std::runtime_error("ExecutionService::submit: service is shut down");
+    }
+    state->id = next_job_id_++;
+    pending_.push_back(state);
+    auto_flush = options_.auto_flush_batch_size > 0 &&
+                 pending_.size() >= options_.auto_flush_batch_size;
+  }
+  if (auto_flush) dispatch_pending();
+  return JobHandle(state);
+}
+
+std::vector<JobHandle> ExecutionService::submit_all(
+    std::vector<Circuit> circuits) {
+  std::vector<JobHandle> handles;
+  handles.reserve(circuits.size());
+  for (Circuit& c : circuits) handles.push_back(submit(std::move(c)));
+  return handles;
+}
+
+void ExecutionService::dispatch_pending() {
+  std::lock_guard<std::mutex> pack_lock(pack_mutex_);
+  std::vector<JobPtr> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs.swap(pending_);
+  }
+  if (jobs.empty()) return;
+
+  if (options_.order == JobOrder::Canonical) {
+    std::sort(jobs.begin(), jobs.end(), [](const JobPtr& a, const JobPtr& b) {
+      if (a->fingerprint != b->fingerprint) {
+        return a->fingerprint < b->fingerprint;
+      }
+      if (a->name != b->name) return a->name < b->name;
+      return a->id < b->id;
+    });
+  } else {
+    // pending_ is appended under the same lock that assigns ids, so jobs
+    // are already in submission order; keep it explicit regardless.
+    std::sort(jobs.begin(), jobs.end(),
+              [](const JobPtr& a, const JobPtr& b) { return a->id < b->id; });
+  }
+
+  std::vector<PackJob> pack_jobs;
+  pack_jobs.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    pack_jobs.push_back({i, shape_of(jobs[i]->circuit), jobs[i]->fingerprint,
+                         jobs[i]->exclusive});
+  }
+  PackOptions popts;
+  popts.max_batch_size = options_.max_batch_size;
+  popts.efs_threshold = options_.efs_threshold;
+  popts.single_batch = options_.single_batch;
+  const PackResult packed =
+      pack_batches(backend_->device(), pack_jobs, *partitioner_, popts,
+                   solo_efs_cache_);
+
+  for (std::size_t idx : packed.unplaceable) {
+    jobs[idx]->fail("job '" + jobs[idx]->name + "' does not fit on " +
+                    backend_->device().name() + " even alone");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_failed_ += packed.unplaceable.size();
+    spill_events_ += packed.spill_events;
+    for (const PackedBatch& pb : packed.batches) {
+      Batch batch;
+      batch.index = next_batch_index_++;
+      batch.jobs.reserve(pb.jobs.size());
+      for (std::size_t idx : pb.jobs) batch.jobs.push_back(jobs[idx]);
+      outstanding_jobs_ += batch.jobs.size();
+      batch_queue_.push_back(std::move(batch));
+    }
+  }
+  work_cv_.notify_all();
+}
+
+void ExecutionService::worker_loop() {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [this] { return stop_ || !batch_queue_.empty(); });
+      if (batch_queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      batch = std::move(batch_queue_.front());
+      batch_queue_.pop_front();
+    }
+    execute_batch(std::move(batch));
+  }
+}
+
+void ExecutionService::execute_batch(Batch batch) {
+  for (const JobPtr& job : batch.jobs) job->set_running();
+
+  std::vector<Circuit> circuits;
+  std::vector<std::string> names;
+  circuits.reserve(batch.jobs.size());
+  names.reserve(batch.jobs.size());
+  for (const JobPtr& job : batch.jobs) {
+    circuits.push_back(job->circuit);
+    names.push_back(job->name);
+  }
+
+  ParallelOptions popts;
+  popts.method = options_.method;
+  popts.sigma = options_.sigma;
+  popts.exec = options_.exec;
+  popts.srb_estimates = options_.srb_estimates;
+  popts.optimize_circuits = options_.optimize_circuits;
+  // Decorrelate batches while keeping batch 0 on the caller's exact seed
+  // (the run_parallel() shim runs as batch 0 and must stay bit-identical
+  // to the historical single-shot behavior).
+  popts.exec.seed = options_.exec.seed + kGolden * batch.index;
+
+  std::size_t failed = 0;
+  try {
+    const BatchReport report =
+        run_batch_pipeline(*backend_, circuits, names, popts);
+    BatchStats stats;
+    stats.batch_index = batch.index;
+    stats.batch_size = batch.jobs.size();
+    stats.makespan_ns = report.makespan_ns;
+    stats.throughput = report.throughput;
+    stats.crosstalk_events = report.crosstalk_events;
+    stats.runtime_reduction = report.runtime_reduction;
+    for (std::size_t i = 0; i < batch.jobs.size(); ++i) {
+      batch.jobs[i]->finish({report.programs[i], stats});
+    }
+  } catch (const std::exception& e) {
+    for (const JobPtr& job : batch.jobs) job->fail(e.what());
+    failed = batch.jobs.size();
+  } catch (...) {
+    // A non-std exception escaping the worker would std::terminate.
+    for (const JobPtr& job : batch.jobs) {
+      job->fail("batch execution failed with a non-standard exception");
+    }
+    failed = batch.jobs.size();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++batches_executed_;
+    jobs_failed_ += failed;
+    jobs_completed_ += batch.jobs.size() - failed;
+    outstanding_jobs_ -= batch.jobs.size();
+  }
+  drained_cv_.notify_all();
+}
+
+void ExecutionService::wait_for_drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_cv_.wait(lock, [this] {
+    return outstanding_jobs_ == 0 && batch_queue_.empty();
+  });
+}
+
+void ExecutionService::flush() {
+  dispatch_pending();
+  wait_for_drain();
+}
+
+void ExecutionService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    accepting_ = false;
+  }
+  flush();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+ServiceStats ExecutionService::stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats.jobs_submitted = next_job_id_;
+    stats.jobs_completed = jobs_completed_;
+    stats.jobs_failed = jobs_failed_;
+    stats.batches_executed = batches_executed_;
+    stats.spill_events = spill_events_;
+  }
+  stats.transpile_cache = backend_->cache_stats();
+  return stats;
+}
+
+std::size_t ExecutionService::pending_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace qucp

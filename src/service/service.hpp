@@ -1,0 +1,173 @@
+#pragma once
+// ExecutionService: the asynchronous job-queue front door of the library.
+//
+// The paper motivates multi-programming with cloud-queue pressure (overall
+// runtime = waiting time + execution time, §II-A): batching N user jobs
+// into one device job cuts total runtime by up to N. The service owns the
+// logic every caller used to hand-roll around run_parallel(): a job queue,
+// an online batch packer (EFS partitioning + the §IV-B fidelity-threshold
+// spill), a worker pool that executes independent batches concurrently,
+// and a transpilation cache.
+//
+//   ExecutionService service(make_toronto27());
+//   JobHandle job = service.submit(circuit);
+//   service.flush();                       // pack + run everything queued
+//   const JobResult& r = job.result();     // or poll job.status()
+//
+// Determinism: with JobOrder::Canonical (default) queued jobs are packed
+// in (circuit fingerprint, name, submission id) order, so for a fixed seed
+// the results are reproducible regardless of submission interleaving —
+// jobs that share both circuit and name are mutually interchangeable, and
+// every other handle is exactly reproducible. Batch i executes with seed
+// `exec.seed + i * golden_ratio` (batch 0 uses exec.seed unchanged, which
+// keeps the run_parallel() shim bit-identical to its historical output).
+//
+// run_parallel() in core/parallel.hpp is a compatibility shim over this
+// service (single batch, FIFO order, synchronous).
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/parallel.hpp"
+#include "service/backend.hpp"
+#include "service/job.hpp"
+#include "service/packer.hpp"
+
+namespace qucp {
+
+/// Order in which queued jobs are considered for packing.
+enum class JobOrder {
+  /// Submission order. Deterministic only for single-threaded submitters.
+  Fifo,
+  /// (circuit fingerprint, name, submission id): deterministic under
+  /// concurrent submission up to jobs that are exact duplicates.
+  Canonical,
+};
+
+struct ServiceOptions {
+  Method method = Method::QuCP;
+  double sigma = 4.0;  ///< QuCP crosstalk parameter (paper: sigma = 4)
+  ExecOptions exec;    ///< shots, noise toggles, base seed
+  /// SRB crosstalk estimates; required by QuMC, used by CNA when present.
+  std::optional<CrosstalkModel> srb_estimates;
+  bool optimize_circuits = true;
+
+  int num_workers = 4;     ///< batch-executing threads (clamped to >= 1)
+  int max_batch_size = 4;  ///< jobs per batch; <= 0 means unbounded
+  /// §IV-B fidelity threshold: max EFS degradation vs running solo before
+  /// a co-placement is rejected and the job spills to the next batch.
+  /// 0 forces independent execution; infinity admits anything that fits.
+  double efs_threshold = std::numeric_limits<double>::infinity();
+  JobOrder order = JobOrder::Canonical;
+  /// Pack all queued jobs into exactly one batch and let the pipeline
+  /// fail the whole batch when it does not fit (run_parallel semantics).
+  bool single_batch = false;
+  /// When > 0, submit() packs and dispatches as soon as this many jobs
+  /// are pending, without waiting for flush(). Note: with concurrent
+  /// submitters the batch boundaries then depend on arrival interleaving.
+  std::size_t auto_flush_batch_size = 0;
+  std::size_t transpile_cache_capacity = 1024;
+};
+
+struct ServiceStats {
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t batches_executed = 0;
+  std::uint64_t spill_events = 0;  ///< EFS-threshold / fit rejections
+  TranspileCacheStats transpile_cache;
+};
+
+class ExecutionService {
+ public:
+  /// Validates the configuration eagerly: QuMC without SRB estimates
+  /// throws std::invalid_argument here, not at execution time.
+  explicit ExecutionService(Device device, ServiceOptions options = {});
+  ExecutionService(std::shared_ptr<Backend> backend, ServiceOptions options);
+  ~ExecutionService();
+
+  ExecutionService(const ExecutionService&) = delete;
+  ExecutionService& operator=(const ExecutionService&) = delete;
+
+  /// Enqueue a circuit. Cheap and thread-safe; nothing executes until a
+  /// batch is dispatched (flush(), shutdown() or auto-flush). Throws
+  /// std::runtime_error after shutdown().
+  JobHandle submit(Circuit circuit, JobOptions options = {});
+
+  /// Convenience: submit a vector of circuits, one handle each.
+  std::vector<JobHandle> submit_all(std::vector<Circuit> circuits);
+
+  /// Pack every pending job into batches, dispatch them to the worker
+  /// pool, and block until all dispatched work has drained.
+  void flush();
+
+  /// flush() then stop and join the workers. Idempotent. Further
+  /// submit() calls throw.
+  void shutdown();
+
+  [[nodiscard]] ServiceStats stats() const;
+  [[nodiscard]] Backend& backend() noexcept { return *backend_; }
+  [[nodiscard]] const Backend& backend() const noexcept { return *backend_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+  /// Jobs submitted but not yet dispatched into a batch.
+  [[nodiscard]] std::size_t pending_jobs() const;
+
+ private:
+  using JobPtr = std::shared_ptr<detail::JobState>;
+  struct Batch {
+    std::uint64_t index = 0;
+    std::vector<JobPtr> jobs;
+  };
+
+  void start_workers();
+  void worker_loop();
+  /// Pack current pending jobs and enqueue the resulting batches.
+  /// Serialized by pack_mutex_.
+  void dispatch_pending();
+  void execute_batch(Batch batch);
+  void wait_for_drain();
+
+  std::shared_ptr<Backend> backend_;
+  ServiceOptions options_;
+  std::unique_ptr<Partitioner> partitioner_;  ///< drives the packer
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;     ///< batch queue -> workers
+  std::condition_variable drained_cv_;  ///< outstanding == 0 -> flush()
+  std::vector<JobPtr> pending_;
+  std::deque<Batch> batch_queue_;
+  std::size_t outstanding_jobs_ = 0;  ///< dispatched, not yet finished
+  bool accepting_ = true;  ///< false after shutdown(); submit() throws
+  bool stop_ = false;
+  std::uint64_t next_job_id_ = 0;
+  std::uint64_t next_batch_index_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t batches_executed_ = 0;
+  std::uint64_t spill_events_ = 0;
+
+  std::mutex pack_mutex_;  ///< serializes pack/dispatch cycles
+  std::map<std::uint64_t, double> solo_efs_cache_;  ///< by circuit fp
+
+  std::vector<std::thread> workers_;
+};
+
+/// The one true batch pipeline (partition -> transpile-with-cache ->
+/// simultaneous execution -> fidelity metrics -> runtime model), shared by
+/// the service workers and the run_parallel() compatibility shim. `names`
+/// overrides per-program report names; empty entries (or an empty vector)
+/// fall back to the circuit name / "program<i>". Throws
+/// std::invalid_argument for config errors and std::runtime_error when the
+/// batch cannot be placed.
+[[nodiscard]] BatchReport run_batch_pipeline(
+    Backend& backend, const std::vector<Circuit>& programs,
+    const std::vector<std::string>& names, const ParallelOptions& options);
+
+}  // namespace qucp

@@ -113,7 +113,7 @@ ParallelRunReport execute_parallel(const Device& device,
           {topo.distance(ea.a, eb.a), topo.distance(ea.a, eb.b),
            topo.distance(ea.b, eb.a), topo.distance(ea.b, eb.b)});
       if (dist != 1) return false;
-      return options.serialize_hints == nullptr ||
+      return !options.serialize_hints.has_value() ||
              options.serialize_hints->gamma(a.edge, b.edge) > 1.0;
     };
     for (int round = 0; round < 100; ++round) {

@@ -13,6 +13,7 @@
 // relaxation (T1/T2) in schedule gaps, and crosstalk.
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,9 +47,11 @@ struct ExecOptions {
   /// no one-hop CX pairs overlap in time. With `serialize_hints` set only
   /// the listed (SRB-characterized) pairs are serialized; otherwise every
   /// one-hop overlap is. Buys crosstalk immunity with idle decoherence
-  /// and a longer makespan.
+  /// and a longer makespan. Held by value: ExecOptions frequently outlive
+  /// the caller's stack frame in the async ExecutionService, so a borrowed
+  /// pointer here would be a dangling-lifetime trap.
   bool serialize_crosstalk = false;
-  const CrosstalkModel* serialize_hints = nullptr;
+  std::optional<CrosstalkModel> serialize_hints;
 };
 
 struct ProgramOutcome {

@@ -82,7 +82,7 @@ TEST(SerializeCrosstalk, HintsRestrictSerialization) {
   CrosstalkModel empty_hints;
   ExecOptions opts;
   opts.serialize_crosstalk = true;
-  opts.serialize_hints = &empty_hints;
+  opts.serialize_hints = empty_hints;
   const ParallelRunReport report =
       execute_parallel(d, two_programs(), opts);
   EXPECT_GT(report.crosstalk_events, 0);  // overlaps still happen
@@ -90,7 +90,7 @@ TEST(SerializeCrosstalk, HintsRestrictSerialization) {
   // Hints with the planted pair serialize it away.
   CrosstalkModel good_hints;
   good_hints.add_pair(0, 2, 6.0);
-  opts.serialize_hints = &good_hints;
+  opts.serialize_hints = good_hints;
   const ParallelRunReport fixed =
       execute_parallel(d, two_programs(), opts);
   EXPECT_EQ(fixed.crosstalk_events, 0);

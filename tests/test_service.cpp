@@ -1,0 +1,353 @@
+// Tests for the asynchronous ExecutionService: packing, threshold spill,
+// worker-pool concurrency, determinism under concurrent submission, the
+// transpilation cache, and bit-identity of the run_parallel() shim.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "benchmarks/suite.hpp"
+
+namespace qucp {
+namespace {
+
+const char* kMix[] = {"adder", "fred", "lin", "4mod",
+                      "bell",  "qec",  "alu", "var"};
+
+Circuit mix_circuit(std::size_t i) {
+  return get_benchmark(kMix[i % std::size(kMix)]).circuit;
+}
+
+ServiceOptions fast_service_options() {
+  ServiceOptions opts;
+  opts.exec.shots = 128;
+  opts.num_workers = 4;
+  opts.max_batch_size = 4;
+  return opts;
+}
+
+/// Comparable digest of one job's outcome.
+struct Outcome {
+  std::vector<int> partition;
+  std::map<std::uint64_t, int> counts;
+  double pst = 0.0;
+  double jsd = 0.0;
+
+  [[nodiscard]] bool operator==(const Outcome& other) const = default;
+};
+
+Outcome outcome_of(const JobHandle& handle) {
+  const JobResult& r = handle.result();
+  return {r.report.partition, r.report.counts.data(), r.report.pst_value,
+          r.report.jsd_value};
+}
+
+/// Submit `n` jobs with unique names "job<i>" and return name -> outcome.
+std::map<std::string, Outcome> run_jobs(ExecutionService& service, int n,
+                                        int num_submit_threads,
+                                        bool reversed = false) {
+  std::vector<JobHandle> handles(static_cast<std::size_t>(n));
+  if (num_submit_threads <= 1) {
+    for (int i = 0; i < n; ++i) {
+      const int idx = reversed ? n - 1 - i : i;
+      JobOptions jopts;
+      jopts.name = "job" + std::to_string(idx);
+      handles[idx] = service.submit(mix_circuit(idx), jopts);
+    }
+  } else {
+    std::vector<std::thread> threads;
+    std::atomic<int> next{0};
+    for (int t = 0; t < num_submit_threads; ++t) {
+      threads.emplace_back([&] {
+        for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          JobOptions jopts;
+          jopts.name = "job" + std::to_string(i);
+          handles[i] = service.submit(mix_circuit(i), jopts);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  service.flush();
+  std::map<std::string, Outcome> outcomes;
+  for (const JobHandle& h : handles) outcomes[h.name()] = outcome_of(h);
+  return outcomes;
+}
+
+TEST(ExecutionService, DrainsSixtyFourJobsFromFourThreads) {
+  ExecutionService service(make_toronto27(), fast_service_options());
+  const auto outcomes = run_jobs(service, 64, 4);
+  ASSERT_EQ(outcomes.size(), 64u);
+  for (const auto& [name, out] : outcomes) {
+    EXPECT_FALSE(out.partition.empty()) << name;
+    int total = 0;
+    for (const auto& [bits, count] : out.counts) total += count;
+    EXPECT_EQ(total, 128) << name;
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_submitted, 64u);
+  EXPECT_EQ(stats.jobs_completed, 64u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  EXPECT_GE(stats.batches_executed, 16u);  // max_batch_size = 4
+  // 8 distinct circuits land on a handful of partitions: the cache must
+  // carry most of the 64 transpilations.
+  EXPECT_GT(stats.transpile_cache.hits, 0u);
+}
+
+TEST(ExecutionService, DeterministicAcrossSubmissionInterleavings) {
+  // Same 64 jobs (unique names), submitted serially, serially in reverse,
+  // and from 4 racing threads: with canonical ordering and a fixed seed
+  // every handle must observe the identical result.
+  ExecutionService serial(make_toronto27(), fast_service_options());
+  const auto base = run_jobs(serial, 64, 1);
+
+  ExecutionService reversed(make_toronto27(), fast_service_options());
+  EXPECT_EQ(run_jobs(reversed, 64, 1, /*reversed=*/true), base);
+
+  ExecutionService threaded(make_toronto27(), fast_service_options());
+  EXPECT_EQ(run_jobs(threaded, 64, 4), base);
+}
+
+TEST(ExecutionService, ShimIsBitIdenticalToDirectPipeline) {
+  // run_parallel() must reproduce the pre-service facade exactly: same
+  // partitions, same sampled counts, same metrics. The direct pipeline
+  // call below is the historical code path (partition -> transpile ->
+  // execute -> score) on a fresh backend.
+  const Device d = make_toronto27();
+  std::vector<Circuit> programs{get_benchmark("adder").circuit,
+                                get_benchmark("fred").circuit,
+                                get_benchmark("alu").circuit};
+  ParallelOptions opts;
+  opts.exec.shots = 256;
+
+  Backend backend(d);
+  const BatchReport direct = run_batch_pipeline(backend, programs, {}, opts);
+  const BatchReport shim = run_parallel(d, programs, opts);
+
+  ASSERT_EQ(shim.programs.size(), direct.programs.size());
+  for (std::size_t i = 0; i < shim.programs.size(); ++i) {
+    EXPECT_EQ(shim.programs[i].name, direct.programs[i].name);
+    EXPECT_EQ(shim.programs[i].partition, direct.programs[i].partition);
+    EXPECT_EQ(shim.programs[i].final_layout, direct.programs[i].final_layout);
+    EXPECT_EQ(shim.programs[i].swaps_added, direct.programs[i].swaps_added);
+    EXPECT_DOUBLE_EQ(shim.programs[i].efs, direct.programs[i].efs);
+    EXPECT_EQ(shim.programs[i].counts.data(), direct.programs[i].counts.data());
+    EXPECT_DOUBLE_EQ(shim.programs[i].pst_value, direct.programs[i].pst_value);
+    EXPECT_DOUBLE_EQ(shim.programs[i].jsd_value, direct.programs[i].jsd_value);
+  }
+  EXPECT_DOUBLE_EQ(shim.makespan_ns, direct.makespan_ns);
+  EXPECT_DOUBLE_EQ(shim.throughput, direct.throughput);
+  EXPECT_EQ(shim.crosstalk_events, direct.crosstalk_events);
+  EXPECT_DOUBLE_EQ(shim.runtime_reduction, direct.runtime_reduction);
+}
+
+TEST(ExecutionService, ZeroThresholdForcesIndependentExecution) {
+  // tau = 0 (paper §IV-B): a co-placement may not degrade EFS at all, so
+  // four copies of the same CX-heavy program run one per batch.
+  ServiceOptions opts = fast_service_options();
+  opts.efs_threshold = 0.0;
+  ExecutionService service(make_toronto27(), opts);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    JobOptions jopts;
+    jopts.name = "alu" + std::to_string(i);
+    handles.push_back(service.submit(get_benchmark("alu").circuit, jopts));
+  }
+  service.flush();
+  for (const JobHandle& h : handles) {
+    EXPECT_EQ(h.result().batch.batch_size, 1u);
+  }
+  EXPECT_EQ(service.stats().batches_executed, 4u);
+  EXPECT_GT(service.stats().spill_events, 0u);
+}
+
+TEST(ExecutionService, GenerousThresholdPacksOneBatch) {
+  ServiceOptions opts = fast_service_options();
+  ExecutionService service(make_toronto27(), opts);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    JobOptions jopts;
+    jopts.name = "alu" + std::to_string(i);
+    handles.push_back(service.submit(get_benchmark("alu").circuit, jopts));
+  }
+  service.flush();
+  for (const JobHandle& h : handles) {
+    EXPECT_EQ(h.result().batch.batch_size, 4u);
+    EXPECT_GT(h.result().batch.runtime_reduction, 1.5);
+  }
+  EXPECT_EQ(service.stats().batches_executed, 1u);
+}
+
+TEST(ExecutionService, ExclusiveJobRunsAlone) {
+  ExecutionService service(make_toronto27(), fast_service_options());
+  JobOptions exclusive;
+  exclusive.name = "solo";
+  exclusive.exclusive = true;
+  const JobHandle solo =
+      service.submit(get_benchmark("adder").circuit, exclusive);
+  std::vector<JobHandle> rest;
+  for (int i = 0; i < 3; ++i) {
+    rest.push_back(service.submit(get_benchmark("bell").circuit));
+  }
+  service.flush();
+  EXPECT_EQ(solo.result().batch.batch_size, 1u);
+  for (const JobHandle& h : rest) {
+    EXPECT_EQ(h.result().batch.batch_size, 3u);
+  }
+}
+
+TEST(ExecutionService, UnplaceableJobFailsOthersSurvive) {
+  ServiceOptions opts = fast_service_options();
+  ExecutionService service(make_line_device(4), opts);
+  const JobHandle big =
+      service.submit(get_benchmark("alu").circuit);  // 5 qubits > 4
+  const JobHandle small = service.submit(get_benchmark("bell").circuit);
+  service.flush();
+  EXPECT_EQ(big.status(), JobStatus::Failed);
+  EXPECT_NE(big.error().find("does not fit"), std::string::npos);
+  EXPECT_THROW((void)big.result(), std::runtime_error);
+  EXPECT_EQ(small.status(), JobStatus::Done);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+}
+
+TEST(ExecutionService, StatusLifecycleAndShutdown) {
+  ExecutionService service(make_toronto27(), fast_service_options());
+  const JobHandle job = service.submit(get_benchmark("bell").circuit);
+  EXPECT_EQ(job.status(), JobStatus::Queued);
+  EXPECT_FALSE(job.finished());
+  service.flush();
+  EXPECT_EQ(job.status(), JobStatus::Done);
+  EXPECT_TRUE(job.finished());
+  EXPECT_TRUE(job.wait_for(std::chrono::milliseconds(1)));
+
+  // More work after a flush is fine; submit after shutdown is not.
+  const JobHandle second = service.submit(get_benchmark("bell").circuit);
+  service.shutdown();
+  EXPECT_EQ(second.status(), JobStatus::Done);
+  EXPECT_THROW((void)service.submit(get_benchmark("bell").circuit),
+               std::runtime_error);
+  service.shutdown();  // idempotent
+}
+
+TEST(ExecutionService, AutoFlushDispatchesWithoutExplicitFlush) {
+  ServiceOptions opts = fast_service_options();
+  opts.auto_flush_batch_size = 4;
+  ExecutionService service(make_toronto27(), opts);
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 4; ++i) {
+    handles.push_back(service.submit(get_benchmark("bell").circuit));
+  }
+  for (const JobHandle& h : handles) {
+    EXPECT_TRUE(h.wait_for(std::chrono::seconds(30)));
+    EXPECT_EQ(h.status(), JobStatus::Done);
+  }
+  EXPECT_EQ(service.pending_jobs(), 0u);
+}
+
+TEST(ExecutionService, QumcWithoutEstimatesThrowsAtConstruction) {
+  ServiceOptions opts = fast_service_options();
+  opts.method = Method::QuMC;
+  EXPECT_THROW(ExecutionService(make_toronto27(), opts),
+               std::invalid_argument);
+}
+
+TEST(Packer, PartialTailBatchAndOrder) {
+  // 5 equal jobs, batches of 4: the tail batch has 1 job — the non-multiple
+  // case the old examples/cloud_queue.cpp slicing read past the end on.
+  const Device d = make_toronto27();
+  const QucpPartitioner partitioner;
+  const ProgramShape shape = shape_of(get_benchmark("bell").circuit);
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 5; ++i) jobs.push_back({i, shape, i, false});
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed =
+      pack_batches(d, jobs, partitioner, PackOptions{}, cache);
+  ASSERT_EQ(packed.batches.size(), 2u);
+  EXPECT_EQ(packed.batches[0].jobs, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(packed.batches[1].jobs, (std::vector<std::size_t>{4}));
+  EXPECT_TRUE(packed.unplaceable.empty());
+}
+
+TEST(Packer, SpillsWhatDoesNotFitTogether) {
+  // Three 5-qubit programs on a 12-qubit line with first-fit packing: two
+  // fit side by side, the third spills to a second batch instead of
+  // failing the whole queue. (Naive is used because its left-to-right
+  // first-fit makes the packing geometry exact; the EFS partitioners may
+  // fragment the line.)
+  const Device d = make_line_device(12);
+  const NaivePartitioner partitioner;
+  const ProgramShape shape = shape_of(get_benchmark("alu").circuit);
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 3; ++i) jobs.push_back({i, shape, i, false});
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed =
+      pack_batches(d, jobs, partitioner, PackOptions{}, cache);
+  ASSERT_EQ(packed.batches.size(), 2u);
+  EXPECT_EQ(packed.batches[0].jobs.size(), 2u);
+  EXPECT_EQ(packed.batches[1].jobs.size(), 1u);
+  EXPECT_GT(packed.spill_events, 0u);
+}
+
+TEST(Packer, SingleBatchModeNeverSplits) {
+  const Device d = make_line_device(6);
+  const QucpPartitioner partitioner;
+  const ProgramShape shape = shape_of(get_benchmark("adder").circuit);
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 3; ++i) jobs.push_back({i, shape, i, false});
+  PackOptions opts;
+  opts.single_batch = true;
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed = pack_batches(d, jobs, partitioner, opts, cache);
+  ASSERT_EQ(packed.batches.size(), 1u);
+  EXPECT_EQ(packed.batches[0].jobs.size(), 3u);
+}
+
+TEST(Backend, TranspileCacheHitsAndEviction) {
+  Backend backend(make_toronto27(), /*transpile_cache_capacity=*/2);
+  const Circuit bell = get_benchmark("bell").circuit;
+  const std::vector<int> partition{0, 1, 2, 4};
+  const TranspileOptions topts = hardware_aware_options();
+
+  const TranspiledProgram first =
+      backend.transpile(bell, partition, topts, 7);
+  const TranspiledProgram again =
+      backend.transpile(bell, partition, topts, 7);
+  EXPECT_EQ(first.physical.ops(), again.physical.ops());
+  EXPECT_EQ(first.final_layout, again.final_layout);
+  TranspileCacheStats stats = backend.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+
+  // Distinct keys evict FIFO once capacity is exceeded.
+  (void)backend.transpile(bell, partition, topts, 8);
+  (void)backend.transpile(bell, partition, topts, 9);
+  stats = backend.cache_stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(CircuitFingerprint, SensitiveToContentNotName) {
+  Circuit a(2);
+  a.h(0);
+  a.cx(0, 1);
+  Circuit b = a;
+  b.set_name("renamed");
+  EXPECT_EQ(circuit_fingerprint(a), circuit_fingerprint(b));
+  b.x(1);
+  EXPECT_NE(circuit_fingerprint(a), circuit_fingerprint(b));
+  Circuit c(2);
+  c.rx(0.5, 0);
+  Circuit d(2);
+  d.rx(0.5000001, 0);
+  EXPECT_NE(circuit_fingerprint(c), circuit_fingerprint(d));
+}
+
+}  // namespace
+}  // namespace qucp
