@@ -1,0 +1,233 @@
+// Kernel microbenchmark: ns/gate for the density-matrix and statevector
+// simulation kernels by kernel type and qubit count. The artifact writes
+// BENCH_kernels.json (schema qucp-bench-kernels-v1) so the perf trajectory
+// of the simulator hot path is pinned across PRs; CI runs it in smoke mode
+// (QUCP_BENCH_SMOKE=1, reduced repetitions) so regressions show up in PR
+// logs without minutes of timer budget.
+//
+// Only public simulator API is used, so the same binary measures any
+// kernel implementation generation.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuit/gate.hpp"
+#include "common/strings.hpp"
+#include "sim/density.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qucp;
+
+bool smoke_mode() {
+  const char* env = std::getenv("QUCP_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+struct KernelResult {
+  std::string kernel;
+  int qubits = 0;
+  double ns_per_op = 0.0;
+};
+
+/// Time `body` over enough repetitions to amortize clock overhead. The
+/// repetition count scales inversely with the state size so every cell
+/// costs roughly the same wall-clock budget.
+template <typename F>
+double time_ns_per_op(int reps, F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         std::max(1, reps);
+}
+
+int reps_for(std::size_t state_elems) {
+  const std::size_t budget = smoke_mode() ? (std::size_t{1} << 19)
+                                          : (std::size_t{1} << 25);
+  const std::size_t reps = budget / std::max<std::size_t>(1, state_elems);
+  return static_cast<int>(std::clamp<std::size_t>(reps, 4, 200000));
+}
+
+std::vector<KernelResult> run_density_suite(int n) {
+  std::vector<KernelResult> out;
+  const std::size_t dim2 = (std::size_t{1} << n) * (std::size_t{1} << n);
+  const int reps = reps_for(dim2);
+
+  const Matrix h = gate_matrix(GateKind::H);
+  const Matrix cxm = gate_matrix(GateKind::CX);
+  const std::vector<int> q1{n / 2};
+  const std::vector<int> q2{0, n - 1};
+
+  {
+    DensityMatrix dm(n);
+    out.push_back({"density_unitary_1q", n, time_ns_per_op(reps, [&] {
+                     dm.apply_unitary(h, q1);
+                   })});
+  }
+  if (n >= 2) {
+    DensityMatrix dm(n);
+    out.push_back({"density_unitary_2q", n, time_ns_per_op(reps, [&] {
+                     dm.apply_unitary(cxm, q2);
+                   })});
+  }
+  {
+    DensityMatrix dm(n);
+    dm.apply_unitary(h, q1);
+    out.push_back({"density_depolarizing_1q", n, time_ns_per_op(reps, [&] {
+                     dm.apply_depolarizing(0.01, q1);
+                   })});
+  }
+  if (n >= 2) {
+    DensityMatrix dm(n);
+    dm.apply_unitary(h, q1);
+    out.push_back({"density_depolarizing_2q", n, time_ns_per_op(reps, [&] {
+                     dm.apply_depolarizing(0.01, q2);
+                   })});
+  }
+  {
+    DensityMatrix dm(n);
+    dm.apply_unitary(h, q1);
+    out.push_back({"density_relaxation", n, time_ns_per_op(reps, [&] {
+                     dm.apply_relaxation(n / 2, 35.0, 80.0, 70.0);
+                   })});
+  }
+  {
+    DensityMatrix dm(n);
+    dm.apply_unitary(h, q1);
+    const double g = 0.02;
+    const Matrix k0(2, 2, {1, 0, 0, std::sqrt(1.0 - g)});
+    const Matrix k1(2, 2, {0, std::sqrt(g), 0, 0});
+    const Matrix kraus[] = {k0, k1};
+    out.push_back({"density_kraus_1q", n, time_ns_per_op(reps, [&] {
+                     dm.apply_kraus(kraus, q1);
+                   })});
+  }
+  return out;
+}
+
+std::vector<KernelResult> run_statevector_suite(int n) {
+  std::vector<KernelResult> out;
+  const int reps = reps_for(std::size_t{1} << n);
+  const Matrix h = gate_matrix(GateKind::H);
+  const Matrix cxm = gate_matrix(GateKind::CX);
+  const std::vector<int> q1{n / 2};
+  const std::vector<int> q2{0, n - 1};
+  {
+    Statevector sv(n);
+    out.push_back({"statevector_unitary_1q", n, time_ns_per_op(reps, [&] {
+                     sv.apply_unitary(h, q1);
+                   })});
+  }
+  if (n >= 2) {
+    Statevector sv(n);
+    out.push_back({"statevector_unitary_2q", n, time_ns_per_op(reps, [&] {
+                     sv.apply_unitary(cxm, q2);
+                   })});
+  }
+  return out;
+}
+
+void write_json(const std::vector<KernelResult>& results) {
+  const char* env = std::getenv("QUCP_BENCH_OUT");
+  const std::string path = (env != nullptr && *env != '\0')
+                               ? std::string(env)
+                               : std::string("BENCH_kernels.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_kernels: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qucp-bench-kernels-v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
+  std::fprintf(f, "  \"unit\": \"ns_per_op\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KernelResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"qubits\": %d, "
+                 "\"ns_per_op\": %.1f}%s\n",
+                 r.kernel.c_str(), r.qubits, r.ns_per_op,
+                 i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu kernel timings%s)\n", path.c_str(),
+              results.size(), smoke_mode() ? ", smoke mode" : "");
+}
+
+void print_kernel_grid() {
+  bench::heading("Simulation kernels: ns/op by kernel and qubit count");
+  std::vector<KernelResult> all;
+  const std::vector<int> density_sizes = smoke_mode()
+                                             ? std::vector<int>{2, 4, 6}
+                                             : std::vector<int>{2, 4, 6, 8, 10};
+  const std::vector<int> sv_sizes = smoke_mode()
+                                        ? std::vector<int>{2, 6, 10}
+                                        : std::vector<int>{2, 4, 6, 8, 10, 12};
+  for (int n : density_sizes) {
+    const auto rs = run_density_suite(n);
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+  for (int n : sv_sizes) {
+    const auto rs = run_statevector_suite(n);
+    all.insert(all.end(), rs.begin(), rs.end());
+  }
+
+  bench::row({"kernel", "qubits", "ns/op"}, 26);
+  bench::rule(3, 26);
+  for (const KernelResult& r : all) {
+    bench::row({r.kernel, std::to_string(r.qubits), fmt_double(r.ns_per_op, 1)},
+               26);
+  }
+  write_json(all);
+}
+
+// Representative google-benchmark timers (the JSON artifact above is the
+// canonical record; these give perf-diff-friendly console output).
+void BM_DensityGate1q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DensityMatrix dm(n);
+  const Matrix h = gate_matrix(GateKind::H);
+  const std::vector<int> q{n / 2};
+  for (auto _ : state) dm.apply_unitary(h, q);
+}
+BENCHMARK(BM_DensityGate1q)->Arg(4)->Arg(8);
+
+void BM_DensityGate2q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DensityMatrix dm(n);
+  const Matrix cxm = gate_matrix(GateKind::CX);
+  const std::vector<int> q{0, n - 1};
+  for (auto _ : state) dm.apply_unitary(cxm, q);
+}
+BENCHMARK(BM_DensityGate2q)->Arg(4)->Arg(8);
+
+void BM_DensityRelaxation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DensityMatrix dm(n);
+  const Matrix h = gate_matrix(GateKind::H);
+  dm.apply_unitary(h, std::vector<int>{n / 2});
+  for (auto _ : state) dm.apply_relaxation(n / 2, 35.0, 80.0, 70.0);
+}
+BENCHMARK(BM_DensityRelaxation)->Arg(4)->Arg(8);
+
+void BM_StatevectorGate2q(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Statevector sv(n);
+  const Matrix cxm = gate_matrix(GateKind::CX);
+  const std::vector<int> q{0, n - 1};
+  for (auto _ : state) sv.apply_unitary(cxm, q);
+}
+BENCHMARK(BM_StatevectorGate2q)->Arg(4)->Arg(12);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_kernel_grid)

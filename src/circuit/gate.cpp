@@ -249,4 +249,32 @@ Matrix gate_matrix(GateKind kind, std::span<const double> params) {
 
 Matrix gate_matrix(const Gate& g) { return gate_matrix(g.kind, g.params); }
 
+const Matrix* fixed_gate_matrix(GateKind kind) {
+  // The tables below are indexed by enum value; fail the build if the
+  // enum ordering this depends on ever changes.
+  static_assert(static_cast<int>(GateKind::I) == 0 &&
+                    static_cast<int>(GateKind::SX) == 9 &&
+                    static_cast<int>(GateKind::SWAP) -
+                            static_cast<int>(GateKind::CX) ==
+                        2,
+                "fixed_gate_matrix tables assume the GateKind ordering");
+  // Immutable after the (thread-safe) first-use initialization, so reads
+  // need no synchronization.
+  static const std::array<Matrix, 10> table = {
+      gate_matrix(GateKind::I),   gate_matrix(GateKind::X),
+      gate_matrix(GateKind::Y),   gate_matrix(GateKind::Z),
+      gate_matrix(GateKind::H),   gate_matrix(GateKind::S),
+      gate_matrix(GateKind::Sdg), gate_matrix(GateKind::T),
+      gate_matrix(GateKind::Tdg), gate_matrix(GateKind::SX)};
+  static const std::array<Matrix, 3> table2 = {gate_matrix(GateKind::CX),
+                                               gate_matrix(GateKind::CZ),
+                                               gate_matrix(GateKind::SWAP)};
+  const auto idx = static_cast<std::size_t>(kind);
+  if (idx < table.size()) return &table[idx];
+  if (kind >= GateKind::CX && kind <= GateKind::SWAP) {
+    return &table2[idx - static_cast<std::size_t>(GateKind::CX)];
+  }
+  return nullptr;
+}
+
 }  // namespace qucp

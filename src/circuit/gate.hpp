@@ -90,4 +90,10 @@ struct Gate {
 /// Convenience: unitary of a concrete gate.
 [[nodiscard]] Matrix gate_matrix(const Gate& g);
 
+/// Lock-free lookup of the unitary of a parameterless gate kind (X, H, T,
+/// CX, ...): a pointer into an immutable table built on first use, or null
+/// for parameterized / non-unitary kinds. The hot path under every
+/// simulator — no allocation, no mutex.
+[[nodiscard]] const Matrix* fixed_gate_matrix(GateKind kind);
+
 }  // namespace qucp

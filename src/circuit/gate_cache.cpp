@@ -1,0 +1,31 @@
+#include "circuit/gate_cache.hpp"
+
+namespace qucp {
+
+const Matrix& GateMatrixCache::get(GateKind kind,
+                                   std::span<const double> params) {
+  if (const Matrix* fixed = fixed_gate_matrix(kind)) return *fixed;
+  const GateKeyView view{kind, params};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = cache_.find(view); it != cache_.end()) return it->second;
+    if (cache_.size() < kMaxEntries) {
+      auto [it, inserted] = cache_.emplace(
+          GateKey{kind, std::vector<double>(params.begin(), params.end())},
+          gate_matrix(kind, params));
+      return it->second;
+    }
+  }
+  // Cache full: build into a per-thread slot so callers still get a stable
+  // reference for immediate use without unbounded growth.
+  thread_local Matrix spill;
+  spill = gate_matrix(kind, params);
+  return spill;
+}
+
+std::size_t GateMatrixCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+}  // namespace qucp

@@ -1,0 +1,88 @@
+#pragma once
+// Keyed memoization of per-gate artifacts.
+//
+// GateKey / GateKeyView key a gate by (kind, exact param bit patterns) —
+// cache identity, not numeric closeness — with transparent hashing so the
+// hit path never copies a params vector. GateMatrixCache is the
+// thread-safe gate_matrix() memo built on them; single-threaded callers
+// (e.g. the statevector's thread_local compiled-gate memo) reuse the key
+// types with their own unordered_map and skip the mutex.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/gate.hpp"
+#include "common/matrix.hpp"
+
+namespace qucp {
+
+/// Owning cache key: a gate kind plus its exact parameter bit patterns.
+struct GateKey {
+  GateKind kind = GateKind::I;
+  std::vector<double> params;
+};
+
+/// Non-owning lookup view over the same fields (transparent find).
+struct GateKeyView {
+  GateKind kind = GateKind::I;
+  std::span<const double> params;
+};
+
+/// FNV-1a over the kind byte and the params' bit patterns.
+struct GateKeyHash {
+  using is_transparent = void;
+  template <typename K>
+  std::size_t operator()(const K& k) const noexcept {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 1099511628211ULL; };
+    mix(static_cast<std::uint64_t>(k.kind));
+    for (double p : k.params) mix(std::bit_cast<std::uint64_t>(p));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct GateKeyEq {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const noexcept {
+    return a.kind == b.kind &&
+           std::equal(a.params.begin(), a.params.end(), b.params.begin(),
+                      b.params.end());
+  }
+};
+
+/// Thread-safe memo of gate_matrix() results keyed by (kind, params).
+///
+/// Entries are never evicted, so returned references stay valid for the
+/// cache's lifetime (node-based map: stable under later insertions). Meant
+/// for call sites that replay the same gates many times — a Backend keeps
+/// one across jobs so repeated shot-batches stop rebuilding CX/H/rotation
+/// matrices per op. The cache grows by one entry per distinct
+/// (kind, params) up to kMaxEntries, after which fresh keys are built into
+/// a per-thread spill slot instead (valid until the calling thread's next
+/// spilled get) so an endless rotation-angle sweep cannot grow the cache
+/// without bound.
+class GateMatrixCache {
+ public:
+  static constexpr std::size_t kMaxEntries = 1 << 14;
+
+  /// The unitary of (kind, params), built on first use.
+  [[nodiscard]] const Matrix& get(GateKind kind,
+                                  std::span<const double> params = {});
+  [[nodiscard]] const Matrix& get(const Gate& g) {
+    return get(g.kind, g.params);
+  }
+
+  [[nodiscard]] std::size_t entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<GateKey, Matrix, GateKeyHash, GateKeyEq> cache_;
+};
+
+}  // namespace qucp

@@ -29,6 +29,17 @@ Topology::Topology(int num_qubits, std::vector<std::pair<int, int>> edge_list)
   }
   for (auto& nb : adj_) std::sort(nb.begin(), nb.end());
 
+  // Dense (a, b) -> edge id table for O(1) edge_index lookups: the
+  // executor and the allocator's scoring loop query it per gate/candidate.
+  edge_of_.assign(static_cast<std::size_t>(num_qubits) * num_qubits, -1);
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    edge_of_[static_cast<std::size_t>(e.a) * num_qubits + e.b] =
+        static_cast<int>(i);
+    edge_of_[static_cast<std::size_t>(e.b) * num_qubits + e.a] =
+        static_cast<int>(i);
+  }
+
   // All-pairs BFS.
   dist_.assign(num_qubits, std::vector<int>(num_qubits, -1));
   for (int src = 0; src < num_qubits; ++src) {
@@ -72,11 +83,9 @@ int Topology::degree(int q) const {
 std::optional<int> Topology::edge_index(int a, int b) const {
   check_qubit(a);
   check_qubit(b);
-  const Edge e(a, b);
-  for (std::size_t i = 0; i < edges_.size(); ++i) {
-    if (edges_[i] == e) return static_cast<int>(i);
-  }
-  return std::nullopt;
+  const int idx = edge_of_[static_cast<std::size_t>(a) * num_qubits_ + b];
+  if (idx < 0) return std::nullopt;
+  return idx;
 }
 
 int Topology::distance(int a, int b) const {
@@ -120,31 +129,47 @@ std::vector<int> Topology::one_hop_neighbors_of_edge(int e) const {
 
 bool Topology::is_connected_subset(std::span<const int> qubits) const {
   if (qubits.empty()) return true;
-  std::set<int> subset;
+  // Flat membership + an index-walked BFS queue: this runs per candidate
+  // partition inside the allocator's scoring loop, so no per-query set
+  // lookups or node allocations.
+  std::vector<char> subset(static_cast<std::size_t>(num_qubits_), 0);
+  std::size_t subset_size = 0;
+  int first = num_qubits_;
   for (int q : qubits) {
     check_qubit(q);
-    subset.insert(q);
+    if (!subset[q]) {
+      subset[q] = 1;
+      ++subset_size;
+      first = std::min(first, q);
+    }
   }
-  std::deque<int> queue{*subset.begin()};
-  std::set<int> visited{*subset.begin()};
-  while (!queue.empty()) {
-    const int u = queue.front();
-    queue.pop_front();
+  std::vector<int> queue{first};
+  queue.reserve(subset_size);
+  std::vector<char> visited(static_cast<std::size_t>(num_qubits_), 0);
+  visited[first] = 1;
+  std::size_t visited_size = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int u = queue[head];
     for (int v : adj_[u]) {
-      if (subset.count(v) && !visited.count(v)) {
-        visited.insert(v);
+      if (subset[v] && !visited[v]) {
+        visited[v] = 1;
+        ++visited_size;
         queue.push_back(v);
       }
     }
   }
-  return visited.size() == subset.size();
+  return visited_size == subset_size;
 }
 
 std::vector<int> Topology::induced_edges(std::span<const int> qubits) const {
-  std::set<int> subset(qubits.begin(), qubits.end());
+  std::vector<char> subset(static_cast<std::size_t>(num_qubits_), 0);
+  for (int q : qubits) {
+    check_qubit(q);
+    subset[q] = 1;
+  }
   std::vector<int> out;
   for (int i = 0; i < num_edges(); ++i) {
-    if (subset.count(edges_[i].a) && subset.count(edges_[i].b)) {
+    if (subset[edges_[i].a] && subset[edges_[i].b]) {
       out.push_back(i);
     }
   }

@@ -74,6 +74,7 @@ class Topology {
   int num_qubits_ = 0;
   std::vector<Edge> edges_;
   std::vector<std::vector<int>> adj_;       // neighbor lists
+  std::vector<int> edge_of_;  ///< dense (a,b) -> edge id, -1 when uncoupled
   std::vector<std::vector<int>> dist_;      // all-pairs hop distances
 };
 

@@ -103,11 +103,11 @@ Distribution ReadoutMitigator::mitigate(const Distribution& dist) const {
     }
   }
   // Clip and renormalize.
-  std::map<std::uint64_t, double> out;
+  std::vector<Distribution::Entry> out;
   double total = 0.0;
   for (std::size_t x = 0; x < dim; ++x) {
     if (probs[x] > 0.0) {
-      out[x] = probs[x];
+      out.emplace_back(x, probs[x]);
       total += probs[x];
     }
   }

@@ -8,14 +8,16 @@ namespace qucp {
 
 namespace {
 
-/// Average error of edges incident to q that stay inside `usable`.
+/// Average error of edges incident to q that stay inside `usable` (flat
+/// boolean membership per device qubit — the partitioner is on the
+/// service's per-batch path, so no per-query set lookups).
 double local_edge_error(const Device& device, int q,
-                        const std::set<int>& usable) {
+                        const std::vector<char>& usable) {
   const Topology& topo = device.topology();
   double total = 0.0;
   int count = 0;
   for (int nb : topo.neighbors(q)) {
-    if (!usable.count(nb)) continue;
+    if (!usable[nb]) continue;
     total += device.cx_error(q, nb);
     ++count;
   }
@@ -28,15 +30,20 @@ std::vector<std::vector<int>> partition_candidates(
     const Device& device, int k, std::span<const int> allocated) {
   if (k <= 0) throw std::invalid_argument("partition_candidates: k <= 0");
   const Topology& topo = device.topology();
-  std::set<int> blocked(allocated.begin(), allocated.end());
-  std::set<int> usable;
-  for (int q = 0; q < topo.num_qubits(); ++q) {
-    if (!blocked.count(q)) usable.insert(q);
+  const int n = topo.num_qubits();
+  std::vector<char> usable(n, 1);
+  for (int q : allocated) {
+    if (q < 0 || q >= n) {
+      throw std::out_of_range("partition_candidates: allocated qubit out of range");
+    }
+    usable[q] = 0;
   }
+  std::vector<char> in_part(n, 0);
   std::set<std::vector<int>> dedup;
-  for (int start : usable) {
+  for (int start = 0; start < n; ++start) {
+    if (!usable[start]) continue;
     std::vector<int> part{start};
-    std::set<int> in_part{start};
+    in_part[start] = 1;
     while (static_cast<int>(part.size()) < k) {
       // Frontier: usable neighbors of the current subgraph.
       int best = -1;
@@ -44,12 +51,12 @@ std::vector<std::vector<int>> partition_candidates(
       double best_err = 2.0;
       for (int q : part) {
         for (int nb : topo.neighbors(q)) {
-          if (in_part.count(nb) || !usable.count(nb)) continue;
+          if (in_part[nb] || !usable[nb]) continue;
           // Quality: connections into the usable region (descending), then
           // local error (ascending), then index for determinism.
           int conn = 0;
           for (int nb2 : topo.neighbors(nb)) {
-            if (usable.count(nb2)) ++conn;
+            if (usable[nb2]) ++conn;
           }
           const double err = local_edge_error(device, nb, usable);
           if (conn > best_conn ||
@@ -64,8 +71,9 @@ std::vector<std::vector<int>> partition_candidates(
       }
       if (best < 0) break;  // region exhausted; candidate unusable
       part.push_back(best);
-      in_part.insert(best);
+      in_part[best] = 1;
     }
+    for (int q : part) in_part[q] = 0;
     if (static_cast<int>(part.size()) == k) {
       std::sort(part.begin(), part.end());
       dedup.insert(std::move(part));

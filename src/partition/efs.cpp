@@ -24,9 +24,15 @@ EfsBreakdown efs_score(const Device& device, std::span<const int> partition,
   if (!topo.is_connected_subset(partition)) {
     throw std::invalid_argument("efs_score: partition not connected");
   }
-  const std::set<int> alloc_set(allocated.begin(), allocated.end());
+  std::vector<char> alloc_mask(static_cast<std::size_t>(topo.num_qubits()), 0);
+  for (int q : allocated) {
+    if (q < 0 || q >= topo.num_qubits()) {
+      throw std::out_of_range("efs_score: allocated qubit out of range");
+    }
+    alloc_mask[q] = 1;
+  }
   for (int q : partition) {
-    if (alloc_set.count(q)) {
+    if (alloc_mask[q]) {
       throw std::invalid_argument("efs_score: partition overlaps allocation");
     }
   }
@@ -38,8 +44,7 @@ EfsBreakdown efs_score(const Device& device, std::span<const int> partition,
   // Avg2q(cross): average CX error over partition-internal edges, with
   // q_crosstalk edges (one-hop from an allocated edge) inflated.
   const std::vector<int> part_edges = topo.induced_edges(partition);
-  const std::vector<int> alloc_edges =
-      topo.induced_edges(std::vector<int>(alloc_set.begin(), alloc_set.end()));
+  const std::vector<int> alloc_edges = topo.induced_edges(allocated);
   if (!part_edges.empty()) {
     double total = 0.0;
     for (int e : part_edges) {

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "circuit/gate_cache.hpp"
 #include "hardware/device.hpp"
 #include "mapping/transpiler.hpp"
 #include "sim/executor.hpp"
@@ -52,12 +53,18 @@ class Backend {
                                             std::uint64_t options_fp);
 
   /// Execute pre-mapped programs on the simulated hardware. Thread-safe:
-  /// execute_parallel only reads the device.
+  /// execute_parallel only reads the device, and the shared gate-matrix
+  /// cache is internally synchronized.
   [[nodiscard]] ParallelRunReport execute(std::vector<PhysicalProgram> programs,
                                           const ExecOptions& options) const;
 
   [[nodiscard]] TranspileCacheStats cache_stats() const;
   void clear_cache();
+
+  /// Distinct (kind, params) gate unitaries memoized by this backend.
+  [[nodiscard]] std::size_t gate_cache_entries() const {
+    return gate_cache_.entries();
+  }
 
  private:
   struct CacheKey {
@@ -77,6 +84,10 @@ class Backend {
   std::map<CacheKey, TranspiledProgram> cache_;
   std::vector<CacheKey> insertion_order_;  ///< FIFO eviction queue
   TranspileCacheStats stats_;
+  /// Gate unitaries shared by every execution on this backend (its own
+  /// mutex; never cleared, so references handed to the simulator stay
+  /// valid for the backend's lifetime).
+  mutable GateMatrixCache gate_cache_;
 };
 
 }  // namespace qucp

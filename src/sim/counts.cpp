@@ -1,5 +1,6 @@
 #include "sim/counts.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,13 +8,32 @@
 
 namespace qucp {
 
-Distribution::Distribution(int num_bits, std::map<std::uint64_t, double> probs)
-    : num_bits_(num_bits) {
+Distribution::Distribution(int num_bits, std::vector<Entry> probs)
+    : num_bits_(num_bits), probs_(std::move(probs)) {
   if (num_bits < 0 || num_bits > 63) {
     throw std::invalid_argument("Distribution: bad bit count");
   }
+  // Sort by outcome; stable so repeated outcomes merge in input order.
+  if (!std::is_sorted(probs_.begin(), probs_.end(),
+                      [](const Entry& a, const Entry& b) {
+                        return a.first < b.first;
+                      })) {
+    std::stable_sort(probs_.begin(), probs_.end(),
+                     [](const Entry& a, const Entry& b) {
+                       return a.first < b.first;
+                     });
+  }
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    if (unique > 0 && probs_[unique - 1].first == probs_[i].first) {
+      probs_[unique - 1].second += probs_[i].second;
+    } else {
+      probs_[unique++] = probs_[i];
+    }
+  }
+  probs_.resize(unique);
   double total = 0.0;
-  for (const auto& [outcome, p] : probs) {
+  for (const auto& [outcome, p] : probs_) {
     if (p < -1e-12) throw std::invalid_argument("Distribution: negative prob");
     if (outcome >> num_bits) {
       throw std::invalid_argument("Distribution: outcome exceeds bit width");
@@ -21,14 +41,19 @@ Distribution::Distribution(int num_bits, std::map<std::uint64_t, double> probs)
     total += std::max(0.0, p);
   }
   if (total <= 0.0) throw std::invalid_argument("Distribution: empty support");
-  for (const auto& [outcome, p] : probs) {
-    if (p > 1e-15) probs_[outcome] = p / total;
+  unique = 0;
+  for (const auto& [outcome, p] : probs_) {
+    if (p > 1e-15) probs_[unique++] = {outcome, p / total};
   }
+  probs_.resize(unique);
 }
 
 double Distribution::prob(std::uint64_t outcome) const {
-  const auto it = probs_.find(outcome);
-  return it == probs_.end() ? 0.0 : it->second;
+  const auto it = std::lower_bound(probs_.begin(), probs_.end(), outcome,
+                                   [](const Entry& e, std::uint64_t o) {
+                                     return e.first < o;
+                                   });
+  return it == probs_.end() || it->first != outcome ? 0.0 : it->second;
 }
 
 std::uint64_t Distribution::most_likely() const {
@@ -71,25 +96,45 @@ void Counts::add(std::uint64_t outcome, int n) {
 
 Distribution Counts::to_distribution() const {
   if (total_ == 0) throw std::logic_error("Counts: no shots");
-  std::map<std::uint64_t, double> probs;
+  std::vector<Distribution::Entry> probs;
+  probs.reserve(counts_.size());
   for (const auto& [outcome, n] : counts_) {
-    probs[outcome] = static_cast<double>(n) / total_;
+    probs.emplace_back(outcome, static_cast<double>(n) / total_);
   }
   return Distribution(num_bits_, std::move(probs));
 }
 
 Counts sample_counts(const Distribution& dist, int shots, Rng& rng) {
   if (shots <= 0) throw std::invalid_argument("sample_counts: shots <= 0");
-  std::vector<std::uint64_t> outcomes;
-  std::vector<double> weights;
-  outcomes.reserve(dist.probs().size());
-  for (const auto& [outcome, p] : dist.probs()) {
-    outcomes.push_back(outcome);
-    weights.push_back(p);
+  const std::vector<Distribution::Entry>& entries = dist.probs();
+  if (entries.empty()) {
+    // Matches the old per-shot rng.discrete() behavior, which threw on an
+    // all-zero weight set (a default-constructed Distribution).
+    throw std::invalid_argument("sample_counts: empty distribution");
+  }
+  // Prefix sums accumulated left to right — the identical summation and
+  // strict r < cdf[i] comparison Rng::discrete performs, so the sampled
+  // index stream is bit-for-bit the one a per-shot discrete() would give,
+  // at a binary search instead of a linear scan per shot.
+  std::vector<double> cdf;
+  cdf.reserve(entries.size());
+  double acc = 0.0;
+  for (const auto& [outcome, p] : entries) {
+    acc += p;
+    cdf.push_back(acc);
+  }
+  const double total = acc;
+  std::vector<int> hits(entries.size(), 0);
+  for (int s = 0; s < shots; ++s) {
+    const double r = rng.uniform() * total;
+    std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+    if (idx == cdf.size()) idx = cdf.size() - 1;  // guard against rounding
+    ++hits[idx];
   }
   Counts counts(dist.num_bits(), {});
-  for (int s = 0; s < shots; ++s) {
-    counts.add(outcomes[rng.discrete(weights)]);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (hits[i] > 0) counts.add(entries[i].first, hits[i]);
   }
   return counts;
 }

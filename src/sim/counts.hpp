@@ -15,14 +15,23 @@ namespace qucp {
 class Rng;
 
 /// Normalized probability distribution over packed clbit outcomes.
+///
+/// Stored as a flat (outcome, probability) vector sorted by outcome — one
+/// allocation instead of a tree node per outcome, which keeps the
+/// simulator's result-assembly hot path cheap. Iteration with structured
+/// bindings works exactly as it did with the former std::map storage.
 class Distribution {
  public:
+  using Entry = std::pair<std::uint64_t, double>;
+
   Distribution() = default;
-  /// Construct from outcome->probability map; normalizes; drops zeros.
-  Distribution(int num_bits, std::map<std::uint64_t, double> probs);
+  /// Construct from (outcome, probability) entries, in any order and
+  /// possibly with repeated outcomes (summed); normalizes; drops zeros.
+  Distribution(int num_bits, std::vector<Entry> probs);
 
   [[nodiscard]] int num_bits() const noexcept { return num_bits_; }
-  [[nodiscard]] const std::map<std::uint64_t, double>& probs() const noexcept {
+  /// Entries sorted by outcome, normalized, zero-free.
+  [[nodiscard]] const std::vector<Entry>& probs() const noexcept {
     return probs_;
   }
   [[nodiscard]] double prob(std::uint64_t outcome) const;
@@ -33,7 +42,7 @@ class Distribution {
 
  private:
   int num_bits_ = 0;
-  std::map<std::uint64_t, double> probs_;
+  std::vector<Entry> probs_;
 };
 
 /// Raw shot counts.

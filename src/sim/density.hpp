@@ -5,6 +5,13 @@
 // can afford the exact mixed-state evolution: no trajectory sampling noise,
 // which keeps JSD/PST comparisons between methods deterministic up to the
 // final (optional) shot sampling.
+//
+// Hot-path design: rho is stored row-major and treated as a superket of
+// length dim^2, so every channel update runs as statevector-style kernels
+// over 2n bits (see sim/kernels.hpp) — row bit q of rho lives at superket
+// bit q + n, column bit q at superket bit q. All scratch buffers are owned
+// by the instance and reused, so no channel update allocates after the
+// first call at a given size.
 
 #include <span>
 #include <vector>
@@ -23,20 +30,30 @@ class DensityMatrix {
   [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
   [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
 
+  /// Row-major dim x dim matrix elements: data()[r * dim() + c] = <r|rho|c>.
+  [[nodiscard]] std::span<const cx> data() const noexcept { return rho_; }
+
   /// rho -> U rho U^dagger with U acting on `qubits` (first operand = high
   /// local bit).
   void apply_unitary(const Matrix& u, std::span<const int> qubits);
 
   /// Uniform-Pauli depolarizing channel with parameter p on the given
   /// qubits: rho -> (1-p) rho + p/(4^m - 1) * sum_{P != I} P rho P.
+  /// Applied in place via the twirl identity (partial trace + uniform
+  /// refill on the local diagonal).
   void apply_depolarizing(double p, std::span<const int> qubits);
 
-  /// General Kraus channel: rho -> sum_k K rho K^dagger. Kraus operators
-  /// must satisfy sum K^dagger K == I (checked to tolerance).
-  void apply_kraus(std::span<const Matrix> kraus, std::span<const int> qubits);
+  /// General Kraus channel: rho -> sum_k K rho K^dagger. With `validate`
+  /// (the default) the Kraus set is checked for trace preservation
+  /// (sum K^dagger K == I to tolerance) before anything is applied;
+  /// internal hot-path callers that construct provably complete sets pass
+  /// false to skip the Matrix multiplies.
+  void apply_kraus(std::span<const Matrix> kraus, std::span<const int> qubits,
+                   bool validate = true);
 
-  /// Thermal relaxation on one qubit for duration_ns given T1/T2 in us
-  /// (amplitude damping followed by pure dephasing).
+  /// Thermal relaxation on one qubit for duration_ns given T1/T2 in us.
+  /// Amplitude damping followed by pure dephasing, fused into one
+  /// closed-form per-element pass (no Kraus matrices are built).
   void apply_relaxation(int qubit, double duration_ns, double t1_us,
                         double t2_us);
 
@@ -54,9 +71,21 @@ class DensityMatrix {
  private:
   int num_qubits_;
   std::size_t dim_;
-  std::vector<cx> rho_;  // row-major dim x dim
+  std::vector<cx> rho_;  // row-major dim x dim, read as a superket
+
+  // Reused scratch (grown on first use, never shrunk): generic-kernel
+  // gather buffer, per-base partial traces for the depolarizing refill,
+  // and the original/accumulator copies a multi-operator Kraus sum needs.
+  std::vector<cx> kernel_scratch_;
+  std::vector<cx> trace_scratch_;
+  std::vector<cx> kraus_orig_;
+  std::vector<cx> kraus_acc_;
+  std::vector<std::size_t> offset_scratch_;
 
   void check_qubits(std::span<const int> qubits) const;
+  /// Superket application of (u (x) conj(u)) — the shared core of
+  /// apply_unitary and apply_kraus; no unitarity is assumed.
+  void transform_two_sided(const Matrix& u, std::span<const int> qubits);
 };
 
 }  // namespace qucp

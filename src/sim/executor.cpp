@@ -1,11 +1,12 @@
 #include "sim/executor.hpp"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <set>
 #include <stdexcept>
 
 #include "circuit/decompose.hpp"
+#include "circuit/gate_cache.hpp"
 #include "sim/density.hpp"
 #include "sim/noise.hpp"
 
@@ -26,7 +27,11 @@ struct CxEvent {
 
 ParallelRunReport execute_parallel(const Device& device,
                                    std::vector<PhysicalProgram> programs,
-                                   const ExecOptions& options) {
+                                   const ExecOptions& options,
+                                   GateMatrixCache* gate_cache) {
+  // Callers without a long-lived cache still deduplicate within the run.
+  GateMatrixCache local_cache;
+  GateMatrixCache& matrices = gate_cache != nullptr ? *gate_cache : local_cache;
   if (programs.empty()) {
     throw std::invalid_argument("execute_parallel: no programs");
   }
@@ -101,11 +106,17 @@ ParallelRunReport execute_parallel(const Device& device,
     // Program-level serialization: shift the later program past the
     // earlier one whenever a (hinted) one-hop CX pair overlaps. Coarse but
     // sound — overlap strictly decreases each round.
-    auto pair_conflicts = [&](const CxEvent& a, const CxEvent& b) {
+    //
+    // Everything about a pair except its time overlap (programs, edges,
+    // one-hop distance, hints) is shift-invariant, so the O(E^2) pair scan
+    // runs once; each round then only rechecks overlap on the precomputed
+    // eligible pairs. A shift moves just the victim program's events, so
+    // the next scan resumes from the victim's earlier pairs plus the tail
+    // at/after the shift position instead of restarting at index 0 —
+    // pairs before that point without a victim event were already clean
+    // and cannot have changed.
+    auto statically_eligible = [&](const CxEvent& a, const CxEvent& b) {
       if (a.program == b.program || a.edge == b.edge) return false;
-      if (!intervals_overlap(a.start_ns, a.end_ns, b.start_ns, b.end_ns)) {
-        return false;
-      }
       const Edge& ea = topo.edges()[a.edge];
       const Edge& eb = topo.edges()[b.edge];
       if (ea.shares_qubit(eb)) return false;
@@ -116,28 +127,75 @@ ParallelRunReport execute_parallel(const Device& device,
       return !options.serialize_hints.has_value() ||
              options.serialize_hints->gamma(a.edge, b.edge) > 1.0;
     };
-    for (int round = 0; round < 100; ++round) {
-      bool shifted = false;
-      for (std::size_t i = 0; i < events.size() && !shifted; ++i) {
-        for (std::size_t j = i + 1; j < events.size() && !shifted; ++j) {
-          const CxEvent& a = events[i];
-          const CxEvent& b = events[j];
-          if (!pair_conflicts(a, b)) continue;
-          // Delay the program whose conflicting gate starts later.
-          const bool delay_b = b.start_ns >= a.start_ns;
-          const std::size_t victim = delay_b ? b.program : a.program;
-          const double delta = delay_b ? a.end_ns - b.start_ns
-                                       : b.end_ns - a.start_ns;
-          for (ScheduledOp& op : schedules[victim].ops) {
-            op.start_ns += delta;
-            op.end_ns += delta;
-          }
-          schedules[victim].makespan_ns += delta;
-          shifted = true;
+    struct EligiblePair {
+      std::uint32_t a = 0;
+      std::uint32_t b = 0;
+    };
+    std::vector<EligiblePair> eligible;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        if (statically_eligible(events[i], events[j])) {
+          eligible.push_back({static_cast<std::uint32_t>(i),
+                              static_cast<std::uint32_t>(j)});
         }
       }
-      if (!shifted) break;
-      events = collect_events();
+    }
+    // Eligible-pair positions touching each program, ascending.
+    std::vector<std::vector<std::uint32_t>> pairs_of(programs.size());
+    for (std::size_t t = 0; t < eligible.size(); ++t) {
+      pairs_of[events[eligible[t].a].program].push_back(
+          static_cast<std::uint32_t>(t));
+      pairs_of[events[eligible[t].b].program].push_back(
+          static_cast<std::uint32_t>(t));
+    }
+    auto overlapping = [&](const EligiblePair& pr) {
+      const CxEvent& a = events[pr.a];
+      const CxEvent& b = events[pr.b];
+      return intervals_overlap(a.start_ns, a.end_ns, b.start_ns, b.end_ns);
+    };
+    const std::size_t kNoVictim = programs.size();
+    std::size_t resume = 0;
+    std::size_t last_victim = kNoVictim;
+    for (int round = 0; round < 100; ++round) {
+      std::size_t found = eligible.size();
+      if (last_victim != kNoVictim) {
+        for (std::uint32_t t : pairs_of[last_victim]) {
+          if (t >= resume) break;
+          if (overlapping(eligible[t])) {
+            found = t;
+            break;
+          }
+        }
+      }
+      if (found == eligible.size()) {
+        for (std::size_t t = resume; t < eligible.size(); ++t) {
+          if (overlapping(eligible[t])) {
+            found = t;
+            break;
+          }
+        }
+      }
+      if (found == eligible.size()) break;
+      const CxEvent& a = events[eligible[found].a];
+      const CxEvent& b = events[eligible[found].b];
+      // Delay the program whose conflicting gate starts later.
+      const bool delay_b = b.start_ns >= a.start_ns;
+      const std::size_t victim = delay_b ? b.program : a.program;
+      const double delta = delay_b ? a.end_ns - b.start_ns
+                                   : b.end_ns - a.start_ns;
+      for (ScheduledOp& op : schedules[victim].ops) {
+        op.start_ns += delta;
+        op.end_ns += delta;
+      }
+      schedules[victim].makespan_ns += delta;
+      for (CxEvent& ev : events) {
+        if (ev.program == victim) {
+          ev.start_ns += delta;
+          ev.end_ns += delta;
+        }
+      }
+      resume = found;
+      last_victim = victim;
     }
     global_makespan = 0.0;
     for (const Schedule& s : schedules) {
@@ -169,8 +227,11 @@ ParallelRunReport execute_parallel(const Device& device,
       }
     }
   }
-  // Index the amplified gamma per (program, op).
-  std::vector<std::map<std::size_t, double>> gamma_of(programs.size());
+  // Index the amplified gamma per (program, op): flat per-op vectors.
+  std::vector<std::vector<double>> gamma_of(programs.size());
+  for (std::size_t p = 0; p < lowered.size(); ++p) {
+    gamma_of[p].assign(lowered[p].size(), 1.0);
+  }
   for (const CxEvent& ev : events) gamma_of[ev.program][ev.op] = ev.gamma;
 
   // Simulate each program's partition.
@@ -183,12 +244,16 @@ ParallelRunReport execute_parallel(const Device& device,
   report.throughput =
       static_cast<double>(all_used.size()) / device.num_qubits();
 
+  // Flat device-indexed bookkeeping, reused across programs.
+  std::vector<int> local_of(device.num_qubits(), -1);
+  std::vector<double> busy_until(device.num_qubits(), 0.0);
+
   for (std::size_t p = 0; p < lowered.size(); ++p) {
     const Circuit& circ = lowered[p];
     const std::vector<int> active = circ.active_qubits();
-    std::map<int, int> local_of;  // device qubit -> local index
     for (std::size_t i = 0; i < active.size(); ++i) {
       local_of[active[i]] = static_cast<int>(i);
+      busy_until[active[i]] = 0.0;
     }
     DensityMatrix dm(static_cast<int>(active.size()));
 
@@ -201,8 +266,6 @@ ParallelRunReport execute_parallel(const Device& device,
                               schedules[p].ops[y].start_ns;
                      });
 
-    std::map<int, double> busy_until;  // device qubit -> time
-    for (int q : active) busy_until[q] = 0.0;
     std::vector<std::pair<int, int>> measurements;  // (device qubit, clbit)
 
     auto apply_idle = [&](int q, double until_ns) {
@@ -213,6 +276,7 @@ ParallelRunReport execute_parallel(const Device& device,
       }
     };
 
+    int local[4];
     for (std::size_t idx : order) {
       const Gate& g = circ.ops()[idx];
       const ScheduledOp& so = schedules[p].ops[idx];
@@ -225,20 +289,19 @@ ParallelRunReport execute_parallel(const Device& device,
         measurements.emplace_back(g.qubits[0], g.clbit);
         continue;
       }
-      std::vector<int> local;
-      local.reserve(g.qubits.size());
-      for (int q : g.qubits) local.push_back(local_of[q]);
-      dm.apply_unitary(gate_matrix(g), local);
+      const std::size_t width = g.qubits.size();
+      for (std::size_t i = 0; i < width; ++i) local[i] = local_of[g.qubits[i]];
+      const std::span<const int> local_span(local, width);
+      dm.apply_unitary(matrices.get(g), local_span);
       if (!options.gate_noise) continue;
       if (g.kind == GateKind::CX) {
-        const auto it = gamma_of[p].find(idx);
-        const double gamma = it == gamma_of[p].end() ? 1.0 : it->second;
+        const double gamma = gamma_of[p][idx];
         const int edge = *topo.edge_index(g.qubits[0], g.qubits[1]);
         dm.apply_depolarizing(
-            depolarizing_param(cal.cx_error[edge] * gamma), local);
+            depolarizing_param(cal.cx_error[edge] * gamma), local_span);
       } else {
         dm.apply_depolarizing(depolarizing_param(cal.q1_error[g.qubits[0]]),
-                              local);
+                              local_span);
       }
     }
 
@@ -272,7 +335,7 @@ ParallelRunReport execute_parallel(const Device& device,
     }
     int num_bits = 0;
     for (const auto& [q, c] : measurements) num_bits = std::max(num_bits, c + 1);
-    std::map<std::uint64_t, double> dist_map;
+    std::vector<Distribution::Entry> dist_entries;
     for (std::size_t packed = 0; packed < meas_probs.size(); ++packed) {
       if (meas_probs[packed] < 1e-15) continue;
       std::uint64_t outcome = 0;
@@ -281,11 +344,11 @@ ParallelRunReport execute_parallel(const Device& device,
           outcome |= std::uint64_t{1} << measurements[j].second;
         }
       }
-      dist_map[outcome] += meas_probs[packed];
+      dist_entries.emplace_back(outcome, meas_probs[packed]);
     }
     ProgramOutcome outcome;
     outcome.name = programs[p].name;
-    outcome.distribution = Distribution(num_bits, std::move(dist_map));
+    outcome.distribution = Distribution(num_bits, std::move(dist_entries));
     Rng prog_rng = rng.derive(programs[p].name + "#" + std::to_string(p));
     outcome.counts = sample_counts(outcome.distribution, options.shots,
                                    prog_rng);

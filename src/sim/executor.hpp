@@ -25,6 +25,8 @@
 
 namespace qucp {
 
+class GateMatrixCache;  // circuit/gate_cache.hpp
+
 /// A program already mapped to physical qubits. The circuit spans the whole
 /// device index space but may only touch its partition's qubits; CX/CZ ops
 /// must sit on coupled edges; SWAPs are lowered internally.
@@ -71,9 +73,12 @@ struct ParallelRunReport {
 
 /// Execute programs simultaneously on the device. Programs must occupy
 /// pairwise-disjoint qubit sets and respect the coupling graph.
+/// `gate_cache` (optional) memoizes gate unitaries across calls — a Backend
+/// passes its own so repeated shot-batches stop rebuilding matrices per op;
+/// when null a run-local cache still deduplicates within the call.
 [[nodiscard]] ParallelRunReport execute_parallel(
     const Device& device, std::vector<PhysicalProgram> programs,
-    const ExecOptions& options = {});
+    const ExecOptions& options = {}, GateMatrixCache* gate_cache = nullptr);
 
 /// Convenience: execute a single program (no co-runners).
 [[nodiscard]] ProgramOutcome execute_single(const Device& device,

@@ -1,0 +1,124 @@
+#pragma once
+// Statevector-style update kernels shared by Statevector and DensityMatrix.
+//
+// A k-qubit unitary on an n-qubit amplitude vector touches each amplitude
+// once: the 2^(n-k) "base" indices (target bits clear) are enumerated
+// directly by bit-insertion — spread a dense counter across the non-target
+// bit positions — instead of skip-scanning all 2^n indices and discarding
+// the ones with a target bit set. The k = 1 and k = 2 cases (the only
+// sizes the executor ever emits) are hand-specialized with the amplitudes
+// held in registers; larger k falls back to a gather/apply/scatter loop
+// over a caller-owned scratch buffer, so no kernel allocates.
+//
+// DensityMatrix reuses these kernels by treating rho as a superket of
+// length dim^2: rho -> U rho U^dag is (U (x) conj(U)) |rho>, i.e. one
+// statevector pass with U on the row bits (q + n) and one with conj(U) on
+// the column bits (q).
+//
+// Kernels whose base loop is large are split across std::thread workers
+// (disjoint index ranges, join before return); small states — everything
+// the paper's <= 5-qubit programs produce — stay single-threaded.
+
+#include <cstddef>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/matrix.hpp"
+
+namespace qucp::kern {
+
+/// Base loops at least this large are split across hardware threads.
+inline constexpr std::size_t kParallelGrain = std::size_t{1} << 16;
+
+/// Run fn(begin, end) over [0, count), split across threads when count is
+/// large and the machine has more than one core. fn must be race-free on
+/// disjoint ranges. Threads are joined before returning.
+template <typename F>
+void parallel_for(std::size_t count, F&& fn) {
+  // hardware_concurrency() re-reads sysfs on every call in glibc — cache it
+  // once or it costs microseconds per kernel invocation.
+  static const unsigned hw = std::thread::hardware_concurrency();
+  if (count < 2 * kParallelGrain || hw <= 1) {
+    fn(std::size_t{0}, count);
+    return;
+  }
+  const std::size_t num_chunks =
+      std::min<std::size_t>(hw, count / kParallelGrain);
+  const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(num_chunks - 1);
+  for (std::size_t c = 1; c < num_chunks; ++c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(count, begin + chunk);
+    if (begin >= end) break;
+    workers.emplace_back([&fn, begin, end] { fn(begin, end); });
+  }
+  fn(std::size_t{0}, std::min(count, chunk));
+  for (std::thread& w : workers) w.join();
+}
+
+/// Insert a zero bit at position `bit`: the counter's bits at and above
+/// `bit` shift up one, producing the base index with that bit clear.
+[[nodiscard]] inline std::size_t insert_bit(std::size_t counter,
+                                            int bit) noexcept {
+  const std::size_t low = (std::size_t{1} << bit) - 1;
+  return ((counter & ~low) << 1) | (counter & low);
+}
+
+/// A 1- or 2-qubit unitary pre-classified for the fast paths below:
+/// the structure tag (diagonal / antidiagonal / CX / SWAP / generalized
+/// permutation / dense) and the unpacked real/imaginary coefficients are
+/// computed once, so replayed gates skip per-call detection entirely.
+struct CompiledUnitary {
+  enum class Tag : std::uint8_t {
+    kDiag1,   ///< diag(v0, v1): Z, S, T, RZ, U1
+    kAnti1,   ///< antidiag(v0, v1): X, Y
+    kDense1,  ///< general 2x2
+    kCxPerm,  ///< CX pattern: swap the hi=1 pair
+    kSwapPerm,///< SWAP pattern: exchange the mixed pair
+    kDiag2,   ///< diagonal 4x4: CZ, controlled phases
+    kPerm2,   ///< generalized permutation 4x4
+    kDense2,  ///< general 4x4
+  };
+  Tag tag = Tag::kDense1;
+  int k = 1;           ///< operand count (1 or 2)
+  int src[4] = {};     ///< kPerm2: source local index per row
+  double re[16] = {};  ///< coefficients (dense: row-major; perm/diag: per row)
+  double im[16] = {};
+};
+
+/// Classify and unpack a 1q (u.size() == 4) or 2q (u.size() == 16)
+/// row-major unitary.
+[[nodiscard]] CompiledUnitary compile_unitary(std::span<const cx> u);
+
+/// Apply a compiled 1q/2q unitary; targets follows gate_matrix's operand
+/// order (targets[0] = high local bit).
+void apply_compiled(std::span<cx> amps, int n, std::span<const int> targets,
+                    const CompiledUnitary& cu);
+
+/// Apply the 1-qubit matrix u (row-major, u[0]=u00 u[1]=u01 ...) to bit
+/// `target` of `amps` (size 2^n).
+void apply1(std::span<cx> amps, int n, int target, const cx u[4]);
+
+/// Apply the 2-qubit matrix u (row-major 4x4; local basis index is
+/// (bit_hi << 1) | bit_lo) to bits `bit_hi`/`bit_lo` of `amps`.
+void apply2(std::span<cx> amps, int n, int bit_hi, int bit_lo,
+            const cx u[16]);
+
+/// Generic k-qubit kernel. `targets` lists bit positions with targets[0]
+/// the HIGH local bit (gate_matrix convention); u is row-major 2^k x 2^k.
+/// `scratch` is resized to 2^k + k bookkeeping slots and reused.
+void apply_generic(std::span<cx> amps, int n, std::span<const int> targets,
+                   const cx* u, std::vector<cx>& scratch);
+
+/// Dispatch on targets.size(): specialized k=1/k=2 kernels, generic
+/// fallback otherwise. `u` must be a 2^k x 2^k row-major matrix given as a
+/// flat span (Matrix::data()). When `conjugate` is set the complex
+/// conjugate of u is applied (used for the superket column pass) without
+/// materializing a conjugated matrix for k <= 2.
+void apply_unitary(std::span<cx> amps, int n, std::span<const int> targets,
+                   std::span<const cx> u, bool conjugate,
+                   std::vector<cx>& scratch);
+
+}  // namespace qucp::kern

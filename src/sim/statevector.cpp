@@ -2,8 +2,60 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
+
+#include "circuit/gate_cache.hpp"
 
 namespace qucp {
+
+namespace {
+
+/// Per-thread memo of compiled gate kernels: a flat array for
+/// parameterless kinds, a (kind, params)-keyed hash map for rotations.
+/// thread_local, so no locks anywhere on the replay path.
+const kern::CompiledUnitary& compiled_for(const Gate& g) {
+  const auto kind_idx = static_cast<std::size_t>(g.kind);
+  if (gate_param_count(g.kind) == 0) {
+    const Matrix* m = fixed_gate_matrix(g.kind);
+    if (m == nullptr) {
+      // Barrier/Measure also have zero params but no unitary; surface the
+      // same error gate_matrix raises instead of dereferencing null.
+      throw std::invalid_argument("compiled_for: non-unitary op");
+    }
+    struct Slot {
+      bool ready = false;
+      kern::CompiledUnitary cu;
+    };
+    thread_local Slot fixed[32];
+    Slot& slot = fixed[kind_idx];
+    if (!slot.ready) {
+      slot.cu = kern::compile_unitary(m->data());
+      slot.ready = true;
+    }
+    return slot.cu;
+  }
+  thread_local std::unordered_map<GateKey, kern::CompiledUnitary, GateKeyHash,
+                                  GateKeyEq>
+      memo;
+  // Transparent lookup: no params copy (and no allocation) on the hit path.
+  if (auto it = memo.find(GateKeyView{g.kind, g.params}); it != memo.end()) {
+    return it->second;
+  }
+  // Bound the memo like GateMatrixCache: an endless rotation-angle sweep
+  // must not grow it without limit. Past the cap, rebuild into a
+  // per-thread spill slot.
+  const Matrix m = gate_matrix(g);
+  if (memo.size() >= GateMatrixCache::kMaxEntries) {
+    thread_local kern::CompiledUnitary spill;
+    spill = kern::compile_unitary(m.data());
+    return spill;
+  }
+  return memo
+      .emplace(GateKey{g.kind, g.params}, kern::compile_unitary(m.data()))
+      .first->second;
+}
+
+}  // namespace
 
 Statevector::Statevector(int num_qubits) : num_qubits_(num_qubits) {
   if (num_qubits < 0 || num_qubits > 24) {
@@ -24,38 +76,25 @@ void Statevector::apply_unitary(const Matrix& u, std::span<const int> qubits) {
       throw std::out_of_range("Statevector: qubit out of range");
     }
   }
-  const std::size_t dim = amps_.size();
-  std::vector<std::size_t> masks(qubits.size());
-  for (int j = 0; j < k; ++j) masks[j] = std::size_t{1} << qubits[j];
+  if (k == 0) {
+    for (cx& a : amps_) a *= u(0, 0);
+    return;
+  }
+  kern::apply_unitary(amps_, num_qubits_, qubits, u.data(),
+                      /*conjugate=*/false, scratch_);
+}
 
-  std::vector<cx> local(ldim);
-  for (std::size_t base = 0; base < dim; ++base) {
-    bool is_base = true;
-    for (std::size_t m : masks) {
-      if (base & m) {
-        is_base = false;
-        break;
-      }
-    }
-    if (!is_base) continue;
-    // Gather local amplitudes: local index li has qubits[0] as HIGH bit.
-    for (std::size_t li = 0; li < ldim; ++li) {
-      std::size_t idx = base;
-      for (int j = 0; j < k; ++j) {
-        if ((li >> (k - 1 - j)) & 1U) idx |= masks[j];
-      }
-      local[li] = amps_[idx];
-    }
-    for (std::size_t lr = 0; lr < ldim; ++lr) {
-      cx acc{0.0, 0.0};
-      for (std::size_t lc = 0; lc < ldim; ++lc) acc += u(lr, lc) * local[lc];
-      std::size_t idx = base;
-      for (int j = 0; j < k; ++j) {
-        if ((lr >> (k - 1 - j)) & 1U) idx |= masks[j];
-      }
-      amps_[idx] = acc;
+void Statevector::apply_compiled(const kern::CompiledUnitary& cu,
+                                 std::span<const int> qubits) {
+  for (int q : qubits) {
+    if (q < 0 || q >= num_qubits_) {
+      throw std::out_of_range("Statevector: qubit out of range");
     }
   }
+  if (static_cast<int>(qubits.size()) != cu.k) {
+    throw std::invalid_argument("Statevector: matrix/operand mismatch");
+  }
+  kern::apply_compiled(amps_, num_qubits_, qubits, cu);
 }
 
 void Statevector::apply_circuit(const Circuit& circuit) {
@@ -67,7 +106,7 @@ void Statevector::apply_circuit(const Circuit& circuit) {
     if (g.kind == GateKind::Measure) {
       throw std::logic_error("Statevector: measurement not supported");
     }
-    apply_unitary(gate_matrix(g), g.qubits);
+    apply_compiled(compiled_for(g), g.qubits);
   }
 }
 
@@ -107,22 +146,45 @@ Distribution ideal_distribution(const Circuit& circuit) {
       measurements.emplace_back(g.qubits[0], g.clbit);
       continue;
     }
-    sv.apply_unitary(gate_matrix(g), g.qubits);
+    sv.apply_compiled(compiled_for(g), g.qubits);
   }
   if (measurements.empty()) {
     throw std::logic_error("ideal_distribution: circuit has no measurements");
   }
-  const std::vector<double> probs = sv.probabilities();
-  std::map<std::uint64_t, double> out;
-  for (std::size_t basis = 0; basis < probs.size(); ++basis) {
-    if (probs[basis] < 1e-15) continue;
-    std::uint64_t outcome = 0;
-    for (const auto& [q, c] : measurements) {
-      if ((basis >> q) & 1U) outcome |= std::uint64_t{1} << c;
+  // Read |amp|^2 straight off the state; a probabilities() vector here
+  // would be pure allocation overhead.
+  const std::span<const cx> amps = sv.amplitudes();
+  const int num_clbits = circuit.num_clbits();
+  std::vector<Distribution::Entry> out;
+  if (num_clbits <= 10) {
+    // Flat accumulation: no per-outcome node allocation, single pass to
+    // collect the support in sorted order.
+    thread_local std::vector<double> acc;
+    acc.assign(std::size_t{1} << num_clbits, 0.0);
+    for (std::size_t basis = 0; basis < amps.size(); ++basis) {
+      const double p = std::norm(amps[basis]);
+      if (p < 1e-15) continue;
+      std::uint64_t outcome = 0;
+      for (const auto& [q, c] : measurements) {
+        if ((basis >> q) & 1U) outcome |= std::uint64_t{1} << c;
+      }
+      acc[outcome] += p;
     }
-    out[outcome] += probs[basis];
+    for (std::size_t o = 0; o < acc.size(); ++o) {
+      if (acc[o] != 0.0) out.emplace_back(o, acc[o]);
+    }
+  } else {
+    for (std::size_t basis = 0; basis < amps.size(); ++basis) {
+      const double p = std::norm(amps[basis]);
+      if (p < 1e-15) continue;
+      std::uint64_t outcome = 0;
+      for (const auto& [q, c] : measurements) {
+        if ((basis >> q) & 1U) outcome |= std::uint64_t{1} << c;
+      }
+      out.emplace_back(outcome, p);  // ctor merges duplicates
+    }
   }
-  return Distribution(circuit.num_clbits(), std::move(out));
+  return Distribution(num_clbits, std::move(out));
 }
 
 }  // namespace qucp

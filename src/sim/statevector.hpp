@@ -12,6 +12,7 @@
 #include "circuit/circuit.hpp"
 #include "common/matrix.hpp"
 #include "sim/counts.hpp"
+#include "sim/kernels.hpp"
 
 namespace qucp {
 
@@ -29,6 +30,12 @@ class Statevector {
   /// matching gate_matrix's convention).
   void apply_unitary(const Matrix& u, std::span<const int> qubits);
 
+  /// Apply a pre-compiled 1q/2q kernel (kern::compile_unitary): the hot
+  /// path for replayed gates — structure detection and coefficient
+  /// unpacking were paid once at compile time.
+  void apply_compiled(const kern::CompiledUnitary& cu,
+                      std::span<const int> qubits);
+
   /// Apply all unitary ops of a circuit (barriers skipped; measurements
   /// rejected — use ideal_distribution for measured circuits).
   void apply_circuit(const Circuit& circuit);
@@ -44,6 +51,7 @@ class Statevector {
  private:
   int num_qubits_;
   std::vector<cx> amps_;
+  std::vector<cx> scratch_;  ///< generic-kernel gather buffer, reused
 };
 
 /// Exact outcome distribution of a measured circuit under ideal execution.

@@ -1,0 +1,490 @@
+// Golden-value equivalence suite for the superket kernel layer.
+//
+// The reference implementations below are verbatim ports of the seed
+// (pre-kernel-rewrite) DensityMatrix and Statevector update loops:
+// skip-scan base enumeration, per-call scratch, four-Kraus relaxation,
+// copy-based depolarizing. Every channel of the new kernel layer is pinned
+// against them elementwise to 1e-10 over random circuits on 1-8 qubits,
+// plus trace/purity/hermiticity invariants.
+
+#include "sim/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "sim/density.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucp {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+std::size_t with_local(std::size_t base, std::size_t local,
+                       std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  for (int j = 0; j < k; ++j) {
+    if ((local >> (k - 1 - j)) & 1U) base |= std::size_t{1} << qubits[j];
+  }
+  return base;
+}
+
+/// Seed implementation of the density-matrix channels (skip-scan loops).
+struct RefDensity {
+  int n;
+  std::size_t dim;
+  std::vector<cx> rho;
+
+  explicit RefDensity(int num_qubits)
+      : n(num_qubits), dim(std::size_t{1} << num_qubits) {
+    rho.assign(dim * dim, cx{0.0, 0.0});
+    rho[0] = 1.0;
+  }
+
+  void apply_unitary(const Matrix& u, std::span<const int> qubits) {
+    const int k = static_cast<int>(qubits.size());
+    const std::size_t ldim = std::size_t{1} << k;
+    std::size_t submask = 0;
+    for (int q : qubits) submask |= std::size_t{1} << q;
+    std::vector<cx> local(ldim);
+    for (std::size_t c = 0; c < dim; ++c) {
+      for (std::size_t base = 0; base < dim; ++base) {
+        if (base & submask) continue;
+        for (std::size_t li = 0; li < ldim; ++li) {
+          local[li] = rho[with_local(base, li, qubits) * dim + c];
+        }
+        for (std::size_t lr = 0; lr < ldim; ++lr) {
+          cx acc{0.0, 0.0};
+          for (std::size_t lc = 0; lc < ldim; ++lc) {
+            acc += u(lr, lc) * local[lc];
+          }
+          rho[with_local(base, lr, qubits) * dim + c] = acc;
+        }
+      }
+    }
+    for (std::size_t r = 0; r < dim; ++r) {
+      cx* row = &rho[r * dim];
+      for (std::size_t base = 0; base < dim; ++base) {
+        if (base & submask) continue;
+        for (std::size_t li = 0; li < ldim; ++li) {
+          local[li] = row[with_local(base, li, qubits)];
+        }
+        for (std::size_t lc = 0; lc < ldim; ++lc) {
+          cx acc{0.0, 0.0};
+          for (std::size_t lk = 0; lk < ldim; ++lk) {
+            acc += std::conj(u(lc, lk)) * local[lk];
+          }
+          row[with_local(base, lc, qubits)] = acc;
+        }
+      }
+    }
+  }
+
+  void apply_depolarizing(double p, std::span<const int> qubits) {
+    if (p == 0.0) return;
+    const int k = static_cast<int>(qubits.size());
+    const std::size_t ldim = std::size_t{1} << k;
+    const double pauli_dim = std::pow(4.0, k);
+    const double c2 = p * pauli_dim / (pauli_dim - 1.0);
+    const double c1 = 1.0 - c2;
+    std::size_t submask = 0;
+    for (int q : qubits) submask |= std::size_t{1} << q;
+    std::vector<cx> out(dim * dim, cx{0.0, 0.0});
+    for (std::size_t i = 0; i < rho.size(); ++i) out[i] = c1 * rho[i];
+    const double inv_ldim = 1.0 / static_cast<double>(ldim);
+    for (std::size_t rb = 0; rb < dim; ++rb) {
+      if (rb & submask) continue;
+      for (std::size_t cb = 0; cb < dim; ++cb) {
+        if (cb & submask) continue;
+        cx traced{0.0, 0.0};
+        for (std::size_t s = 0; s < ldim; ++s) {
+          traced += rho[with_local(rb, s, qubits) * dim +
+                        with_local(cb, s, qubits)];
+        }
+        const cx fill = c2 * traced * inv_ldim;
+        for (std::size_t s = 0; s < ldim; ++s) {
+          out[with_local(rb, s, qubits) * dim + with_local(cb, s, qubits)] +=
+              fill;
+        }
+      }
+    }
+    rho = std::move(out);
+  }
+
+  void apply_kraus(std::span<const Matrix> kraus,
+                   std::span<const int> qubits) {
+    const std::vector<cx> original = rho;
+    std::vector<cx> acc(dim * dim, cx{0.0, 0.0});
+    for (const Matrix& k : kraus) {
+      rho = original;
+      apply_unitary(k, qubits);
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += rho[i];
+    }
+    rho = std::move(acc);
+  }
+
+  void apply_relaxation(int qubit, double duration_ns, double t1_us,
+                        double t2_us) {
+    if (duration_ns <= 0.0) return;
+    const double t_us = duration_ns * 1e-3;
+    const double gamma = 1.0 - std::exp(-t_us / t1_us);
+    const double inv_tphi = std::max(0.0, 1.0 / t2_us - 0.5 / t1_us);
+    const double lambda = 1.0 - std::exp(-t_us * inv_tphi);
+    const double sg = std::sqrt(std::max(0.0, 1.0 - gamma));
+    const Matrix ad0(2, 2, {1, 0, 0, sg});
+    const Matrix ad1(2, 2, {0, std::sqrt(gamma), 0, 0});
+    const Matrix ads[] = {ad0, ad1};
+    apply_kraus(ads, std::span<const int>(&qubit, 1));
+    const double sl = std::sqrt(std::max(0.0, 1.0 - lambda));
+    const Matrix pd0(2, 2, {1, 0, 0, sl});
+    const Matrix pd1(2, 2, {0, 0, 0, std::sqrt(lambda)});
+    const Matrix pds[] = {pd0, pd1};
+    apply_kraus(pds, std::span<const int>(&qubit, 1));
+  }
+};
+
+/// Seed implementation of the statevector update (skip-scan).
+void ref_sv_apply(std::vector<cx>& amps, const Matrix& u,
+                  std::span<const int> qubits) {
+  const int k = static_cast<int>(qubits.size());
+  const std::size_t ldim = std::size_t{1} << k;
+  const std::size_t dim = amps.size();
+  std::vector<std::size_t> masks(qubits.size());
+  for (int j = 0; j < k; ++j) masks[j] = std::size_t{1} << qubits[j];
+  std::vector<cx> local(ldim);
+  for (std::size_t base = 0; base < dim; ++base) {
+    bool is_base = true;
+    for (std::size_t m : masks) {
+      if (base & m) {
+        is_base = false;
+        break;
+      }
+    }
+    if (!is_base) continue;
+    for (std::size_t li = 0; li < ldim; ++li) {
+      std::size_t idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((li >> (k - 1 - j)) & 1U) idx |= masks[j];
+      }
+      local[li] = amps[idx];
+    }
+    for (std::size_t lr = 0; lr < ldim; ++lr) {
+      cx acc{0.0, 0.0};
+      for (std::size_t lc = 0; lc < ldim; ++lc) acc += u(lr, lc) * local[lc];
+      std::size_t idx = base;
+      for (int j = 0; j < k; ++j) {
+        if ((lr >> (k - 1 - j)) & 1U) idx |= masks[j];
+      }
+      amps[idx] = acc;
+    }
+  }
+}
+
+double max_abs_diff(std::span<const cx> a, std::span<const cx> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+void check_density_invariants(const DensityMatrix& dm) {
+  EXPECT_NEAR(dm.trace_real(), 1.0, 1e-9);
+  EXPECT_LE(dm.purity(), 1.0 + 1e-9);
+  EXPECT_GE(dm.purity(), 0.0);
+  // Hermiticity of the stored matrix.
+  const std::span<const cx> rho = dm.data();
+  const std::size_t dim = dm.dim();
+  for (std::size_t r = 0; r < dim; ++r) {
+    for (std::size_t c = r; c < dim; ++c) {
+      EXPECT_NEAR(std::abs(rho[r * dim + c] - std::conj(rho[c * dim + r])),
+                  0.0, 1e-9);
+    }
+  }
+}
+
+Gate random_1q_gate(Rng& rng, int qubit) {
+  static const GateKind kinds[] = {GateKind::H,  GateKind::X,  GateKind::Y,
+                                   GateKind::Z,  GateKind::S,  GateKind::T,
+                                   GateKind::SX, GateKind::RX, GateKind::RY,
+                                   GateKind::RZ, GateKind::U3};
+  Gate g;
+  g.kind = kinds[rng.index(std::size(kinds))];
+  g.qubits = {qubit};
+  const int want = gate_param_count(g.kind);
+  for (int i = 0; i < want; ++i) {
+    g.params.push_back(rng.uniform(-3.0, 3.0));
+  }
+  return g;
+}
+
+Gate random_2q_gate(Rng& rng, int a, int b) {
+  static const GateKind kinds[] = {GateKind::CX, GateKind::CZ, GateKind::SWAP};
+  Gate g;
+  g.kind = kinds[rng.index(std::size(kinds))];
+  g.qubits = {a, b};
+  return g;
+}
+
+TEST(KernelGolden, StatevectorRandomCircuits) {
+  for (int n = 1; n <= 8; ++n) {
+    Rng rng(1000 + static_cast<std::uint64_t>(n));
+    Statevector sv(n);
+    std::vector<cx> ref(std::size_t{1} << n, cx{0.0, 0.0});
+    ref[0] = 1.0;
+    for (int step = 0; step < 40; ++step) {
+      Gate g;
+      if (n >= 2 && rng.bernoulli(0.4)) {
+        const int a = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        int b = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+        if (b >= a) ++b;
+        g = random_2q_gate(rng, a, b);
+      } else {
+        g = random_1q_gate(
+            rng, static_cast<int>(rng.index(static_cast<std::size_t>(n))));
+      }
+      const Matrix u = gate_matrix(g);
+      sv.apply_unitary(u, g.qubits);
+      ref_sv_apply(ref, u, g.qubits);
+    }
+    EXPECT_LT(max_abs_diff(sv.amplitudes(), ref), kTol) << "n=" << n;
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+  }
+}
+
+TEST(KernelGolden, DensityUnitaryRandomCircuits) {
+  for (int n = 1; n <= 8; ++n) {
+    Rng rng(2000 + static_cast<std::uint64_t>(n));
+    DensityMatrix dm(n);
+    RefDensity ref(n);
+    const int steps = n <= 6 ? 30 : 12;
+    for (int step = 0; step < steps; ++step) {
+      Gate g;
+      if (n >= 2 && rng.bernoulli(0.4)) {
+        const int a = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        int b = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+        if (b >= a) ++b;
+        g = random_2q_gate(rng, a, b);
+      } else {
+        g = random_1q_gate(
+            rng, static_cast<int>(rng.index(static_cast<std::size_t>(n))));
+      }
+      const Matrix u = gate_matrix(g);
+      dm.apply_unitary(u, g.qubits);
+      ref.apply_unitary(u, g.qubits);
+    }
+    EXPECT_LT(max_abs_diff(dm.data(), ref.rho), kTol) << "n=" << n;
+    check_density_invariants(dm);
+  }
+}
+
+TEST(KernelGolden, DensityGenericKernelThreeQubitUnitary) {
+  // An entangling 8x8 unitary exercises the generic (k >= 3) fallback.
+  Rng rng(31);
+  Circuit block(3);
+  block.h(0);
+  block.cx(0, 1);
+  block.t(1);
+  block.cx(1, 2);
+  block.ry(0.7, 2);
+  block.cx(2, 0);
+  const Matrix u8 = block.to_unitary();
+  for (int n = 3; n <= 6; ++n) {
+    DensityMatrix dm(n);
+    RefDensity ref(n);
+    // Scramble first so the state is non-trivial.
+    for (int q = 0; q < n; ++q) {
+      const Gate g = random_1q_gate(rng, q);
+      const Matrix u = gate_matrix(g);
+      dm.apply_unitary(u, g.qubits);
+      ref.apply_unitary(u, g.qubits);
+    }
+    std::vector<int> qs(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) qs[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(qs);
+    qs.resize(3);
+    dm.apply_unitary(u8, qs);
+    ref.apply_unitary(u8, qs);
+    EXPECT_LT(max_abs_diff(dm.data(), ref.rho), kTol) << "n=" << n;
+    check_density_invariants(dm);
+  }
+}
+
+TEST(KernelGolden, DepolarizingRandomSubsets) {
+  for (int n = 1; n <= 8; ++n) {
+    Rng rng(3000 + static_cast<std::uint64_t>(n));
+    DensityMatrix dm(n);
+    RefDensity ref(n);
+    // Non-trivial state first.
+    for (int q = 0; q < n; ++q) {
+      const Gate g = random_1q_gate(rng, q);
+      const Matrix u = gate_matrix(g);
+      dm.apply_unitary(u, g.qubits);
+      ref.apply_unitary(u, g.qubits);
+    }
+    for (int trial = 0; trial < 6; ++trial) {
+      const int k = 1 + static_cast<int>(
+                            rng.index(static_cast<std::size_t>(
+                                std::min(n, 3))));
+      std::vector<int> qs(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) qs[static_cast<std::size_t>(i)] = i;
+      rng.shuffle(qs);
+      qs.resize(static_cast<std::size_t>(k));
+      const double p = rng.uniform(0.0, 0.75);
+      dm.apply_depolarizing(p, qs);
+      ref.apply_depolarizing(p, qs);
+    }
+    EXPECT_LT(max_abs_diff(dm.data(), ref.rho), kTol) << "n=" << n;
+    check_density_invariants(dm);
+  }
+}
+
+TEST(KernelGolden, RelaxationMatchesFourKrausReference) {
+  for (int n = 1; n <= 6; ++n) {
+    Rng rng(4000 + static_cast<std::uint64_t>(n));
+    DensityMatrix dm(n);
+    RefDensity ref(n);
+    for (int q = 0; q < n; ++q) {
+      const Gate g = random_1q_gate(rng, q);
+      const Matrix u = gate_matrix(g);
+      dm.apply_unitary(u, g.qubits);
+      ref.apply_unitary(u, g.qubits);
+    }
+    for (int trial = 0; trial < 8; ++trial) {
+      const int q = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      const double dur = rng.uniform(10.0, 50000.0);
+      const double t1 = rng.uniform(20.0, 200.0);
+      // Cover both the clamped (T2 > 2 T1) and unclamped dephasing regime.
+      const double t2 = rng.uniform(10.0, 2.5 * t1);
+      dm.apply_relaxation(q, dur, t1, t2);
+      ref.apply_relaxation(q, dur, t1, t2);
+    }
+    EXPECT_LT(max_abs_diff(dm.data(), ref.rho), kTol) << "n=" << n;
+    check_density_invariants(dm);
+  }
+}
+
+TEST(KernelGolden, KrausChannelsMatchReference) {
+  for (int n = 1; n <= 6; ++n) {
+    Rng rng(5000 + static_cast<std::uint64_t>(n));
+    DensityMatrix dm(n);
+    RefDensity ref(n);
+    for (int q = 0; q < n; ++q) {
+      const Gate g = random_1q_gate(rng, q);
+      const Matrix u = gate_matrix(g);
+      dm.apply_unitary(u, g.qubits);
+      ref.apply_unitary(u, g.qubits);
+    }
+    // Amplitude damping on a random qubit.
+    {
+      const double g = rng.uniform(0.05, 0.6);
+      const Matrix k0(2, 2, {1, 0, 0, std::sqrt(1.0 - g)});
+      const Matrix k1(2, 2, {0, std::sqrt(g), 0, 0});
+      const Matrix ks[] = {k0, k1};
+      const int q = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      const std::vector<int> qs{q};
+      dm.apply_kraus(ks, qs);
+      ref.apply_kraus(ks, qs);
+    }
+    // Single-operator channel (unitary as Kraus) hits the in-place path.
+    {
+      const Matrix h = gate_matrix(GateKind::H);
+      const Matrix ks[] = {h};
+      const int q = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      const std::vector<int> qs{q};
+      dm.apply_kraus(ks, qs);
+      ref.apply_kraus(ks, qs);
+    }
+    // Two-qubit Pauli-mix channel.
+    if (n >= 2) {
+      const double p = 0.2;
+      Matrix k0 = Matrix::identity(4);
+      k0 *= std::sqrt(1.0 - p);
+      Matrix k1 = gate_matrix(GateKind::CZ);
+      k1 *= std::sqrt(p);
+      const Matrix ks[] = {k0, k1};
+      const int a = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      int b = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+      if (b >= a) ++b;
+      const std::vector<int> qs{a, b};
+      dm.apply_kraus(ks, qs);
+      ref.apply_kraus(ks, qs);
+    }
+    EXPECT_LT(max_abs_diff(dm.data(), ref.rho), kTol) << "n=" << n;
+    check_density_invariants(dm);
+  }
+}
+
+TEST(KernelGolden, KrausValidateFlagContract) {
+  DensityMatrix dm(1);
+  const Matrix bad(2, 2, {0.5, 0, 0, 0.5});
+  const Matrix ks[] = {bad};
+  const std::vector<int> qs{0};
+  // Default (validate=true): incomplete sets are rejected.
+  EXPECT_THROW(dm.apply_kraus(ks, qs), std::invalid_argument);
+  EXPECT_THROW(dm.apply_kraus(ks, qs, /*validate=*/true),
+               std::invalid_argument);
+  // validate=false skips the completeness check (hot-path contract for
+  // callers that construct provably complete sets).
+  EXPECT_NO_THROW(dm.apply_kraus(ks, qs, /*validate=*/false));
+}
+
+TEST(KernelGolden, CompiledUnitaryClassification) {
+  using Tag = kern::CompiledUnitary::Tag;
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::Z).data()).tag,
+            Tag::kDiag1);
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::T).data()).tag,
+            Tag::kDiag1);
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::X).data()).tag,
+            Tag::kAnti1);
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::H).data()).tag,
+            Tag::kDense1);
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::CX).data()).tag,
+            Tag::kCxPerm);
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::SWAP).data()).tag,
+            Tag::kSwapPerm);
+  EXPECT_EQ(kern::compile_unitary(gate_matrix(GateKind::CZ).data()).tag,
+            Tag::kDiag2);
+}
+
+TEST(KernelGolden, NonInjectiveOneNonzeroPerRowMatrixStaysDense) {
+  // [[s,0],[s,0]] has one nonzero per row but both rows read column 0 —
+  // not a generalized permutation. It must classify dense and apply
+  // correctly (the kernels explicitly support non-unitary matrices via
+  // apply_kraus).
+  const double s = 1.0 / std::sqrt(2.0);
+  const cx u[4] = {s, 0.0, s, 0.0};
+  EXPECT_EQ(kern::compile_unitary(std::span<const cx>(u, 4)).tag,
+            kern::CompiledUnitary::Tag::kDense1);
+  std::vector<cx> amps{cx{0.0, 0.0}, cx{1.0, 0.0}};  // |1>
+  kern::apply1(amps, 1, 0, u);
+  // M|1> = column 1 of M = (0, 0).
+  EXPECT_NEAR(std::abs(amps[0]), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(amps[1]), 0.0, 1e-15);
+}
+
+TEST(KernelGolden, InsertBitEnumeratesBases) {
+  // Bit-insertion must enumerate exactly the indices with the target bit
+  // clear, in ascending order.
+  const int n = 5;
+  for (int bit = 0; bit < n; ++bit) {
+    std::vector<std::size_t> got;
+    for (std::size_t t = 0; t < (std::size_t{1} << (n - 1)); ++t) {
+      got.push_back(kern::insert_bit(t, bit));
+    }
+    std::vector<std::size_t> want;
+    for (std::size_t i = 0; i < (std::size_t{1} << n); ++i) {
+      if (!(i & (std::size_t{1} << bit))) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "bit=" << bit;
+  }
+}
+
+}  // namespace
+}  // namespace qucp

@@ -24,9 +24,11 @@ TEST(ReadoutMitigation, InvertsKnownFlips) {
   const std::vector<double> flips{0.08, 0.03};
   apply_readout_flips(probs, flips);
 
-  std::map<std::uint64_t, double> noisy_map;
-  for (std::size_t x = 0; x < probs.size(); ++x) noisy_map[x] = probs[x];
-  const Distribution noisy(2, std::move(noisy_map));
+  std::vector<Distribution::Entry> noisy_entries;
+  for (std::size_t x = 0; x < probs.size(); ++x) {
+    noisy_entries.emplace_back(x, probs[x]);
+  }
+  const Distribution noisy(2, std::move(noisy_entries));
 
   const auto mitigator = ReadoutMitigator::from_flip_probs({0.08, 0.03});
   const Distribution recovered = mitigator.mitigate(noisy);
