@@ -1,0 +1,206 @@
+// Allocator microbenchmark: per-batch partition-allocation time with and
+// without the persistent CandidateIndex, per device. This is the
+// ExecutionService's per-batch floor (candidate generation + EFS scoring
+// runs before any transpilation cache or simulation kernel can help), so
+// the artifact pins the allocator's perf trajectory across PRs the same
+// way BENCH_kernels.json pins the simulator's. Writes BENCH_allocator.json
+// (schema qucp-bench-allocator-v1); CI runs it in smoke mode.
+//
+// The indexed path is only a valid optimization because it is
+// bit-identical to the reference (tests/test_allocator_golden.cpp); this
+// binary re-checks equality of the produced partitions while warming up.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "partition/candidate_index.hpp"
+#include "partition/partitioners.hpp"
+
+namespace {
+
+using namespace qucp;
+
+bool smoke_mode() {
+  const char* env = std::getenv("QUCP_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+/// Representative service batch: four programs, largest-first (the order
+/// run_batch_pipeline feeds the partitioner).
+std::vector<ProgramShape> batch_shapes() {
+  return {{5, 10, 10}, {4, 7, 8}, {3, 4, 6}, {2, 3, 3}};
+}
+
+struct AllocatorResult {
+  std::string device;
+  std::string scenario;
+  double us_reference = 0.0;
+  double us_indexed = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return us_indexed > 0.0 ? us_reference / us_indexed : 0.0;
+  }
+};
+
+template <typename F>
+double time_us_per_call(int reps, F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+         std::max(1, reps);
+}
+
+/// Interleaved best-of-K timing so one scheduler hiccup cannot skew a side.
+template <typename A, typename B>
+std::pair<double, double> interleaved_best_of(int rounds, int reps, A&& a,
+                                              B&& b) {
+  double best_a = 0.0;
+  double best_b = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const double ta = time_us_per_call(reps, a);
+    const double tb = time_us_per_call(reps, b);
+    if (round == 0 || ta < best_a) best_a = ta;
+    if (round == 0 || tb < best_b) best_b = tb;
+  }
+  return {best_a, best_b};
+}
+
+AllocatorResult run_batch_case(const Device& device,
+                               const CandidateIndex& index,
+                               const Partitioner& partitioner,
+                               std::span<const ProgramShape> shapes,
+                               const std::string& scenario) {
+  // Warm the index and verify the two paths agree before timing.
+  const auto reference = partitioner.allocate(device, shapes);
+  const auto indexed = partitioner.allocate(device, shapes, &index);
+  if (reference.has_value() != indexed.has_value()) {
+    std::fprintf(stderr, "bench_allocator: paths disagree on %s/%s\n",
+                 device.name().c_str(), scenario.c_str());
+    std::exit(1);
+  }
+  if (reference) {
+    for (std::size_t i = 0; i < reference->size(); ++i) {
+      if ((*reference)[i].qubits != (*indexed)[i].qubits ||
+          (*reference)[i].efs.score != (*indexed)[i].efs.score) {
+        std::fprintf(stderr,
+                     "bench_allocator: allocation mismatch on %s/%s[%zu]\n",
+                     device.name().c_str(), scenario.c_str(), i);
+        std::exit(1);
+      }
+    }
+  }
+
+  const int rounds = smoke_mode() ? 3 : 12;
+  const int reps = smoke_mode() ? 40 : 400;
+  AllocatorResult result;
+  result.device = device.name();
+  result.scenario = scenario;
+  const auto [us_ref, us_idx] = interleaved_best_of(
+      rounds, reps,
+      [&] { benchmark::DoNotOptimize(partitioner.allocate(device, shapes)); },
+      [&] {
+        benchmark::DoNotOptimize(
+            partitioner.allocate(device, shapes, &index));
+      });
+  result.us_reference = us_ref;
+  result.us_indexed = us_idx;
+  return result;
+}
+
+void write_json(const std::vector<AllocatorResult>& results) {
+  const char* env = std::getenv("QUCP_BENCH_OUT");
+  const std::string path = (env != nullptr && *env != '\0')
+                               ? std::string(env)
+                               : std::string("BENCH_allocator.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_allocator: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qucp-bench-allocator-v1\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
+  std::fprintf(f, "  \"unit\": \"us_per_batch\",\n  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const AllocatorResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"device\": \"%s\", \"scenario\": \"%s\", "
+                 "\"us_reference\": %.2f, \"us_indexed\": %.2f, "
+                 "\"speedup\": %.1f}%s\n",
+                 r.device.c_str(), r.scenario.c_str(), r.us_reference,
+                 r.us_indexed, r.speedup(), i + 1 == results.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu allocator timings%s)\n", path.c_str(),
+              results.size(), smoke_mode() ? ", smoke mode" : "");
+}
+
+void print_allocator_table() {
+  bench::heading(
+      "Partition allocation: us/batch, reference vs CandidateIndex");
+  std::vector<Device> devices;
+  devices.push_back(make_melbourne16());
+  devices.push_back(make_toronto27());
+  if (!smoke_mode()) devices.push_back(make_manhattan65());
+
+  std::vector<AllocatorResult> results;
+  for (const Device& device : devices) {
+    CandidateIndex index(device);
+    const QucpPartitioner qucp(4.0);
+    const std::vector<ProgramShape> shapes = batch_shapes();
+    const std::vector<std::size_t> order = allocation_order(shapes);
+    std::vector<ProgramShape> ordered;
+    for (std::size_t idx : order) ordered.push_back(shapes[idx]);
+
+    results.push_back(
+        run_batch_case(device, index, qucp, ordered, "qucp_batch4"));
+    const std::vector<ProgramShape> solo{ordered.front()};
+    results.push_back(run_batch_case(device, index, qucp, solo, "qucp_solo"));
+    const MultiqcPartitioner multiqc;
+    results.push_back(
+        run_batch_case(device, index, multiqc, ordered, "multiqc_batch4"));
+  }
+
+  bench::row({"device", "scenario", "ref us", "indexed us", "speedup"}, 18);
+  bench::rule(5, 18);
+  for (const AllocatorResult& r : results) {
+    bench::row({r.device, r.scenario, fmt_double(r.us_reference, 2),
+                fmt_double(r.us_indexed, 2), fmt_double(r.speedup(), 1)},
+               18);
+  }
+  write_json(results);
+}
+
+// google-benchmark timers over the same hot path for perf-diff output.
+void BM_AllocateBatchReference(benchmark::State& state) {
+  const Device device = make_toronto27();
+  const QucpPartitioner qucp(4.0);
+  const std::vector<ProgramShape> shapes = batch_shapes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qucp.allocate(device, shapes));
+  }
+}
+BENCHMARK(BM_AllocateBatchReference);
+
+void BM_AllocateBatchIndexed(benchmark::State& state) {
+  const Device device = make_toronto27();
+  const CandidateIndex index(device);
+  const QucpPartitioner qucp(4.0);
+  const std::vector<ProgramShape> shapes = batch_shapes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qucp.allocate(device, shapes, &index));
+  }
+}
+BENCHMARK(BM_AllocateBatchIndexed);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_allocator_table)

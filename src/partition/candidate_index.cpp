@@ -1,0 +1,298 @@
+#include "partition/candidate_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "partition/candidates.hpp"
+
+namespace qucp {
+
+namespace {
+
+/// Static EFS components of a candidate, accumulated in efs_score's exact
+/// summation order: edge errors (with the mult == 1 cap) in induced-edge
+/// order, 1q and readout errors in partition order. Single definition on
+/// purpose — the bit-identity contract with efs.cpp depends on every
+/// cached/recomputed base using the identical float operations.
+CandidateIndex::BaseScore compute_base(const Device& device,
+                                       const std::vector<int>& part,
+                                       const std::vector<int>& part_edges) {
+  const Calibration& cal = device.calibration();
+  CandidateIndex::BaseScore base;
+  base.num_edges = static_cast<int>(part_edges.size());
+  for (int e : part_edges) {
+    base.edge_error_total += std::min(1.0, cal.cx_error[e] * 1.0);
+  }
+  for (int q : part) {
+    base.q1_total += cal.q1_error[q];
+    base.readout_sum += cal.readout_error[q];
+  }
+  return base;
+}
+
+}  // namespace
+
+const CandidateIndex::PerK& CandidateIndex::per_k(int k) const {
+  if (k <= 0) throw std::invalid_argument("CandidateIndex::per_k: k <= 0");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(k);
+  if (it != cache_.end()) return *it->second;
+
+  const Device& device = *device_;
+  const Topology& topo = device.topology();
+  const int n = topo.num_qubits();
+
+  auto entry = std::make_unique<PerK>();
+  entry->growth_of_start.assign(static_cast<std::size_t>(n), -1);
+
+  // Empty-mask growths, deduplicated exactly like partition_candidates.
+  const std::vector<char> usable(static_cast<std::size_t>(n), 1);
+  std::vector<char> in_part(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> grown(static_cast<std::size_t>(n));
+  for (int start = 0; start < n; ++start) {
+    std::vector<int> part =
+        detail::grow_candidate(device, k, start, usable, in_part);
+    if (static_cast<int>(part.size()) == k) {
+      std::sort(part.begin(), part.end());
+      grown[start] = std::move(part);
+    }
+  }
+  std::vector<std::vector<int>> dedup;
+  for (const auto& part : grown) {
+    if (!part.empty()) dedup.push_back(part);
+  }
+  std::sort(dedup.begin(), dedup.end());
+  dedup.erase(std::unique(dedup.begin(), dedup.end()), dedup.end());
+  for (int start = 0; start < n; ++start) {
+    if (grown[start].empty()) continue;  // component < k: fails always
+    const auto it2 =
+        std::lower_bound(dedup.begin(), dedup.end(), grown[start]);
+    entry->growth_of_start[start] = static_cast<int>(it2 - dedup.begin());
+  }
+  entry->candidates = std::move(dedup);
+
+  // Base scores, accumulated in efs_score's exact summation order: edge
+  // errors in induced_edges (edge-id) order with the mult == 1 cap, 1q and
+  // readout errors in partition (sorted) order.
+  entry->base.resize(entry->candidates.size());
+  entry->cand_edges.resize(entry->candidates.size());
+  for (std::size_t i = 0; i < entry->candidates.size(); ++i) {
+    entry->cand_edges[i] = topo.induced_edges(entry->candidates[i]);
+    entry->base[i] =
+        compute_base(device, entry->candidates[i], entry->cand_edges[i]);
+  }
+
+  auto [pos, inserted] = cache_.emplace(k, std::move(entry));
+  assert(inserted);
+  return *pos->second;
+}
+
+std::size_t CandidateIndex::sizes_cached() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+AllocationSession::AllocationSession(const CandidateIndex& index)
+    : index_(&index) {
+  const std::size_t n =
+      static_cast<std::size_t>(index.device().topology().num_qubits());
+  usable_.assign(n, 1);
+  near1_.assign(n, 0);
+  near2_.assign(n, 0);
+  in_part_.assign(n, 0);
+}
+
+const std::vector<AllocationSession::Candidate>&
+AllocationSession::candidates(int k) {
+  const CandidateIndex::PerK& pk = index_->per_k(k);
+  result_.clear();
+
+  if (allocated_.empty()) {
+    // Fast path: every cached growth is clean, and the cached candidate
+    // list is already the deduplicated sorted answer.
+    result_.reserve(pk.candidates.size());
+    for (std::size_t i = 0; i < pk.candidates.size(); ++i) {
+      result_.push_back({&pk.candidates[i], &pk.base[i], &pk.cand_edges[i]});
+    }
+    return result_;
+  }
+
+  const Device& device = index_->device();
+  const int n = device.topology().num_qubits();
+  if (quality_stale_) {
+    detail::frontier_quality(device, usable_, conn_, err_);
+    quality_stale_ = false;
+  }
+  regrown_.clear();
+  regrown_.reserve(static_cast<std::size_t>(n));
+  for (int start = 0; start < n; ++start) {
+    if (!usable_[start]) continue;
+    const int cached = pk.growth_of_start[start];
+    if (cached < 0) continue;  // component < k under the empty mask
+    const std::vector<int>& part = pk.candidates[cached];
+    bool clean = true;
+    for (int q : part) {
+      if (near2_[q]) {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      // No allocated qubit within the growth's radius-2 influence ball:
+      // the greedy walk replays its empty-mask decisions verbatim.
+      result_.push_back({&part, &pk.base[cached], &pk.cand_edges[cached]});
+      continue;
+    }
+    std::vector<int> grown = detail::grow_candidate(
+        device, k, start, usable_, in_part_, conn_.data(), err_.data());
+    if (static_cast<int>(grown.size()) != k) continue;
+    std::sort(grown.begin(), grown.end());
+    regrown_.push_back(std::move(grown));  // reserved: pointers stay stable
+    result_.push_back({&regrown_.back(), nullptr, nullptr});
+  }
+
+  std::sort(result_.begin(), result_.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return *a.part < *b.part;
+            });
+  // Dedup runs of equal parts, preferring an entry that carries a cached
+  // base (the base is a pure function of the part, so any survivor gives
+  // identical scores).
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < result_.size();) {
+    std::size_t j = i;
+    std::size_t keep = i;
+    while (j < result_.size() && *result_[j].part == *result_[i].part) {
+      if (result_[j].base != nullptr && result_[keep].base == nullptr) {
+        keep = j;
+      }
+      ++j;
+    }
+    result_[unique++] = result_[keep];
+    i = j;
+  }
+  result_.resize(unique);
+  return result_;
+}
+
+EfsBreakdown AllocationSession::score(const Candidate& cand,
+                                      const ProgramShape& shape,
+                                      const CrosstalkPolicy& policy) const {
+  const std::vector<int>& part = *cand.part;
+  if (static_cast<int>(part.size()) != shape.num_qubits) {
+    throw std::invalid_argument("efs_score: partition size != program size");
+  }
+  if (shape.num_2q > 0 && part.size() < 2) {
+    throw std::invalid_argument("efs_score: program needs an edge");
+  }
+  for (int q : part) {
+    if (near1_[q]) {
+      // Only a candidate touching the distance-1 fringe can pick up a
+      // crosstalk flag: replay efs_score's edge loop against the
+      // session-maintained allocated-edge list.
+      return fringe_score(cand, shape, policy);
+    }
+  }
+
+  // Clean candidate: every edge keeps multiplier 1 and no edge is flagged,
+  // so the score is the cached static base (recomputed on the spot for
+  // fringe-regrown parts).
+  const Device& device = index_->device();
+  CandidateIndex::BaseScore local;
+  const CandidateIndex::BaseScore* base = cand.base;
+  if (base == nullptr) {
+    local = compute_base(device, part, device.topology().induced_edges(part));
+    base = &local;
+  }
+  EfsBreakdown out;
+  if (base->num_edges > 0) {
+    out.avg_2q = base->edge_error_total / static_cast<double>(base->num_edges);
+  }
+  out.avg_1q = base->q1_total / static_cast<double>(part.size());
+  out.readout_sum = base->readout_sum;
+  out.score = out.avg_2q * shape.num_2q + out.avg_1q * shape.num_1q +
+              out.readout_sum;
+  return out;
+}
+
+EfsBreakdown AllocationSession::fringe_score(
+    const Candidate& cand, const ProgramShape& shape,
+    const CrosstalkPolicy& policy) const {
+  // efs_score's scoring loops verbatim (same accumulation order, same
+  // operations), minus the per-call validation scans whose outcomes are
+  // fixed for session-generated candidates: the partition is connected by
+  // construction, the allocation is in range, and the two sets are
+  // disjoint because candidates avoid allocated qubits.
+  const Device& device = index_->device();
+  const Topology& topo = device.topology();
+  const Calibration& cal = device.calibration();
+  const std::vector<int>& part = *cand.part;
+
+  std::vector<int> local_edges;
+  const std::vector<int>* part_edges = cand.edges;
+  if (part_edges == nullptr) {
+    local_edges = topo.induced_edges(part);
+    part_edges = &local_edges;
+  }
+
+  EfsBreakdown out;
+  if (!part_edges->empty()) {
+    double total = 0.0;
+    for (int e : *part_edges) {
+      double mult = 1.0;
+      bool flagged = false;
+      const Edge& ee = topo.edges()[e];
+      for (int f : alloc_edges_) {
+        const Edge& fe = topo.edges()[f];
+        assert(!ee.shares_qubit(fe));
+        const int d = std::min(
+            {topo.distance(ee.a, fe.a), topo.distance(ee.a, fe.b),
+             topo.distance(ee.b, fe.a), topo.distance(ee.b, fe.b)});
+        if (d == 1) {
+          mult = std::max(mult, policy.multiplier(e, f));
+          flagged = true;
+        }
+      }
+      if (flagged) out.crosstalk_edges.push_back(e);
+      total += std::min(1.0, cal.cx_error[e] * mult);
+    }
+    out.avg_2q = total / static_cast<double>(part_edges->size());
+  }
+
+  // The 1q/readout sums are allocation-independent: cached bases carry
+  // them from index-build time, regrown parts recompute them on the spot.
+  CandidateIndex::BaseScore local;
+  const CandidateIndex::BaseScore* base = cand.base;
+  if (base == nullptr) {
+    local = compute_base(device, part, *part_edges);
+    base = &local;
+  }
+  out.avg_1q = base->q1_total / static_cast<double>(part.size());
+  out.readout_sum = base->readout_sum;
+  out.score = out.avg_2q * shape.num_2q + out.avg_1q * shape.num_1q +
+              out.readout_sum;
+  return out;
+}
+
+void AllocationSession::commit(std::span<const int> partition) {
+  const Topology& topo = index_->device().topology();
+  for (int q : partition) {
+    assert(q >= 0 && q < topo.num_qubits() && usable_[q]);
+    allocated_.push_back(q);
+    usable_[q] = 0;
+    near1_[q] = 1;
+    near2_[q] = 1;
+    for (int nb : topo.neighbors(q)) {
+      near1_[nb] = 1;
+      near2_[nb] = 1;
+      for (int nb2 : topo.neighbors(nb)) near2_[nb2] = 1;
+    }
+  }
+  // Edge-id order, exactly what efs_score's induced_edges(allocated) scan
+  // would produce for the grown allocation.
+  alloc_edges_ = topo.induced_edges(allocated_);
+  quality_stale_ = true;
+}
+
+}  // namespace qucp

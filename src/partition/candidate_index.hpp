@@ -1,0 +1,154 @@
+#pragma once
+// CandidateIndex: persistent, incremental EFS candidate cache.
+//
+// Candidate generation + EFS scoring used to be recomputed from scratch by
+// every efs_greedy_allocate / solo_efs call, which made the allocator the
+// per-batch floor of the ExecutionService (~55 us/batch on toronto27).
+// Both computations are almost entirely allocation-independent:
+//
+//   * The greedy growth from a start qubit reads the usable mask only
+//     within hop distance 2 of the part it grows (frontier membership at
+//     distance 1; connectivity counts and local edge errors at distance 2).
+//     A growth whose radius-2 ball avoids every allocated qubit therefore
+//     reproduces its empty-mask result verbatim, and a growth that failed
+//     under the empty mask (connected component < k) fails under any mask.
+//   * An EFS crosstalk flag needs a partition edge within hop distance 1
+//     of an allocated edge. A candidate whose qubits all sit at distance
+//     >= 2 from every allocated qubit scores exactly its static base:
+//     plain average CX error, average 1q error, readout sum.
+//
+// The index is built once per Device (a Backend owns one, like its
+// GateMatrixCache) and caches, per partition size k: the per-start
+// empty-mask growths, the deduplicated candidate list, and per-candidate
+// base scores accumulated in the same floating-point order efs_score uses.
+// An AllocationSession then replays one allocate() call: it tracks the
+// allocated set plus distance-1/-2 dirty masks, reuses cached growths and
+// base scores for the clean majority, and falls back to the reference
+// grow/score code only on the dirty fringe — producing results that are
+// bit-identical (same candidates, same order, same doubles) to the
+// non-indexed path, which tests/test_allocator_golden.cpp pins.
+//
+// Thread-safety: per-k entries are built lazily under a mutex and
+// immutable afterwards, so concurrent service workers share one index;
+// each AllocationSession is single-caller scratch.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "partition/efs.hpp"
+
+namespace qucp {
+
+class CandidateIndex {
+ public:
+  /// Static (allocation-independent) EFS components of one candidate,
+  /// accumulated in efs_score's exact summation order.
+  struct BaseScore {
+    double edge_error_total = 0.0;  ///< sum of min(1, cx_error) over edges
+    int num_edges = 0;              ///< induced partition-internal edges
+    double q1_total = 0.0;          ///< sum of 1q errors over the qubits
+    double readout_sum = 0.0;       ///< sum of readout errors
+  };
+
+  /// Immutable per-partition-size cache entry.
+  struct PerK {
+    /// candidates[] index of the completed empty-mask growth per start
+    /// qubit, -1 when the start's connected component has < k qubits (in
+    /// which case the growth fails under every allocation mask).
+    std::vector<int> growth_of_start;
+    std::vector<std::vector<int>> candidates;  ///< sorted parts, set order
+    std::vector<BaseScore> base;               ///< parallel to candidates
+    /// Induced internal edge ids per candidate (edge-id order, exactly
+    /// what topology().induced_edges returns), parallel to candidates.
+    std::vector<std::vector<int>> cand_edges;
+  };
+
+  /// The device must outlive the index (a Backend owns both).
+  explicit CandidateIndex(const Device& device) : device_(&device) {}
+
+  CandidateIndex(const CandidateIndex&) = delete;
+  CandidateIndex& operator=(const CandidateIndex&) = delete;
+
+  [[nodiscard]] const Device& device() const noexcept { return *device_; }
+
+  /// Per-size cache entry, built on first use. The reference stays valid
+  /// for the index's lifetime. Throws std::invalid_argument for k <= 0
+  /// (mirroring partition_candidates).
+  [[nodiscard]] const PerK& per_k(int k) const;
+
+  /// Partition sizes cached so far (for stats/tests).
+  [[nodiscard]] std::size_t sizes_cached() const;
+
+ private:
+  const Device* device_;
+  mutable std::mutex mutex_;
+  mutable std::map<int, std::unique_ptr<PerK>> cache_;
+};
+
+/// Replays one allocate() call against a CandidateIndex: candidates() and
+/// score() are bit-identical to partition_candidates() / efs_score() under
+/// the allocation committed so far, but reuse the index for everything
+/// outside the dirty fringe of the allocated qubits. Cheap to construct;
+/// not thread-safe (one session per allocate call).
+class AllocationSession {
+ public:
+  struct Candidate {
+    /// Sorted qubit set; points into the shared index or session scratch,
+    /// valid until the next candidates() call.
+    const std::vector<int>* part = nullptr;
+    /// Cached base score; null for fringe candidates regrown this session.
+    const CandidateIndex::BaseScore* base = nullptr;
+    /// Cached induced internal edges; null for regrown candidates.
+    const std::vector<int>* edges = nullptr;
+  };
+
+  explicit AllocationSession(const CandidateIndex& index);
+
+  /// Candidate partitions of size k avoiding the committed allocation —
+  /// the same sets in the same (lexicographic) order as
+  /// partition_candidates(device, k, allocated()). The returned reference
+  /// is invalidated by the next candidates() call.
+  [[nodiscard]] const std::vector<Candidate>& candidates(int k);
+
+  /// EFS of `cand` in the current allocation context; bit-identical to
+  /// efs_score(device, *cand.part, shape, allocated(), policy).
+  [[nodiscard]] EfsBreakdown score(const Candidate& cand,
+                                   const ProgramShape& shape,
+                                   const CrosstalkPolicy& policy) const;
+
+  /// Grant `partition` (disjoint from the current allocation) and dirty
+  /// its distance-1/-2 fringe.
+  void commit(std::span<const int> partition);
+
+  [[nodiscard]] std::span<const int> allocated() const noexcept {
+    return allocated_;
+  }
+
+ private:
+  /// Fringe scoring: efs_score's exact arithmetic against the session's
+  /// incrementally-maintained allocated-edge list, skipping the per-call
+  /// mask/connectivity setup the reference recomputes per candidate.
+  [[nodiscard]] EfsBreakdown fringe_score(const Candidate& cand,
+                                          const ProgramShape& shape,
+                                          const CrosstalkPolicy& policy) const;
+
+  const CandidateIndex* index_;
+  std::vector<int> allocated_;   ///< committed qubits, commit order
+  std::vector<int> alloc_edges_; ///< induced_edges(allocated_), edge-id order
+  std::vector<char> usable_;     ///< !allocated, per device qubit
+  std::vector<char> near1_;      ///< within hop distance 1 of allocation
+  std::vector<char> near2_;      ///< within hop distance 2 of allocation
+  std::vector<char> in_part_;    ///< grow_candidate scratch (all zero)
+  /// Per-qubit frontier quality under usable_ (grow_candidate's conn/err
+  /// terms, pure functions of the mask), rebuilt lazily after commits.
+  std::vector<int> conn_;
+  std::vector<double> err_;
+  bool quality_stale_ = true;
+  std::vector<std::vector<int>> regrown_;  ///< fringe growths, this query
+  std::vector<Candidate> result_;
+};
+
+}  // namespace qucp

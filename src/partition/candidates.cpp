@@ -26,6 +26,76 @@ double local_edge_error(const Device& device, int q,
 
 }  // namespace
 
+namespace detail {
+
+std::vector<int> grow_candidate(const Device& device, int k, int start,
+                                const std::vector<char>& usable,
+                                std::vector<char>& in_part,
+                                const int* conn_cache,
+                                const double* err_cache) {
+  const Topology& topo = device.topology();
+  std::vector<int> part{start};
+  in_part[start] = 1;
+  while (static_cast<int>(part.size()) < k) {
+    // Frontier: usable neighbors of the current subgraph.
+    int best = -1;
+    int best_conn = -1;
+    double best_err = 2.0;
+    for (int q : part) {
+      for (int nb : topo.neighbors(q)) {
+        if (in_part[nb] || !usable[nb]) continue;
+        // Quality: connections into the usable region (descending), then
+        // local error (ascending), then index for determinism. Both terms
+        // are pure functions of the usable mask, so a caller-provided
+        // cache yields the identical comparison sequence.
+        int conn;
+        double err;
+        if (conn_cache != nullptr) {
+          conn = conn_cache[nb];
+          err = err_cache[nb];
+        } else {
+          conn = 0;
+          for (int nb2 : topo.neighbors(nb)) {
+            if (usable[nb2]) ++conn;
+          }
+          err = local_edge_error(device, nb, usable);
+        }
+        if (conn > best_conn ||
+            (conn == best_conn && err < best_err - 1e-15) ||
+            (conn == best_conn && std::abs(err - best_err) <= 1e-15 &&
+             nb < best)) {
+          best = nb;
+          best_conn = conn;
+          best_err = err;
+        }
+      }
+    }
+    if (best < 0) break;  // region exhausted; candidate unusable
+    part.push_back(best);
+    in_part[best] = 1;
+  }
+  for (int q : part) in_part[q] = 0;
+  return part;
+}
+
+void frontier_quality(const Device& device, const std::vector<char>& usable,
+                      std::vector<int>& conn, std::vector<double>& err) {
+  const Topology& topo = device.topology();
+  const int n = topo.num_qubits();
+  conn.assign(static_cast<std::size_t>(n), 0);
+  err.assign(static_cast<std::size_t>(n), 1.0);
+  for (int q = 0; q < n; ++q) {
+    int count = 0;
+    for (int nb : topo.neighbors(q)) {
+      if (usable[nb]) ++count;
+    }
+    conn[q] = count;
+    err[q] = local_edge_error(device, q, usable);
+  }
+}
+
+}  // namespace detail
+
 std::vector<std::vector<int>> partition_candidates(
     const Device& device, int k, std::span<const int> allocated) {
   if (k <= 0) throw std::invalid_argument("partition_candidates: k <= 0");
@@ -42,38 +112,8 @@ std::vector<std::vector<int>> partition_candidates(
   std::set<std::vector<int>> dedup;
   for (int start = 0; start < n; ++start) {
     if (!usable[start]) continue;
-    std::vector<int> part{start};
-    in_part[start] = 1;
-    while (static_cast<int>(part.size()) < k) {
-      // Frontier: usable neighbors of the current subgraph.
-      int best = -1;
-      int best_conn = -1;
-      double best_err = 2.0;
-      for (int q : part) {
-        for (int nb : topo.neighbors(q)) {
-          if (in_part[nb] || !usable[nb]) continue;
-          // Quality: connections into the usable region (descending), then
-          // local error (ascending), then index for determinism.
-          int conn = 0;
-          for (int nb2 : topo.neighbors(nb)) {
-            if (usable[nb2]) ++conn;
-          }
-          const double err = local_edge_error(device, nb, usable);
-          if (conn > best_conn ||
-              (conn == best_conn && err < best_err - 1e-15) ||
-              (conn == best_conn && std::abs(err - best_err) <= 1e-15 &&
-               nb < best)) {
-            best = nb;
-            best_conn = conn;
-            best_err = err;
-          }
-        }
-      }
-      if (best < 0) break;  // region exhausted; candidate unusable
-      part.push_back(best);
-      in_part[best] = 1;
-    }
-    for (int q : part) in_part[q] = 0;
+    std::vector<int> part = detail::grow_candidate(device, k, start, usable,
+                                                   in_part);
     if (static_cast<int>(part.size()) == k) {
       std::sort(part.begin(), part.end());
       dedup.insert(std::move(part));

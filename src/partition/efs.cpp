@@ -1,7 +1,7 @@
 #include "partition/efs.hpp"
 
 #include <algorithm>
-#include <set>
+#include <cassert>
 #include <stdexcept>
 
 namespace qucp {
@@ -50,10 +50,14 @@ EfsBreakdown efs_score(const Device& device, std::span<const int> partition,
     for (int e : part_edges) {
       double mult = 1.0;
       bool flagged = false;
+      const Edge& ee = topo.edges()[e];
       for (int f : alloc_edges) {
-        const Edge& ee = topo.edges()[e];
         const Edge& fe = topo.edges()[f];
-        if (ee.shares_qubit(fe)) continue;
+        // Unreachable shared-qubit case: the overlap validation above
+        // guarantees partition and allocation are disjoint qubit sets, so
+        // a partition-internal edge can never share an endpoint with an
+        // allocated edge (tests/test_efs.cpp pins the invariant).
+        assert(!ee.shares_qubit(fe));
         const int d = std::min(
             {topo.distance(ee.a, fe.a), topo.distance(ee.a, fe.b),
              topo.distance(ee.b, fe.a), topo.distance(ee.b, fe.b)});

@@ -5,6 +5,7 @@
 #include <deque>
 #include <set>
 
+#include "partition/candidate_index.hpp"
 #include "partition/candidates.hpp"
 
 namespace qucp {
@@ -33,11 +34,38 @@ std::vector<std::size_t> allocation_order(
 
 namespace {
 
-/// Shared EFS-greedy allocation used by QuCP and QuMC.
+/// Shared EFS-greedy allocation used by QuCP and QuMC. The reference
+/// (index == nullptr) path regenerates candidates and rescores everything
+/// per program; the indexed path replays the identical decisions through
+/// an AllocationSession, touching only the fringe of the allocation.
 std::optional<std::vector<PartitionAssignment>> efs_greedy_allocate(
     const Device& device, std::span<const ProgramShape> programs,
-    const CrosstalkPolicy& policy) {
+    const CrosstalkPolicy& policy, const CandidateIndex* index) {
   std::vector<PartitionAssignment> result(programs.size());
+
+  if (index != nullptr) {
+    AllocationSession session(*index);
+    for (std::size_t idx = 0; idx < programs.size(); ++idx) {
+      const ProgramShape& shape = programs[idx];
+      const auto& candidates = session.candidates(shape.num_qubits);
+      bool found = false;
+      PartitionAssignment current;
+      double best_score = 0.0;
+      for (const AllocationSession::Candidate& cand : candidates) {
+        EfsBreakdown efs = session.score(cand, shape, policy);
+        if (!found || efs.score < best_score) {
+          current = {*cand.part, std::move(efs)};
+          found = true;
+          best_score = current.efs.score;
+        }
+      }
+      if (!found) return std::nullopt;
+      session.commit(current.qubits);
+      result[idx] = std::move(current);
+    }
+    return result;
+  }
+
   std::vector<int> allocated;
   for (std::size_t idx = 0; idx < programs.size(); ++idx) {
     const ProgramShape& shape = programs[idx];
@@ -63,12 +91,43 @@ std::optional<std::vector<PartitionAssignment>> efs_greedy_allocate(
 }
 
 /// Score-based allocation for calibration-aware, crosstalk-blind baselines.
+/// The index accelerates candidate generation only; each method's own
+/// ranking runs unchanged, and the chosen region's EFS breakdown comes
+/// from the reference efs_score either way.
 template <typename ScoreFn>
 std::optional<std::vector<PartitionAssignment>> score_greedy_allocate(
     const Device& device, std::span<const ProgramShape> programs,
-    ScoreFn score /* higher is better */) {
+    ScoreFn score /* higher is better */, const CandidateIndex* index) {
   const NoCrosstalkPolicy no_xtalk;
   std::vector<PartitionAssignment> result(programs.size());
+
+  if (index != nullptr) {
+    AllocationSession session(*index);
+    for (std::size_t idx = 0; idx < programs.size(); ++idx) {
+      const ProgramShape& shape = programs[idx];
+      const auto& candidates = session.candidates(shape.num_qubits);
+      bool found = false;
+      std::vector<int> best_cand;
+      double best_score = 0.0;
+      for (const AllocationSession::Candidate& cand : candidates) {
+        const double s = score(device, *cand.part);
+        if (!found || s > best_score) {
+          best_cand = *cand.part;
+          best_score = s;
+          found = true;
+        }
+      }
+      if (!found) return std::nullopt;
+      PartitionAssignment assignment;
+      assignment.qubits = best_cand;
+      assignment.efs = efs_score(device, best_cand, shape,
+                                 session.allocated(), no_xtalk);
+      session.commit(best_cand);
+      result[idx] = std::move(assignment);
+    }
+    return result;
+  }
+
   std::vector<int> allocated;
   for (std::size_t idx = 0; idx < programs.size(); ++idx) {
     const ProgramShape& shape = programs[idx];
@@ -98,41 +157,46 @@ std::optional<std::vector<PartitionAssignment>> score_greedy_allocate(
 
 }  // namespace
 
-std::optional<std::vector<PartitionAssignment>> QucpPartitioner::allocate(
-    const Device& device, std::span<const ProgramShape> programs) const {
-  return efs_greedy_allocate(device, programs, policy_);
+std::optional<std::vector<PartitionAssignment>> QucpPartitioner::do_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    const CandidateIndex* index) const {
+  return efs_greedy_allocate(device, programs, policy_, index);
 }
 
-std::optional<std::vector<PartitionAssignment>> QumcPartitioner::allocate(
-    const Device& device, std::span<const ProgramShape> programs) const {
-  return efs_greedy_allocate(device, programs, policy_);
+std::optional<std::vector<PartitionAssignment>> QumcPartitioner::do_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    const CandidateIndex* index) const {
+  return efs_greedy_allocate(device, programs, policy_, index);
 }
 
-std::optional<std::vector<PartitionAssignment>> QucloudPartitioner::allocate(
-    const Device& device, std::span<const ProgramShape> programs) const {
+std::optional<std::vector<PartitionAssignment>> QucloudPartitioner::do_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    const CandidateIndex* index) const {
   // Fidelity degree of qubit q: sum over incident edges of (1 - cx error),
-  // penalized by readout error — QuCloud's CMR-style heuristic.
+  // penalized by readout error — QuCloud's CMR-style heuristic. Candidates
+  // arrive sorted, so membership is a binary search, not a per-call set.
   auto score = [](const Device& dev, const std::vector<int>& cand) {
-    const std::set<int> in_cand(cand.begin(), cand.end());
     double total = 0.0;
     for (int q : cand) {
       double fd = 0.0;
       for (int nb : dev.topology().neighbors(q)) {
-        if (in_cand.count(nb)) fd += 1.0 - dev.cx_error(q, nb);
+        if (std::binary_search(cand.begin(), cand.end(), nb)) {
+          fd += 1.0 - dev.cx_error(q, nb);
+        }
       }
       total += fd - dev.readout_error(q);
     }
     return total;
   };
-  return score_greedy_allocate(device, programs, score);
+  return score_greedy_allocate(device, programs, score, index);
 }
 
-std::optional<std::vector<PartitionAssignment>> MultiqcPartitioner::allocate(
-    const Device& device, std::span<const ProgramShape> programs) const {
+std::optional<std::vector<PartitionAssignment>> MultiqcPartitioner::do_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    const CandidateIndex* index) const {
   // Region utility: product of edge and readout survival probabilities
   // (log-sum for numeric stability) — Das et al.'s reliability ranking.
   auto score = [](const Device& dev, const std::vector<int>& cand) {
-    const std::set<int> in_cand(cand.begin(), cand.end());
     double log_survival = 0.0;
     for (int e : dev.topology().induced_edges(cand)) {
       log_survival += std::log1p(-dev.calibration().cx_error[e]);
@@ -142,11 +206,13 @@ std::optional<std::vector<PartitionAssignment>> MultiqcPartitioner::allocate(
     }
     return log_survival;
   };
-  return score_greedy_allocate(device, programs, score);
+  return score_greedy_allocate(device, programs, score, index);
 }
 
-std::optional<std::vector<PartitionAssignment>> NaivePartitioner::allocate(
-    const Device& device, std::span<const ProgramShape> programs) const {
+std::optional<std::vector<PartitionAssignment>> NaivePartitioner::do_allocate(
+    const Device& device, std::span<const ProgramShape> programs,
+    const CandidateIndex* /*index*/) const {
+  // First-fit BFS needs no candidate enumeration, so the index is unused.
   const Topology& topo = device.topology();
   const NoCrosstalkPolicy no_xtalk;
   std::vector<PartitionAssignment> result(programs.size());

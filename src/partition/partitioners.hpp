@@ -18,6 +18,8 @@
 
 namespace qucp {
 
+class CandidateIndex;  // partition/candidate_index.hpp
+
 /// Derive a program's partition requirements from its circuit.
 [[nodiscard]] ProgramShape shape_of(const Circuit& circuit);
 
@@ -34,9 +36,23 @@ class Partitioner {
   /// Allocate one partition per program, in the given order (callers sort
   /// with `allocation_order` first when emulating QuMC's largest-first
   /// policy). Returns nullopt when some program cannot be placed.
+  ///
+  /// `index` (optional) is a persistent per-device CandidateIndex that
+  /// lets the candidate-based partitioners skip regenerating and rescoring
+  /// everything outside the fringe of the growing allocation. Results are
+  /// bit-identical with and without it (same partitions, same order, same
+  /// EFS doubles — pinned by tests/test_allocator_golden.cpp); the index
+  /// must have been built for `device`.
+  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> allocate(
+      const Device& device, std::span<const ProgramShape> programs,
+      const CandidateIndex* index = nullptr) const {
+    return do_allocate(device, programs, index);
+  }
+
+ protected:
   [[nodiscard]] virtual std::optional<std::vector<PartitionAssignment>>
-  allocate(const Device& device, std::span<const ProgramShape> programs)
-      const = 0;
+  do_allocate(const Device& device, std::span<const ProgramShape> programs,
+              const CandidateIndex* index) const = 0;
 };
 
 /// Largest-first processing order (qubits desc, then 2q count desc, stable).
@@ -48,9 +64,9 @@ class QucpPartitioner final : public Partitioner {
  public:
   explicit QucpPartitioner(double sigma = 4.0) : policy_(sigma) {}
   [[nodiscard]] std::string name() const override { return "QuCP"; }
-  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> allocate(
-      const Device& device,
-      std::span<const ProgramShape> programs) const override;
+  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
+      const Device& device, std::span<const ProgramShape> programs,
+      const CandidateIndex* index) const override;
   [[nodiscard]] double sigma() const noexcept { return policy_.sigma(); }
 
  private:
@@ -63,9 +79,9 @@ class QumcPartitioner final : public Partitioner {
   explicit QumcPartitioner(CrosstalkModel srb_estimates)
       : estimates_(std::move(srb_estimates)), policy_(estimates_) {}
   [[nodiscard]] std::string name() const override { return "QuMC"; }
-  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> allocate(
-      const Device& device,
-      std::span<const ProgramShape> programs) const override;
+  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
+      const Device& device, std::span<const ProgramShape> programs,
+      const CandidateIndex* index) const override;
 
  private:
   CrosstalkModel estimates_;
@@ -77,9 +93,9 @@ class QumcPartitioner final : public Partitioner {
 class QucloudPartitioner final : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "QuCloud"; }
-  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> allocate(
-      const Device& device,
-      std::span<const ProgramShape> programs) const override;
+  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
+      const Device& device, std::span<const ProgramShape> programs,
+      const CandidateIndex* index) const override;
 };
 
 /// MultiQC-style (Das et al.): picks the most reliable region by a
@@ -87,9 +103,9 @@ class QucloudPartitioner final : public Partitioner {
 class MultiqcPartitioner final : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "MultiQC"; }
-  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> allocate(
-      const Device& device,
-      std::span<const ProgramShape> programs) const override;
+  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
+      const Device& device, std::span<const ProgramShape> programs,
+      const CandidateIndex* index) const override;
 };
 
 /// First-fit connected region by BFS from the lowest free index,
@@ -97,9 +113,9 @@ class MultiqcPartitioner final : public Partitioner {
 class NaivePartitioner final : public Partitioner {
  public:
   [[nodiscard]] std::string name() const override { return "Naive"; }
-  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> allocate(
-      const Device& device,
-      std::span<const ProgramShape> programs) const override;
+  [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
+      const Device& device, std::span<const ProgramShape> programs,
+      const CandidateIndex* index) const override;
 };
 
 }  // namespace qucp

@@ -6,7 +6,9 @@
 namespace qucp {
 
 Backend::Backend(Device device, std::size_t transpile_cache_capacity)
-    : device_(std::move(device)), capacity_(transpile_cache_capacity) {}
+    : device_(std::move(device)),
+      candidate_index_(device_),
+      capacity_(transpile_cache_capacity) {}
 
 TranspiledProgram Backend::transpile(const Circuit& logical,
                                      std::span<const int> partition,

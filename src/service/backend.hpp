@@ -25,6 +25,7 @@
 #include "circuit/gate_cache.hpp"
 #include "hardware/device.hpp"
 #include "mapping/transpiler.hpp"
+#include "partition/candidate_index.hpp"
 #include "sim/executor.hpp"
 
 namespace qucp {
@@ -42,6 +43,15 @@ class Backend {
   explicit Backend(Device device, std::size_t transpile_cache_capacity = 1024);
 
   [[nodiscard]] const Device& device() const noexcept { return device_; }
+
+  /// Persistent incremental-EFS candidate cache for this backend's device
+  /// (see partition/candidate_index.hpp). Shared by the batch pipeline and
+  /// the packer so candidate generation + base scoring is paid once per
+  /// (device, partition size) instead of once per batch. Thread-safe; the
+  /// cache stays valid because Backend never exposes a mutable Device.
+  [[nodiscard]] const CandidateIndex& candidate_index() const noexcept {
+    return candidate_index_;
+  }
 
   /// Transpile `logical` onto `partition`, consulting the cache first.
   /// `options_fp` must fingerprint every TranspileOptions field that can
@@ -79,6 +89,7 @@ class Backend {
   };
 
   Device device_;
+  CandidateIndex candidate_index_;  ///< built against device_ (declared above)
   std::size_t capacity_;
   mutable std::mutex mutex_;
   std::map<CacheKey, TranspiledProgram> cache_;

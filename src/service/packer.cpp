@@ -12,12 +12,13 @@ namespace {
 std::optional<double> solo_efs(const Device& device,
                                const Partitioner& partitioner,
                                const PackJob& job,
-                               std::map<std::uint64_t, double>& cache) {
+                               std::map<std::uint64_t, double>& cache,
+                               const CandidateIndex* index) {
   if (auto it = cache.find(job.fingerprint); it != cache.end()) {
     return it->second;
   }
   const ProgramShape shapes[] = {job.shape};
-  const auto alloc = partitioner.allocate(device, shapes);
+  const auto alloc = partitioner.allocate(device, shapes, index);
   if (!alloc) return std::nullopt;
   const double score = (*alloc)[0].efs.score;
   cache.emplace(job.fingerprint, score);
@@ -29,7 +30,8 @@ std::optional<double> solo_efs(const Device& device,
 PackResult pack_batches(const Device& device, std::span<const PackJob> jobs,
                         const Partitioner& partitioner,
                         const PackOptions& options,
-                        std::map<std::uint64_t, double>& solo_efs_cache) {
+                        std::map<std::uint64_t, double>& solo_efs_cache,
+                        const CandidateIndex* index) {
   PackResult result;
   if (jobs.empty()) return result;
 
@@ -67,7 +69,7 @@ PackResult pack_batches(const Device& device, std::span<const PackJob> jobs,
           spilled.push_back(job);
           continue;
         }
-        if (!solo_efs(device, partitioner, *job, solo_efs_cache)) {
+        if (!solo_efs(device, partitioner, *job, solo_efs_cache, index)) {
           result.unplaceable.push_back(job->index);
           continue;
         }
@@ -91,7 +93,7 @@ PackResult pack_batches(const Device& device, std::span<const PackJob> jobs,
       for (std::size_t idx : order) {
         ordered_shapes.push_back(tentative_shapes[idx]);
       }
-      const auto alloc = partitioner.allocate(device, ordered_shapes);
+      const auto alloc = partitioner.allocate(device, ordered_shapes, index);
 
       if (!alloc) {
         if (batch.empty()) {
@@ -110,7 +112,7 @@ PackResult pack_batches(const Device& device, std::span<const PackJob> jobs,
              ++pos) {
           const PackJob& member = *tentative[order[pos]];
           const auto solo =
-              solo_efs(device, partitioner, member, solo_efs_cache);
+              solo_efs(device, partitioner, member, solo_efs_cache, index);
           if (!solo) continue;  // batch-placeable implies solo-placeable
           const double delta = (*alloc)[pos].efs.score - *solo;
           over_threshold = delta > options.efs_threshold;

@@ -57,13 +57,19 @@ struct PackOptions {
   bool single_batch = false;
 };
 
+class CandidateIndex;  // partition/candidate_index.hpp
+
 /// Pack `jobs` (already in the desired queue order) into batches.
 /// `solo_efs_cache` memoizes best-solo-partition EFS per circuit
-/// fingerprint across calls; pass a service-owned map. Not thread-safe —
-/// callers serialize packing.
+/// fingerprint across calls; pass a service-owned map. `index` (optional,
+/// must match `device`) reuses the backend's persistent candidate cache
+/// for the tentative allocations and solo-EFS probes; packing decisions
+/// are identical with and without it. Not thread-safe — callers serialize
+/// packing.
 [[nodiscard]] PackResult pack_batches(
     const Device& device, std::span<const PackJob> jobs,
     const Partitioner& partitioner, const PackOptions& options,
-    std::map<std::uint64_t, double>& solo_efs_cache);
+    std::map<std::uint64_t, double>& solo_efs_cache,
+    const CandidateIndex* index = nullptr);
 
 }  // namespace qucp

@@ -7,6 +7,7 @@
 
 #include "common/rng.hpp"
 #include "core/runtime.hpp"
+#include "sim/kernels.hpp"
 #include "sim/statevector.hpp"
 
 namespace qucp {
@@ -49,6 +50,10 @@ BatchReport run_batch_pipeline(Backend& backend,
   if (programs.empty()) {
     throw std::invalid_argument("run_batch_pipeline: no programs");
   }
+  // Cap kernel threading for the whole pipeline, not just the noisy
+  // executor: the ideal_distribution() statevector passes below also
+  // engage parallel_for on wide programs.
+  const kern::ParallelThreadsGuard thread_cap(options.exec.kernel_threads);
   const Device& device = backend.device();
 
   // Partition in QuMC's largest-first order.
@@ -62,7 +67,8 @@ BatchReport run_batch_pipeline(Backend& backend,
 
   const auto partitioner =
       make_partitioner(options.method, options.sigma, options.srb_estimates);
-  const auto allocations = partitioner->allocate(device, ordered_shapes);
+  const auto allocations = partitioner->allocate(
+      device, ordered_shapes, &backend.candidate_index());
   if (!allocations) {
     throw std::runtime_error("run_batch_pipeline: batch does not fit on " +
                              device.name());
@@ -250,7 +256,7 @@ void ExecutionService::dispatch_pending() {
   popts.single_batch = options_.single_batch;
   const PackResult packed =
       pack_batches(backend_->device(), pack_jobs, *partitioner_, popts,
-                   solo_efs_cache_);
+                   solo_efs_cache_, &backend_->candidate_index());
 
   for (std::size_t idx : packed.unplaceable) {
     jobs[idx]->fail("job '" + jobs[idx]->name + "' does not fit on " +
@@ -275,6 +281,7 @@ void ExecutionService::dispatch_pending() {
 void ExecutionService::worker_loop() {
   for (;;) {
     Batch batch;
+    int concurrency = 1;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_cv_.wait(lock,
@@ -285,12 +292,16 @@ void ExecutionService::worker_loop() {
       }
       batch = std::move(batch_queue_.front());
       batch_queue_.pop_front();
+      ++active_batches_;
+      concurrency = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(options_.num_workers),
+          active_batches_ + batch_queue_.size()));
     }
-    execute_batch(std::move(batch));
+    execute_batch(std::move(batch), concurrency);
   }
 }
 
-void ExecutionService::execute_batch(Batch batch) {
+void ExecutionService::execute_batch(Batch batch, int concurrency) {
   for (const JobPtr& job : batch.jobs) job->set_running();
 
   std::vector<Circuit> circuits;
@@ -312,6 +323,14 @@ void ExecutionService::execute_batch(Batch batch) {
   // (the run_parallel() shim runs as batch 0 and must stay bit-identical
   // to the historical single-shot behavior).
   popts.exec.seed = options_.exec.seed + kGolden * batch.index;
+  // Unless the caller pinned a kernel-thread cap, share the machine across
+  // the batches actually running: N concurrent batch simulations each with
+  // a full-width parallel_for would oversubscribe the cores N-fold, while
+  // a lone batch should keep the whole machine.
+  if (popts.exec.kernel_threads == 0 && concurrency > 1) {
+    popts.exec.kernel_threads =
+        std::max(1, kern::parallel_threads() / concurrency);
+  }
 
   std::size_t failed = 0;
   try {
@@ -344,6 +363,7 @@ void ExecutionService::execute_batch(Batch batch) {
     jobs_failed_ += failed;
     jobs_completed_ += batch.jobs.size() - failed;
     outstanding_jobs_ -= batch.jobs.size();
+    --active_batches_;
   }
   drained_cv_.notify_all();
 }

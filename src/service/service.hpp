@@ -131,7 +131,10 @@ class ExecutionService {
   /// Pack current pending jobs and enqueue the resulting batches.
   /// Serialized by pack_mutex_.
   void dispatch_pending();
-  void execute_batch(Batch batch);
+  /// `concurrency` is the batch parallelism observed at dequeue time
+  /// (in-flight + queued, capped at the pool size); it sizes the
+  /// kernel-thread budget so a lone batch keeps the whole machine.
+  void execute_batch(Batch batch, int concurrency);
   void wait_for_drain();
 
   std::shared_ptr<Backend> backend_;
@@ -144,6 +147,7 @@ class ExecutionService {
   std::vector<JobPtr> pending_;
   std::deque<Batch> batch_queue_;
   std::size_t outstanding_jobs_ = 0;  ///< dispatched, not yet finished
+  std::size_t active_batches_ = 0;    ///< batches currently executing
   bool accepting_ = true;  ///< false after shutdown(); submit() throws
   bool stop_ = false;
   std::uint64_t next_job_id_ = 0;

@@ -104,6 +104,18 @@ Distribution Counts::to_distribution() const {
   return Distribution(num_bits_, std::move(probs));
 }
 
+namespace detail {
+
+std::size_t cdf_index(std::span<const double> cdf, double r) noexcept {
+  const std::size_t idx = static_cast<std::size_t>(
+      std::upper_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
+  // r at or past cdf.back() — a draw in the rounding gap the accumulated
+  // prefix sums leave below the true total — lands in the last bucket.
+  return idx == cdf.size() ? cdf.size() - 1 : idx;
+}
+
+}  // namespace detail
+
 Counts sample_counts(const Distribution& dist, int shots, Rng& rng) {
   if (shots <= 0) throw std::invalid_argument("sample_counts: shots <= 0");
   const std::vector<Distribution::Entry>& entries = dist.probs();
@@ -126,11 +138,7 @@ Counts sample_counts(const Distribution& dist, int shots, Rng& rng) {
   const double total = acc;
   std::vector<int> hits(entries.size(), 0);
   for (int s = 0; s < shots; ++s) {
-    const double r = rng.uniform() * total;
-    std::size_t idx = static_cast<std::size_t>(
-        std::upper_bound(cdf.begin(), cdf.end(), r) - cdf.begin());
-    if (idx == cdf.size()) idx = cdf.size() - 1;  // guard against rounding
-    ++hits[idx];
+    ++hits[detail::cdf_index(cdf, rng.uniform() * total)];
   }
   Counts counts(dist.num_bits(), {});
   for (std::size_t i = 0; i < entries.size(); ++i) {

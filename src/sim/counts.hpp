@@ -5,8 +5,10 @@
 // 0) to shot counts. Distribution is its normalized sibling and the common
 // currency of the fidelity metrics (PST, JSD).
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,19 @@ class Counts {
 /// Draw `shots` samples from a distribution (multinomial).
 [[nodiscard]] Counts sample_counts(const Distribution& dist, int shots,
                                    Rng& rng);
+
+namespace detail {
+
+/// Bucket index of draw `r` against an inclusive prefix-sum CDF (the
+/// sample_counts binary search): the first entry with cdf[i] > r, clamped
+/// to the last bucket. The clamp is load-bearing: left-to-right
+/// accumulation can leave cdf.back() fractionally below the true total, so
+/// a uniform draw near 1.0 (scaled to that total) would otherwise index
+/// one past the end. Requires a non-empty, non-decreasing cdf.
+[[nodiscard]] std::size_t cdf_index(std::span<const double> cdf,
+                                    double r) noexcept;
+
+}  // namespace detail
 
 /// Render an outcome as a bitstring, clbit (num_bits-1) first — matching
 /// the usual Qiskit display convention.

@@ -8,6 +8,7 @@
 #include "circuit/decompose.hpp"
 #include "circuit/gate_cache.hpp"
 #include "sim/density.hpp"
+#include "sim/kernels.hpp"
 #include "sim/noise.hpp"
 
 namespace qucp {
@@ -29,6 +30,8 @@ ParallelRunReport execute_parallel(const Device& device,
                                    std::vector<PhysicalProgram> programs,
                                    const ExecOptions& options,
                                    GateMatrixCache* gate_cache) {
+  // Cap kernel-level threading for the whole run (scoped to this thread).
+  const kern::ParallelThreadsGuard thread_cap(options.kernel_threads);
   // Callers without a long-lived cache still deduplicate within the run.
   GateMatrixCache local_cache;
   GateMatrixCache& matrices = gate_cache != nullptr ? *gate_cache : local_cache;

@@ -44,6 +44,12 @@ struct ExecOptions {
   bool crosstalk_noise = true;
   std::uint64_t seed = 1234;  ///< sampling seed
 
+  /// Cap on kern::parallel_for worker threads while this run simulates
+  /// (0 = inherit the ambient cap: QUCP_KERNEL_THREADS, else hardware
+  /// concurrency). The ExecutionService sets hw / num_workers here so N
+  /// concurrent batch workers cannot oversubscribe the machine N-fold.
+  int kernel_threads = 0;
+
   /// Software crosstalk mitigation by instruction scheduling (Murali et
   /// al., the alternative to QuCP's avoidance): delay whole programs until
   /// no one-hop CX pairs overlap in time. With `serialize_hints` set only

@@ -2,8 +2,56 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <limits>
 
 namespace qucp::kern {
+
+namespace {
+
+/// Per-thread parallel_for cap override (0 = unset). Thread-local so each
+/// ExecutionService worker caps its own kernel fan-out independently.
+thread_local int t_parallel_threads_override = 0;
+
+}  // namespace
+
+int resolve_parallel_threads(int override_threads, const char* env_value,
+                             unsigned hardware) noexcept {
+  if (override_threads > 0) return override_threads;
+  if (env_value != nullptr) {
+    // strtol, not atoi: out-of-range input must clamp, not be UB.
+    const long parsed = std::strtol(env_value, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<int>(
+          std::min<long>(parsed, std::numeric_limits<int>::max()));
+    }
+  }
+  // hardware_concurrency() == 0 is a legal "unknown" answer; treat it as a
+  // single core rather than letting it zero out the split arithmetic.
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+int parallel_threads() noexcept {
+  if (t_parallel_threads_override > 0) return t_parallel_threads_override;
+  // Resolve env + hardware once: both re-read the OS on every call.
+  static const int ambient = resolve_parallel_threads(
+      0, std::getenv("QUCP_KERNEL_THREADS"),
+      std::thread::hardware_concurrency());
+  return ambient;
+}
+
+void set_parallel_threads(int n) noexcept {
+  t_parallel_threads_override = n > 0 ? n : 0;
+}
+
+ParallelThreadsGuard::ParallelThreadsGuard(int n) noexcept
+    : previous_(t_parallel_threads_override) {
+  if (n > 0) t_parallel_threads_override = n;
+}
+
+ParallelThreadsGuard::~ParallelThreadsGuard() {
+  t_parallel_threads_override = previous_;
+}
 
 namespace {
 

@@ -31,20 +31,53 @@ namespace qucp::kern {
 /// Base loops at least this large are split across hardware threads.
 inline constexpr std::size_t kParallelGrain = std::size_t{1} << 16;
 
-/// Run fn(begin, end) over [0, count), split across threads when count is
-/// large and the machine has more than one core. fn must be race-free on
+/// Worker-thread cap resolution rule for parallel_for, exposed as a pure
+/// function so the edge cases are testable: an explicit override (> 0)
+/// wins, then a positive integer in `env_value` (the QUCP_KERNEL_THREADS
+/// variable), then `hardware` — where 0, which the standard allows
+/// hardware_concurrency() to report when the core count is unknown, maps
+/// to 1 instead of poisoning the chunk math. Always returns >= 1.
+[[nodiscard]] int resolve_parallel_threads(int override_threads,
+                                           const char* env_value,
+                                           unsigned hardware) noexcept;
+
+/// Effective parallel_for thread cap for the calling thread: the
+/// thread-local override when set, else QUCP_KERNEL_THREADS, else the
+/// hardware concurrency (cached; glibc re-reads sysfs per call). >= 1.
+[[nodiscard]] int parallel_threads() noexcept;
+
+/// Set (n > 0) or clear (n <= 0) the calling thread's cap. An
+/// ExecutionService worker sets hw/num_workers here so N concurrent batch
+/// simulations cannot oversubscribe the machine N-fold.
+void set_parallel_threads(int n) noexcept;
+
+/// Scoped thread cap: applies `n` for the guard's lifetime when n > 0, a
+/// no-op otherwise. Restores the previous override either way.
+class ParallelThreadsGuard {
+ public:
+  explicit ParallelThreadsGuard(int n) noexcept;
+  ~ParallelThreadsGuard();
+  ParallelThreadsGuard(const ParallelThreadsGuard&) = delete;
+  ParallelThreadsGuard& operator=(const ParallelThreadsGuard&) = delete;
+
+ private:
+  int previous_;
+};
+
+/// Run fn(begin, end) over [0, count), split across up to
+/// parallel_threads() workers when count is large. fn must be race-free on
 /// disjoint ranges. Threads are joined before returning.
 template <typename F>
 void parallel_for(std::size_t count, F&& fn) {
-  // hardware_concurrency() re-reads sysfs on every call in glibc — cache it
-  // once or it costs microseconds per kernel invocation.
-  static const unsigned hw = std::thread::hardware_concurrency();
-  if (count < 2 * kParallelGrain || hw <= 1) {
+  const auto max_workers = static_cast<std::size_t>(parallel_threads());
+  if (count < 2 * kParallelGrain || max_workers <= 1) {
     fn(std::size_t{0}, count);
     return;
   }
+  // Both operands are >= 2 here (count >= 2 * grain and max_workers >= 2),
+  // so the chunk math below never divides by zero or strands elements.
   const std::size_t num_chunks =
-      std::min<std::size_t>(hw, count / kParallelGrain);
+      std::min<std::size_t>(max_workers, count / kParallelGrain);
   const std::size_t chunk = (count + num_chunks - 1) / num_chunks;
   std::vector<std::thread> workers;
   workers.reserve(num_chunks - 1);

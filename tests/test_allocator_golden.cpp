@@ -1,0 +1,202 @@
+// Golden suite for the CandidateIndex-backed allocator: across randomized
+// batch streams on every bundled topology, the indexed path must produce
+// bit-identical results to the reference (non-indexed) path — the same
+// candidate partitions, chosen in the same order, with the same EFS
+// doubles — for every candidate-based partitioner, and pack_batches must
+// make identical packing decisions. This is the contract that lets the
+// service swap the incremental allocator in without a behavior flag.
+
+#include "partition/candidate_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "partition/candidates.hpp"
+#include "partition/partitioners.hpp"
+#include "service/packer.hpp"
+
+namespace qucp {
+namespace {
+
+std::vector<Device> bundled_devices() {
+  std::vector<Device> devices;
+  devices.push_back(make_melbourne16());
+  devices.push_back(make_toronto27());
+  devices.push_back(make_manhattan65());
+  devices.push_back(make_line_device(9));
+  devices.push_back(make_grid_device(4, 5));
+  return devices;
+}
+
+std::vector<std::unique_ptr<Partitioner>> candidate_partitioners(
+    const Device& device, Rng& rng) {
+  std::vector<std::unique_ptr<Partitioner>> out;
+  out.push_back(std::make_unique<QucpPartitioner>(4.0));
+  CrosstalkModel estimates;
+  for (const auto& [e1, e2] : device.topology().one_hop_edge_pairs()) {
+    if (rng.bernoulli(0.5)) {
+      estimates.add_pair(e1, e2, rng.uniform(1.0, 8.0));
+    }
+  }
+  out.push_back(std::make_unique<QumcPartitioner>(std::move(estimates)));
+  out.push_back(std::make_unique<QucloudPartitioner>());
+  out.push_back(std::make_unique<MultiqcPartitioner>());
+  return out;
+}
+
+/// Random batch of shapes; sizes occasionally too large so infeasible
+/// batches (nullopt) are part of the golden stream.
+std::vector<ProgramShape> random_batch(Rng& rng, int max_qubits) {
+  const int batch_size = static_cast<int>(rng.integer(1, 5));
+  std::vector<ProgramShape> shapes;
+  for (int i = 0; i < batch_size; ++i) {
+    ProgramShape s;
+    s.num_qubits = static_cast<int>(rng.integer(1, max_qubits));
+    s.num_2q = static_cast<int>(rng.integer(0, 30));
+    s.num_1q = static_cast<int>(rng.integer(0, 40));
+    if (s.num_qubits < 2) s.num_2q = 0;
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+void expect_identical(
+    const std::optional<std::vector<PartitionAssignment>>& reference,
+    const std::optional<std::vector<PartitionAssignment>>& indexed,
+    const std::string& context) {
+  ASSERT_EQ(reference.has_value(), indexed.has_value()) << context;
+  if (!reference) return;
+  ASSERT_EQ(reference->size(), indexed->size()) << context;
+  for (std::size_t i = 0; i < reference->size(); ++i) {
+    const PartitionAssignment& a = (*reference)[i];
+    const PartitionAssignment& b = (*indexed)[i];
+    EXPECT_EQ(a.qubits, b.qubits) << context << " program " << i;
+    // EXPECT_EQ on doubles: the claim is bit-identity, not closeness.
+    EXPECT_EQ(a.efs.score, b.efs.score) << context << " program " << i;
+    EXPECT_EQ(a.efs.avg_2q, b.efs.avg_2q) << context << " program " << i;
+    EXPECT_EQ(a.efs.avg_1q, b.efs.avg_1q) << context << " program " << i;
+    EXPECT_EQ(a.efs.readout_sum, b.efs.readout_sum)
+        << context << " program " << i;
+    EXPECT_EQ(a.efs.crosstalk_edges, b.efs.crosstalk_edges)
+        << context << " program " << i;
+  }
+}
+
+TEST(AllocatorGolden, IndexedAllocationBitIdenticalOnAllTopologies) {
+  Rng rng(20260730);
+  for (const Device& device : bundled_devices()) {
+    CandidateIndex index(device);  // persists across batches, like Backend's
+    const int max_qubits = std::min(6, device.num_qubits());
+    auto partitioners = candidate_partitioners(device, rng);
+    for (int batch = 0; batch < 24; ++batch) {
+      std::vector<ProgramShape> shapes = random_batch(rng, max_qubits);
+      const std::vector<std::size_t> order = allocation_order(shapes);
+      std::vector<ProgramShape> ordered;
+      for (std::size_t idx : order) ordered.push_back(shapes[idx]);
+      for (const auto& partitioner : partitioners) {
+        const std::string context = device.name() + "/" +
+                                    partitioner->name() + "/batch" +
+                                    std::to_string(batch);
+        const auto reference = partitioner->allocate(device, ordered);
+        const auto indexed = partitioner->allocate(device, ordered, &index);
+        expect_identical(reference, indexed, context);
+      }
+    }
+  }
+}
+
+TEST(AllocatorGolden, SessionCandidatesMatchReferenceGeneration) {
+  // Drive a session through a growing allocation and compare the raw
+  // candidate lists (sets and order) against partition_candidates.
+  Rng rng(77);
+  for (const Device& device : bundled_devices()) {
+    CandidateIndex index(device);
+    for (int trial = 0; trial < 4; ++trial) {
+      AllocationSession session(index);
+      std::vector<int> allocated;
+      for (int round = 0; round < 4; ++round) {
+        const int k =
+            static_cast<int>(rng.integer(1, std::min(5, device.num_qubits())));
+        const auto reference = partition_candidates(device, k, allocated);
+        const auto& session_cands = session.candidates(k);
+        ASSERT_EQ(reference.size(), session_cands.size())
+            << device.name() << " k=" << k << " round " << round;
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          EXPECT_EQ(reference[i], *session_cands[i].part)
+              << device.name() << " k=" << k << " candidate " << i;
+        }
+        if (reference.empty()) break;
+        // Commit a pseudo-random candidate to dirty the fringe.
+        const auto& pick =
+            reference[static_cast<std::size_t>(rng.integer(
+                0, static_cast<std::int64_t>(reference.size()) - 1))];
+        session.commit(pick);
+        allocated.insert(allocated.end(), pick.begin(), pick.end());
+      }
+    }
+  }
+}
+
+TEST(AllocatorGolden, PackerDecisionsIdenticalWithIndex) {
+  const Device device = make_toronto27();
+  CandidateIndex index(device);
+  const QucpPartitioner partitioner;
+  Rng rng(99);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<PackJob> jobs;
+    const int n = static_cast<int>(rng.integer(1, 12));
+    for (int i = 0; i < n; ++i) {
+      ProgramShape s;
+      s.num_qubits = static_cast<int>(rng.integer(1, 6));
+      s.num_2q = s.num_qubits >= 2 ? static_cast<int>(rng.integer(0, 20)) : 0;
+      s.num_1q = static_cast<int>(rng.integer(0, 20));
+      jobs.push_back({static_cast<std::size_t>(i), s,
+                      rng.next_u64(), rng.bernoulli(0.15)});
+    }
+    PackOptions opts;
+    opts.max_batch_size = static_cast<int>(rng.integer(1, 5));
+    opts.efs_threshold = rng.bernoulli(0.5) ? rng.uniform(0.0, 0.5)
+                                            : PackOptions{}.efs_threshold;
+    std::map<std::uint64_t, double> cache_ref;
+    std::map<std::uint64_t, double> cache_idx;
+    const PackResult reference =
+        pack_batches(device, jobs, partitioner, opts, cache_ref);
+    const PackResult indexed =
+        pack_batches(device, jobs, partitioner, opts, cache_idx, &index);
+    ASSERT_EQ(reference.batches.size(), indexed.batches.size()) << trial;
+    for (std::size_t b = 0; b < reference.batches.size(); ++b) {
+      EXPECT_EQ(reference.batches[b].jobs, indexed.batches[b].jobs)
+          << trial << " batch " << b;
+    }
+    EXPECT_EQ(reference.unplaceable, indexed.unplaceable) << trial;
+    EXPECT_EQ(reference.spill_events, indexed.spill_events) << trial;
+    EXPECT_EQ(cache_ref, cache_idx) << trial;
+  }
+}
+
+TEST(AllocatorGolden, IndexValidatesPartitionSize) {
+  const Device device = make_line_device(5);
+  CandidateIndex index(device);
+  EXPECT_THROW((void)index.per_k(0), std::invalid_argument);
+  EXPECT_THROW((void)index.per_k(-3), std::invalid_argument);
+  EXPECT_EQ(index.sizes_cached(), 0u);
+  EXPECT_EQ(index.per_k(2).candidates.size(),
+            partition_candidates(device, 2, {}).size());
+  EXPECT_EQ(index.sizes_cached(), 1u);
+}
+
+TEST(AllocatorGolden, OversizedProgramsYieldNoCandidates) {
+  const Device device = make_line_device(4);
+  CandidateIndex index(device);
+  const QucpPartitioner partitioner;
+  const std::vector<ProgramShape> programs{ProgramShape{5, 3, 3}};
+  EXPECT_FALSE(partitioner.allocate(device, programs, &index).has_value());
+  EXPECT_FALSE(partitioner.allocate(device, programs).has_value());
+}
+
+}  // namespace
+}  // namespace qucp

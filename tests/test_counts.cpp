@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/rng.hpp"
 
 namespace qucp {
@@ -66,6 +69,48 @@ TEST(Counts, SampleDeterministicPerSeed) {
   Rng r2(9);
   EXPECT_EQ(sample_counts(d, 100, r1).data(),
             sample_counts(d, 100, r2).data());
+}
+
+TEST(Counts, CdfIndexClampsAdversarialNearOneDraw) {
+  // Left-to-right accumulation of these probabilities leaves the final
+  // CDF entry strictly below 1.0 (0.1 is not exactly representable), so a
+  // draw in the gap [cdf.back(), 1.0) — e.g. uniform() returning a value
+  // near 1.0 — falls past every bucket in the binary search and must be
+  // clamped onto the last outcome instead of indexing one past the end.
+  std::vector<double> cdf;
+  double acc = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    acc += 0.1;
+    cdf.push_back(acc);
+  }
+  ASSERT_LT(cdf.back(), 1.0);  // the adversarial premise
+  EXPECT_EQ(detail::cdf_index(cdf, 1.0), 9u);
+  EXPECT_EQ(detail::cdf_index(cdf, std::nextafter(cdf.back(), 2.0)), 9u);
+  EXPECT_EQ(detail::cdf_index(cdf, cdf.back()), 9u);  // upper_bound is strict
+  // Interior draws are untouched by the clamp.
+  EXPECT_EQ(detail::cdf_index(cdf, 0.0), 0u);
+  EXPECT_EQ(detail::cdf_index(cdf, 0.05), 0u);
+  EXPECT_EQ(detail::cdf_index(cdf, 0.15), 1u);
+  EXPECT_EQ(detail::cdf_index(cdf, std::nextafter(cdf.back(), 0.0)), 9u);
+  // Single-bucket CDF: every draw, including past-the-end, lands on it.
+  const std::vector<double> one{1.0 - 1e-16};
+  EXPECT_EQ(detail::cdf_index(one, 1.0), 0u);
+}
+
+TEST(Counts, SampleConservesShotsOnLopsidedDistribution) {
+  // End-to-end regression: a many-outcome distribution whose prefix sums
+  // accumulate rounding error must still conserve shots and only emit
+  // in-support outcomes.
+  std::vector<Distribution::Entry> entries;
+  for (std::uint64_t o = 0; o < 10; ++o) entries.push_back({o, 0.1});
+  const Distribution d(4, std::move(entries));
+  Rng rng(123);
+  const Counts c = sample_counts(d, 50000, rng);
+  EXPECT_EQ(c.total(), 50000);
+  for (const auto& [outcome, n] : c.data()) {
+    EXPECT_LT(outcome, 10u);
+    EXPECT_GT(n, 0);
+  }
 }
 
 TEST(Counts, SampleRejectsBadShots) {

@@ -125,6 +125,33 @@ TEST(Efs, Validation) {
                std::invalid_argument);
 }
 
+TEST(Efs, SharedQubitEdgePairsAreUnreachable) {
+  // The crosstalk loop's former shares_qubit skip is dead code (now an
+  // assert): a partition edge and an allocated edge can only share a qubit
+  // when partition and allocation overlap, which the validation rejects
+  // before any edge is inspected. This test documents the invariant by
+  // pinning the rejection for every overlap geometry on the line device.
+  const Device d = efs_device();
+  const NoCrosstalkPolicy policy;
+  const ProgramShape shape{2, 1, 0};
+  // Full overlap, single-qubit overlap at either end: all must throw.
+  EXPECT_THROW((void)efs_score(d, std::vector<int>{1, 2}, shape,
+                               std::vector<int>{1, 2}, policy),
+               std::invalid_argument);
+  EXPECT_THROW((void)efs_score(d, std::vector<int>{1, 2}, shape,
+                               std::vector<int>{2, 3}, policy),
+               std::invalid_argument);
+  EXPECT_THROW((void)efs_score(d, std::vector<int>{1, 2}, shape,
+                               std::vector<int>{0, 1}, policy),
+               std::invalid_argument);
+  // Disjoint but adjacent partitions share no edge endpoint; edge (1,2)
+  // vs allocated edge (3,4) is the closest legal geometry and is scored
+  // as a distance-1 crosstalk pair, not skipped.
+  const EfsBreakdown adjacent = efs_score(d, std::vector<int>{1, 2}, shape,
+                                          std::vector<int>{3, 4}, policy);
+  EXPECT_EQ(adjacent.crosstalk_edges.size(), 1u);
+}
+
 TEST(Efs, SigmaPolicyValidatesSigma) {
   EXPECT_THROW(SigmaPolicy(0.5), std::invalid_argument);
   EXPECT_NO_THROW(SigmaPolicy(1.0));

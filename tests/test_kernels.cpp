@@ -11,8 +11,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -484,6 +487,90 @@ TEST(KernelGolden, InsertBitEnumeratesBases) {
     }
     EXPECT_EQ(got, want) << "bit=" << bit;
   }
+}
+
+/// RAII reset so a failing expectation cannot leak a cap into later tests.
+struct ThreadCapReset {
+  ~ThreadCapReset() { kern::set_parallel_threads(0); }
+};
+
+TEST(ParallelFor, ResolvesZeroHardwareConcurrencyToSerial) {
+  // The standard allows hardware_concurrency() to report 0 ("unknown");
+  // the resolver must map that to 1 worker, not feed 0 into the chunk
+  // split. Explicit overrides and the env knob take precedence in order.
+  EXPECT_EQ(kern::resolve_parallel_threads(0, nullptr, 0u), 1);
+  EXPECT_EQ(kern::resolve_parallel_threads(0, nullptr, 8u), 8);
+  EXPECT_EQ(kern::resolve_parallel_threads(3, nullptr, 8u), 3);
+  EXPECT_EQ(kern::resolve_parallel_threads(3, "5", 8u), 3);
+  EXPECT_EQ(kern::resolve_parallel_threads(0, "5", 8u), 5);
+  EXPECT_EQ(kern::resolve_parallel_threads(0, "5", 0u), 5);
+  // Garbage / non-positive env values fall through to hardware.
+  EXPECT_EQ(kern::resolve_parallel_threads(0, "nope", 4u), 4);
+  EXPECT_EQ(kern::resolve_parallel_threads(0, "0", 4u), 4);
+  EXPECT_EQ(kern::resolve_parallel_threads(0, "-2", 0u), 1);
+}
+
+TEST(ParallelFor, CoversEveryElementExactlyOnceUnderAnyCap) {
+  const ThreadCapReset reset;
+  // Above-threshold count so the parallel branch engages when the cap
+  // allows it; each element incremented exactly once proves the ranges
+  // are disjoint and complete.
+  const std::size_t count = (std::size_t{2} << 16) + 37;
+  for (int cap : {1, 2, 3, 8}) {
+    kern::set_parallel_threads(cap);
+    EXPECT_EQ(kern::parallel_threads(), cap);
+    std::vector<int> touched(count, 0);
+    kern::parallel_for(count, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++touched[i];
+    });
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(touched.begin(), touched.end(), 1)),
+              count)
+        << "cap=" << cap;
+  }
+}
+
+TEST(ParallelFor, GuardScopesTheCapAndRestoresOnExit) {
+  const ThreadCapReset reset;
+  kern::set_parallel_threads(6);
+  {
+    const kern::ParallelThreadsGuard guard(2);
+    EXPECT_EQ(kern::parallel_threads(), 2);
+    {
+      const kern::ParallelThreadsGuard inner(0);  // no-op: inherit
+      EXPECT_EQ(kern::parallel_threads(), 2);
+    }
+    EXPECT_EQ(kern::parallel_threads(), 2);
+  }
+  EXPECT_EQ(kern::parallel_threads(), 6);
+  kern::set_parallel_threads(0);
+  EXPECT_GE(kern::parallel_threads(), 1);  // ambient is always >= 1
+}
+
+TEST(ParallelFor, CapIsThreadLocal) {
+  const ThreadCapReset reset;
+  kern::set_parallel_threads(5);
+  int other_thread_cap = -1;
+  std::thread probe([&] { other_thread_cap = kern::parallel_threads(); });
+  probe.join();
+  // A worker thread inherits the ambient cap, not this thread's override —
+  // each ExecutionService worker manages its own budget.
+  EXPECT_EQ(kern::parallel_threads(), 5);
+  EXPECT_NE(other_thread_cap, -1);
+  EXPECT_NE(other_thread_cap, 0);
+}
+
+TEST(ParallelFor, SmallCountsStaySerialRegardlessOfCap) {
+  const ThreadCapReset reset;
+  kern::set_parallel_threads(8);
+  // Below 2 * kParallelGrain the body must run inline as one range.
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  kern::parallel_for(kern::kParallelGrain, [&](std::size_t b, std::size_t e) {
+    ranges.emplace_back(b, e);
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<std::size_t, std::size_t>{
+                           0, kern::kParallelGrain}));
 }
 
 }  // namespace

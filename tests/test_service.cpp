@@ -295,6 +295,149 @@ TEST(Packer, SpillsWhatDoesNotFitTogether) {
   EXPECT_GT(packed.spill_events, 0u);
 }
 
+TEST(Packer, SpilledJobsKeepFifoOrderBehindRepeatedlyFullBatches) {
+  // Five device-filling 5-qubit jobs on a 12-qubit line: only two fit per
+  // batch, so jobs 2..4 spill repeatedly. A spilled job must neither
+  // starve nor reorder: every job appears exactly once, batches hold
+  // consecutive queue positions, and first-dispatch order is arrival
+  // order.
+  const Device d = make_line_device(12);
+  const NaivePartitioner partitioner;
+  const ProgramShape shape = shape_of(get_benchmark("alu").circuit);
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 5; ++i) jobs.push_back({i, shape, i, false});
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed =
+      pack_batches(d, jobs, partitioner, PackOptions{}, cache);
+  ASSERT_EQ(packed.batches.size(), 3u);
+  EXPECT_EQ(packed.batches[0].jobs, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(packed.batches[1].jobs, (std::vector<std::size_t>{2, 3}));
+  EXPECT_EQ(packed.batches[2].jobs, (std::vector<std::size_t>{4}));
+  EXPECT_TRUE(packed.unplaceable.empty());
+  // Job 2, 3, 4 each spill from batch 1; job 4 spills again from batch 2.
+  EXPECT_EQ(packed.spill_events, 4u);
+}
+
+TEST(Packer, LateSmallJobMayOvertakeButSpilledJobsStayOrdered) {
+  // Greedy in-queue-order packing lets a later job join an earlier batch
+  // when it still fits (that is the throughput policy, not starvation):
+  // with [5q, 5q, 5q, 2q] on a 12-qubit line, the trailing 2q job rides
+  // in batch 1 past the spilled third 5q job, which still dispatches next
+  // and exactly once.
+  const Device d = make_line_device(12);
+  const NaivePartitioner partitioner;
+  const ProgramShape big = shape_of(get_benchmark("alu").circuit);
+  const ProgramShape small{2, 1, 1};
+  std::vector<PackJob> jobs{{0, big, 10, false},
+                            {1, big, 11, false},
+                            {2, big, 12, false},
+                            {3, small, 13, false}};
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed =
+      pack_batches(d, jobs, partitioner, PackOptions{}, cache);
+  ASSERT_EQ(packed.batches.size(), 2u);
+  EXPECT_EQ(packed.batches[0].jobs, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(packed.batches[1].jobs, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(packed.spill_events, 1u);
+}
+
+TEST(Packer, AccountingIsExactOverRandomizedStreams) {
+  // Property: every job lands in exactly one batch or in unplaceable —
+  // nothing is dropped or duplicated no matter how spills interleave.
+  const Device d = make_line_device(10);
+  const QucpPartitioner partitioner;
+  Rng rng(4242);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<PackJob> jobs;
+    const int n = static_cast<int>(rng.integer(1, 14));
+    for (int i = 0; i < n; ++i) {
+      ProgramShape s;
+      s.num_qubits = static_cast<int>(rng.integer(1, 12));  // some > device
+      s.num_2q = s.num_qubits >= 2 ? static_cast<int>(rng.integer(0, 9)) : 0;
+      s.num_1q = static_cast<int>(rng.integer(0, 9));
+      jobs.push_back({static_cast<std::size_t>(i), s, rng.next_u64(),
+                      rng.bernoulli(0.2)});
+    }
+    PackOptions opts;
+    opts.max_batch_size = static_cast<int>(rng.integer(1, 4));
+    std::map<std::uint64_t, double> cache;
+    const PackResult packed =
+        pack_batches(d, jobs, partitioner, opts, cache);
+    std::vector<std::size_t> seen;
+    for (const PackedBatch& batch : packed.batches) {
+      EXPECT_FALSE(batch.jobs.empty()) << trial;
+      EXPECT_LE(batch.jobs.size(),
+                static_cast<std::size_t>(opts.max_batch_size))
+          << trial;
+      EXPECT_TRUE(std::is_sorted(batch.jobs.begin(), batch.jobs.end()))
+          << trial;  // queue order within a batch
+      seen.insert(seen.end(), batch.jobs.begin(), batch.jobs.end());
+    }
+    seen.insert(seen.end(), packed.unplaceable.begin(),
+                packed.unplaceable.end());
+    std::sort(seen.begin(), seen.end());
+    std::vector<std::size_t> expected(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) expected[i] = i;
+    EXPECT_EQ(seen, expected) << trial;
+  }
+}
+
+TEST(Packer, ExclusiveJobThatCannotFitAloneIsUnplaceableNotSpilled) {
+  // The exclusive path probes solo allocation before opening a batch: a
+  // solo-allocation failure is terminal (unplaceable), never a spill, and
+  // must not wedge the jobs queued behind it.
+  const Device d = make_line_device(4);
+  const QucpPartitioner partitioner;
+  const ProgramShape small{2, 1, 1};
+  const ProgramShape huge{9, 4, 4};
+  std::vector<PackJob> jobs{{0, small, 1, false},
+                            {1, huge, 2, true},  // exclusive, cannot fit
+                            {2, small, 3, false}};
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed =
+      pack_batches(d, jobs, partitioner, PackOptions{}, cache);
+  EXPECT_EQ(packed.unplaceable, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(packed.spill_events, 0u);
+  ASSERT_EQ(packed.batches.size(), 1u);
+  EXPECT_EQ(packed.batches[0].jobs, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Packer, MidQueueExclusiveJobDefersWithoutSpillAccounting) {
+  // An exclusive job behind an open batch waits for the next one (normal
+  // queueing, not a spill_event); followers may still fill the current
+  // batch, and the exclusive job runs alone in the following one.
+  const Device d = make_line_device(8);
+  const QucpPartitioner partitioner;
+  const ProgramShape small{2, 1, 1};
+  std::vector<PackJob> jobs{{0, small, 1, false},
+                            {1, small, 2, true},  // exclusive
+                            {2, small, 3, false}};
+  std::map<std::uint64_t, double> cache;
+  const PackResult packed =
+      pack_batches(d, jobs, partitioner, PackOptions{}, cache);
+  ASSERT_EQ(packed.batches.size(), 2u);
+  EXPECT_EQ(packed.batches[0].jobs, (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(packed.batches[1].jobs, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(packed.spill_events, 0u);
+  EXPECT_TRUE(packed.unplaceable.empty());
+}
+
+TEST(ExecutionService, ExclusiveUnplaceableJobFailsCleanly) {
+  // Service-level pin of the exclusive solo-allocation-failure path.
+  ExecutionService service(make_line_device(4), fast_service_options());
+  JobOptions exclusive;
+  exclusive.name = "solo-too-big";
+  exclusive.exclusive = true;
+  const JobHandle big =
+      service.submit(get_benchmark("alu").circuit, exclusive);  // 5q > 4
+  const JobHandle small = service.submit(get_benchmark("bell").circuit);
+  service.flush();
+  EXPECT_EQ(big.status(), JobStatus::Failed);
+  EXPECT_NE(big.error().find("does not fit"), std::string::npos);
+  EXPECT_EQ(small.status(), JobStatus::Done);
+  EXPECT_EQ(service.stats().spill_events, 0u);
+}
+
 TEST(Packer, SingleBatchModeNeverSplits) {
   const Device d = make_line_device(6);
   const QucpPartitioner partitioner;
