@@ -126,6 +126,7 @@ void write_json(const std::vector<AllocatorResult>& results) {
     return;
   }
   std::fprintf(f, "{\n  \"schema\": \"qucp-bench-allocator-v1\",\n");
+  bench::write_meta_json(f);
   std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
   std::fprintf(f, "  \"unit\": \"us_per_batch\",\n  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -1,0 +1,325 @@
+// Fusion + native-kernel microbenchmark: what the program-compilation
+// layer (sim/fusion.hpp) and the AVX2/FMA dense kernels buy on the
+// simulation pipeline. Three sections:
+//
+//   ideal      — ns per ideal_distribution() call for every Table II
+//                benchmark, gate-by-gate vs fused precompiled replay (the
+//                Backend-cached path run_batch_pipeline uses), plus the
+//                per-gate cost that dominates the smallest (3q) circuits;
+//   dense_simd — ns per dense 1q/2q kernel sweep, scalar vs native
+//                dispatch, on rotation-ladder statevector and superket
+//                states (rows appear only when the native kernels are
+//                compiled in and the CPU supports them);
+//
+// Writes BENCH_fusion.json (schema qucp-bench-fusion-v1, meta block with
+// compiler/flags/CPU features) so the fusion trajectory is pinned across
+// PRs like BENCH_kernels.json and BENCH_allocator.json; CI runs it in
+// smoke mode. Fused-vs-unfused agreement is re-checked while warming.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "benchmarks/suite.hpp"
+#include "common/strings.hpp"
+#include "sim/density.hpp"
+#include "sim/fusion.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qucp;
+
+bool smoke_mode() {
+  const char* env = std::getenv("QUCP_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+struct FusionRow {
+  std::string section;
+  std::string name;
+  int qubits = 0;
+  std::size_t gates = 0;
+  std::size_t fused_gates = 0;
+  double ns_baseline = 0.0;  ///< unfused / scalar
+  double ns_new = 0.0;       ///< fused / native
+
+  [[nodiscard]] double speedup() const {
+    return ns_new > 0.0 ? ns_baseline / ns_new : 0.0;
+  }
+};
+
+template <typename F>
+double time_ns_per_call(int reps, F&& body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) body();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+         std::max(1, reps);
+}
+
+/// Interleaved best-of-K timing so one scheduler hiccup cannot skew a side.
+template <typename A, typename B>
+std::pair<double, double> interleaved_best_of(int rounds, int reps, A&& a,
+                                              B&& b) {
+  double best_a = 0.0;
+  double best_b = 0.0;
+  for (int round = 0; round < rounds; ++round) {
+    const double ta = time_ns_per_call(reps, a);
+    const double tb = time_ns_per_call(reps, b);
+    if (round == 0 || ta < best_a) best_a = ta;
+    if (round == 0 || tb < best_b) best_b = tb;
+  }
+  return {best_a, best_b};
+}
+
+double dist_diff(const Distribution& a, const Distribution& b) {
+  double worst = 0.0;
+  for (const auto& [k, p] : a.probs()) {
+    worst = std::max(worst, std::abs(p - b.prob(k)));
+  }
+  for (const auto& [k, p] : b.probs()) {
+    worst = std::max(worst, std::abs(p - a.prob(k)));
+  }
+  return worst;
+}
+
+std::vector<FusionRow> run_ideal_section() {
+  const int rounds = smoke_mode() ? 3 : 10;
+  const int reps = smoke_mode() ? 200 : 2000;
+  std::vector<FusionRow> rows;
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const CompiledProgram prog = CompiledProgram::compile(spec.circuit);
+    // Equivalence gate before any timing: the fused path is only a valid
+    // optimization because it reproduces the unfused distribution.
+    if (dist_diff(ideal_distribution(prog),
+                  ideal_distribution(spec.circuit)) > 1e-10) {
+      std::fprintf(stderr, "bench_fusion: fused/unfused disagree on %s\n",
+                   spec.short_name.c_str());
+      std::exit(1);
+    }
+    FusionRow row;
+    row.section = "ideal";
+    row.name = spec.short_name;
+    row.qubits = spec.circuit.num_qubits();
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [ns_unfused, ns_fused] = interleaved_best_of(
+        rounds, reps,
+        [&] { benchmark::DoNotOptimize(ideal_distribution(spec.circuit)); },
+        [&] { benchmark::DoNotOptimize(ideal_distribution(prog)); });
+    row.ns_baseline = ns_unfused;
+    row.ns_new = ns_fused;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<FusionRow> run_dense_simd_section() {
+  std::vector<FusionRow> rows;
+  if (!kern::native_kernels_active()) return rows;
+  const int rounds = smoke_mode() ? 3 : 10;
+
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+
+  // Dense rotation ladder on every qubit: pure dense1 sweeps.
+  auto sv_dense1 = [&](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.u3(0.4 + 0.1 * q, 0.2, -0.3, q);
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    Statevector sv(n);
+    const int reps = smoke_mode() ? 50 : 400;
+    FusionRow row;
+    row.section = "dense_simd";
+    row.name = "sv_dense1_ladder";
+    row.qubits = n;
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          sv.run(prog);
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          sv.run(prog);
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+  // CX with absorbed rotations on a qubit ring: fused dense2 sweeps.
+  auto sv_dense2 = [&](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) {
+      c.ry(0.3 + 0.07 * q, q);
+      c.cx(q, (q + 1) % n);
+      c.rz(0.9 - 0.05 * q, (q + 1) % n);
+    }
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    Statevector sv(n);
+    const int reps = smoke_mode() ? 30 : 200;
+    FusionRow row;
+    row.section = "dense_simd";
+    row.name = "sv_dense2_entangler";
+    row.qubits = n;
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          sv.run(prog);
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          sv.run(prog);
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+  // Superket (density) rotation ladder: every 1q gate is a dense2 4x4 on
+  // the 2n-bit superket.
+  auto dm_dense = [&](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.u3(0.4 + 0.1 * q, 0.2, -0.3, q);
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    DensityMatrix dm(n);
+    const int reps = smoke_mode() ? 30 : 200;
+    FusionRow row;
+    row.section = "dense_simd";
+    row.name = "dm_superket_ladder";
+    row.qubits = n;
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          dm.run(prog);
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          dm.run(prog);
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+
+  rows.push_back(sv_dense1(10));
+  rows.push_back(sv_dense1(smoke_mode() ? 12 : 14));
+  rows.push_back(sv_dense2(10));
+  rows.push_back(sv_dense2(smoke_mode() ? 12 : 14));
+  rows.push_back(dm_dense(5));
+  rows.push_back(dm_dense(smoke_mode() ? 6 : 7));
+  return rows;
+}
+
+void write_json(const std::vector<FusionRow>& rows) {
+  const char* env = std::getenv("QUCP_BENCH_OUT");
+  const std::string path = (env != nullptr && *env != '\0')
+                               ? std::string(env)
+                               : std::string("BENCH_fusion.json");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_fusion: cannot open %s for writing\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"qucp-bench-fusion-v1\",\n");
+  bench::write_meta_json(f);
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
+  std::fprintf(f,
+               "  \"unit\": \"ns_per_call\",\n"
+               "  \"baseline\": \"unfused (ideal) / scalar (dense_simd)\",\n"
+               "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const FusionRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"section\": \"%s\", \"name\": \"%s\", \"qubits\": %d, "
+        "\"gates\": %zu, \"fused_gates\": %zu, \"ns_baseline\": %.1f, "
+        "\"ns_new\": %.1f, \"speedup\": %.2f, \"ns_per_gate_baseline\": %.1f, "
+        "\"ns_per_gate_new\": %.1f}%s\n",
+        r.section.c_str(), r.name.c_str(), r.qubits, r.gates, r.fused_gates,
+        r.ns_baseline, r.ns_new, r.speedup(),
+        r.gates > 0 ? r.ns_baseline / static_cast<double>(r.gates) : 0.0,
+        r.gates > 0 ? r.ns_new / static_cast<double>(r.gates) : 0.0,
+        i + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu fusion timings%s)\n", path.c_str(), rows.size(),
+              smoke_mode() ? ", smoke mode" : "");
+}
+
+void print_fusion_tables() {
+  bench::heading(
+      "Program fusion: ideal_distribution ns/call, unfused vs fused");
+  std::vector<FusionRow> rows = run_ideal_section();
+  bench::row({"bench", "qubits", "gates", "fused", "unfused ns", "fused ns",
+              "speedup", "ns/gate"},
+             12);
+  bench::rule(8, 12);
+  for (const FusionRow& r : rows) {
+    bench::row({r.name, std::to_string(r.qubits), std::to_string(r.gates),
+                std::to_string(r.fused_gates), fmt_double(r.ns_baseline, 0),
+                fmt_double(r.ns_new, 0), fmt_double(r.speedup(), 2) + "x",
+                fmt_double(r.ns_new / static_cast<double>(r.gates), 1)},
+               12);
+  }
+
+  const std::vector<FusionRow> simd = run_dense_simd_section();
+  if (!simd.empty()) {
+    bench::heading("Dense kernels: ns/sweep, scalar vs AVX2/FMA dispatch");
+    bench::row({"kernel", "qubits", "scalar ns", "native ns", "speedup"}, 20);
+    bench::rule(5, 20);
+    for (const FusionRow& r : simd) {
+      bench::row({r.name, std::to_string(r.qubits),
+                  fmt_double(r.ns_baseline, 0), fmt_double(r.ns_new, 0),
+                  fmt_double(r.speedup(), 2) + "x"},
+                 20);
+    }
+    rows.insert(rows.end(), simd.begin(), simd.end());
+  } else {
+    std::printf("\n(native kernels not compiled/supported: dense_simd "
+                "section omitted)\n");
+  }
+  write_json(rows);
+}
+
+// google-benchmark timers over the same hot paths for perf-diff output.
+void BM_IdealUnfused(benchmark::State& state) {
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ideal_distribution(spec.circuit));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_IdealUnfused)->Arg(1)->Arg(7);  // lin (3q), var (rotation-heavy)
+
+void BM_IdealFused(benchmark::State& state) {
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const CompiledProgram prog = CompiledProgram::compile(spec.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ideal_distribution(prog));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_IdealFused)->Arg(1)->Arg(7);
+
+}  // namespace
+
+QUCP_BENCH_MAIN(print_fusion_tables)

@@ -147,6 +147,7 @@ void write_json(const std::vector<KernelResult>& results) {
     return;
   }
   std::fprintf(f, "{\n  \"schema\": \"qucp-bench-kernels-v1\",\n");
+  bench::write_meta_json(f);
   std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
   std::fprintf(f, "  \"unit\": \"ns_per_op\",\n  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -3,6 +3,7 @@
 
 #include "bench_util.hpp"
 #include "benchmarks/suite.hpp"
+#include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 
 namespace {
@@ -35,6 +36,20 @@ void BM_IdealSimulation(benchmark::State& state) {
   state.SetLabel(spec.name);
 }
 BENCHMARK(BM_IdealSimulation)->DenseRange(0, 7);
+
+// The fused (Backend-cached) replay of the same rows — the path
+// run_batch_pipeline actually takes; see bench_fusion for the full
+// fused-vs-unfused table and BENCH_fusion.json.
+void BM_IdealSimulationFused(benchmark::State& state) {
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const CompiledProgram prog = CompiledProgram::compile(spec.circuit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ideal_distribution(prog));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_IdealSimulationFused)->DenseRange(0, 7);
 
 }  // namespace
 

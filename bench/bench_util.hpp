@@ -11,10 +11,53 @@
 #include <string>
 #include <vector>
 
+#include "sim/kernels.hpp"
+
 namespace qucp::bench {
 
 inline void heading(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Emit the shared "meta" block every BENCH_*.json carries: compiler,
+/// effective flags and the CPU feature set the run saw, so perf
+/// trajectories recorded on different boxes/configurations stay
+/// comparable. Call between the schema line and the results array.
+inline void write_meta_json(std::FILE* f) {
+#if defined(QUCP_BENCH_BUILD_FLAGS)
+  const std::string flags = QUCP_BENCH_BUILD_FLAGS;
+#else
+  const std::string flags;
+#endif
+#if defined(__VERSION__)
+  const std::string compiler =
+#if defined(__clang__)
+      std::string("clang ") + __VERSION__;
+#else
+      std::string("gcc ") + __VERSION__;
+#endif
+#else
+  const std::string compiler = "unknown";
+#endif
+  const kern::CpuFeatures cpu = kern::detect_cpu_features();
+  std::fprintf(f,
+               "  \"meta\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
+               "\"cpu\": {\"avx2\": %s, \"fma\": %s}, "
+               "\"native_kernels\": {\"compiled\": %s, \"active\": %s}},\n",
+               json_escape(compiler).c_str(), json_escape(flags).c_str(),
+               cpu.avx2 ? "true" : "false", cpu.fma ? "true" : "false",
+               kern::native_kernels_compiled() ? "true" : "false",
+               kern::native_kernels_active() ? "true" : "false");
 }
 
 inline void row(const std::vector<std::string>& cells, int width = 14) {

@@ -47,7 +47,8 @@ TranspiledProgram Backend::transpile(const Circuit& logical,
 
 ParallelRunReport Backend::execute(std::vector<PhysicalProgram> programs,
                                    const ExecOptions& options) const {
-  return execute_parallel(device_, std::move(programs), options, &gate_cache_);
+  return execute_parallel(device_, std::move(programs), options, &gate_cache_,
+                          &program_cache_);
 }
 
 TranspileCacheStats Backend::cache_stats() const {

@@ -27,6 +27,7 @@
 #include "mapping/transpiler.hpp"
 #include "partition/candidate_index.hpp"
 #include "sim/executor.hpp"
+#include "sim/fusion.hpp"
 
 namespace qucp {
 
@@ -51,6 +52,20 @@ class Backend {
   /// cache stays valid because Backend never exposes a mutable Device.
   [[nodiscard]] const CandidateIndex& candidate_index() const noexcept {
     return candidate_index_;
+  }
+
+  /// Persistent program-compilation cache (sim/fusion.hpp): fused kernel
+  /// streams for the ideal pipeline, lowered per-op kernel streams for the
+  /// noisy executor, both keyed by circuit fingerprint. Thread-safe.
+  [[nodiscard]] const CompiledProgramCache& program_cache() const noexcept {
+    return program_cache_;
+  }
+
+  /// Fused compilation of `logical`, memoized per circuit fingerprint —
+  /// what the batch pipeline feeds ideal_distribution.
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compiled_program(
+      const Circuit& logical) const {
+    return program_cache_.fused(logical);
   }
 
   /// Transpile `logical` onto `partition`, consulting the cache first.
@@ -99,6 +114,10 @@ class Backend {
   /// mutex; never cleared, so references handed to the simulator stay
   /// valid for the backend's lifetime).
   mutable GateMatrixCache gate_cache_;
+  /// Compiled (fused / lowered per-op) programs shared by every execution
+  /// on this backend (its own mutex; shared_ptr entries, so eviction never
+  /// invalidates an in-flight replay).
+  mutable CompiledProgramCache program_cache_;
 };
 
 }  // namespace qucp

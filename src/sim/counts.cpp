@@ -69,8 +69,10 @@ std::uint64_t Distribution::most_likely() const {
   return best;
 }
 
-Counts::Counts(int num_bits, std::map<std::uint64_t, int> counts)
+Counts::Counts(int num_bits, std::vector<Entry> counts)
     : num_bits_(num_bits), counts_(std::move(counts)) {
+  // Validate the original entries before merging duplicates: a negative
+  // count must throw even when a duplicate outcome would net it out.
   for (const auto& [outcome, n] : counts_) {
     if (n < 0) throw std::invalid_argument("Counts: negative count");
     if (outcome >> num_bits) {
@@ -78,11 +80,25 @@ Counts::Counts(int num_bits, std::map<std::uint64_t, int> counts)
     }
     total_ += n;
   }
+  std::sort(counts_.begin(), counts_.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (unique > 0 && counts_[unique - 1].first == counts_[i].first) {
+      counts_[unique - 1].second += counts_[i].second;
+    } else {
+      counts_[unique++] = counts_[i];
+    }
+  }
+  counts_.resize(unique);
 }
 
 int Counts::count(std::uint64_t outcome) const {
-  const auto it = counts_.find(outcome);
-  return it == counts_.end() ? 0 : it->second;
+  const auto it = std::lower_bound(counts_.begin(), counts_.end(), outcome,
+                                   [](const Entry& e, std::uint64_t o) {
+                                     return e.first < o;
+                                   });
+  return it == counts_.end() || it->first != outcome ? 0 : it->second;
 }
 
 void Counts::add(std::uint64_t outcome, int n) {
@@ -90,7 +106,19 @@ void Counts::add(std::uint64_t outcome, int n) {
   if (outcome >> num_bits_) {
     throw std::invalid_argument("Counts::add: outcome exceeds bit width");
   }
-  counts_[outcome] += n;
+  // Ascending-outcome producers (sample_counts, the executor's packed-
+  // outcome walk) append here in O(1); out-of-order adds pay one sorted
+  // insert, matching the old map's semantics of keeping a zero-count
+  // entry visible.
+  const auto it = std::lower_bound(counts_.begin(), counts_.end(), outcome,
+                                   [](const Entry& e, std::uint64_t o) {
+                                     return e.first < o;
+                                   });
+  if (it != counts_.end() && it->first == outcome) {
+    it->second += n;
+  } else {
+    counts_.insert(it, Entry{outcome, n});
+  }
   total_ += n;
 }
 

@@ -7,9 +7,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace qucp {
@@ -48,13 +48,24 @@ class Distribution {
 };
 
 /// Raw shot counts.
+///
+/// Stored as a flat (outcome, count) vector sorted by outcome — the same
+/// representation Distribution uses, so result assembly allocates one
+/// buffer instead of a tree node per outcome. Iteration order (ascending
+/// outcome) and therefore serialization are identical to the former
+/// std::map storage, and structured-binding loops work unchanged.
 class Counts {
  public:
+  using Entry = std::pair<std::uint64_t, int>;
+
   Counts() = default;
-  Counts(int num_bits, std::map<std::uint64_t, int> counts);
+  /// Construct from (outcome, count) entries, in any order and possibly
+  /// with repeated outcomes (summed).
+  Counts(int num_bits, std::vector<Entry> counts);
 
   [[nodiscard]] int num_bits() const noexcept { return num_bits_; }
-  [[nodiscard]] const std::map<std::uint64_t, int>& data() const noexcept {
+  /// Entries sorted by outcome.
+  [[nodiscard]] const std::vector<Entry>& data() const noexcept {
     return counts_;
   }
   [[nodiscard]] int total() const noexcept { return total_; }
@@ -66,7 +77,7 @@ class Counts {
 
  private:
   int num_bits_ = 0;
-  std::map<std::uint64_t, int> counts_;
+  std::vector<Entry> counts_;  ///< sorted by outcome, unique
   int total_ = 0;
 };
 

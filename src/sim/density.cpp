@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sim/fusion.hpp"
 #include "sim/kernels.hpp"
 
 namespace qucp {
@@ -74,6 +75,38 @@ void DensityMatrix::apply_unitary(const Matrix& u,
     return;
   }
   transform_two_sided(u, qubits);
+}
+
+void DensityMatrix::apply_compiled(const FusedOp& op,
+                                   std::span<const int> qubits) {
+  check_qubits(qubits);
+  if (static_cast<int>(qubits.size()) != op.k()) {
+    throw std::invalid_argument("DensityMatrix: matrix/operand mismatch");
+  }
+  const int n2 = 2 * num_qubits_;
+  const std::span<cx> amps(rho_);
+  if (op.k() == 1) {
+    // One fused superket pass: op.dm is the compiled U (x) conj(U) on bits
+    // (q + n, q), exactly what transform_two_sided builds per call.
+    const int targets[2] = {qubits[0] + num_qubits_, qubits[0]};
+    kern::apply_compiled(amps, n2, targets, op.dm);
+    return;
+  }
+  // Row pass (U on the row bits), then column pass (conj(U) on the column
+  // bits) — the same two sweeps as the uncompiled path.
+  const int row[2] = {qubits[0] + num_qubits_, qubits[1] + num_qubits_};
+  kern::apply_compiled(amps, n2, row, op.sv);
+  const int col[2] = {qubits[0], qubits[1]};
+  kern::apply_compiled(amps, n2, col, op.dm);
+}
+
+void DensityMatrix::run(const CompiledProgram& program) {
+  if (program.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("DensityMatrix: qubit count mismatch");
+  }
+  for (const FusedOp& op : program.ops()) {
+    apply_compiled(op, std::span<const int>(op.q, op.k()));
+  }
 }
 
 void DensityMatrix::apply_depolarizing(double p, std::span<const int> qubits) {

@@ -22,6 +22,9 @@
 
 namespace qucp {
 
+class CompiledProgram;  // sim/fusion.hpp
+struct FusedOp;         // sim/fusion.hpp
+
 class DensityMatrix {
  public:
   /// |0..0><0..0| on n qubits. Practical up to ~10 qubits.
@@ -36,6 +39,16 @@ class DensityMatrix {
   /// rho -> U rho U^dagger with U acting on `qubits` (first operand = high
   /// local bit).
   void apply_unitary(const Matrix& u, std::span<const int> qubits);
+
+  /// rho -> U rho U^dagger from a precompiled kernel set (sim/fusion.hpp):
+  /// the executor's hot path for replayed programs. Arithmetic is
+  /// identical to apply_unitary on the same matrix — the superket
+  /// compilation was merely hoisted to program-compile time.
+  void apply_compiled(const FusedOp& op, std::span<const int> qubits);
+
+  /// Replay a fused program's unitary stream (noiselessly) on this state.
+  /// Measurements in the program are ignored.
+  void run(const CompiledProgram& program);
 
   /// Uniform-Pauli depolarizing channel with parameter p on the given
   /// qubits: rho -> (1-p) rho + p/(4^m - 1) * sum_{P != I} P rho P.

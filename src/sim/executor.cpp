@@ -8,6 +8,7 @@
 #include "circuit/decompose.hpp"
 #include "circuit/gate_cache.hpp"
 #include "sim/density.hpp"
+#include "sim/fusion.hpp"
 #include "sim/kernels.hpp"
 #include "sim/noise.hpp"
 
@@ -29,7 +30,8 @@ struct CxEvent {
 ParallelRunReport execute_parallel(const Device& device,
                                    std::vector<PhysicalProgram> programs,
                                    const ExecOptions& options,
-                                   GateMatrixCache* gate_cache) {
+                                   GateMatrixCache* gate_cache,
+                                   const CompiledProgramCache* program_cache) {
   // Cap kernel-level threading for the whole run (scoped to this thread).
   const kern::ParallelThreadsGuard thread_cap(options.kernel_threads);
   // Callers without a long-lived cache still deduplicate within the run.
@@ -44,16 +46,22 @@ ParallelRunReport execute_parallel(const Device& device,
   const Topology& topo = device.topology();
   const Calibration& cal = device.calibration();
 
-  // Lower to CX basis and validate qubit usage / coupling.
-  std::vector<Circuit> lowered;
-  lowered.reserve(programs.size());
+  // Lower to CX basis and compile per-op kernels — through the Backend's
+  // persistent cache when given, else per call — then validate qubit usage
+  // and coupling against this device.
+  std::vector<std::shared_ptr<const CompiledExecutable>> compiled;
+  compiled.reserve(programs.size());
   std::set<int> all_used;
   for (const PhysicalProgram& prog : programs) {
     if (prog.circuit.num_qubits() > device.num_qubits()) {
       throw std::invalid_argument("execute_parallel: program wider than device");
     }
-    Circuit low = lower_to_cx_basis(prog.circuit);
-    for (const Gate& g : low.ops()) {
+    std::shared_ptr<const CompiledExecutable> exe =
+        program_cache != nullptr
+            ? program_cache->executable(prog.circuit, &matrices)
+            : std::make_shared<const CompiledExecutable>(
+                  CompiledExecutable::compile(prog.circuit, &matrices));
+    for (const Gate& g : exe->lowered().ops()) {
       if (is_two_qubit_gate(g.kind) &&
           !topo.adjacent(g.qubits[0], g.qubits[1])) {
         throw std::invalid_argument(
@@ -61,21 +69,22 @@ ParallelRunReport execute_parallel(const Device& device,
             prog.name);
       }
     }
-    for (int q : low.active_qubits()) {
+    for (int q : exe->lowered().active_qubits()) {
       if (!all_used.insert(q).second) {
         throw std::invalid_argument(
             "execute_parallel: programs overlap on qubit " +
             std::to_string(q));
       }
     }
-    lowered.push_back(std::move(low));
+    compiled.push_back(std::move(exe));
   }
 
   // Schedule each program; align ALAP schedules to the common end time.
   std::vector<Schedule> schedules;
   double global_makespan = 0.0;
-  for (const Circuit& c : lowered) {
-    schedules.push_back(schedule_circuit(c, device, options.schedule));
+  for (const auto& exe : compiled) {
+    schedules.push_back(
+        schedule_circuit(exe->lowered(), device, options.schedule));
     global_makespan = std::max(global_makespan, schedules.back().makespan_ns);
   }
   if (options.schedule == SchedulePolicy::ALAP) {
@@ -92,9 +101,10 @@ ParallelRunReport execute_parallel(const Device& device,
   // Collect CX events and amplify overlapping one-hop pairs.
   auto collect_events = [&] {
     std::vector<CxEvent> events;
-    for (std::size_t p = 0; p < lowered.size(); ++p) {
-      for (std::size_t i = 0; i < lowered[p].size(); ++i) {
-        const Gate& g = lowered[p].ops()[i];
+    for (std::size_t p = 0; p < compiled.size(); ++p) {
+      const Circuit& low = compiled[p]->lowered();
+      for (std::size_t i = 0; i < low.size(); ++i) {
+        const Gate& g = low.ops()[i];
         if (g.kind != GateKind::CX) continue;
         const auto edge = topo.edge_index(g.qubits[0], g.qubits[1]);
         events.push_back({p, i, *edge, schedules[p].ops[i].start_ns,
@@ -232,8 +242,8 @@ ParallelRunReport execute_parallel(const Device& device,
   }
   // Index the amplified gamma per (program, op): flat per-op vectors.
   std::vector<std::vector<double>> gamma_of(programs.size());
-  for (std::size_t p = 0; p < lowered.size(); ++p) {
-    gamma_of[p].assign(lowered[p].size(), 1.0);
+  for (std::size_t p = 0; p < compiled.size(); ++p) {
+    gamma_of[p].assign(compiled[p]->lowered().size(), 1.0);
   }
   for (const CxEvent& ev : events) gamma_of[ev.program][ev.op] = ev.gamma;
 
@@ -251,8 +261,9 @@ ParallelRunReport execute_parallel(const Device& device,
   std::vector<int> local_of(device.num_qubits(), -1);
   std::vector<double> busy_until(device.num_qubits(), 0.0);
 
-  for (std::size_t p = 0; p < lowered.size(); ++p) {
-    const Circuit& circ = lowered[p];
+  for (std::size_t p = 0; p < compiled.size(); ++p) {
+    const Circuit& circ = compiled[p]->lowered();
+    const std::vector<FusedOp>& channels = compiled[p]->channels();
     const std::vector<int> active = circ.active_qubits();
     for (std::size_t i = 0; i < active.size(); ++i) {
       local_of[active[i]] = static_cast<int>(i);
@@ -295,7 +306,7 @@ ParallelRunReport execute_parallel(const Device& device,
       const std::size_t width = g.qubits.size();
       for (std::size_t i = 0; i < width; ++i) local[i] = local_of[g.qubits[i]];
       const std::span<const int> local_span(local, width);
-      dm.apply_unitary(matrices.get(g), local_span);
+      dm.apply_compiled(channels[idx], local_span);
       if (!options.gate_noise) continue;
       if (g.kind == GateKind::CX) {
         const double gamma = gamma_of[p][idx];

@@ -25,7 +25,8 @@
 
 namespace qucp {
 
-class GateMatrixCache;  // circuit/gate_cache.hpp
+class GateMatrixCache;        // circuit/gate_cache.hpp
+class CompiledProgramCache;   // sim/fusion.hpp
 
 /// A program already mapped to physical qubits. The circuit spans the whole
 /// device index space but may only touch its partition's qubits; CX/CZ ops
@@ -82,9 +83,15 @@ struct ParallelRunReport {
 /// `gate_cache` (optional) memoizes gate unitaries across calls — a Backend
 /// passes its own so repeated shot-batches stop rebuilding matrices per op;
 /// when null a run-local cache still deduplicates within the call.
+/// `program_cache` (optional) memoizes each program's CX lowering and
+/// per-op compiled kernels (sim/fusion.hpp) across calls; when null the
+/// compilation happens per call. Either way every gate replays through a
+/// precompiled kernel, with noise channels interleaved exactly as the
+/// uncompiled path did — results are bit-identical.
 [[nodiscard]] ParallelRunReport execute_parallel(
     const Device& device, std::vector<PhysicalProgram> programs,
-    const ExecOptions& options = {}, GateMatrixCache* gate_cache = nullptr);
+    const ExecOptions& options = {}, GateMatrixCache* gate_cache = nullptr,
+    const CompiledProgramCache* program_cache = nullptr);
 
 /// Convenience: execute a single program (no co-runners).
 [[nodiscard]] ProgramOutcome execute_single(const Device& device,

@@ -1,0 +1,365 @@
+#include "sim/fusion.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "circuit/decompose.hpp"
+#include "circuit/gate_cache.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucp {
+
+namespace {
+
+/// out = a * b for row-major 2x2 (aliasing-safe).
+void mul2(cx out[4], const cx a[4], const cx b[4]) {
+  cx tmp[4];
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      tmp[2 * r + c] = a[2 * r] * b[c] + a[2 * r + 1] * b[2 + c];
+    }
+  }
+  std::memcpy(out, tmp, sizeof(tmp));
+}
+
+/// out = a * b for row-major 4x4 (aliasing-safe).
+void mul4(cx out[16], const cx a[16], const cx b[16]) {
+  cx tmp[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      cx acc{0.0, 0.0};
+      for (int k = 0; k < 4; ++k) acc += a[4 * r + k] * b[4 * k + c];
+      tmp[4 * r + c] = acc;
+    }
+  }
+  std::memcpy(out, tmp, sizeof(tmp));
+}
+
+/// Lift a 2x2 onto one operand of a 4x4 block whose local basis index is
+/// (bit_hi << 1) | bit_lo: high -> u (x) I, low -> I (x) u.
+void lift1(cx out[16], const cx u[4], bool high) {
+  for (int i = 0; i < 16; ++i) out[i] = cx{0.0, 0.0};
+  if (high) {
+    for (int ur = 0; ur < 2; ++ur) {
+      for (int uc = 0; uc < 2; ++uc) {
+        for (int l = 0; l < 2; ++l) {
+          out[(2 * ur + l) * 4 + (2 * uc + l)] = u[2 * ur + uc];
+        }
+      }
+    }
+  } else {
+    for (int h = 0; h < 2; ++h) {
+      for (int ur = 0; ur < 2; ++ur) {
+        for (int uc = 0; uc < 2; ++uc) {
+          out[(2 * h + ur) * 4 + (2 * h + uc)] = u[2 * ur + uc];
+        }
+      }
+    }
+  }
+}
+
+/// Re-express a 4x4 given in operand order (b, a) in operand order (a, b):
+/// conjugate by the bit-swap permutation 0<->0, 1<->2, 3<->3.
+void swap_operands(cx out[16], const cx u[16]) {
+  static constexpr int s[4] = {0, 2, 1, 3};
+  cx tmp[16];
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 4; ++c) tmp[4 * r + c] = u[4 * s[r] + s[c]];
+  }
+  std::memcpy(out, tmp, sizeof(tmp));
+}
+
+/// Build the compiled superket form of a 1q matrix: U (x) conj(U) as a 4x4
+/// on superket bits (q + n, q). The element expression mirrors
+/// DensityMatrix::transform_two_sided exactly so the compiled coefficients
+/// are bit-identical to what the uncompiled path computes per call.
+kern::CompiledUnitary compile_superket1(const cx d[4]) {
+  cx ku[16];
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      const cx scale = d[2 * r + c];
+      for (int rr = 0; rr < 2; ++rr) {
+        for (int cc = 0; cc < 2; ++cc) {
+          ku[(2 * r + rr) * 4 + (2 * c + cc)] =
+              scale * std::conj(d[2 * rr + cc]);
+        }
+      }
+    }
+  }
+  return kern::compile_unitary(std::span<const cx>(ku, 16));
+}
+
+/// Compiled conj(U) for the density column pass of a 2q gate, built the
+/// same way kern::apply_unitary's conjugate branch builds it.
+kern::CompiledUnitary compile_conj4(const cx u[16]) {
+  cx uc[16];
+  for (int i = 0; i < 16; ++i) uc[i] = std::conj(u[i]);
+  return kern::compile_unitary(std::span<const cx>(uc, 16));
+}
+
+FusedOp make_fused_op(const cx* u, int k, int q0, int q1) {
+  FusedOp op;
+  op.q[0] = q0;
+  op.q[1] = q1;
+  if (k == 1) {
+    op.sv = kern::compile_unitary(std::span<const cx>(u, 4));
+    op.dm = compile_superket1(u);
+  } else {
+    op.sv = kern::compile_unitary(std::span<const cx>(u, 16));
+    op.dm = compile_conj4(u);
+  }
+  return op;
+}
+
+/// The fusion state machine: open blocks accumulate gate products per
+/// qubit (1q) or qubit pair (2q); closing a block classifies the product
+/// and emits it. Each qubit is owned by at most one open block, and any
+/// gate, barrier or measurement on a block's qubits either merges into the
+/// block or closes it first, so emitted order only ever interchanges ops
+/// with disjoint supports (which commute exactly).
+class Fuser {
+ public:
+  explicit Fuser(int num_qubits, std::vector<FusedOp>& out)
+      : owner_(static_cast<std::size_t>(num_qubits), -1), out_(out) {}
+
+  void add_1q(int q, std::span<const cx> u) {
+    const int bi = owner_[static_cast<std::size_t>(q)];
+    if (bi < 0) {
+      Block b;
+      b.k = 1;
+      b.q0 = q;
+      std::memcpy(b.m, u.data(), 4 * sizeof(cx));
+      open_block(std::move(b));
+      return;
+    }
+    Block& blk = blocks_[static_cast<std::size_t>(bi)];
+    if (blk.k == 1) {
+      mul2(blk.m, u.data(), blk.m);
+      return;
+    }
+    cx lifted[16];
+    lift1(lifted, u.data(), /*high=*/blk.q0 == q);
+    mul4(blk.m, lifted, blk.m);
+  }
+
+  void add_2q(int a, int b, std::span<const cx> u) {
+    int ba = owner_[static_cast<std::size_t>(a)];
+    int bb = owner_[static_cast<std::size_t>(b)];
+    if (ba >= 0 && ba == bb) {
+      // Same open 2q block — merge, permuting when the operand order of
+      // this gate is the reverse of the block's.
+      Block& blk = blocks_[static_cast<std::size_t>(ba)];
+      assert(blk.k == 2);
+      if (blk.q0 == a) {
+        mul4(blk.m, u.data(), blk.m);
+      } else {
+        cx swapped[16];
+        swap_operands(swapped, u.data());
+        mul4(blk.m, swapped, blk.m);
+      }
+      return;
+    }
+    // A 2q block sharing only one qubit cannot absorb this gate (that
+    // would grow past the 4x4 the kernels handle); close it.
+    if (ba >= 0 && blocks_[static_cast<std::size_t>(ba)].k == 2) {
+      close(ba);
+      ba = -1;
+    }
+    if (bb >= 0 && blocks_[static_cast<std::size_t>(bb)].k == 2) {
+      close(bb);
+      bb = -1;
+    }
+    Block blk;
+    blk.k = 2;
+    blk.q0 = a;
+    blk.q1 = b;
+    std::memcpy(blk.m, u.data(), 16 * sizeof(cx));
+    // Pending 1q gates on the operands were applied before this gate:
+    // right-multiply their lifted forms, consuming the 1q blocks unemitted.
+    if (ba >= 0) {
+      cx lifted[16];
+      lift1(lifted, blocks_[static_cast<std::size_t>(ba)].m, /*high=*/true);
+      mul4(blk.m, blk.m, lifted);
+      discard(ba);
+    }
+    if (bb >= 0) {
+      cx lifted[16];
+      lift1(lifted, blocks_[static_cast<std::size_t>(bb)].m, /*high=*/false);
+      mul4(blk.m, blk.m, lifted);
+      discard(bb);
+    }
+    open_block(std::move(blk));
+  }
+
+  /// Barrier/measurement boundary: close whatever these qubits touch.
+  void fence(std::span<const int> qubits) {
+    for (int q : qubits) {
+      const int bi = owner_[static_cast<std::size_t>(q)];
+      if (bi >= 0) close(bi);
+    }
+  }
+
+  /// Flush every remaining open block, oldest first.
+  void finish() {
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+      if (blocks_[i].open) close(static_cast<int>(i));
+    }
+  }
+
+ private:
+  struct Block {
+    int k = 0;
+    int q0 = -1;
+    int q1 = -1;
+    cx m[16];
+    bool open = false;
+  };
+
+  void open_block(Block b) {
+    b.open = true;
+    const int bi = static_cast<int>(blocks_.size());
+    owner_[static_cast<std::size_t>(b.q0)] = bi;
+    if (b.k == 2) owner_[static_cast<std::size_t>(b.q1)] = bi;
+    blocks_.push_back(std::move(b));
+  }
+
+  void close(int bi) {
+    Block& blk = blocks_[static_cast<std::size_t>(bi)];
+    assert(blk.open);
+    out_.push_back(make_fused_op(blk.m, blk.k, blk.q0, blk.q1));
+    discard(bi);
+  }
+
+  void discard(int bi) {
+    Block& blk = blocks_[static_cast<std::size_t>(bi)];
+    blk.open = false;
+    owner_[static_cast<std::size_t>(blk.q0)] = -1;
+    if (blk.k == 2) owner_[static_cast<std::size_t>(blk.q1)] = -1;
+  }
+
+  std::vector<Block> blocks_;
+  std::vector<int> owner_;
+  std::vector<FusedOp>& out_;
+};
+
+}  // namespace
+
+CompiledProgram CompiledProgram::compile(const Circuit& circuit) {
+  CompiledProgram out;
+  out.num_qubits_ = circuit.num_qubits();
+  out.num_clbits_ = circuit.num_clbits();
+  Fuser fuser(circuit.num_qubits(), out.ops_);
+  for (const Gate& g : circuit.ops()) {
+    if (g.kind == GateKind::Barrier) {
+      fuser.fence(g.qubits);
+      continue;
+    }
+    if (g.kind == GateKind::Measure) {
+      fuser.fence(std::span<const int>(g.qubits.data(), 1));
+      out.measurements_.emplace_back(g.qubits[0], g.clbit);
+      continue;
+    }
+    ++out.source_gates_;
+    const Matrix u = gate_matrix(g);
+    if (g.qubits.size() == 1) {
+      fuser.add_1q(g.qubits[0], u.data());
+    } else {
+      assert(g.qubits.size() == 2);
+      fuser.add_2q(g.qubits[0], g.qubits[1], u.data());
+    }
+  }
+  fuser.finish();
+  return out;
+}
+
+std::vector<FusedOp> compile_ops(const Circuit& circuit,
+                                 GateMatrixCache* matrices) {
+  std::vector<FusedOp> out(circuit.size());
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.ops()[i];
+    if (!is_unitary_gate(g.kind)) continue;
+    const int k = static_cast<int>(g.qubits.size());
+    assert(k == 1 || k == 2);
+    if (matrices != nullptr) {
+      out[i] = make_fused_op(matrices->get(g).data().data(), k, g.qubits[0],
+                             k == 2 ? g.qubits[1] : -1);
+    } else {
+      const Matrix u = gate_matrix(g);
+      out[i] = make_fused_op(u.data().data(), k, g.qubits[0],
+                             k == 2 ? g.qubits[1] : -1);
+    }
+  }
+  return out;
+}
+
+CompiledExecutable CompiledExecutable::compile(const Circuit& physical,
+                                               GateMatrixCache* matrices) {
+  CompiledExecutable exe;
+  exe.lowered_ = lower_to_cx_basis(physical);
+  exe.channels_ = compile_ops(exe.lowered_, matrices);
+  return exe;
+}
+
+Distribution ideal_distribution(const CompiledProgram& program) {
+  if (program.measurements().empty()) {
+    throw std::logic_error("ideal_distribution: circuit has no measurements");
+  }
+  Statevector sv(program.num_qubits());
+  sv.run(program);
+  return detail::distribution_from_amplitudes(
+      sv.amplitudes(), program.num_clbits(), program.measurements());
+}
+
+std::shared_ptr<const CompiledProgram> CompiledProgramCache::fused(
+    const Circuit& circuit) const {
+  const std::uint64_t key = circuit_fingerprint(circuit);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = fused_.find(key); it != fused_.end()) return it->second;
+  }
+  // Compile outside the lock: deterministic, so a racing duplicate insert
+  // just loses and its result is identical anyway.
+  auto program =
+      std::make_shared<const CompiledProgram>(CompiledProgram::compile(circuit));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = fused_.emplace(key, std::move(program));
+  if (inserted) {
+    fused_order_.push_back(key);
+    if (fused_.size() > kMaxEntries) {
+      fused_.erase(fused_order_.front());
+      fused_order_.erase(fused_order_.begin());
+    }
+  }
+  return it->second;
+}
+
+std::shared_ptr<const CompiledExecutable> CompiledProgramCache::executable(
+    const Circuit& physical, GateMatrixCache* matrices) const {
+  const std::uint64_t key = circuit_fingerprint(physical);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = executables_.find(key); it != executables_.end()) {
+      return it->second;
+    }
+  }
+  auto exe = std::make_shared<const CompiledExecutable>(
+      CompiledExecutable::compile(physical, matrices));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = executables_.emplace(key, std::move(exe));
+  if (inserted) {
+    executables_order_.push_back(key);
+    if (executables_.size() > kMaxEntries) {
+      executables_.erase(executables_order_.front());
+      executables_order_.erase(executables_order_.begin());
+    }
+  }
+  return it->second;
+}
+
+std::size_t CompiledProgramCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fused_.size() + executables_.size();
+}
+
+}  // namespace qucp

@@ -1,0 +1,163 @@
+#pragma once
+// Program-level gate fusion and per-program kernel compilation.
+//
+// A CompiledProgram walks a Circuit once and fuses maximal runs of
+// adjacent gates into single dense kernels:
+//
+//   - consecutive 1q gates on the same qubit collapse into one 2x2, so a
+//     rotation ladder pays one kernel sweep instead of one per gate;
+//   - 1q gates adjacent to a 2q gate on a shared qubit are absorbed into
+//     that gate's 4x4, as are consecutive 2q gates on the same qubit pair
+//     (in either operand order).
+//
+// The existing compiled-gate classification (kern::compile_unitary:
+// diag / antidiag / CX / SWAP / generalized-permutation / dense) is then
+// re-applied to each fused product, so fusion that lands back on a
+// structured matrix (e.g. an RZ ladder fusing to a diagonal) still takes
+// the cheap kernel path. Fusion never reorders across barriers or
+// measurements: a barrier or measure closes every block it touches, and
+// blocks only absorb gates on their own qubits, so any two non-commuting
+// ops keep their program order. Fused replay therefore agrees with
+// gate-by-gate replay to simulation accuracy (pinned at <= 1e-10 by
+// tests/test_fusion.cpp).
+//
+// CompiledExecutable is the unfused sibling for the noisy executor: the
+// CX-lowered circuit plus per-op precompiled kernels (including the
+// superket forms DensityMatrix needs), replayed gate by gate so noise
+// channels interleave exactly as before — arithmetic identical to the
+// uncompiled path bit for bit. CompiledProgramCache memoizes both per
+// circuit fingerprint and lives on a Backend next to GateMatrixCache and
+// CandidateIndex.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "sim/counts.hpp"
+#include "sim/kernels.hpp"
+
+namespace qucp {
+
+class GateMatrixCache;  // circuit/gate_cache.hpp
+
+/// One fused (or per-op compiled) unitary with every kernel form the
+/// simulators need, precompiled:
+///   - `sv`: the k-qubit unitary itself (statevector replay; for k == 2 it
+///     doubles as the density row pass over the superket's row bits);
+///   - `dm`: the superket companion for density replay — k == 1: the
+///     compiled 4x4 U (x) conj(U) gate, k == 2: the compiled conj(U)
+///     column pass.
+struct FusedOp {
+  kern::CompiledUnitary sv;
+  kern::CompiledUnitary dm;
+  int q[2] = {-1, -1};  ///< qubit operands; q[0] = high local bit for k == 2
+
+  [[nodiscard]] int k() const noexcept { return sv.k; }
+  /// False for the placeholder entries a CompiledExecutable keeps at
+  /// barrier/measure positions.
+  [[nodiscard]] bool is_unitary() const noexcept { return q[0] >= 0; }
+};
+
+/// A circuit compiled to a fused kernel stream plus its measurement map.
+class CompiledProgram {
+ public:
+  /// Fuse and compile `circuit`. Accepts any simulable circuit (unitary
+  /// gates, barriers, measurements).
+  [[nodiscard]] static CompiledProgram compile(const Circuit& circuit);
+
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] int num_clbits() const noexcept { return num_clbits_; }
+  /// Fused unitary stream, in a program-order-compatible interleaving.
+  [[nodiscard]] const std::vector<FusedOp>& ops() const noexcept {
+    return ops_;
+  }
+  /// (qubit, clbit) pairs in program order.
+  [[nodiscard]] const std::vector<std::pair<int, int>>& measurements()
+      const noexcept {
+    return measurements_;
+  }
+  /// Unitary gates in the source circuit (what fusion started from).
+  [[nodiscard]] std::size_t source_gate_count() const noexcept {
+    return source_gates_;
+  }
+
+ private:
+  int num_qubits_ = 0;
+  int num_clbits_ = 0;
+  std::vector<FusedOp> ops_;
+  std::vector<std::pair<int, int>> measurements_;
+  std::size_t source_gates_ = 0;
+};
+
+/// A physical program compiled for the noisy executor: lowered to the CX
+/// basis once, with per-op kernels precompiled and aligned 1:1 with
+/// `lowered.ops()` (non-unitary positions hold placeholder entries).
+/// Replay is gate by gate — no fusion — so interleaved noise channels see
+/// exactly the state they saw before compilation existed.
+class CompiledExecutable {
+ public:
+  [[nodiscard]] static CompiledExecutable compile(
+      const Circuit& physical, GateMatrixCache* matrices = nullptr);
+
+  [[nodiscard]] const Circuit& lowered() const noexcept { return lowered_; }
+  [[nodiscard]] const std::vector<FusedOp>& channels() const noexcept {
+    return channels_;
+  }
+
+ private:
+  Circuit lowered_;
+  std::vector<FusedOp> channels_;
+};
+
+/// Per-op (unfused) kernel compilation for an arbitrary circuit: entry i
+/// corresponds to circuit.ops()[i]; barrier/measure positions are
+/// placeholders with is_unitary() == false.
+[[nodiscard]] std::vector<FusedOp> compile_ops(const Circuit& circuit,
+                                               GateMatrixCache* matrices =
+                                                   nullptr);
+
+/// Exact outcome distribution of a compiled (fused) program under ideal
+/// execution — the cached-program fast path of
+/// ideal_distribution(const Circuit&).
+[[nodiscard]] Distribution ideal_distribution(const CompiledProgram& program);
+
+/// Thread-safe per-Backend memo of compiled programs, keyed by circuit
+/// fingerprint like the transpile cache. Entries are returned as
+/// shared_ptr so FIFO eviction can never invalidate a program a simulation
+/// is replaying. Bounded: an endless stream of distinct circuits evicts
+/// oldest-first instead of growing without limit.
+class CompiledProgramCache {
+ public:
+  static constexpr std::size_t kMaxEntries = 1 << 10;
+
+  /// Fused compilation of `circuit` (ideal pipeline).
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> fused(
+      const Circuit& circuit) const;
+
+  /// Lowered + per-op compilation of `physical` (noisy pipeline).
+  /// `matrices` (optional) memoizes the gate unitaries built during
+  /// compilation.
+  [[nodiscard]] std::shared_ptr<const CompiledExecutable> executable(
+      const Circuit& physical, GateMatrixCache* matrices = nullptr) const;
+
+  /// Distinct programs currently held (fused + executable).
+  [[nodiscard]] std::size_t entries() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const CompiledProgram>>
+      fused_;
+  mutable std::unordered_map<std::uint64_t,
+                             std::shared_ptr<const CompiledExecutable>>
+      executables_;
+  mutable std::vector<std::uint64_t> fused_order_;        ///< FIFO eviction
+  mutable std::vector<std::uint64_t> executables_order_;  ///< FIFO eviction
+};
+
+}  // namespace qucp

@@ -1,6 +1,7 @@
 #include "sim/kernels.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdlib>
 #include <limits>
@@ -13,7 +14,54 @@ namespace {
 /// ExecutionService worker caps its own kernel fan-out independently.
 thread_local int t_parallel_threads_override = 0;
 
+/// Process-wide runtime switch for the native dense kernels. Starts from
+/// the QUCP_NATIVE_KERNELS environment variable ("0" disables) so one
+/// binary can be A/B'd without recompiling.
+std::atomic<bool>& native_enabled_flag() noexcept {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("QUCP_NATIVE_KERNELS");
+    return !(env != nullptr && *env == '0');
+  }()};
+  return flag;
+}
+
+/// cpuid says the AVX2/FMA variants may run on this machine (probed once;
+/// the answer cannot change at runtime).
+bool native_supported() noexcept {
+  static const bool supported = [] {
+    const CpuFeatures f = detect_cpu_features();
+    return native_kernels_compiled() && f.avx2 && f.fma;
+  }();
+  return supported;
+}
+
 }  // namespace
+
+CpuFeatures detect_cpu_features() noexcept {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  f.avx2 = __builtin_cpu_supports("avx2") != 0;
+  f.fma = __builtin_cpu_supports("fma") != 0;
+#endif
+  return f;
+}
+
+bool native_kernels_compiled() noexcept {
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool native_kernels_active() noexcept {
+  return native_supported() &&
+         native_enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_native_kernels(bool enable) noexcept {
+  native_enabled_flag().store(enable, std::memory_order_relaxed);
+}
 
 int resolve_parallel_threads(int override_threads, const char* env_value,
                              unsigned hardware) noexcept {
@@ -139,23 +187,36 @@ void run_anti1(cx* a, std::size_t pairs, int target, std::size_t mask,
   });
 }
 
-void run_dense1(cx* a, std::size_t pairs, int target, std::size_t mask,
-                const CompiledUnitary& cu) {
+void dense1_range_scalar(cx* a, std::size_t begin, std::size_t end, int target,
+                         std::size_t mask, const CompiledUnitary& cu) {
   const double u00r = cu.re[0], u00i = cu.im[0];
   const double u01r = cu.re[1], u01i = cu.im[1];
   const double u10r = cu.re[2], u10i = cu.im[2];
   const double u11r = cu.re[3], u11i = cu.im[3];
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t i0 = insert_bit(t, target);
+    const std::size_t i1 = i0 | mask;
+    const double a0r = a[i0].real(), a0i = a[i0].imag();
+    const double a1r = a[i1].real(), a1i = a[i1].imag();
+    a[i0] = cx{u00r * a0r - u00i * a0i + u01r * a1r - u01i * a1i,
+               u00r * a0i + u00i * a0r + u01r * a1i + u01i * a1r};
+    a[i1] = cx{u10r * a0r - u10i * a0i + u11r * a1r - u11i * a1i,
+               u10r * a0i + u10i * a0r + u11r * a1i + u11i * a1r};
+  }
+}
+
+void run_dense1(cx* a, std::size_t pairs, int target, std::size_t mask,
+                const CompiledUnitary& cu) {
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  if (native_kernels_active()) {
+    parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
+      detail::dense1_range_avx2(a, begin, end, target, mask, cu);
+    });
+    return;
+  }
+#endif
   parallel_for(pairs, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t t = begin; t < end; ++t) {
-      const std::size_t i0 = insert_bit(t, target);
-      const std::size_t i1 = i0 | mask;
-      const double a0r = a[i0].real(), a0i = a[i0].imag();
-      const double a1r = a[i1].real(), a1i = a[i1].imag();
-      a[i0] = cx{u00r * a0r - u00i * a0i + u01r * a1r - u01i * a1i,
-                 u00r * a0i + u00i * a0r + u01r * a1i + u01i * a1r};
-      a[i1] = cx{u10r * a0r - u10i * a0i + u11r * a1r - u11i * a1i,
-                 u10r * a0i + u10i * a0r + u11r * a1i + u11i * a1r};
-    }
+    dense1_range_scalar(a, begin, end, target, mask, cu);
   });
 }
 
@@ -210,30 +271,44 @@ void run_perm2(cx* a, std::size_t quads, int p0, int p1, std::size_t mh,
   });
 }
 
+void dense2_range_scalar(cx* a, std::size_t begin, std::size_t end,
+                         std::size_t mh, std::size_t ml, int p0, int p1,
+                         const CompiledUnitary& cu) {
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t base = insert_bit(insert_bit(t, p0), p1);
+    const std::size_t i0 = base;            // local 00
+    const std::size_t i1 = base | ml;       // local 01
+    const std::size_t i2 = base | mh;       // local 10
+    const std::size_t i3 = base | mh | ml;  // local 11
+    const double ar[4] = {a[i0].real(), a[i1].real(), a[i2].real(),
+                          a[i3].real()};
+    const double ai[4] = {a[i0].imag(), a[i1].imag(), a[i2].imag(),
+                          a[i3].imag()};
+    const std::size_t idx[4] = {i0, i1, i2, i3};
+    for (int r = 0; r < 4; ++r) {
+      const int row = 4 * r;
+      double accr = 0.0, acci = 0.0;
+      for (int c = 0; c < 4; ++c) {
+        accr += cu.re[row + c] * ar[c] - cu.im[row + c] * ai[c];
+        acci += cu.re[row + c] * ai[c] + cu.im[row + c] * ar[c];
+      }
+      a[idx[r]] = cx{accr, acci};
+    }
+  }
+}
+
 void run_dense2(cx* a, std::size_t quads, int p0, int p1, std::size_t mh,
                 std::size_t ml, const CompiledUnitary& cu) {
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  if (native_kernels_active()) {
+    parallel_for(quads, [&](std::size_t begin, std::size_t end) {
+      detail::dense2_range_avx2(a, begin, end, mh, ml, p0, p1, cu);
+    });
+    return;
+  }
+#endif
   parallel_for(quads, [&](std::size_t begin, std::size_t end) {
-    for (std::size_t t = begin; t < end; ++t) {
-      const std::size_t base = insert_bit(insert_bit(t, p0), p1);
-      const std::size_t i0 = base;            // local 00
-      const std::size_t i1 = base | ml;       // local 01
-      const std::size_t i2 = base | mh;       // local 10
-      const std::size_t i3 = base | mh | ml;  // local 11
-      const double ar[4] = {a[i0].real(), a[i1].real(), a[i2].real(),
-                            a[i3].real()};
-      const double ai[4] = {a[i0].imag(), a[i1].imag(), a[i2].imag(),
-                            a[i3].imag()};
-      const std::size_t idx[4] = {i0, i1, i2, i3};
-      for (int r = 0; r < 4; ++r) {
-        const int row = 4 * r;
-        double accr = 0.0, acci = 0.0;
-        for (int c = 0; c < 4; ++c) {
-          accr += cu.re[row + c] * ar[c] - cu.im[row + c] * ai[c];
-          acci += cu.re[row + c] * ai[c] + cu.im[row + c] * ar[c];
-        }
-        a[idx[r]] = cx{accr, acci};
-      }
-    }
+    dense2_range_scalar(a, begin, end, mh, ml, p0, p1, cu);
   });
 }
 

@@ -31,6 +31,30 @@ namespace qucp::kern {
 /// Base loops at least this large are split across hardware threads.
 inline constexpr std::size_t kParallelGrain = std::size_t{1} << 16;
 
+/// CPU SIMD capabilities relevant to the dense kernels, probed via cpuid.
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+};
+
+/// Probe the executing CPU (not the compile target) for AVX2/FMA.
+[[nodiscard]] CpuFeatures detect_cpu_features() noexcept;
+
+/// True when this binary carries the AVX2/FMA dense-kernel variants
+/// (built with the QUCP_NATIVE_KERNELS CMake option).
+[[nodiscard]] bool native_kernels_compiled() noexcept;
+
+/// True when dense 1q/2q kernels currently dispatch to the AVX2/FMA
+/// variants: compiled in, CPU supports avx2+fma, and not disabled via
+/// set_native_kernels(false) or QUCP_NATIVE_KERNELS=0 in the environment.
+[[nodiscard]] bool native_kernels_active() noexcept;
+
+/// Enable/disable the native dense kernels at runtime (process-wide).
+/// A no-op beyond bookkeeping when they are not compiled in or the CPU
+/// lacks the features; used by benches and golden tests to compare the
+/// scalar and SIMD paths within one binary.
+void set_native_kernels(bool enable) noexcept;
+
 /// Worker-thread cap resolution rule for parallel_for, exposed as a pure
 /// function so the edge cases are testable: an explicit override (> 0)
 /// wins, then a positive integer in `env_value` (the QUCP_KERNEL_THREADS
@@ -153,5 +177,19 @@ void apply_generic(std::span<cx> amps, int n, std::span<const int> targets,
 void apply_unitary(std::span<cx> amps, int n, std::span<const int> targets,
                    std::span<const cx> u, bool conjugate,
                    std::vector<cx>& scratch);
+
+namespace detail {
+
+// Internal range bodies of the dense 1q/2q kernels, dispatched per CPU.
+// The _avx2 variants live in kernels_avx2.cpp, compiled for x86-64-v3 only
+// under the QUCP_NATIVE_KERNELS CMake option and only ever called after a
+// cpuid check; the scalar bodies in kernels.cpp are the portable fallback.
+void dense1_range_avx2(cx* a, std::size_t begin, std::size_t end, int target,
+                       std::size_t mask, const CompiledUnitary& cu);
+void dense2_range_avx2(cx* a, std::size_t begin, std::size_t end,
+                       std::size_t mh, std::size_t ml, int p0, int p1,
+                       const CompiledUnitary& cu);
+
+}  // namespace detail
 
 }  // namespace qucp::kern

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "circuit/gate_cache.hpp"
+#include "sim/fusion.hpp"
 
 namespace qucp {
 
@@ -110,6 +111,15 @@ void Statevector::apply_circuit(const Circuit& circuit) {
   }
 }
 
+void Statevector::run(const CompiledProgram& program) {
+  if (program.num_qubits() != num_qubits_) {
+    throw std::invalid_argument("Statevector: qubit count mismatch");
+  }
+  for (const FusedOp& op : program.ops()) {
+    apply_compiled(op.sv, std::span<const int>(op.q, op.k()));
+  }
+}
+
 std::vector<double> Statevector::probabilities() const {
   std::vector<double> probs(amps_.size());
   for (std::size_t i = 0; i < amps_.size(); ++i) probs[i] = std::norm(amps_[i]);
@@ -151,10 +161,18 @@ Distribution ideal_distribution(const Circuit& circuit) {
   if (measurements.empty()) {
     throw std::logic_error("ideal_distribution: circuit has no measurements");
   }
+  return detail::distribution_from_amplitudes(sv.amplitudes(),
+                                              circuit.num_clbits(),
+                                              measurements);
+}
+
+namespace detail {
+
+Distribution distribution_from_amplitudes(
+    std::span<const cx> amps, int num_clbits,
+    std::span<const std::pair<int, int>> measurements) {
   // Read |amp|^2 straight off the state; a probabilities() vector here
   // would be pure allocation overhead.
-  const std::span<const cx> amps = sv.amplitudes();
-  const int num_clbits = circuit.num_clbits();
   std::vector<Distribution::Entry> out;
   if (num_clbits <= 10) {
     // Flat accumulation: no per-outcome node allocation, single pass to
@@ -186,5 +204,7 @@ Distribution ideal_distribution(const Circuit& circuit) {
   }
   return Distribution(num_clbits, std::move(out));
 }
+
+}  // namespace detail
 
 }  // namespace qucp

@@ -7,6 +7,7 @@
 // all the paper's programs are <= 5.
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -15,6 +16,8 @@
 #include "sim/kernels.hpp"
 
 namespace qucp {
+
+class CompiledProgram;  // sim/fusion.hpp
 
 class Statevector {
  public:
@@ -40,6 +43,11 @@ class Statevector {
   /// rejected — use ideal_distribution for measured circuits).
   void apply_circuit(const Circuit& circuit);
 
+  /// Replay a fused, precompiled program (sim/fusion.hpp): the cached hot
+  /// path of the ideal pipeline. Measurements in the program are ignored
+  /// here — callers read the final amplitudes.
+  void run(const CompiledProgram& program);
+
   /// Probability of each basis state.
   [[nodiscard]] std::vector<double> probabilities() const;
 
@@ -57,5 +65,17 @@ class Statevector {
 /// Exact outcome distribution of a measured circuit under ideal execution.
 /// Only measured clbits contribute; unmeasured clbits read 0.
 [[nodiscard]] Distribution ideal_distribution(const Circuit& circuit);
+
+namespace detail {
+
+/// Shared result-assembly tail of the ideal pipelines: fold |amp|^2 over
+/// the (qubit, clbit) measurement map into a Distribution. Both the
+/// gate-by-gate and the fused (sim/fusion.hpp) path end here, so their
+/// packing and zero-drop behavior cannot drift apart.
+[[nodiscard]] Distribution distribution_from_amplitudes(
+    std::span<const cx> amps, int num_clbits,
+    std::span<const std::pair<int, int>> measurements);
+
+}  // namespace detail
 
 }  // namespace qucp

@@ -1,0 +1,410 @@
+// Golden suite for the program-fusion layer (sim/fusion.hpp).
+//
+// Fused replay must agree with gate-by-gate replay to <= 1e-10 on both the
+// statevector (ideal_distribution) and density-matrix pipelines, over
+// randomized circuits shaped for every bundled topology. The executor's
+// per-op compiled channels must be BIT-identical to the uncompiled
+// apply_unitary path (the compilation only hoists work, it must not change
+// a single rounding), which in turn pins the sample_counts RNG streams.
+// Structural tests assert fusion never merges across barriers or
+// measurements.
+
+#include "sim/fusion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "benchmarks/suite.hpp"
+#include "circuit/gate_cache.hpp"
+#include "common/rng.hpp"
+#include "hardware/device.hpp"
+#include "service/backend.hpp"
+#include "sim/density.hpp"
+#include "sim/executor.hpp"
+#include "sim/statevector.hpp"
+
+namespace qucp {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+std::vector<Device> bundled_devices() {
+  std::vector<Device> devices;
+  devices.push_back(make_melbourne16());
+  devices.push_back(make_toronto27());
+  devices.push_back(make_manhattan65());
+  devices.push_back(make_line_device(9));
+  devices.push_back(make_grid_device(4, 5));
+  return devices;
+}
+
+double dist_diff(const Distribution& a, const Distribution& b) {
+  double worst = 0.0;
+  for (const auto& [k, p] : a.probs()) {
+    worst = std::max(worst, std::abs(p - b.prob(k)));
+  }
+  for (const auto& [k, p] : b.probs()) {
+    worst = std::max(worst, std::abs(p - a.prob(k)));
+  }
+  return worst;
+}
+
+double state_diff(std::span<const cx> a, std::span<const cx> b) {
+  EXPECT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+/// Gate-by-gate density replay of a circuit's unitary stream.
+DensityMatrix density_reference(const Circuit& c) {
+  DensityMatrix dm(c.num_qubits());
+  for (const Gate& g : c.ops()) {
+    if (g.kind == GateKind::Barrier || g.kind == GateKind::Measure) continue;
+    dm.apply_unitary(gate_matrix(g), g.qubits);
+  }
+  return dm;
+}
+
+void expect_fused_matches_unfused(const Circuit& c, const char* label) {
+  const CompiledProgram prog = CompiledProgram::compile(c);
+  if (c.has_measurements()) {
+    EXPECT_LT(dist_diff(ideal_distribution(prog), ideal_distribution(c)), kTol)
+        << label;
+  }
+  if (c.num_qubits() <= 6) {
+    DensityMatrix fused(c.num_qubits());
+    fused.run(prog);
+    EXPECT_LT(state_diff(fused.data(), density_reference(c).data()), kTol)
+        << label;
+  }
+}
+
+Gate random_1q_gate(Rng& rng, int qubit) {
+  static const GateKind kinds[] = {GateKind::H,  GateKind::X,  GateKind::Y,
+                                   GateKind::Z,  GateKind::S,  GateKind::T,
+                                   GateKind::SX, GateKind::RX, GateKind::RY,
+                                   GateKind::RZ, GateKind::U2, GateKind::U3};
+  Gate g;
+  g.kind = kinds[rng.index(std::size(kinds))];
+  g.qubits = {qubit};
+  for (int i = 0; i < gate_param_count(g.kind); ++i) {
+    g.params.push_back(rng.uniform(-3.0, 3.0));
+  }
+  return g;
+}
+
+/// Grow a random connected region of `want` qubits on the device topology.
+std::vector<int> random_region(const Device& device, Rng& rng, int want) {
+  const Topology& topo = device.topology();
+  std::vector<int> region{
+      static_cast<int>(rng.index(static_cast<std::size_t>(device.num_qubits())))};
+  while (static_cast<int>(region.size()) < want) {
+    std::vector<int> frontier;
+    for (const Edge& e : topo.edges()) {
+      const bool has_a = std::count(region.begin(), region.end(), e.a) > 0;
+      const bool has_b = std::count(region.begin(), region.end(), e.b) > 0;
+      if (has_a != has_b) frontier.push_back(has_a ? e.b : e.a);
+    }
+    if (frontier.empty()) break;
+    region.push_back(frontier[rng.index(frontier.size())]);
+  }
+  return region;
+}
+
+/// A randomized physical circuit on a connected region: parameterized
+/// rotations, CX/SWAP-heavy stretches, occasional barriers and mid-circuit
+/// measurements, measurement-suffixed.
+Circuit random_physical_circuit(const Device& device, Rng& rng, int region_size,
+                                int steps) {
+  const std::vector<int> region = random_region(device, rng, region_size);
+  std::vector<std::pair<int, int>> pairs;
+  for (const Edge& e : device.topology().edges()) {
+    if (std::count(region.begin(), region.end(), e.a) > 0 &&
+        std::count(region.begin(), region.end(), e.b) > 0) {
+      pairs.emplace_back(e.a, e.b);
+    }
+  }
+  Circuit c(device.num_qubits(), static_cast<int>(region.size()));
+  int next_clbit = 0;
+  for (int s = 0; s < steps; ++s) {
+    const double roll = rng.uniform(0.0, 1.0);
+    if (!pairs.empty() && roll < 0.45) {
+      auto [a, b] = pairs[rng.index(pairs.size())];
+      if (rng.bernoulli(0.5)) std::swap(a, b);
+      const double kind = rng.uniform(0.0, 1.0);
+      if (kind < 0.6) {
+        c.cx(a, b);
+      } else if (kind < 0.8) {
+        c.cz(a, b);
+      } else {
+        c.swap(a, b);
+      }
+    } else if (roll < 0.9) {
+      c.append(random_1q_gate(rng, region[rng.index(region.size())]));
+    } else if (roll < 0.95) {
+      c.barrier(region);  // region-scoped, like transpiled programs emit
+    } else if (next_clbit < static_cast<int>(region.size())) {
+      // Mid-circuit measurement: fusion must not merge across it.
+      c.measure(region[static_cast<std::size_t>(next_clbit)], next_clbit);
+      ++next_clbit;
+    }
+  }
+  for (; next_clbit < static_cast<int>(region.size()); ++next_clbit) {
+    c.measure(region[static_cast<std::size_t>(next_clbit)], next_clbit);
+  }
+  return c;
+}
+
+TEST(FusionGolden, SuiteCircuitsMatchUnfused) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    expect_fused_matches_unfused(spec.circuit, spec.short_name.c_str());
+    expect_fused_matches_unfused(spec.circuit.compacted(),
+                                 spec.short_name.c_str());
+  }
+}
+
+TEST(FusionGolden, RandomizedCircuitsOnAllTopologies) {
+  std::uint64_t seed = 9000;
+  for (const Device& device : bundled_devices()) {
+    for (int trial = 0; trial < 6; ++trial) {
+      Rng rng(seed++);
+      const int region = 2 + static_cast<int>(rng.index(4));  // 2..5 qubits
+      const Circuit c =
+          random_physical_circuit(device, rng, region, 30 + trial * 10);
+      // Device-width replay where the state fits (manhattan65 exceeds the
+      // statevector's cap), compacted replay always — the latter is the
+      // stream the executor's partition simulation sees.
+      if (device.num_qubits() <= 20) {
+        expect_fused_matches_unfused(c, device.name().c_str());
+      }
+      expect_fused_matches_unfused(c.compacted(), device.name().c_str());
+    }
+  }
+}
+
+TEST(FusionGolden, ExecutorDistributionsAndCountsBitIdenticalWithCache) {
+  // The noisy pipeline must not change at all under program compilation:
+  // a Backend execution (gate + program caches) and a cache-free
+  // execute_parallel must produce identical distributions and identical
+  // sampled counts (same RNG stream, same bucket per draw).
+  std::uint64_t seed = 500;
+  for (const Device& device : bundled_devices()) {
+    Backend backend(device);
+    Rng rng(seed++);
+    const Circuit c = random_physical_circuit(device, rng, 4, 40);
+    ExecOptions opts;
+    opts.shots = 256;
+    std::vector<PhysicalProgram> progs;
+    progs.push_back({c, "golden"});
+    const ParallelRunReport direct =
+        execute_parallel(device, progs, opts);
+    const ParallelRunReport cached = backend.execute(progs, opts);
+    // Twice through the backend: the second run replays cached programs.
+    const ParallelRunReport cached2 = backend.execute(progs, opts);
+    ASSERT_EQ(direct.programs.size(), 1u);
+    for (const ParallelRunReport* run : {&cached, &cached2}) {
+      EXPECT_EQ(direct.programs[0].distribution.probs(),
+                run->programs[0].distribution.probs());
+      EXPECT_EQ(direct.programs[0].counts.data(),
+                run->programs[0].counts.data());
+    }
+  }
+}
+
+TEST(FusionGolden, CompiledChannelBitIdenticalToApplyUnitary) {
+  // apply_compiled must be the same arithmetic as apply_unitary — the
+  // superket compilation is hoisted, not altered — so the executor's
+  // switch to compiled channels cannot move a single bit.
+  Rng rng(77);
+  for (int n = 1; n <= 4; ++n) {
+    DensityMatrix a(n);
+    DensityMatrix b(n);
+    for (int q = 0; q < n; ++q) {
+      const Gate g = random_1q_gate(rng, q);
+      a.apply_unitary(gate_matrix(g), g.qubits);
+      b.apply_unitary(gate_matrix(g), g.qubits);
+    }
+    Circuit c(n);
+    for (int step = 0; step < 12; ++step) {
+      if (n >= 2 && rng.bernoulli(0.5)) {
+        const int x = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        int y = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+        if (y >= x) ++y;
+        if (rng.bernoulli(0.5)) c.cx(x, y); else c.cz(x, y);
+      } else {
+        c.append(random_1q_gate(
+            rng, static_cast<int>(rng.index(static_cast<std::size_t>(n)))));
+      }
+    }
+    const std::vector<FusedOp> channels = compile_ops(c);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const Gate& g = c.ops()[i];
+      a.apply_unitary(gate_matrix(g), g.qubits);
+      b.apply_compiled(channels[i], g.qubits);
+    }
+    for (std::size_t i = 0; i < a.data().size(); ++i) {
+      EXPECT_EQ(a.data()[i].real(), b.data()[i].real()) << "n=" << n;
+      EXPECT_EQ(a.data()[i].imag(), b.data()[i].imag()) << "n=" << n;
+    }
+  }
+}
+
+TEST(FusionStructure, NeverFusesAcrossMeasurement) {
+  Circuit with_measure(1, 1);
+  with_measure.x(0);
+  with_measure.measure(0, 0);
+  with_measure.x(0);
+  // X . X would fuse to identity; the measurement must keep them apart.
+  EXPECT_EQ(CompiledProgram::compile(with_measure).ops().size(), 2u);
+
+  Circuit without(1, 1);
+  without.x(0);
+  without.x(0);
+  without.measure(0, 0);
+  EXPECT_EQ(CompiledProgram::compile(without).ops().size(), 1u);
+}
+
+TEST(FusionStructure, NeverFusesAcrossBarrier) {
+  Circuit c(2);
+  c.rz(0.4, 0);
+  c.barrier();
+  c.rz(0.3, 0);
+  EXPECT_EQ(CompiledProgram::compile(c).ops().size(), 2u);
+
+  Circuit c2(2);
+  c2.cx(0, 1);
+  c2.barrier();
+  c2.cx(0, 1);
+  EXPECT_EQ(CompiledProgram::compile(c2).ops().size(), 2u);
+
+  // A subset barrier only fences its own qubits.
+  Circuit c3(3);
+  c3.rz(0.4, 0);
+  c3.rz(0.5, 2);
+  c3.barrier({1});
+  c3.rz(0.3, 0);
+  c3.rz(0.6, 2);
+  EXPECT_EQ(CompiledProgram::compile(c3).ops().size(), 2u);
+}
+
+TEST(FusionStructure, RunsCollapseAndReclassify) {
+  using Tag = kern::CompiledUnitary::Tag;
+  // An RZ ladder fuses to one op that re-classifies as diagonal.
+  Circuit rz(1);
+  rz.rz(0.2, 0);
+  rz.rz(0.4, 0);
+  rz.t(0);
+  rz.s(0);
+  const CompiledProgram przs = CompiledProgram::compile(rz);
+  ASSERT_EQ(przs.ops().size(), 1u);
+  EXPECT_EQ(przs.ops()[0].sv.tag, Tag::kDiag1);
+
+  // CX . CX collapses to the (diagonal) identity 4x4.
+  Circuit cxcx(2);
+  cxcx.cx(0, 1);
+  cxcx.cx(0, 1);
+  const CompiledProgram pcx = CompiledProgram::compile(cxcx);
+  ASSERT_EQ(pcx.ops().size(), 1u);
+  EXPECT_EQ(pcx.ops()[0].sv.tag, Tag::kDiag2);
+
+  // 1q gates on both operands absorb into the 2q gate's 4x4, and a
+  // reversed-operand CX merges into the same block.
+  Circuit absorb(2);
+  absorb.h(0);
+  absorb.cx(0, 1);
+  absorb.h(1);
+  absorb.cx(1, 0);
+  absorb.ry(0.3, 0);
+  const CompiledProgram pa = CompiledProgram::compile(absorb);
+  EXPECT_EQ(pa.ops().size(), 1u);
+  EXPECT_EQ(pa.source_gate_count(), 5u);
+  // Equivalence of the merged block.
+  Statevector fused_sv(2);
+  fused_sv.run(pa);
+  Statevector ref(2);
+  ref.apply_circuit(absorb);
+  EXPECT_LT(state_diff(fused_sv.amplitudes(), ref.amplitudes()), kTol);
+}
+
+TEST(FusionStructure, MeasurementsKeepProgramOrderAndClbits) {
+  Circuit c(3, 3);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure(1, 2);
+  c.x(2);
+  c.measure(2, 0);
+  c.measure(0, 1);
+  const CompiledProgram prog = CompiledProgram::compile(c);
+  const std::vector<std::pair<int, int>> want{{1, 2}, {2, 0}, {0, 1}};
+  EXPECT_EQ(prog.measurements(), want);
+  EXPECT_LT(dist_diff(ideal_distribution(prog), ideal_distribution(c)), kTol);
+}
+
+TEST(CompiledProgramCache, MemoizesByFingerprint) {
+  CompiledProgramCache cache;
+  Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  const auto first = cache.fused(c);
+  const auto second = cache.fused(c);
+  EXPECT_EQ(first.get(), second.get());
+  Circuit renamed = c;
+  renamed.set_name("other-name");
+  // The fingerprint ignores names, so a rename hits the same entry.
+  EXPECT_EQ(cache.fused(renamed).get(), first.get());
+  const auto exe1 = cache.executable(c);
+  const auto exe2 = cache.executable(c);
+  EXPECT_EQ(exe1.get(), exe2.get());
+  EXPECT_EQ(cache.entries(), 2u);
+}
+
+TEST(NativeKernels, ScalarAndNativeDenseKernelsAgree) {
+  if (!kern::native_kernels_active()) {
+    GTEST_SKIP() << "native kernels not compiled/supported on this machine";
+  }
+  // Dense-heavy fused circuits: 1q rotation ladders (dense1) and absorbed
+  // 2q blocks (dense2), replayed with dispatch off and on.
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+  Rng rng(4242);
+  for (int n = 2; n <= 6; ++n) {
+    Circuit c(n);
+    for (int step = 0; step < 24; ++step) {
+      if (n >= 2 && rng.bernoulli(0.35)) {
+        const int x = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        int y = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+        if (y >= x) ++y;
+        c.cx(x, y);
+      }
+      c.append(random_1q_gate(
+          rng, static_cast<int>(rng.index(static_cast<std::size_t>(n)))));
+    }
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    kern::set_native_kernels(false);
+    Statevector scalar_sv(n);
+    scalar_sv.run(prog);
+    DensityMatrix scalar_dm(n);
+    scalar_dm.run(prog);
+    kern::set_native_kernels(true);
+    Statevector native_sv(n);
+    native_sv.run(prog);
+    DensityMatrix native_dm(n);
+    native_dm.run(prog);
+    EXPECT_LT(state_diff(scalar_sv.amplitudes(), native_sv.amplitudes()), kTol)
+        << "n=" << n;
+    EXPECT_LT(state_diff(scalar_dm.data(), native_dm.data()), kTol)
+        << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace qucp

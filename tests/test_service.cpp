@@ -34,7 +34,7 @@ ServiceOptions fast_service_options() {
 /// Comparable digest of one job's outcome.
 struct Outcome {
   std::vector<int> partition;
-  std::map<std::uint64_t, int> counts;
+  std::vector<Counts::Entry> counts;
   double pst = 0.0;
   double jsd = 0.0;
 
