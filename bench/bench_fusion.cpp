@@ -27,7 +27,12 @@
 #include "bench_util.hpp"
 #include "benchmarks/suite.hpp"
 #include "common/strings.hpp"
+#include "hardware/device.hpp"
+#include "mapping/transpiler.hpp"
+#include "partition/candidates.hpp"
+#include "service/backend.hpp"
 #include "sim/density.hpp"
+#include "sim/executor.hpp"
 #include "sim/fusion.hpp"
 #include "sim/statevector.hpp"
 
@@ -319,6 +324,39 @@ void BM_IdealFused(benchmark::State& state) {
   state.SetLabel(spec.name);
 }
 BENCHMARK(BM_IdealFused)->Arg(1)->Arg(7);
+
+// Noiseless density executor (ROADMAP (f)): per-op channel replay vs the
+// fused CompiledProgram stream the executor consumes when gate and idle
+// noise are both off. Same Backend (warm caches) on both sides so the
+// timer isolates the replay itself.
+void noiseless_executor(benchmark::State& state, bool fuse) {
+  const Device device = make_toronto27();
+  Backend backend(device);
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const TranspiledProgram tp = transpile_to_partition(
+      spec.circuit, device,
+      partition_candidates(device, spec.circuit.num_qubits(), {}).front());
+  std::vector<PhysicalProgram> progs;
+  progs.push_back({tp.physical, spec.short_name});
+  ExecOptions opts;
+  opts.shots = 64;
+  opts.gate_noise = false;
+  opts.idle_noise = false;
+  opts.fuse_noiseless = fuse;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.execute(progs, opts));
+  }
+  state.SetLabel(spec.name);
+}
+void BM_NoiselessExecutorPerOp(benchmark::State& state) {
+  noiseless_executor(state, false);
+}
+void BM_NoiselessExecutorFused(benchmark::State& state) {
+  noiseless_executor(state, true);
+}
+BENCHMARK(BM_NoiselessExecutorPerOp)->Arg(1)->Arg(7);
+BENCHMARK(BM_NoiselessExecutorFused)->Arg(1)->Arg(7);
 
 }  // namespace
 

@@ -4,13 +4,18 @@
 // run_parallel(): jobs are submitted as they "arrive", the packer groups
 // them into parallel batches (partial tail batches included), and the
 // worker pool drains them. Compares turnaround time of serial execution
-// (one job each, re-queuing) against service batches, and shows the
-// fidelity cost of packing.
+// (one job each, re-queuing) against service batches, shows the fidelity
+// cost of packing, and then scales out: the same queue on a TWO-DEVICE
+// fleet (manhattan65 + toronto27) with calibration-aware BestEfs routing,
+// where each job lands on the chip whose solo EFS is lowest and the two
+// chips drain their batches concurrently.
 //
 //   build/examples/cloud_queue
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "benchmarks/suite.hpp"
@@ -79,6 +84,32 @@ int main() {
                 100.0 * batch.throughput, batch.crosstalk_events);
   }
 
+  // Fleet: the same queue over two chips. BestEfs scores every job's best
+  // solo EFS on each device (cached per chip) and routes it to the
+  // lower-error one; each backend runs its own packer/worker lane, so the
+  // two chips drain concurrently and the queue finishes when the busier
+  // chip does.
+  ServiceOptions fleet_opts = packed_opts;
+  fleet_opts.route_policy = RoutePolicy::BestEfs;
+  BackendRegistry registry;
+  registry.add(make_manhattan65());
+  registry.add(make_toronto27());
+  ExecutionService fleet(std::move(registry), fleet_opts);
+  std::vector<JobHandle> fleet_jobs;
+  for (const char* name : mix) {
+    fleet_jobs.push_back(fleet.submit(get_benchmark(name).circuit));
+  }
+  fleet.flush();
+
+  double fleet_pst = 0.0;
+  for (const JobHandle& job : fleet_jobs) {
+    fleet_pst += job.result().report.pst_value;
+  }
+  // Per-chip occupancy: batches on one device run back to back, devices
+  // run side by side; the queue finishes when the busier chip does.
+  const double fleet_s =
+      modeled_fleet_drain_s(fleet_jobs, fleet.num_backends(), model);
+
   const std::size_t n = jobs.size();
   const ServiceStats stats = service.stats();
   std::printf("\n%zu jobs, queue depth %d:\n", n, model.queue_depth);
@@ -86,10 +117,14 @@ int main() {
               solo_pst / n);
   std::printf("  batched  : %7.1f s total, avg PST %.3f\n", parallel_s,
               packed_pst / n);
-  std::printf("  speedup  : %.1fx (avg PST delta %+.3f; EFS is a\n"
-              "             heuristic, so individual placements can win or\n"
-              "             lose a little either way)\n",
-              serial_s / parallel_s, packed_pst / n - solo_pst / n);
+  std::printf("  fleet x2 : %7.1f s total, avg PST %.3f\n", fleet_s,
+              fleet_pst / n);
+  std::printf("  speedup  : %.1fx batched, %.1fx fleet (avg PST delta\n"
+              "             %+.3f batched; EFS is a heuristic, so\n"
+              "             individual placements can win or lose a\n"
+              "             little either way)\n",
+              serial_s / parallel_s, serial_s / fleet_s,
+              packed_pst / n - solo_pst / n);
   std::printf("  service  : %llu batches, %llu spills, transpile cache "
               "%llu/%llu hits\n",
               static_cast<unsigned long long>(stats.batches_executed),
@@ -97,5 +132,12 @@ int main() {
               static_cast<unsigned long long>(stats.transpile_cache.hits),
               static_cast<unsigned long long>(stats.transpile_cache.hits +
                                               stats.transpile_cache.misses));
+  const ServiceStats fstats = fleet.stats();
+  for (const BackendStats& bs : fstats.backends) {
+    std::printf("  fleet[%d] : %-16s %llu jobs, %llu batches\n",
+                bs.backend_id, bs.device.c_str(),
+                static_cast<unsigned long long>(bs.jobs_completed),
+                static_cast<unsigned long long>(bs.batches_executed));
+  }
   return 0;
 }

@@ -188,4 +188,18 @@ Device make_grid_device(int rows, int cols, std::uint64_t seed) {
                 std::move(topo), std::move(cal), std::move(xtalk));
 }
 
+Device make_named_device(std::string_view name, std::uint64_t seed) {
+  if (name == "melbourne16" || name == "ibmq_melbourne16") {
+    return make_melbourne16(seed);
+  }
+  if (name == "toronto27" || name == "ibmq_toronto27") {
+    return make_toronto27(seed);
+  }
+  if (name == "manhattan65" || name == "ibmq_manhattan65") {
+    return make_manhattan65(seed);
+  }
+  throw std::invalid_argument("make_named_device: unknown device '" +
+                              std::string(name) + "'");
+}
+
 }  // namespace qucp

@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "hardware/calibration.hpp"
 #include "hardware/crosstalk.hpp"
@@ -66,5 +67,13 @@ class Device {
 /// r x c grid device; for tests.
 [[nodiscard]] Device make_grid_device(int rows, int cols,
                                       std::uint64_t seed = 7);
+
+/// Bundled device by name — "melbourne16", "toronto27" or "manhattan65"
+/// (full IBM names like "ibmq_toronto27" are accepted too). This is the
+/// config-string entry point for assembling heterogeneous fleets
+/// (service/registry.hpp). Throws std::invalid_argument on an unknown
+/// name.
+[[nodiscard]] Device make_named_device(std::string_view name,
+                                       std::uint64_t seed = 2022);
 
 }  // namespace qucp

@@ -32,6 +32,16 @@ std::vector<std::size_t> allocation_order(
   return order;
 }
 
+std::optional<double> solo_efs_score(const Device& device,
+                                     const Partitioner& partitioner,
+                                     const ProgramShape& shape,
+                                     const CandidateIndex* index) {
+  const ProgramShape shapes[] = {shape};
+  const auto alloc = partitioner.allocate(device, shapes, index);
+  if (!alloc) return std::nullopt;
+  return (*alloc)[0].efs.score;
+}
+
 namespace {
 
 /// Shared EFS-greedy allocation used by QuCP and QuMC. The reference

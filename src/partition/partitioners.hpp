@@ -59,6 +59,17 @@ class Partitioner {
 [[nodiscard]] std::vector<std::size_t> allocation_order(
     std::span<const ProgramShape> programs);
 
+/// Best solo-partition EFS of one program shape on `device`: the score the
+/// shape gets when it is allocated alone on an otherwise-empty chip. This
+/// is the packer's §IV-B spill baseline and the fleet scheduler's
+/// calibration-aware routing score (BestEfs routes a job to the device
+/// where this number is lowest). nullopt when the shape cannot be placed
+/// on the device at all. `index` (optional, must match `device`) reuses a
+/// persistent candidate cache; the score is bit-identical either way.
+[[nodiscard]] std::optional<double> solo_efs_score(
+    const Device& device, const Partitioner& partitioner,
+    const ProgramShape& shape, const CandidateIndex* index = nullptr);
+
 /// QuCP: EFS-greedy with flat sigma crosstalk emulation. No SRB needed.
 class QucpPartitioner final : public Partitioner {
  public:

@@ -1,0 +1,292 @@
+#include "service/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace qucp {
+
+std::optional<double> FleetView::solo_efs(std::size_t slot,
+                                          const PackJob& job) const {
+  // Does-not-fit is memoized as +infinity: EFS sums finite error terms, so
+  // the sentinel can never collide with a real score, and BestEfs (which
+  // probes every job on every device each round) never re-runs an
+  // allocation that is known to fail.
+  constexpr double kUnfit = std::numeric_limits<double>::infinity();
+  std::map<std::uint64_t, double>& cache = *slots_[slot].solo_efs;
+  if (auto it = cache.find(job.fingerprint); it != cache.end()) {
+    if (it->second == kUnfit) return std::nullopt;
+    return it->second;
+  }
+  const auto score = solo_efs_score(*slots_[slot].device, *partitioner_,
+                                    job.shape, slots_[slot].index);
+  cache.emplace(job.fingerprint, score.value_or(kUnfit));
+  return score;
+}
+
+std::string_view route_policy_name(RoutePolicy policy) noexcept {
+  switch (policy) {
+    case RoutePolicy::RoundRobin: return "RoundRobin";
+    case RoutePolicy::LeastLoaded: return "LeastLoaded";
+    case RoutePolicy::BestEfs: return "BestEfs";
+  }
+  return "?";
+}
+
+void RoundRobinPolicy::preference(const FleetView& fleet, const PackJob& job,
+                                  std::vector<std::size_t>& order) {
+  // Rotate the starting slot by canonical queue position: stable across
+  // packing rounds (a spilled job keeps its preference) and independent of
+  // submission interleaving.
+  const std::size_t n = fleet.size();
+  order.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = (job.index + i) % n;
+}
+
+void LeastLoadedPolicy::preference(const FleetView& fleet, const PackJob& job,
+                                   std::vector<std::size_t>& order) {
+  (void)job;
+  const std::size_t n = fleet.size();
+  if (load_.size() < n) load_.resize(n, 0);
+  order.resize(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return load_[a] < load_[b];
+                   });
+}
+
+void LeastLoadedPolicy::on_placed(std::size_t slot, const PackJob& job) {
+  if (load_.size() <= slot) load_.resize(slot + 1, 0);
+  load_[slot] += static_cast<std::uint64_t>(std::max(1, job.shape.num_qubits));
+}
+
+void BestEfsPolicy::preference(const FleetView& fleet, const PackJob& job,
+                               std::vector<std::size_t>& order) {
+  // Ascending best-solo-EFS (EFS accumulates *error*, so lowest is best);
+  // devices the job cannot fit on are excluded, ties go to the lowest id.
+  struct Scored {
+    std::size_t slot;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(fleet.size());
+  for (std::size_t s = 0; s < fleet.size(); ++s) {
+    if (const auto score = fleet.solo_efs(s, job)) {
+      scored.push_back({s, *score});
+    }
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score < b.score;
+                   });
+  order.clear();
+  for (const Scored& s : scored) order.push_back(s.slot);
+}
+
+std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy) {
+  switch (policy) {
+    case RoutePolicy::RoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case RoutePolicy::LeastLoaded:
+      return std::make_unique<LeastLoadedPolicy>();
+    case RoutePolicy::BestEfs: return std::make_unique<BestEfsPolicy>();
+  }
+  throw std::logic_error("make_routing_policy: unhandled policy");
+}
+
+FleetPlan pack_fleet(std::span<const FleetSlot> slots,
+                     std::span<const PackJob> jobs,
+                     const Partitioner& partitioner,
+                     const PackOptions& options, RoutingPolicy* policy) {
+  FleetPlan plan;
+  plan.batches.resize(slots.size());
+  if (slots.empty() || jobs.empty()) return plan;
+
+  if (options.single_batch) {
+    // run_parallel() semantics: everything in exactly one batch on the
+    // first slot; the execution pipeline fails the whole batch when it
+    // does not fit.
+    PackedBatch batch;
+    for (const PackJob& job : jobs) batch.jobs.push_back(job.index);
+    plan.batches[0].push_back(std::move(batch));
+    return plan;
+  }
+
+  const std::size_t num_slots = slots.size();
+  const std::size_t cap = options.max_batch_size <= 0
+                              ? jobs.size()
+                              : static_cast<std::size_t>(options.max_batch_size);
+  const bool check_threshold = std::isfinite(options.efs_threshold);
+  const FleetView view(slots, partitioner);
+
+  std::vector<const PackJob*> remaining;
+  remaining.reserve(jobs.size());
+  for (const PackJob& job : jobs) remaining.push_back(&job);
+
+  // Per-round open batch state, slot-indexed.
+  std::vector<std::vector<const PackJob*>> batch(num_slots);
+  std::vector<std::vector<ProgramShape>> batch_shapes(num_slots);
+  std::vector<char> closed(num_slots, 0);
+  std::vector<std::size_t> prefs;
+
+  while (!remaining.empty()) {
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      batch[s].clear();
+      batch_shapes[s].clear();
+      closed[s] = 0;
+    }
+    std::vector<const PackJob*> spilled;
+
+    for (const PackJob* job : remaining) {
+      prefs.clear();
+      if (policy != nullptr) {
+        policy->preference(view, *job, prefs);
+      } else {
+        for (std::size_t s = 0; s < num_slots; ++s) prefs.push_back(s);
+      }
+
+      bool placed = false;
+      std::size_t placed_slot = 0;
+      // A job is terminally unplaceable only when every preferred slot
+      // proved it cannot host the job even alone; a slot that merely had a
+      // full/closed/occupied batch defers the decision to a later round
+      // (normal queueing — exactly the historical pack_batches rule).
+      bool unfit_everywhere = true;
+      // True once an earlier-preferred slot rejected the job for fit or
+      // the §IV-B threshold: a subsequent placement is a cross-device
+      // spill. Skipping a merely full/closed slot is queueing, not a
+      // spill, and does not set this.
+      bool rejected_earlier = false;
+
+      for (const std::size_t s : prefs) {
+        // Waiting behind a full batch is queueing, not a spill.
+        if (closed[s] || batch[s].size() >= cap) {
+          unfit_everywhere = false;
+          continue;
+        }
+        if (job->exclusive) {
+          if (!batch[s].empty()) {
+            unfit_everywhere = false;
+            continue;
+          }
+          if (!view.solo_efs(s, *job)) continue;  // unfit alone on s
+          batch[s].push_back(job);
+          batch_shapes[s].push_back(job->shape);
+          closed[s] = 1;
+          placed = true;
+          placed_slot = s;
+          break;
+        }
+
+        // Tentatively grow slot s's batch and re-allocate in the same
+        // largest-first order the execution pipeline will use, so the EFS
+        // we threshold against is the EFS the job will actually get.
+        std::vector<ProgramShape> tentative_shapes = batch_shapes[s];
+        tentative_shapes.push_back(job->shape);
+        const std::vector<std::size_t> order =
+            allocation_order(tentative_shapes);
+        std::vector<ProgramShape> ordered_shapes;
+        ordered_shapes.reserve(order.size());
+        for (std::size_t idx : order) {
+          ordered_shapes.push_back(tentative_shapes[idx]);
+        }
+        const auto alloc = partitioner.allocate(*slots[s].device,
+                                                ordered_shapes, slots[s].index);
+        if (!alloc) {
+          if (batch[s].empty()) continue;  // cannot fit even alone on s
+          ++plan.spill_events;
+          rejected_earlier = true;
+          unfit_everywhere = false;
+          continue;
+        }
+        unfit_everywhere = false;
+
+        bool over_threshold = false;
+        if (check_threshold && tentative_shapes.size() > 1) {
+          for (std::size_t pos = 0; pos < order.size() && !over_threshold;
+               ++pos) {
+            const PackJob& member = order[pos] == tentative_shapes.size() - 1
+                                        ? *job
+                                        : *batch[s][order[pos]];
+            const auto solo = view.solo_efs(s, member);
+            if (!solo) continue;  // batch-placeable implies solo-placeable
+            const double delta = (*alloc)[pos].efs.score - *solo;
+            over_threshold = delta > options.efs_threshold;
+          }
+        }
+        if (over_threshold) {
+          ++plan.spill_events;
+          rejected_earlier = true;
+          continue;
+        }
+        batch[s].push_back(job);
+        batch_shapes[s].push_back(job->shape);
+        placed = true;
+        placed_slot = s;
+        break;
+      }
+
+      if (placed) {
+        if (rejected_earlier) ++plan.cross_device_spills;
+        if (policy != nullptr) policy->on_placed(placed_slot, *job);
+        continue;
+      }
+      if (unfit_everywhere) {
+        // Every candidate device rejected the job alone (or the policy
+        // offered none): terminal.
+        plan.unplaceable.push_back(job->index);
+      } else {
+        spilled.push_back(job);
+      }
+    }
+
+    bool any_batch = false;
+    for (std::size_t s = 0; s < num_slots; ++s) {
+      if (batch[s].empty()) continue;
+      any_batch = true;
+      PackedBatch packed;
+      for (const PackJob* job : batch[s]) packed.jobs.push_back(job->index);
+      plan.batches[s].push_back(std::move(packed));
+    }
+    if (!any_batch && !spilled.empty()) {
+      // Unreachable by construction (the first remaining job either opens
+      // a batch somewhere or is terminally unplaceable); guard against a
+      // non-monotonic partitioner looping forever by failing what is left.
+      for (const PackJob* job : spilled) {
+        plan.unplaceable.push_back(job->index);
+      }
+      break;
+    }
+    remaining = std::move(spilled);
+  }
+  return plan;
+}
+
+FleetScheduler::FleetScheduler(const BackendRegistry& fleet,
+                               RoutePolicy policy)
+    : fleet_(&fleet), solo_cache_(fleet.size()) {
+  if (fleet.empty()) {
+    throw std::invalid_argument("FleetScheduler: empty fleet");
+  }
+  // Single-backend fleets route trivially; bypassing the policy keeps the
+  // packing decision stream bit-identical to the historical pack_batches
+  // path (including spill-event accounting).
+  if (fleet.size() > 1) policy_ = make_routing_policy(policy);
+}
+
+FleetPlan FleetScheduler::plan(std::span<const PackJob> jobs,
+                               const Partitioner& partitioner,
+                               const PackOptions& options) {
+  std::vector<FleetSlot> slots;
+  slots.reserve(fleet_->size());
+  for (std::size_t i = 0; i < fleet_->size(); ++i) {
+    const Backend& backend = fleet_->at(i);
+    slots.push_back({&backend.device(), &backend.candidate_index(),
+                     &solo_cache_[i]});
+  }
+  return pack_fleet(slots, jobs, partitioner, options, policy_.get());
+}
+
+}  // namespace qucp

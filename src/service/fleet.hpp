@@ -1,0 +1,189 @@
+#pragma once
+// Fleet scheduling: routing a job stream across N device endpoints.
+//
+// The paper frames multi-programming as a cloud-queue problem (overall
+// runtime = waiting time + execution time, §II-A); one saturated chip next
+// to idle ones is the fleet-level version of the same waste. This layer
+// generalizes the single-device batch packer (service/packer.hpp) to N
+// devices: every packing round keeps one open batch per device, and each
+// job tries devices in a policy-chosen preference order before it spills
+// to a later round. A job that would violate the §IV-B EFS threshold on
+// its preferred chip therefore spills *cross-device* first — it lands on
+// its second choice in the same round — and only defers when every open
+// batch rejects it.
+//
+// Routing policies (pluggable, deterministic):
+//   RoundRobin  — rotate the starting device by canonical queue position;
+//                 throughput-first, calibration-blind.
+//   LeastLoaded — ascending routed-qubit load (cumulative per scheduler),
+//                 ties to the lowest id; balances heterogeneous job sizes.
+//   BestEfs     — ascending best-solo-EFS of the job on each device
+//                 (partition/solo_efs_score, memoized per device); routes
+//                 every job to the chip where its accumulated error is
+//                 lowest, fidelity-first. Devices the job cannot fit on
+//                 are excluded.
+//
+// pack_fleet() is the shared engine: with one slot and no policy it makes
+// exactly the decisions pack_batches() historically made — pack_batches()
+// is now a thin wrapper over it — so the single-backend ExecutionService
+// and the run_parallel() shim stay bit-identical by construction.
+//
+// Determinism: policies see only the canonical job order and per-device
+// state derived from it, so for a fixed fleet and fixed dispatch-cycle
+// contents the full plan (slot, batch, order) is reproducible regardless
+// of submission interleaving.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "service/packer.hpp"
+#include "service/registry.hpp"
+
+namespace qucp {
+
+/// One schedulable device endpoint, as the fleet packer sees it. `index`
+/// (optional) must have been built for `device`; `solo_efs` (required) is
+/// the per-device memo of best-solo-EFS scores keyed by circuit
+/// fingerprint — the §IV-B spill baseline and the BestEfs routing score.
+struct FleetSlot {
+  const Device* device = nullptr;
+  const CandidateIndex* index = nullptr;
+  std::map<std::uint64_t, double>* solo_efs = nullptr;
+};
+
+/// Read-mostly view of the fleet handed to routing policies and used by
+/// the packer's threshold checks. Probes are memoized in each slot's
+/// solo-EFS map, so routing and spill checks share one score per
+/// (device, circuit) pair.
+class FleetView {
+ public:
+  FleetView(std::span<const FleetSlot> slots, const Partitioner& partitioner)
+      : slots_(slots), partitioner_(&partitioner) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] const Device& device(std::size_t slot) const {
+    return *slots_[slot].device;
+  }
+  /// Best solo EFS of `job` on `slot`'s device; nullopt = does not fit
+  /// even alone. Memoized by circuit fingerprint in the slot's map.
+  [[nodiscard]] std::optional<double> solo_efs(std::size_t slot,
+                                               const PackJob& job) const;
+
+ private:
+  std::span<const FleetSlot> slots_;
+  const Partitioner* partitioner_;
+};
+
+/// How a multi-backend ExecutionService picks a device for each job.
+enum class RoutePolicy { RoundRobin, LeastLoaded, BestEfs };
+
+[[nodiscard]] std::string_view route_policy_name(RoutePolicy policy) noexcept;
+
+/// Pluggable routing strategy. `preference` fills `order` with slot ids in
+/// try order (a strict subset excludes devices the policy rules out — an
+/// empty order marks the job unplaceable); it is called once per job per
+/// packing round and must be deterministic in (its own state, the fleet,
+/// the job). `on_placed` observes every successful placement, in canonical
+/// job order, for load accounting.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  virtual void preference(const FleetView& fleet, const PackJob& job,
+                          std::vector<std::size_t>& order) = 0;
+  virtual void on_placed(std::size_t slot, const PackJob& job) {
+    (void)slot;
+    (void)job;
+  }
+};
+
+class RoundRobinPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "RoundRobin";
+  }
+  void preference(const FleetView& fleet, const PackJob& job,
+                  std::vector<std::size_t>& order) override;
+};
+
+class LeastLoadedPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "LeastLoaded";
+  }
+  void preference(const FleetView& fleet, const PackJob& job,
+                  std::vector<std::size_t>& order) override;
+  void on_placed(std::size_t slot, const PackJob& job) override;
+
+ private:
+  /// Cumulative routed qubit load per slot (qubit-weighted so one wide job
+  /// counts like several narrow ones). Grown on first use.
+  std::vector<std::uint64_t> load_;
+};
+
+class BestEfsPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "BestEfs";
+  }
+  void preference(const FleetView& fleet, const PackJob& job,
+                  std::vector<std::size_t>& order) override;
+};
+
+[[nodiscard]] std::unique_ptr<RoutingPolicy> make_routing_policy(
+    RoutePolicy policy);
+
+/// A fleet packing plan: per-slot batches in dispatch order, plus the
+/// terminal failures and spill accounting.
+struct FleetPlan {
+  std::vector<std::vector<PackedBatch>> batches;  ///< [slot][dispatch order]
+  std::vector<std::size_t> unplaceable;  ///< fits on no fleet device, alone
+  /// Fidelity/fit co-placement rejections (same semantics as PackResult).
+  std::uint64_t spill_events = 0;
+  /// Placements that followed a fit/threshold rejection on an
+  /// earlier-preferred device — the cross-device spills that kept the
+  /// §IV-B threshold intact without deferring the job. Skipping a merely
+  /// full batch on the way to another device is queueing, not a spill,
+  /// and is not counted.
+  std::uint64_t cross_device_spills = 0;
+};
+
+/// Pack `jobs` (already in the desired queue order) across `slots`.
+/// `policy` == nullptr routes every job through slots in id order (the
+/// single-slot instantiation of this engine IS pack_batches). Not
+/// thread-safe — callers serialize packing.
+[[nodiscard]] FleetPlan pack_fleet(std::span<const FleetSlot> slots,
+                                   std::span<const PackJob> jobs,
+                                   const Partitioner& partitioner,
+                                   const PackOptions& options,
+                                   RoutingPolicy* policy = nullptr);
+
+/// The service-side orchestrator: owns the routing policy and the
+/// per-backend solo-EFS memos for a BackendRegistry, and turns a pending
+/// job list into a FleetPlan. Single-backend fleets bypass the policy
+/// (routing is trivial and must stay decision-identical to the historical
+/// pack_batches path). Not thread-safe — the ExecutionService serializes
+/// planning under its pack mutex.
+class FleetScheduler {
+ public:
+  FleetScheduler(const BackendRegistry& fleet, RoutePolicy policy);
+
+  [[nodiscard]] FleetPlan plan(std::span<const PackJob> jobs,
+                               const Partitioner& partitioner,
+                               const PackOptions& options);
+
+  /// Active policy; nullptr on single-backend fleets.
+  [[nodiscard]] RoutingPolicy* policy() noexcept { return policy_.get(); }
+
+ private:
+  const BackendRegistry* fleet_;
+  std::unique_ptr<RoutingPolicy> policy_;
+  std::vector<std::map<std::uint64_t, double>> solo_cache_;  ///< per backend
+};
+
+}  // namespace qucp

@@ -32,7 +32,14 @@ enum class JobStatus {
 /// Batch-level context attached to every job result, so callers can
 /// reconstruct per-batch figures (speedup, throughput) from job handles.
 struct BatchStats {
-  std::uint64_t batch_index = 0;  ///< service-wide batch sequence number
+  /// Service-wide batch sequence number; unique across the whole fleet
+  /// (interleaved per-backend ordinals), and for a single-backend service
+  /// the plain dispatch order it always was.
+  std::uint64_t batch_index = 0;
+  /// Registry id of the backend this batch executed on (0 on a
+  /// single-backend service) and its device name.
+  int backend_id = 0;
+  std::string backend_device;
   std::size_t batch_size = 0;     ///< co-scheduled jobs, this one included
   double makespan_ns = 0.0;
   double throughput = 0.0;        ///< device-qubit utilization of the batch

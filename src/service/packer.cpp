@@ -1,147 +1,26 @@
 #include "service/packer.hpp"
 
-#include <cmath>
-#include <optional>
+#include "service/fleet.hpp"
 
 namespace qucp {
-
-namespace {
-
-/// Best solo-partition EFS for a shape, memoized by circuit fingerprint.
-/// nullopt when the program does not fit on the device at all.
-std::optional<double> solo_efs(const Device& device,
-                               const Partitioner& partitioner,
-                               const PackJob& job,
-                               std::map<std::uint64_t, double>& cache,
-                               const CandidateIndex* index) {
-  if (auto it = cache.find(job.fingerprint); it != cache.end()) {
-    return it->second;
-  }
-  const ProgramShape shapes[] = {job.shape};
-  const auto alloc = partitioner.allocate(device, shapes, index);
-  if (!alloc) return std::nullopt;
-  const double score = (*alloc)[0].efs.score;
-  cache.emplace(job.fingerprint, score);
-  return score;
-}
-
-}  // namespace
 
 PackResult pack_batches(const Device& device, std::span<const PackJob> jobs,
                         const Partitioner& partitioner,
                         const PackOptions& options,
                         std::map<std::uint64_t, double>& solo_efs_cache,
                         const CandidateIndex* index) {
+  // The single-slot instantiation of the fleet packer (service/fleet.hpp):
+  // with one device and no routing policy, pack_fleet makes exactly the
+  // decisions this function historically made — same batches, same
+  // unplaceable set, same spill-event stream, same solo-EFS cache fills —
+  // so single-backend packing stays bit-identical by construction.
+  const FleetSlot slot{&device, index, &solo_efs_cache};
+  FleetPlan plan = pack_fleet(std::span<const FleetSlot>(&slot, 1), jobs,
+                              partitioner, options, nullptr);
   PackResult result;
-  if (jobs.empty()) return result;
-
-  if (options.single_batch) {
-    PackedBatch batch;
-    for (const PackJob& job : jobs) batch.jobs.push_back(job.index);
-    result.batches.push_back(std::move(batch));
-    return result;
-  }
-
-  const std::size_t cap = options.max_batch_size <= 0
-                              ? jobs.size()
-                              : static_cast<std::size_t>(options.max_batch_size);
-  const bool check_threshold = std::isfinite(options.efs_threshold);
-
-  std::vector<const PackJob*> remaining;
-  remaining.reserve(jobs.size());
-  for (const PackJob& job : jobs) remaining.push_back(&job);
-
-  while (!remaining.empty()) {
-    std::vector<const PackJob*> batch;
-    std::vector<ProgramShape> batch_shapes;
-    std::vector<const PackJob*> spilled;
-    bool closed = false;
-
-    for (const PackJob* job : remaining) {
-      // Waiting behind a full batch is normal queueing, not a spill:
-      // spill_events counts only fidelity/fit rejections below.
-      if (closed || batch.size() >= cap) {
-        spilled.push_back(job);
-        continue;
-      }
-      if (job->exclusive) {
-        if (!batch.empty()) {
-          spilled.push_back(job);
-          continue;
-        }
-        if (!solo_efs(device, partitioner, *job, solo_efs_cache, index)) {
-          result.unplaceable.push_back(job->index);
-          continue;
-        }
-        batch.push_back(job);
-        batch_shapes.push_back(job->shape);
-        closed = true;
-        continue;
-      }
-
-      // Tentatively grow the batch and re-allocate in the same
-      // largest-first order the execution pipeline will use, so the EFS
-      // we threshold against is the EFS the job will actually get.
-      std::vector<const PackJob*> tentative = batch;
-      tentative.push_back(job);
-      std::vector<ProgramShape> tentative_shapes = batch_shapes;
-      tentative_shapes.push_back(job->shape);
-      const std::vector<std::size_t> order =
-          allocation_order(tentative_shapes);
-      std::vector<ProgramShape> ordered_shapes;
-      ordered_shapes.reserve(order.size());
-      for (std::size_t idx : order) {
-        ordered_shapes.push_back(tentative_shapes[idx]);
-      }
-      const auto alloc = partitioner.allocate(device, ordered_shapes, index);
-
-      if (!alloc) {
-        if (batch.empty()) {
-          // Alone on an empty device and still unplaceable: terminal.
-          result.unplaceable.push_back(job->index);
-        } else {
-          spilled.push_back(job);
-          ++result.spill_events;
-        }
-        continue;
-      }
-
-      bool over_threshold = false;
-      if (check_threshold && tentative.size() > 1) {
-        for (std::size_t pos = 0; pos < order.size() && !over_threshold;
-             ++pos) {
-          const PackJob& member = *tentative[order[pos]];
-          const auto solo =
-              solo_efs(device, partitioner, member, solo_efs_cache, index);
-          if (!solo) continue;  // batch-placeable implies solo-placeable
-          const double delta = (*alloc)[pos].efs.score - *solo;
-          over_threshold = delta > options.efs_threshold;
-        }
-      }
-      if (over_threshold) {
-        spilled.push_back(job);
-        ++result.spill_events;
-        continue;
-      }
-      batch.push_back(job);
-      batch_shapes.push_back(job->shape);
-    }
-
-    if (!batch.empty()) {
-      PackedBatch packed;
-      for (const PackJob* job : batch) packed.jobs.push_back(job->index);
-      result.batches.push_back(std::move(packed));
-    } else if (!spilled.empty()) {
-      // Unreachable by construction (an open empty batch either admits or
-      // terminally rejects every job); guard against a non-monotonic
-      // partitioner looping forever by failing what is left.
-      for (const PackJob* job : spilled) {
-        result.unplaceable.push_back(job->index);
-      }
-      break;
-    }
-    remaining = std::move(spilled);
-  }
+  result.batches = std::move(plan.batches.front());
+  result.unplaceable = std::move(plan.unplaceable);
+  result.spill_events = plan.spill_events;
   return result;
 }
 

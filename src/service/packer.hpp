@@ -12,6 +12,11 @@
 // the batch size — partial tail batches are first-class (the bug the old
 // examples/cloud_queue.cpp slicing had).
 //
+// pack_batches() is the single-device entry point; the general N-device
+// engine (one open batch per device, policy-routed preference order,
+// cross-device spill) lives in service/fleet.hpp, and this function is its
+// one-slot instantiation — decision-identical to the historical packer.
+//
 // Pure logic, no threads: the ExecutionService drives it under its own
 // locking, and tests exercise it directly.
 

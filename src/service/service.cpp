@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -164,16 +165,30 @@ ExecutionService::ExecutionService(Device device, ServiceOptions options)
 
 ExecutionService::ExecutionService(std::shared_ptr<Backend> backend,
                                    ServiceOptions options)
-    : backend_(std::move(backend)), options_(std::move(options)) {
-  if (!backend_) {
-    throw std::invalid_argument("ExecutionService: null backend");
+    : ExecutionService(
+          BackendRegistry(std::vector<std::shared_ptr<Backend>>{
+              std::move(backend)}),
+          std::move(options)) {}
+
+ExecutionService::ExecutionService(BackendRegistry fleet,
+                                   ServiceOptions options)
+    : fleet_(std::move(fleet)), options_(std::move(options)) {
+  if (fleet_.empty()) {
+    throw std::invalid_argument("ExecutionService: empty backend registry");
   }
   // Fail configuration errors at construction, not at execution: QuMC
   // without SRB estimates throws std::invalid_argument here. The
   // partitioner also drives the packer.
   partitioner_ = make_partitioner(options_.method, options_.sigma,
                                   options_.srb_estimates);
+  scheduler_ =
+      std::make_unique<FleetScheduler>(fleet_, options_.route_policy);
   options_.num_workers = std::max(1, options_.num_workers);
+  lanes_.reserve(fleet_.size());
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    lanes_.push_back(
+        std::make_unique<Lane>(fleet_.share(i), static_cast<int>(i)));
+  }
   start_workers();
 }
 
@@ -187,9 +202,11 @@ ExecutionService::~ExecutionService() {
 }
 
 void ExecutionService::start_workers() {
-  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
-  for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  for (auto& lane : lanes_) {
+    lane->workers.reserve(static_cast<std::size_t>(options_.num_workers));
+    for (int i = 0; i < options_.num_workers; ++i) {
+      lane->workers.emplace_back([this, &lane = *lane] { worker_loop(lane); });
+    }
   }
 }
 
@@ -256,54 +273,84 @@ void ExecutionService::dispatch_pending() {
   popts.max_batch_size = options_.max_batch_size;
   popts.efs_threshold = options_.efs_threshold;
   popts.single_batch = options_.single_batch;
-  const PackResult packed =
-      pack_batches(backend_->device(), pack_jobs, *partitioner_, popts,
-                   solo_efs_cache_, &backend_->candidate_index());
+  const FleetPlan plan =
+      scheduler_->plan(pack_jobs, *partitioner_, popts);
 
-  for (std::size_t idx : packed.unplaceable) {
-    jobs[idx]->fail("job '" + jobs[idx]->name + "' does not fit on " +
-                    backend_->device().name() + " even alone");
+  for (std::size_t idx : plan.unplaceable) {
+    const std::string where =
+        fleet_.size() == 1
+            ? backend(0).device().name()
+            : "any of the " + std::to_string(fleet_.size()) + " fleet devices";
+    jobs[idx]->fail("job '" + jobs[idx]->name + "' does not fit on " + where +
+                    " even alone");
+  }
+
+  // Count every planned job into outstanding_jobs_ BEFORE any batch
+  // becomes visible to a worker: a fast lane finishing its batch must not
+  // be able to decrement past the increment and wake a concurrent flush()
+  // while work from this dispatch is still running.
+  std::size_t dispatched = 0;
+  for (const auto& slot_batches : plan.batches) {
+    for (const PackedBatch& pb : slot_batches) dispatched += pb.jobs.size();
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    jobs_failed_ += packed.unplaceable.size();
-    spill_events_ += packed.spill_events;
-    for (const PackedBatch& pb : packed.batches) {
-      Batch batch;
-      batch.index = next_batch_index_++;
-      batch.jobs.reserve(pb.jobs.size());
-      for (std::size_t idx : pb.jobs) batch.jobs.push_back(jobs[idx]);
-      outstanding_jobs_ += batch.jobs.size();
-      batch_queue_.push_back(std::move(batch));
-    }
+    jobs_failed_ += plan.unplaceable.size();
+    spill_events_ += plan.spill_events;
+    cross_device_spills_ += plan.cross_device_spills;
+    outstanding_jobs_ += dispatched;
   }
-  work_cv_.notify_all();
+
+  const std::uint64_t num_lanes = lanes_.size();
+  for (std::size_t s = 0; s < plan.batches.size(); ++s) {
+    Lane& lane = *lanes_[s];
+    if (plan.batches[s].empty()) continue;
+    {
+      std::lock_guard<std::mutex> lane_lock(lane.mutex);
+      for (const PackedBatch& pb : plan.batches[s]) {
+        Batch batch;
+        batch.index = lane.next_ordinal++ * num_lanes +
+                      static_cast<std::uint64_t>(lane.id);
+        batch.jobs.reserve(pb.jobs.size());
+        for (std::size_t idx : pb.jobs) batch.jobs.push_back(jobs[idx]);
+        lane.jobs_routed += batch.jobs.size();
+        inflight_batches_.fetch_add(1, std::memory_order_relaxed);
+        lane.queue.push_back(std::move(batch));
+      }
+    }
+    lane.cv.notify_all();
+  }
+  if (dispatched == 0) drained_cv_.notify_all();
 }
 
-void ExecutionService::worker_loop() {
+void ExecutionService::worker_loop(Lane& lane) {
   for (;;) {
     Batch batch;
-    int concurrency = 1;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [this] { return stop_ || !batch_queue_.empty(); });
-      if (batch_queue_.empty()) {
-        if (stop_) return;
+      std::unique_lock<std::mutex> lock(lane.mutex);
+      lane.cv.wait(lock, [&] { return lane.stop || !lane.queue.empty(); });
+      if (lane.queue.empty()) {
+        if (lane.stop) return;
         continue;
       }
-      batch = std::move(batch_queue_.front());
-      batch_queue_.pop_front();
-      ++active_batches_;
-      concurrency = static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(options_.num_workers),
-          active_batches_ + batch_queue_.size()));
+      batch = std::move(lane.queue.front());
+      lane.queue.pop_front();
     }
-    execute_batch(std::move(batch), concurrency);
+    // This batch is still counted in inflight_batches_ until it finishes,
+    // so the load reads as "batches that want the machine right now",
+    // fleet-wide across every lane.
+    const std::size_t pool =
+        static_cast<std::size_t>(options_.num_workers) * lanes_.size();
+    const std::size_t inflight =
+        std::max<std::size_t>(1, inflight_batches_.load(
+                                     std::memory_order_relaxed));
+    const int concurrency = static_cast<int>(std::min(pool, inflight));
+    execute_batch(lane, std::move(batch), concurrency);
   }
 }
 
-void ExecutionService::execute_batch(Batch batch, int concurrency) {
+void ExecutionService::execute_batch(Lane& lane, Batch batch,
+                                     int concurrency) {
   for (const JobPtr& job : batch.jobs) job->set_running();
 
   std::vector<Circuit> circuits;
@@ -321,9 +368,9 @@ void ExecutionService::execute_batch(Batch batch, int concurrency) {
   popts.exec = options_.exec;
   popts.srb_estimates = options_.srb_estimates;
   popts.optimize_circuits = options_.optimize_circuits;
-  // Decorrelate batches while keeping batch 0 on the caller's exact seed
-  // (the run_parallel() shim runs as batch 0 and must stay bit-identical
-  // to the historical single-shot behavior).
+  // Decorrelate batches fleet-wide while keeping batch 0 of lane 0 on the
+  // caller's exact seed (the run_parallel() shim runs as that batch and
+  // must stay bit-identical to the historical single-shot behavior).
   popts.exec.seed = options_.exec.seed + kGolden * batch.index;
   // Unless the caller pinned a kernel-thread cap, share the machine across
   // the batches actually running: N concurrent batch simulations each with
@@ -337,9 +384,11 @@ void ExecutionService::execute_batch(Batch batch, int concurrency) {
   std::size_t failed = 0;
   try {
     const BatchReport report =
-        run_batch_pipeline(*backend_, circuits, names, popts);
+        run_batch_pipeline(*lane.backend, circuits, names, popts);
     BatchStats stats;
     stats.batch_index = batch.index;
+    stats.backend_id = lane.id;
+    stats.backend_device = lane.backend->device().name();
     stats.batch_size = batch.jobs.size();
     stats.makespan_ns = report.makespan_ns;
     stats.throughput = report.throughput;
@@ -360,21 +409,25 @@ void ExecutionService::execute_batch(Batch batch, int concurrency) {
   }
 
   {
+    std::lock_guard<std::mutex> lane_lock(lane.mutex);
+    ++lane.batches_executed;
+    lane.jobs_failed += failed;
+    lane.jobs_completed += batch.jobs.size() - failed;
+  }
+  inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
+  {
     std::lock_guard<std::mutex> lock(mutex_);
     ++batches_executed_;
     jobs_failed_ += failed;
     jobs_completed_ += batch.jobs.size() - failed;
     outstanding_jobs_ -= batch.jobs.size();
-    --active_batches_;
   }
   drained_cv_.notify_all();
 }
 
 void ExecutionService::wait_for_drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  drained_cv_.wait(lock, [this] {
-    return outstanding_jobs_ == 0 && batch_queue_.empty();
-  });
+  drained_cv_.wait(lock, [this] { return outstanding_jobs_ == 0; });
 }
 
 void ExecutionService::flush() {
@@ -388,15 +441,19 @@ void ExecutionService::shutdown() {
     accepting_ = false;
   }
   flush();
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
+  for (auto& lane : lanes_) {
+    {
+      std::lock_guard<std::mutex> lane_lock(lane->mutex);
+      lane->stop = true;
+    }
+    lane->cv.notify_all();
   }
-  work_cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) worker.join();
+  for (auto& lane : lanes_) {
+    for (std::thread& worker : lane->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    lane->workers.clear();
   }
-  workers_.clear();
 }
 
 ServiceStats ExecutionService::stats() const {
@@ -408,14 +465,60 @@ ServiceStats ExecutionService::stats() const {
     stats.jobs_failed = jobs_failed_;
     stats.batches_executed = batches_executed_;
     stats.spill_events = spill_events_;
+    stats.cross_device_spills = cross_device_spills_;
   }
-  stats.transpile_cache = backend_->cache_stats();
+  stats.backends.reserve(lanes_.size());
+  for (const auto& lane : lanes_) {
+    BackendStats bs;
+    bs.backend_id = lane->id;
+    bs.device = lane->backend->device().name();
+    bs.transpile_cache = lane->backend->cache_stats();
+    {
+      std::lock_guard<std::mutex> lane_lock(lane->mutex);
+      bs.jobs_routed = lane->jobs_routed;
+      bs.jobs_completed = lane->jobs_completed;
+      bs.jobs_failed = lane->jobs_failed;
+      bs.batches_executed = lane->batches_executed;
+    }
+    stats.transpile_cache.hits += bs.transpile_cache.hits;
+    stats.transpile_cache.misses += bs.transpile_cache.misses;
+    stats.transpile_cache.evictions += bs.transpile_cache.evictions;
+    stats.transpile_cache.entries += bs.transpile_cache.entries;
+    stats.backends.push_back(std::move(bs));
+  }
   return stats;
 }
 
 std::size_t ExecutionService::pending_jobs() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return pending_.size();
+}
+
+double modeled_fleet_drain_s(std::span<const JobHandle> handles,
+                             std::size_t num_backends,
+                             const RuntimeModel& model) {
+  if (num_backends == 0) {
+    throw std::invalid_argument("modeled_fleet_drain_s: no backends");
+  }
+  std::map<std::pair<int, std::uint64_t>, double> batch_makespans;
+  for (const JobHandle& handle : handles) {
+    if (!handle.valid() || handle.status() != JobStatus::Done) continue;
+    const BatchStats& batch = handle.result().batch;
+    batch_makespans[{batch.backend_id, batch.batch_index}] =
+        batch.makespan_ns;
+  }
+  if (batch_makespans.empty()) {
+    // Returning 0 here would turn a fully-failed job set into an infinite
+    // "speedup" in every caller's ratio; fail loudly instead.
+    throw std::invalid_argument(
+        "modeled_fleet_drain_s: no completed jobs in the handle set");
+  }
+  std::vector<double> occupancy(num_backends, 0.0);
+  for (const auto& [key, makespan_ns] : batch_makespans) {
+    occupancy.at(static_cast<std::size_t>(key.first)) +=
+        parallel_runtime_s(model, makespan_ns);
+  }
+  return *std::max_element(occupancy.begin(), occupancy.end());
 }
 
 }  // namespace qucp

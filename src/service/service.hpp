@@ -6,37 +6,55 @@
 // into one device job cuts total runtime by up to N. The service owns the
 // logic every caller used to hand-roll around run_parallel(): a job queue,
 // an online batch packer (EFS partitioning + the §IV-B fidelity-threshold
-// spill), a worker pool that executes independent batches concurrently,
-// and a transpilation cache.
+// spill), worker lanes that execute independent batches concurrently, and
+// per-backend transpilation caches.
 //
 //   ExecutionService service(make_toronto27());
 //   JobHandle job = service.submit(circuit);
 //   service.flush();                       // pack + run everything queued
 //   const JobResult& r = job.result();     // or poll job.status()
 //
+// The service also scales past one chip: construct it from a
+// BackendRegistry and it becomes a fleet — a FleetScheduler
+// (service/fleet.hpp) routes each pending job to a (backend, batch) slot
+// via a pluggable policy (RoundRobin / LeastLoaded / BestEfs), and every
+// backend gets its own packer/worker lane, so batches on different devices
+// execute concurrently without sharing locks:
+//
+//   BackendRegistry fleet({make_toronto27(), make_manhattan65()});
+//   ExecutionService service(std::move(fleet), options);  // BestEfs default
+//
 // Determinism: with JobOrder::Canonical (default) queued jobs are packed
 // in (circuit fingerprint, name, submission id) order, so for a fixed seed
-// the results are reproducible regardless of submission interleaving —
+// the results — including routing decisions and per-backend batch
+// assignments — are reproducible regardless of submission interleaving;
 // jobs that share both circuit and name are mutually interchangeable, and
-// every other handle is exactly reproducible. Batch i executes with seed
-// `exec.seed + i * golden_ratio` (batch 0 uses exec.seed unchanged, which
-// keeps the run_parallel() shim bit-identical to its historical output).
+// every other handle is exactly reproducible. A batch with per-backend
+// ordinal k on backend b (of B) executes with seed
+// `exec.seed + (k * B + b) * golden_ratio`; for B = 1 that is the
+// historical `seed + batch_index * golden_ratio`, which keeps the
+// run_parallel() shim and the single-backend constructor bit-identical to
+// their historical output.
 //
 // run_parallel() in core/parallel.hpp is a compatibility shim over this
-// service (single batch, FIFO order, synchronous).
+// service (single backend, single batch, FIFO order, synchronous).
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <limits>
-#include <map>
 #include <memory>
+#include <span>
 #include <thread>
 #include <vector>
 
 #include "core/parallel.hpp"
+#include "core/runtime.hpp"
 #include "service/backend.hpp"
+#include "service/fleet.hpp"
 #include "service/job.hpp"
 #include "service/packer.hpp"
+#include "service/registry.hpp"
 
 namespace qucp {
 
@@ -57,13 +75,17 @@ struct ServiceOptions {
   std::optional<CrosstalkModel> srb_estimates;
   bool optimize_circuits = true;
 
-  int num_workers = 4;     ///< batch-executing threads (clamped to >= 1)
+  int num_workers = 4;     ///< batch-executing threads per backend lane
   int max_batch_size = 4;  ///< jobs per batch; <= 0 means unbounded
   /// §IV-B fidelity threshold: max EFS degradation vs running solo before
-  /// a co-placement is rejected and the job spills to the next batch.
+  /// a co-placement is rejected and the job spills — on a fleet, first to
+  /// another device's open batch, then to the next batch.
   /// 0 forces independent execution; infinity admits anything that fits.
   double efs_threshold = std::numeric_limits<double>::infinity();
   JobOrder order = JobOrder::Canonical;
+  /// Fleet routing policy (see service/fleet.hpp). Ignored on a
+  /// single-backend service, where routing is trivial.
+  RoutePolicy route_policy = RoutePolicy::BestEfs;
   /// Pack all queued jobs into exactly one batch and let the pipeline
   /// fail the whole batch when it does not fit (run_parallel semantics).
   bool single_batch = false;
@@ -74,13 +96,30 @@ struct ServiceOptions {
   std::size_t transpile_cache_capacity = 1024;
 };
 
+/// Per-backend slice of the service counters, keyed by registry id.
+struct BackendStats {
+  int backend_id = 0;
+  std::string device;  ///< device name of the backend
+  std::uint64_t jobs_routed = 0;  ///< jobs packed into this backend's lane
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;
+  std::uint64_t batches_executed = 0;
+  TranspileCacheStats transpile_cache;
+};
+
 struct ServiceStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t batches_executed = 0;
   std::uint64_t spill_events = 0;  ///< EFS-threshold / fit rejections
+  /// Jobs placed on a backend after a fit/threshold rejection on an
+  /// earlier-preferred one (always 0 on a single-backend service).
+  std::uint64_t cross_device_spills = 0;
+  /// Aggregate over every backend's transpile cache.
   TranspileCacheStats transpile_cache;
+  /// Per-backend breakdown, indexed by registry id.
+  std::vector<BackendStats> backends;
 };
 
 class ExecutionService {
@@ -89,6 +128,10 @@ class ExecutionService {
   /// throws std::invalid_argument here, not at execution time.
   explicit ExecutionService(Device device, ServiceOptions options = {});
   ExecutionService(std::shared_ptr<Backend> backend, ServiceOptions options);
+  /// Multi-backend fleet: one packer/worker lane per registered backend,
+  /// jobs routed by `options.route_policy`. Throws std::invalid_argument
+  /// on an empty registry.
+  explicit ExecutionService(BackendRegistry fleet, ServiceOptions options = {});
   ~ExecutionService();
 
   ExecutionService(const ExecutionService&) = delete;
@@ -102,8 +145,8 @@ class ExecutionService {
   /// Convenience: submit a vector of circuits, one handle each.
   std::vector<JobHandle> submit_all(std::vector<Circuit> circuits);
 
-  /// Pack every pending job into batches, dispatch them to the worker
-  /// pool, and block until all dispatched work has drained.
+  /// Pack every pending job into batches, dispatch them to the backend
+  /// lanes, and block until all dispatched work has drained.
   void flush();
 
   /// flush() then stop and join the workers. Idempotent. Further
@@ -111,8 +154,17 @@ class ExecutionService {
   void shutdown();
 
   [[nodiscard]] ServiceStats stats() const;
-  [[nodiscard]] Backend& backend() noexcept { return *backend_; }
-  [[nodiscard]] const Backend& backend() const noexcept { return *backend_; }
+  [[nodiscard]] const BackendRegistry& registry() const noexcept {
+    return fleet_;
+  }
+  [[nodiscard]] std::size_t num_backends() const noexcept {
+    return fleet_.size();
+  }
+  /// Backend by registry id; throws std::out_of_range.
+  [[nodiscard]] Backend& backend(std::size_t id = 0) { return fleet_.at(id); }
+  [[nodiscard]] const Backend& backend(std::size_t id = 0) const {
+    return fleet_.at(id);
+  }
   [[nodiscard]] const ServiceOptions& options() const noexcept {
     return options_;
   }
@@ -122,45 +174,65 @@ class ExecutionService {
  private:
   using JobPtr = std::shared_ptr<detail::JobState>;
   struct Batch {
-    std::uint64_t index = 0;
+    std::uint64_t index = 0;  ///< fleet-unique: per-lane ordinal * B + lane
     std::vector<JobPtr> jobs;
+  };
+  /// Per-backend execution lane: its own batch queue, condition variable
+  /// and worker threads, so devices drain concurrently without sharing
+  /// locks on the hot path.
+  struct Lane {
+    Lane(std::shared_ptr<Backend> b, int lane_id)
+        : backend(std::move(b)), id(lane_id) {}
+    std::shared_ptr<Backend> backend;
+    int id = 0;
+    std::mutex mutex;  ///< guards queue / stop / execution-side counters
+    std::condition_variable cv;
+    std::deque<Batch> queue;
+    bool stop = false;
+    std::uint64_t next_ordinal = 0;  ///< batches dispatched (pack mutex)
+    std::uint64_t jobs_routed = 0;
+    std::uint64_t jobs_completed = 0;
+    std::uint64_t jobs_failed = 0;
+    std::uint64_t batches_executed = 0;
+    std::vector<std::thread> workers;
   };
 
   void start_workers();
-  void worker_loop();
-  /// Pack current pending jobs and enqueue the resulting batches.
-  /// Serialized by pack_mutex_.
+  void worker_loop(Lane& lane);
+  /// Pack current pending jobs through the fleet scheduler and enqueue
+  /// the planned batches onto their lanes. Serialized by pack_mutex_.
   void dispatch_pending();
-  /// `concurrency` is the batch parallelism observed at dequeue time
-  /// (in-flight + queued, capped at the pool size); it sizes the
-  /// kernel-thread budget so a lone batch keeps the whole machine.
-  void execute_batch(Batch batch, int concurrency);
+  /// `concurrency` is the fleet-wide batch parallelism observed at
+  /// dequeue time (in-flight + queued, capped at the total pool size); it
+  /// sizes the kernel-thread budget so a lone batch keeps the whole
+  /// machine while N concurrent batches cannot oversubscribe it N-fold.
+  void execute_batch(Lane& lane, Batch batch, int concurrency);
   void wait_for_drain();
 
-  std::shared_ptr<Backend> backend_;
+  BackendRegistry fleet_;
   ServiceOptions options_;
-  std::unique_ptr<Partitioner> partitioner_;  ///< drives the packer
+  std::unique_ptr<Partitioner> partitioner_;    ///< drives the packer
+  std::unique_ptr<FleetScheduler> scheduler_;  ///< guarded by pack_mutex_
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;     ///< batch queue -> workers
+  mutable std::mutex mutex_;            ///< pending queue + fleet counters
   std::condition_variable drained_cv_;  ///< outstanding == 0 -> flush()
   std::vector<JobPtr> pending_;
-  std::deque<Batch> batch_queue_;
   std::size_t outstanding_jobs_ = 0;  ///< dispatched, not yet finished
-  std::size_t active_batches_ = 0;    ///< batches currently executing
   bool accepting_ = true;  ///< false after shutdown(); submit() throws
-  bool stop_ = false;
   std::uint64_t next_job_id_ = 0;
-  std::uint64_t next_batch_index_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
   std::uint64_t batches_executed_ = 0;
   std::uint64_t spill_events_ = 0;
+  std::uint64_t cross_device_spills_ = 0;
+
+  /// Batches dispatched and not yet finished, fleet-wide (queued +
+  /// executing); sizes the kernel-thread budget without taking any lock.
+  std::atomic<std::size_t> inflight_batches_{0};
 
   std::mutex pack_mutex_;  ///< serializes pack/dispatch cycles
-  std::map<std::uint64_t, double> solo_efs_cache_;  ///< by circuit fp
 
-  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<Lane>> lanes_;  ///< one per registry backend
 };
 
 /// The one true batch pipeline (partition -> transpile-with-cache ->
@@ -173,5 +245,18 @@ class ExecutionService {
 [[nodiscard]] BatchReport run_batch_pipeline(
     Backend& backend, const std::vector<Circuit>& programs,
     const std::vector<std::string>& names, const ParallelOptions& options);
+
+/// Modeled fleet drain time for a set of finished jobs: batches are
+/// grouped by (backend id, batch index), each backend's occupancy is the
+/// sum of parallel_runtime_s over its batches (a chip runs its batches
+/// back to back), and the fleet finishes when its busiest chip does —
+/// §II-A's waiting + execution framing at fleet level. `num_backends`
+/// must cover every backend id in `handles`; handles that Failed are
+/// skipped. This is the throughput metric bench_fleet records in
+/// BENCH_fleet.json and tests/test_service.cpp pins at >= 2.5x for a
+/// 4-backend fleet.
+[[nodiscard]] double modeled_fleet_drain_s(std::span<const JobHandle> handles,
+                                           std::size_t num_backends,
+                                           const RuntimeModel& model);
 
 }  // namespace qucp

@@ -298,6 +298,8 @@ CompiledExecutable CompiledExecutable::compile(const Circuit& physical,
   CompiledExecutable exe;
   exe.lowered_ = lower_to_cx_basis(physical);
   exe.channels_ = compile_ops(exe.lowered_, matrices);
+  exe.fused_compacted_ = std::make_shared<const CompiledProgram>(
+      CompiledProgram::compile(exe.lowered_.compacted()));
   return exe;
 }
 

@@ -98,7 +98,11 @@ class CompiledProgram {
 /// basis once, with per-op kernels precompiled and aligned 1:1 with
 /// `lowered.ops()` (non-unitary positions hold placeholder entries).
 /// Replay is gate by gate — no fusion — so interleaved noise channels see
-/// exactly the state they saw before compilation existed.
+/// exactly the state they saw before compilation existed. The fused
+/// compilation of the compacted lowered circuit rides along for the
+/// executor's noiseless fast path (gate_noise and idle_noise both off),
+/// so a cached executable answers both replay styles without per-call
+/// recompaction.
 class CompiledExecutable {
  public:
   [[nodiscard]] static CompiledExecutable compile(
@@ -108,10 +112,16 @@ class CompiledExecutable {
   [[nodiscard]] const std::vector<FusedOp>& channels() const noexcept {
     return channels_;
   }
+  /// Fused kernel stream of lowered().compacted() — active qubit i of the
+  /// lowered circuit is local bit i, the executor's partition mapping.
+  [[nodiscard]] const CompiledProgram& fused_compacted() const noexcept {
+    return *fused_compacted_;
+  }
 
  private:
   Circuit lowered_;
   std::vector<FusedOp> channels_;
+  std::shared_ptr<const CompiledProgram> fused_compacted_;
 };
 
 /// Per-op (unfused) kernel compilation for an arbitrary circuit: entry i

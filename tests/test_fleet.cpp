@@ -1,0 +1,367 @@
+// Tests for the fleet layer (service/fleet.hpp + service/registry.hpp):
+// BackendRegistry construction, routing policies, the generalized fleet
+// packer (accounting exactness, cross-device spill, determinism) and its
+// single-slot equivalence with pack_batches.
+
+#include "service/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "benchmarks/suite.hpp"
+#include "common/rng.hpp"
+#include "service/packer.hpp"
+
+namespace qucp {
+namespace {
+
+PackJob make_job(std::size_t index, ProgramShape shape,
+                 std::uint64_t fingerprint, bool exclusive = false) {
+  return {index, shape, fingerprint, exclusive};
+}
+
+/// Slots + per-slot caches with stable addresses.
+struct TestFleet {
+  explicit TestFleet(std::vector<Device> devs) : devices(std::move(devs)) {
+    caches.resize(devices.size());
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      slots.push_back({&devices[i], nullptr, &caches[i]});
+    }
+  }
+  std::vector<Device> devices;
+  std::vector<std::map<std::uint64_t, double>> caches;
+  std::vector<FleetSlot> slots;
+};
+
+TEST(BackendRegistry, ConstructionAndLookup) {
+  BackendRegistry registry(
+      std::vector<Device>{make_toronto27(), make_manhattan65()});
+  ASSERT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.at(0).device().name(), "ibmq_toronto27");
+  EXPECT_EQ(registry.at(1).device().name(), "ibmq_manhattan65");
+  EXPECT_EQ(registry.find("ibmq_manhattan65"), std::optional<std::size_t>{1});
+  EXPECT_EQ(registry.find("nope"), std::nullopt);
+  EXPECT_THROW((void)registry.at(2), std::out_of_range);
+
+  const std::size_t id = registry.add(make_line_device(5));
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(registry.share(2)->device().num_qubits(), 5);
+
+  EXPECT_THROW(
+      BackendRegistry(std::vector<std::shared_ptr<Backend>>{nullptr}),
+      std::invalid_argument);
+
+  // One Backend = one device endpoint: aliasing the same object into two
+  // lanes is rejected.
+  auto shared = std::make_shared<Backend>(make_line_device(5));
+  BackendRegistry aliased;
+  aliased.add(shared);
+  EXPECT_THROW(aliased.add(shared), std::invalid_argument);
+  EXPECT_THROW(
+      BackendRegistry(
+          std::vector<std::shared_ptr<Backend>>{shared, shared}),
+      std::invalid_argument);
+}
+
+TEST(MakeNamedDevice, ResolvesBundledNamesAndRejectsUnknown) {
+  EXPECT_EQ(make_named_device("toronto27").name(), "ibmq_toronto27");
+  EXPECT_EQ(make_named_device("ibmq_manhattan65").num_qubits(), 65);
+  EXPECT_EQ(make_named_device("melbourne16").num_qubits(), 15);
+  EXPECT_THROW((void)make_named_device("osaka127"), std::invalid_argument);
+}
+
+TEST(RoutingPolicy, FactoryNamesMatch) {
+  for (const RoutePolicy p : {RoutePolicy::RoundRobin,
+                              RoutePolicy::LeastLoaded,
+                              RoutePolicy::BestEfs}) {
+    EXPECT_EQ(make_routing_policy(p)->name(), route_policy_name(p));
+  }
+}
+
+TEST(PackFleet, SingleSlotMatchesPackBatchesExactly) {
+  // The engine's one-slot instantiation must reproduce pack_batches
+  // decision for decision: batches, unplaceable set, spill-event count and
+  // solo-EFS cache fills, over randomized job streams (including shapes
+  // larger than the device and exclusive jobs).
+  const Device device = make_line_device(10);
+  const QucpPartitioner partitioner;
+  Rng rng(515);
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<PackJob> jobs;
+    const int n = static_cast<int>(rng.integer(1, 14));
+    for (int i = 0; i < n; ++i) {
+      ProgramShape s;
+      s.num_qubits = static_cast<int>(rng.integer(1, 12));
+      s.num_2q = s.num_qubits >= 2 ? static_cast<int>(rng.integer(0, 9)) : 0;
+      s.num_1q = static_cast<int>(rng.integer(0, 9));
+      jobs.push_back(make_job(static_cast<std::size_t>(i), s, rng.next_u64(),
+                              rng.bernoulli(0.2)));
+    }
+    PackOptions opts;
+    opts.max_batch_size = static_cast<int>(rng.integer(1, 4));
+    if (rng.bernoulli(0.5)) opts.efs_threshold = rng.uniform(0.0, 0.4);
+
+    std::map<std::uint64_t, double> cache_batches;
+    const PackResult expected =
+        pack_batches(device, jobs, partitioner, opts, cache_batches);
+
+    std::map<std::uint64_t, double> cache_fleet;
+    const FleetSlot slot{&device, nullptr, &cache_fleet};
+    const FleetPlan plan =
+        pack_fleet(std::span<const FleetSlot>(&slot, 1), jobs, partitioner,
+                   opts, nullptr);
+
+    ASSERT_EQ(plan.batches.size(), 1u) << trial;
+    ASSERT_EQ(plan.batches[0].size(), expected.batches.size()) << trial;
+    for (std::size_t b = 0; b < expected.batches.size(); ++b) {
+      EXPECT_EQ(plan.batches[0][b].jobs, expected.batches[b].jobs)
+          << trial << " batch " << b;
+    }
+    EXPECT_EQ(plan.unplaceable, expected.unplaceable) << trial;
+    EXPECT_EQ(plan.spill_events, expected.spill_events) << trial;
+    EXPECT_EQ(plan.cross_device_spills, 0u) << trial;
+    EXPECT_EQ(cache_fleet, cache_batches) << trial;
+  }
+}
+
+TEST(PackFleet, AccountingIsExactAcrossSlotsAndPolicies) {
+  // Property: every job lands in exactly one batch on exactly one slot, or
+  // in unplaceable — under every policy, no matter how spills interleave.
+  Rng rng(2024);
+  for (const RoutePolicy policy_kind : {RoutePolicy::RoundRobin,
+                                        RoutePolicy::LeastLoaded,
+                                        RoutePolicy::BestEfs}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      TestFleet fleet({make_line_device(10, 3), make_grid_device(3, 3, 4)});
+      const QucpPartitioner partitioner;
+      std::vector<PackJob> jobs;
+      const int n = static_cast<int>(rng.integer(1, 12));
+      for (int i = 0; i < n; ++i) {
+        ProgramShape s;
+        s.num_qubits = static_cast<int>(rng.integer(1, 12));
+        s.num_2q = s.num_qubits >= 2 ? static_cast<int>(rng.integer(0, 9)) : 0;
+        s.num_1q = static_cast<int>(rng.integer(0, 9));
+        jobs.push_back(make_job(static_cast<std::size_t>(i), s, rng.next_u64(),
+                                rng.bernoulli(0.2)));
+      }
+      PackOptions opts;
+      opts.max_batch_size = static_cast<int>(rng.integer(1, 4));
+      const auto policy = make_routing_policy(policy_kind);
+      const FleetPlan plan =
+          pack_fleet(fleet.slots, jobs, partitioner, opts, policy.get());
+
+      std::vector<std::size_t> seen;
+      for (const auto& slot_batches : plan.batches) {
+        for (const PackedBatch& batch : slot_batches) {
+          EXPECT_FALSE(batch.jobs.empty());
+          EXPECT_LE(batch.jobs.size(),
+                    static_cast<std::size_t>(opts.max_batch_size));
+          EXPECT_TRUE(std::is_sorted(batch.jobs.begin(), batch.jobs.end()));
+          seen.insert(seen.end(), batch.jobs.begin(), batch.jobs.end());
+        }
+      }
+      seen.insert(seen.end(), plan.unplaceable.begin(),
+                  plan.unplaceable.end());
+      std::sort(seen.begin(), seen.end());
+      std::vector<std::size_t> expected(jobs.size());
+      for (std::size_t i = 0; i < jobs.size(); ++i) expected[i] = i;
+      EXPECT_EQ(seen, expected)
+          << route_policy_name(policy_kind) << " trial " << trial;
+    }
+  }
+}
+
+TEST(PackFleet, PlansAreDeterministic) {
+  // Same fleet, same jobs, fresh policy: identical plan every time.
+  for (const RoutePolicy policy_kind : {RoutePolicy::RoundRobin,
+                                        RoutePolicy::LeastLoaded,
+                                        RoutePolicy::BestEfs}) {
+    const QucpPartitioner partitioner;
+    std::vector<PackJob> jobs;
+    for (std::size_t i = 0; i < 9; ++i) {
+      jobs.push_back(make_job(i, {2 + static_cast<int>(i % 4), 3, 4}, 100 + i));
+    }
+    auto run = [&] {
+      TestFleet fleet({make_toronto27(), make_manhattan65()});
+      const auto policy = make_routing_policy(policy_kind);
+      return pack_fleet(fleet.slots, jobs, partitioner, PackOptions{},
+                        policy.get());
+    };
+    const FleetPlan a = run();
+    const FleetPlan b = run();
+    ASSERT_EQ(a.batches.size(), b.batches.size());
+    for (std::size_t s = 0; s < a.batches.size(); ++s) {
+      ASSERT_EQ(a.batches[s].size(), b.batches[s].size());
+      for (std::size_t i = 0; i < a.batches[s].size(); ++i) {
+        EXPECT_EQ(a.batches[s][i].jobs, b.batches[s][i].jobs);
+      }
+    }
+    EXPECT_EQ(a.unplaceable, b.unplaceable);
+    EXPECT_EQ(a.spill_events, b.spill_events);
+    EXPECT_EQ(a.cross_device_spills, b.cross_device_spills);
+  }
+}
+
+TEST(PackFleet, RoundRobinSpreadsIdenticalJobsAcrossSlots) {
+  TestFleet fleet({make_line_device(8, 3), make_line_device(8, 3)});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    jobs.push_back(make_job(i, {2, 1, 2}, 500 + i));
+  }
+  RoundRobinPolicy policy;
+  PackOptions opts;
+  opts.max_batch_size = 2;
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, opts, &policy);
+  std::size_t per_slot[2] = {0, 0};
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (const PackedBatch& batch : plan.batches[s]) {
+      per_slot[s] += batch.jobs.size();
+    }
+  }
+  EXPECT_EQ(per_slot[0], 4u);
+  EXPECT_EQ(per_slot[1], 4u);
+  EXPECT_TRUE(plan.unplaceable.empty());
+}
+
+TEST(PackFleet, LeastLoadedBalancesQubitLoad) {
+  // 4 wide jobs + 4 narrow jobs: qubit-weighted load accounting should
+  // keep the two identical devices near-even instead of job-count-even.
+  TestFleet fleet({make_line_device(12, 3), make_line_device(12, 3)});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    jobs.push_back(make_job(i, {4, 4, 4}, 900 + i));
+  }
+  for (std::size_t i = 4; i < 8; ++i) {
+    jobs.push_back(make_job(i, {2, 1, 2}, 900 + i));
+  }
+  LeastLoadedPolicy policy;
+  PackOptions opts;
+  opts.max_batch_size = 2;
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, opts, &policy);
+  std::uint64_t load[2] = {0, 0};
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (const PackedBatch& batch : plan.batches[s]) {
+      for (std::size_t idx : batch.jobs) {
+        load[s] += static_cast<std::uint64_t>(jobs[idx].shape.num_qubits);
+      }
+    }
+  }
+  EXPECT_TRUE(plan.unplaceable.empty());
+  EXPECT_EQ(load[0] + load[1], 24u);
+  EXPECT_LE(load[0] > load[1] ? load[0] - load[1] : load[1] - load[0], 4u);
+}
+
+TEST(PackFleet, BestEfsRoutesEveryJobToItsLowestErrorDevice) {
+  // With room for everything, BestEfs must put each job on the device
+  // where its best solo EFS is smallest — checked against direct
+  // solo_efs_score() probes on both devices.
+  TestFleet fleet({make_toronto27(), make_manhattan65()});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  std::vector<ProgramShape> shapes;
+  for (const char* name : {"bell", "lin", "adder", "alu", "qec", "var"}) {
+    const ProgramShape shape = shape_of(get_benchmark(name).circuit);
+    shapes.push_back(shape);
+    jobs.push_back(make_job(jobs.size(), shape,
+                            circuit_fingerprint(get_benchmark(name).circuit)));
+  }
+  BestEfsPolicy policy;
+  PackOptions opts;
+  opts.max_batch_size = 0;  // unbounded: nothing spills for capacity
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, opts, &policy);
+  ASSERT_TRUE(plan.unplaceable.empty());
+
+  std::vector<int> slot_of(jobs.size(), -1);
+  for (std::size_t s = 0; s < plan.batches.size(); ++s) {
+    for (const PackedBatch& batch : plan.batches[s]) {
+      for (std::size_t idx : batch.jobs) slot_of[idx] = static_cast<int>(s);
+    }
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto on_toronto =
+        solo_efs_score(fleet.devices[0], partitioner, shapes[i]);
+    const auto on_manhattan =
+        solo_efs_score(fleet.devices[1], partitioner, shapes[i]);
+    ASSERT_TRUE(on_toronto && on_manhattan) << i;
+    const int expected = *on_toronto <= *on_manhattan ? 0 : 1;
+    EXPECT_EQ(slot_of[i], expected)
+        << "job " << i << " toronto=" << *on_toronto
+        << " manhattan=" << *on_manhattan;
+  }
+}
+
+TEST(PackFleet, BestEfsExcludesDevicesTheJobCannotFitOn) {
+  // A 5-qubit job next to a 4-qubit device: BestEfs must route it to the
+  // big device even when the small one scores better for tiny jobs, and a
+  // job that fits nowhere is unplaceable.
+  TestFleet fleet({make_line_device(4, 3), make_grid_device(3, 3, 4)});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  jobs.push_back(make_job(0, {5, 4, 4}, 1));   // only fits the grid
+  jobs.push_back(make_job(1, {2, 1, 1}, 2));   // fits both
+  jobs.push_back(make_job(2, {12, 6, 6}, 3));  // fits neither
+  BestEfsPolicy policy;
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, PackOptions{}, &policy);
+  EXPECT_EQ(plan.unplaceable, (std::vector<std::size_t>{2}));
+  bool wide_on_grid = false;
+  for (const PackedBatch& batch : plan.batches[1]) {
+    wide_on_grid |= std::count(batch.jobs.begin(), batch.jobs.end(), 0u) > 0;
+  }
+  EXPECT_TRUE(wide_on_grid);
+}
+
+TEST(PackFleet, ThresholdSpillsCrossDeviceBeforeDeferring) {
+  // tau = 0 (§IV-B: no EFS degradation allowed) on two IDENTICAL devices:
+  // BestEfs scores tie, so both copies of a job prefer slot 0. The second
+  // copy cannot join the first copy's batch (co-location on an 8-qubit
+  // line forces adjacent partitions, i.e. crosstalk EFS degradation), but
+  // it CAN open the other device's empty batch in the same round — a
+  // cross-device spill instead of a deferred batch.
+  TestFleet fleet({make_line_device(8, 3), make_line_device(8, 3)});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    jobs.push_back(make_job(i, {4, 6, 4}, 77));  // same circuit fingerprint
+  }
+  BestEfsPolicy policy;
+  PackOptions opts;
+  opts.efs_threshold = 0.0;
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, opts, &policy);
+  // One batch per device, one job each, in a single round.
+  ASSERT_EQ(plan.batches[0].size(), 1u);
+  ASSERT_EQ(plan.batches[1].size(), 1u);
+  EXPECT_EQ(plan.batches[0][0].jobs, (std::vector<std::size_t>{0}));
+  EXPECT_EQ(plan.batches[1][0].jobs, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(plan.unplaceable.empty());
+  EXPECT_GE(plan.spill_events, 1u);
+  EXPECT_EQ(plan.cross_device_spills, 1u);
+}
+
+TEST(FleetScheduler, SingleBackendBypassesPolicy) {
+  BackendRegistry single(std::vector<Device>{make_toronto27()});
+  FleetScheduler scheduler(single, RoutePolicy::BestEfs);
+  EXPECT_EQ(scheduler.policy(), nullptr);
+
+  BackendRegistry pair(
+      std::vector<Device>{make_toronto27(), make_manhattan65()});
+  FleetScheduler fleet_scheduler(pair, RoutePolicy::BestEfs);
+  ASSERT_NE(fleet_scheduler.policy(), nullptr);
+  EXPECT_EQ(fleet_scheduler.policy()->name(), "BestEfs");
+
+  const BackendRegistry empty;
+  EXPECT_THROW(FleetScheduler(empty, RoutePolicy::RoundRobin),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qucp

@@ -218,6 +218,49 @@ TEST(FusionGolden, ExecutorDistributionsAndCountsBitIdenticalWithCache) {
   }
 }
 
+TEST(FusionGolden, NoiselessExecutorFusedStreamMatchesPerOpReplay) {
+  // ROADMAP (f): with gate_noise and idle_noise both off, the executor
+  // consumes the fused CompiledProgram stream instead of replaying per-op
+  // channels. The distributions must agree with the per-op walk
+  // (fuse_noiseless = false) to <= 1e-10 on every bundled topology —
+  // through the backend caches and without them, readout noise on and off
+  // — and the schedule-derived reporting must not move at all.
+  std::uint64_t seed = 1300;
+  for (const Device& device : bundled_devices()) {
+    Backend backend(device);
+    Rng rng(seed++);
+    const Circuit c = random_physical_circuit(device, rng, 4, 40);
+    std::vector<PhysicalProgram> progs;
+    progs.push_back({c, "noiseless"});
+    for (const bool readout : {true, false}) {
+      ExecOptions fused_opts;
+      fused_opts.shots = 128;
+      fused_opts.gate_noise = false;
+      fused_opts.idle_noise = false;
+      fused_opts.readout_noise = readout;
+      ExecOptions per_op_opts = fused_opts;
+      per_op_opts.fuse_noiseless = false;
+      // Twice through the backend: the second run replays the cached
+      // fused program.
+      const ParallelRunReport fused = backend.execute(progs, fused_opts);
+      const ParallelRunReport fused2 = backend.execute(progs, fused_opts);
+      const ParallelRunReport per_op =
+          execute_parallel(device, progs, per_op_opts);
+      for (const ParallelRunReport* run : {&fused, &fused2}) {
+        EXPECT_LT(dist_diff(run->programs[0].distribution,
+                            per_op.programs[0].distribution),
+                  kTol)
+            << device.name() << " readout=" << readout;
+        EXPECT_DOUBLE_EQ(run->makespan_ns, per_op.makespan_ns)
+            << device.name();
+        EXPECT_EQ(run->crosstalk_events, per_op.crosstalk_events)
+            << device.name();
+      }
+      EXPECT_EQ(fused.programs[0].counts.total(), 128);
+    }
+  }
+}
+
 TEST(FusionGolden, CompiledChannelBitIdenticalToApplyUnitary) {
   // apply_compiled must be the same arithmetic as apply_unitary — the
   // superket compilation is hoisted, not altered — so the executor's

@@ -9,11 +9,16 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "circuit/optimize.hpp"
 #include "circuit/qasm.hpp"
 #include "common/rng.hpp"
 #include "mapping/transpiler.hpp"
 #include "partition/candidates.hpp"
+#include "service/service.hpp"
 #include "sim/density.hpp"
 #include "sim/executor.hpp"
 #include "sim/statevector.hpp"
@@ -138,6 +143,56 @@ TEST_P(FuzzSeeds, ExecutorDistributionIsNormalized) {
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
   EXPECT_EQ(out.counts.total(), 64);
+}
+
+TEST_P(FuzzSeeds, FleetSchedulerDeterministicUnderSubmissionInterleaving) {
+  // Randomized fleet-scheduler property (the fleet extension of the
+  // service determinism contract): a random job set submitted to a
+  // heterogeneous 2-backend fleet in a random permutation must produce
+  // identical per-job results and identical per-backend batch assignments
+  // as the in-order submission — routing, packing and seeds all derive
+  // from the canonical order, never from arrival order.
+  Rng rng(9000 + GetParam());
+  std::vector<Circuit> jobs;
+  const int n = 4 + static_cast<int>(rng.index(5));  // 4..8 jobs
+  for (int i = 0; i < n; ++i) {
+    const int width = 2 + static_cast<int>(rng.index(3));  // 2..4 qubits
+    jobs.push_back(random_circuit(width, 12, rng, true));
+  }
+  auto run = [&](const std::vector<std::size_t>& order) {
+    ServiceOptions opts;
+    opts.exec.shots = 64;
+    opts.num_workers = 2;
+    opts.max_batch_size = 3;
+    opts.route_policy = RoutePolicy::LeastLoaded;
+    BackendRegistry fleet(std::vector<Device>{
+        make_line_device(8, 21), make_grid_device(3, 3, 22)});
+    ExecutionService service(std::move(fleet), opts);
+    std::vector<JobHandle> handles(jobs.size());
+    for (std::size_t pos : order) {
+      JobOptions jopts;
+      jopts.name = "fuzz" + std::to_string(pos);
+      handles[pos] = service.submit(jobs[pos], jopts);
+    }
+    service.flush();
+    // (backend, batch, counts) digest per job, in job-id order.
+    std::vector<std::tuple<int, std::uint64_t, std::vector<Counts::Entry>>>
+        digest;
+    for (const JobHandle& h : handles) {
+      const JobResult& r = h.result();
+      digest.emplace_back(r.batch.backend_id, r.batch.batch_index,
+                          r.report.counts.data());
+    }
+    return digest;
+  };
+
+  std::vector<std::size_t> in_order(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) in_order[i] = i;
+  std::vector<std::size_t> shuffled = in_order;
+  for (std::size_t i = shuffled.size(); i > 1; --i) {
+    std::swap(shuffled[i - 1], shuffled[rng.index(i)]);
+  }
+  EXPECT_EQ(run(in_order), run(shuffled));
 }
 
 TEST_P(FuzzSeeds, InverseCircuitComposesToIdentity) {

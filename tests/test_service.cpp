@@ -9,9 +9,12 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <memory>
 #include <thread>
+#include <utility>
 
 #include "benchmarks/suite.hpp"
+#include "core/runtime.hpp"
 
 namespace qucp {
 namespace {
@@ -31,12 +34,16 @@ ServiceOptions fast_service_options() {
   return opts;
 }
 
-/// Comparable digest of one job's outcome.
+/// Comparable digest of one job's outcome, including where it ran: the
+/// determinism contract covers routing decisions and per-backend batch
+/// assignments, not just per-job results.
 struct Outcome {
   std::vector<int> partition;
   std::vector<Counts::Entry> counts;
   double pst = 0.0;
   double jsd = 0.0;
+  int backend_id = 0;
+  std::uint64_t batch_index = 0;
 
   [[nodiscard]] bool operator==(const Outcome& other) const = default;
 };
@@ -44,7 +51,7 @@ struct Outcome {
 Outcome outcome_of(const JobHandle& handle) {
   const JobResult& r = handle.result();
   return {r.report.partition, r.report.counts.data(), r.report.pst_value,
-          r.report.jsd_value};
+          r.report.jsd_value,  r.batch.backend_id,   r.batch.batch_index};
 }
 
 /// Submit `n` jobs with unique names "job<i>" and return name -> outcome.
@@ -450,6 +457,187 @@ TEST(Packer, SingleBatchModeNeverSplits) {
   const PackResult packed = pack_batches(d, jobs, partitioner, opts, cache);
   ASSERT_EQ(packed.batches.size(), 1u);
   EXPECT_EQ(packed.batches[0].jobs.size(), 3u);
+}
+
+TEST(FleetService, DrainsAcrossBackendsWithPerBackendBreakdown) {
+  // Two-backend fleet with load balancing: every job completes, both
+  // lanes execute batches, and the per-backend stats breakdown sums to
+  // the service-wide totals.
+  ServiceOptions opts = fast_service_options();
+  opts.route_policy = RoutePolicy::LeastLoaded;
+  BackendRegistry fleet(
+      std::vector<Device>{make_toronto27(), make_toronto27()});
+  ExecutionService service(std::move(fleet), opts);
+  const auto outcomes = run_jobs(service, 24, 1);
+  ASSERT_EQ(outcomes.size(), 24u);
+
+  std::size_t per_backend[2] = {0, 0};
+  for (const auto& [name, out] : outcomes) {
+    ASSERT_TRUE(out.backend_id == 0 || out.backend_id == 1) << name;
+    ++per_backend[out.backend_id];
+  }
+  EXPECT_GT(per_backend[0], 0u);
+  EXPECT_GT(per_backend[1], 0u);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_completed, 24u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  ASSERT_EQ(stats.backends.size(), 2u);
+  std::uint64_t sum_completed = 0;
+  std::uint64_t sum_batches = 0;
+  std::uint64_t sum_hits = 0;
+  for (const BackendStats& bs : stats.backends) {
+    EXPECT_EQ(bs.device, "ibmq_toronto27");
+    EXPECT_EQ(bs.jobs_routed, bs.jobs_completed + bs.jobs_failed);
+    EXPECT_GT(bs.batches_executed, 0u);
+    sum_completed += bs.jobs_completed;
+    sum_batches += bs.batches_executed;
+    sum_hits += bs.transpile_cache.hits;
+  }
+  EXPECT_EQ(sum_completed, stats.jobs_completed);
+  EXPECT_EQ(sum_batches, stats.batches_executed);
+  EXPECT_EQ(sum_hits, stats.transpile_cache.hits);
+  EXPECT_EQ(per_backend[0],
+            static_cast<std::size_t>(stats.backends[0].jobs_completed));
+}
+
+TEST(FleetService, DeterministicAcrossSubmissionInterleavings) {
+  // The fleet extension of the single-backend determinism contract: on a
+  // heterogeneous 2-backend fleet, the same 24 jobs submitted serially,
+  // in reverse, and from 4 racing threads must give every handle the
+  // identical result — same counts, same routing (backend id) and same
+  // per-backend batch assignment (batch index).
+  auto fleet_service = [] {
+    ServiceOptions opts = fast_service_options();
+    opts.route_policy = RoutePolicy::LeastLoaded;
+    return std::make_unique<ExecutionService>(
+        BackendRegistry(
+            std::vector<Device>{make_toronto27(), make_manhattan65()}),
+        opts);
+  };
+  auto serial = fleet_service();
+  const auto base = run_jobs(*serial, 24, 1);
+  bool multiple_backends = false;
+  for (const auto& [name, out] : base) {
+    multiple_backends |= out.backend_id != base.begin()->second.backend_id;
+  }
+  EXPECT_TRUE(multiple_backends);
+
+  auto reversed = fleet_service();
+  EXPECT_EQ(run_jobs(*reversed, 24, 1, /*reversed=*/true), base);
+
+  auto threaded = fleet_service();
+  EXPECT_EQ(run_jobs(*threaded, 24, 4), base);
+}
+
+TEST(FleetService, BestEfsRoutesEveryJobToItsLowestErrorDevice) {
+  // Acceptance pin: with BestEfs routing and no capacity pressure, every
+  // job must execute on the device where its solo EFS is lowest —
+  // checked against direct solo_efs_score probes with the same
+  // partitioner configuration the service uses.
+  ServiceOptions opts = fast_service_options();
+  opts.route_policy = RoutePolicy::BestEfs;
+  opts.max_batch_size = 0;  // unbounded: fullness never overrides routing
+  const Device toronto = make_toronto27();
+  const Device manhattan = make_manhattan65();
+  BackendRegistry fleet(
+      std::vector<Device>{make_toronto27(), make_manhattan65()});
+  ExecutionService service(std::move(fleet), opts);
+
+  std::vector<JobHandle> handles;
+  std::vector<ProgramShape> shapes;
+  for (const char* name : {"bell", "lin", "adder", "alu", "qec", "var"}) {
+    const Circuit& c = get_benchmark(name).circuit;
+    shapes.push_back(shape_of(c));
+    JobOptions jopts;
+    jopts.name = name;
+    handles.push_back(service.submit(c, jopts));
+  }
+  service.flush();
+
+  const QucpPartitioner partitioner(service.options().sigma);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const auto on_toronto = solo_efs_score(toronto, partitioner, shapes[i]);
+    const auto on_manhattan =
+        solo_efs_score(manhattan, partitioner, shapes[i]);
+    ASSERT_TRUE(on_toronto && on_manhattan) << handles[i].name();
+    const int expected = *on_toronto <= *on_manhattan ? 0 : 1;
+    EXPECT_EQ(handles[i].result().batch.backend_id, expected)
+        << handles[i].name() << " toronto=" << *on_toronto
+        << " manhattan=" << *on_manhattan;
+  }
+}
+
+TEST(FleetService, FourBackendFleetDrainsAtLeast2p5xFaster) {
+  // Acceptance: a 4-backend fleet drains a 64-job queue with >= 2.5x the
+  // throughput of the single-backend service on the same job stream,
+  // measured as modeled device occupancy (each chip runs its batches
+  // back to back; the fleet finishes when its busiest chip does).
+  RuntimeModel model;
+  model.shots = 4096;
+  model.queue_depth = 5;
+  auto modeled_drain_s = [&](std::size_t num_backends) {
+    ServiceOptions opts = fast_service_options();
+    opts.exec.shots = 64;
+    opts.route_policy = RoutePolicy::LeastLoaded;
+    std::vector<Device> devices;
+    for (std::size_t i = 0; i < num_backends; ++i) {
+      devices.push_back(make_toronto27());
+    }
+    ExecutionService service(BackendRegistry(std::move(devices)), opts);
+    std::vector<JobHandle> handles;
+    for (int i = 0; i < 64; ++i) {
+      JobOptions jopts;
+      jopts.name = "job" + std::to_string(i);
+      handles.push_back(service.submit(mix_circuit(i), jopts));
+    }
+    service.flush();
+    return modeled_fleet_drain_s(handles, num_backends, model);
+  };
+  const double single = modeled_drain_s(1);
+  const double fleet = modeled_drain_s(4);
+  EXPECT_GE(single / fleet, 2.5) << "single=" << single << " fleet=" << fleet;
+}
+
+TEST(FleetService, UnplaceableOnEveryDeviceFailsWithFleetMessage) {
+  ServiceOptions opts = fast_service_options();
+  opts.route_policy = RoutePolicy::BestEfs;
+  BackendRegistry fleet(
+      std::vector<Device>{make_line_device(4), make_line_device(4, 11)});
+  ExecutionService service(std::move(fleet), opts);
+  const JobHandle big =
+      service.submit(get_benchmark("alu").circuit);  // 5 qubits > both
+  const JobHandle small = service.submit(get_benchmark("bell").circuit);
+  service.flush();
+  EXPECT_EQ(big.status(), JobStatus::Failed);
+  EXPECT_NE(big.error().find("does not fit on any of the 2 fleet devices"),
+            std::string::npos);
+  EXPECT_EQ(small.status(), JobStatus::Done);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+}
+
+TEST(FleetService, ExclusiveJobRunsAloneOnSomeBackend) {
+  ServiceOptions opts = fast_service_options();
+  opts.route_policy = RoutePolicy::LeastLoaded;
+  BackendRegistry fleet(
+      std::vector<Device>{make_toronto27(), make_toronto27()});
+  ExecutionService service(std::move(fleet), opts);
+  JobOptions exclusive;
+  exclusive.name = "solo";
+  exclusive.exclusive = true;
+  const JobHandle solo =
+      service.submit(get_benchmark("adder").circuit, exclusive);
+  std::vector<JobHandle> rest;
+  for (int i = 0; i < 3; ++i) {
+    rest.push_back(service.submit(get_benchmark("bell").circuit));
+  }
+  service.flush();
+  EXPECT_EQ(solo.result().batch.batch_size, 1u);
+  for (const JobHandle& h : rest) {
+    EXPECT_EQ(h.status(), JobStatus::Done);
+  }
 }
 
 TEST(Backend, TranspileCacheHitsAndEviction) {
