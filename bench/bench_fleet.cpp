@@ -10,11 +10,22 @@
 //             matters on real clouds, where chips are the scarce resource
 //             (this box's wall clock measures simulator cores instead;
 //             it is reported alongside for reference).
-//   policy  — RoundRobin vs LeastLoaded vs BestEfs on a heterogeneous
-//             toronto27 + manhattan65 fleet: jobs routed per device,
-//             cross-device spills, fidelity (avg PST) and modeled drain.
+//   policy  — RoundRobin / LeastLoaded / BestEfs / ExpectedLatency on a
+//             heterogeneous toronto27 + manhattan65 fleet: jobs routed per
+//             device, cross-device spills, fidelity (avg PST), modeled
+//             drain, and per-job route divergence vs LeastLoaded. Two
+//             streams: the uniform benchmark mix (3-5 qubit circuits, so
+//             near-uniform load leaves policies little to disagree about
+//             — equal routed *totals* there are expected, and the
+//             divergence count is what shows whether the per-job maps
+//             differ), and a width-skewed GHZ stream (2..16 qubits) where
+//             load imbalance, batch-fit limits on the 27-qubit chip and
+//             calibration differences actually separate the policies.
+//             (The scaling section above routes over N identical
+//             toronto27s, where every sane policy is equivalent by
+//             symmetry — that sweep pins throughput, not routing.)
 //
-// Writes BENCH_fleet.json (schema qucp-bench-fleet-v1, shared meta block)
+// Writes BENCH_fleet.json (schema qucp-bench-fleet-v2, shared meta block)
 // so the 1->4-device scaling trajectory is pinned across PRs like the
 // kernel/allocator/fusion artifacts; CI runs it in smoke mode. The
 // acceptance bar (4 backends >= 2.5x single-backend throughput on the
@@ -62,21 +73,57 @@ std::vector<JobHandle> submit_queue(ExecutionService& service, int jobs) {
   return handles;
 }
 
+// Width-skewed stream: GHZ chains cycling 2..12 qubits (the noisy
+// executor's density-matrix cap), weighted toward small. The 10-12 qubit
+// jobs cannot co-run 3+ wide on toronto27 (27 qubits), LeastLoaded's
+// qubit-weighted load actually varies 6x, and the two chips' calibrations
+// price the wide chains differently — the three levers that make routing
+// policies disagree per job.
+constexpr int kSkewWidths[] = {2, 3, 4, 4, 6, 8, 10, 12};
+
+std::vector<JobHandle> submit_skewed_queue(ExecutionService& service,
+                                           int jobs) {
+  std::vector<JobHandle> handles;
+  handles.reserve(static_cast<std::size_t>(jobs));
+  for (int i = 0; i < jobs; ++i) {
+    const int width = kSkewWidths[i % std::size(kSkewWidths)];
+    Circuit ghz(width, width,
+                "ghz" + std::to_string(width) + "#" + std::to_string(i));
+    ghz.h(0);
+    for (int q = 1; q < width; ++q) ghz.cx(q - 1, q);
+    ghz.measure_all();
+    handles.push_back(service.submit(std::move(ghz)));
+  }
+  return handles;
+}
+
 struct DrainResult {
+  std::string scenario = "scaling";
   std::size_t backends = 0;
   std::string policy;
   int jobs = 0;
   std::uint64_t batches = 0;
   std::uint64_t cross_device_spills = 0;
   std::vector<std::uint64_t> routed;  ///< jobs per backend
+  /// Backend id per submitted job (submission order; -1 = failed) — the
+  /// actual routing map, so policies with equal routed totals can still be
+  /// told apart per job.
+  std::vector<int> job_backend;
+  /// Jobs this policy routed to a different backend than LeastLoaded did
+  /// on the identical stream (the divergence count the policy table is
+  /// about; LeastLoaded rows read 0 by definition).
+  std::uint64_t diverged_vs_leastloaded = 0;
   double modeled_drain_s = 0.0;       ///< busiest chip's occupancy
   double wall_ms = 0.0;
   double avg_pst = 0.0;
   double speedup_vs_single = 1.0;
 };
 
+using SubmitFn = std::vector<JobHandle> (*)(ExecutionService&, int);
+
 DrainResult drain_queue(std::vector<Device> devices, RoutePolicy policy,
-                        int jobs, int shots) {
+                        int jobs, int shots,
+                        SubmitFn submit = submit_queue) {
   RuntimeModel model;
   model.shots = 4096;
   model.queue_depth = 5;
@@ -94,7 +141,7 @@ DrainResult drain_queue(std::vector<Device> devices, RoutePolicy policy,
   ExecutionService service(BackendRegistry(std::move(devices)), opts);
 
   const auto t0 = std::chrono::steady_clock::now();
-  const std::vector<JobHandle> handles = submit_queue(service, jobs);
+  const std::vector<JobHandle> handles = submit(service, jobs);
   service.flush();
   const auto t1 = std::chrono::steady_clock::now();
   result.wall_ms =
@@ -103,6 +150,9 @@ DrainResult drain_queue(std::vector<Device> devices, RoutePolicy policy,
   double pst_sum = 0.0;
   for (const JobHandle& h : handles) {
     pst_sum += h.result().report.pst_value;
+    result.job_backend.push_back(h.status() == JobStatus::Done
+                                     ? h.result().batch.backend_id
+                                     : -1);
   }
   result.avg_pst = pst_sum / jobs;
   result.modeled_drain_s =
@@ -137,7 +187,7 @@ void write_json(const std::vector<DrainResult>& results) {
                  path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"schema\": \"qucp-bench-fleet-v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"qucp-bench-fleet-v2\",\n");
   bench::write_meta_json(f);
   std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
   std::fprintf(f,
@@ -147,14 +197,18 @@ void write_json(const std::vector<DrainResult>& results) {
     const DrainResult& r = results[i];
     std::fprintf(
         f,
-        "    {\"backends\": %zu, \"policy\": \"%s\", \"jobs\": %d, "
+        "    {\"scenario\": \"%s\", \"backends\": %zu, \"policy\": \"%s\", "
+        "\"jobs\": %d, "
         "\"batches\": %llu, \"routed\": \"%s\", "
-        "\"cross_device_spills\": %llu, \"modeled_drain_s\": %.3f, "
+        "\"cross_device_spills\": %llu, "
+        "\"diverged_vs_leastloaded\": %llu, \"modeled_drain_s\": %.3f, "
         "\"speedup_vs_single\": %.2f, \"avg_pst\": %.4f, "
         "\"wall_ms\": %.1f}%s\n",
-        r.backends, bench::json_escape(r.policy).c_str(), r.jobs,
+        bench::json_escape(r.scenario).c_str(), r.backends,
+        bench::json_escape(r.policy).c_str(), r.jobs,
         static_cast<unsigned long long>(r.batches), routed_str(r).c_str(),
         static_cast<unsigned long long>(r.cross_device_spills),
+        static_cast<unsigned long long>(r.diverged_vs_leastloaded),
         r.modeled_drain_s, r.speedup_vs_single, r.avg_pst, r.wall_ms,
         i + 1 == results.size() ? "" : ",");
   }
@@ -205,30 +259,66 @@ void print_fleet_tables() {
       "simulator cores, not devices — the modeled column is the cloud\n"
       "metric.\n");
 
-  bench::heading(
-      "Routing policies: toronto27 + manhattan65, same " +
-      std::to_string(jobs) + "-job queue");
-  bench::row({"policy", "routed", "x_spills", "drain_s", "avg_PST"});
-  bench::rule(5);
-  for (const RoutePolicy policy : {RoutePolicy::RoundRobin,
-                                   RoutePolicy::LeastLoaded,
-                                   RoutePolicy::BestEfs}) {
-    std::vector<Device> devices;
-    devices.push_back(make_toronto27());
-    devices.push_back(make_manhattan65());
-    DrainResult r = drain_queue(std::move(devices), policy, jobs, shots);
-    r.speedup_vs_single = single_drain / r.modeled_drain_s;
-    bench::row({r.policy, routed_str(r),
-                std::to_string(r.cross_device_spills),
-                fmt_double(r.modeled_drain_s, 1), fmt_double(r.avg_pst, 3)});
-    results.push_back(std::move(r));
+  constexpr RoutePolicy kPolicies[] = {
+      RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded, RoutePolicy::BestEfs,
+      RoutePolicy::ExpectedLatency};
+  const struct {
+    const char* name;
+    SubmitFn submit;
+    const char* heading;
+  } kScenarios[] = {
+      {"uniform", submit_queue,
+       "Routing policies: toronto27 + manhattan65, uniform benchmark mix"},
+      {"ghz_skew", submit_skewed_queue,
+       "Routing policies: toronto27 + manhattan65, width-skewed GHZ 2..12"},
+  };
+  for (const auto& scenario : kScenarios) {
+    bench::heading(scenario.heading + (" (" + std::to_string(jobs) +
+                                       " jobs)"));
+    bench::row({"policy", "routed", "x_spills", "diverged", "drain_s",
+                "avg_PST"});
+    bench::rule(6);
+    std::vector<int> leastloaded_map;
+    for (const RoutePolicy policy : kPolicies) {
+      std::vector<Device> devices;
+      devices.push_back(make_toronto27());
+      devices.push_back(make_manhattan65());
+      DrainResult r = drain_queue(std::move(devices), policy, jobs, shots,
+                                  scenario.submit);
+      r.scenario = scenario.name;
+      r.speedup_vs_single = single_drain / r.modeled_drain_s;
+      if (policy == RoutePolicy::LeastLoaded) leastloaded_map = r.job_backend;
+      results.push_back(std::move(r));
+    }
+    // Divergence vs LeastLoaded on the identical stream: equal routed
+    // totals can hide per-job disagreement, and this count is what shows
+    // it. Submission order is the comparison key (each policy run is a
+    // fresh deterministic service over the same circuits).
+    for (std::size_t i = results.size() - std::size(kPolicies);
+         i < results.size(); ++i) {
+      DrainResult& r = results[i];
+      for (std::size_t j = 0; j < r.job_backend.size(); ++j) {
+        if (r.job_backend[j] != leastloaded_map[j]) {
+          ++r.diverged_vs_leastloaded;
+        }
+      }
+      bench::row({r.policy, routed_str(r),
+                  std::to_string(r.cross_device_spills),
+                  std::to_string(r.diverged_vs_leastloaded),
+                  fmt_double(r.modeled_drain_s, 1),
+                  fmt_double(r.avg_pst, 3)});
+    }
   }
   std::printf(
       "\nBestEfs routes each job to the chip where its solo EFS is lowest\n"
       "(x_spills counts placements that followed a fit/threshold rejection\n"
       "on a preferred chip); EFS is a heuristic, so the PST column can\n"
       "move either way on a given mix while the routing itself stays\n"
-      "deterministic.\n");
+      "deterministic. 'diverged' counts jobs routed to a different chip\n"
+      "than LeastLoaded chose on the same stream: the uniform 3-5 qubit\n"
+      "mix gives policies little reason to disagree, while the GHZ width\n"
+      "skew (load imbalance, wide-batch fit limits on the 27-qubit chip,\n"
+      "calibration-dependent makespans) separates them.\n");
 
   write_json(results);
 }

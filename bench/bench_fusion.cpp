@@ -10,11 +10,20 @@
 //                dispatch, on rotation-ladder statevector and superket
 //                states (rows appear only when the native kernels are
 //                compiled in and the CPU supports them);
+//   parallel_split — ns per dense sweep at statevector sizes bracketing
+//                the parallel_for engage threshold (2 * kParallelGrain
+//                elements), 1 thread vs 2 forced threads. This is the
+//                ROADMAP (h) evidence row: on a multi-core box it shows
+//                the crossover the threshold should sit at; on a 1-core
+//                box (see meta.hw_threads) forcing 2 threads timeshares
+//                one core, so ratios <= 1 are expected and the threshold
+//                is left alone.
 //
 // Writes BENCH_fusion.json (schema qucp-bench-fusion-v1, meta block with
-// compiler/flags/CPU features) so the fusion trajectory is pinned across
-// PRs like BENCH_kernels.json and BENCH_allocator.json; CI runs it in
-// smoke mode. Fused-vs-unfused agreement is re-checked while warming.
+// compiler/flags/CPU features/hw_threads) so the fusion trajectory is
+// pinned across PRs like BENCH_kernels.json and BENCH_allocator.json; CI
+// runs it in smoke mode. Fused-vs-unfused agreement is re-checked while
+// warming.
 
 #include <algorithm>
 #include <chrono>
@@ -230,6 +239,41 @@ std::vector<FusionRow> run_dense_simd_section() {
   return rows;
 }
 
+std::vector<FusionRow> run_parallel_split_section() {
+  const int rounds = smoke_mode() ? 3 : 10;
+  const int reps = smoke_mode() ? 5 : 40;
+  std::vector<FusionRow> rows;
+  // 16q (65536 amps) sits below the 2 * kParallelGrain = 131072 engage
+  // threshold, 17q is exactly at it, 18q above: the 2-thread column only
+  // differs from the 1-thread column where parallel_for actually splits.
+  for (const int n : {16, 17, 18}) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.u3(0.4 + 0.1 * q, 0.2, -0.3, q);
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    Statevector sv(n);
+    FusionRow row;
+    row.section = "parallel_split";
+    row.name = "sv_dense1_ladder_2threads";
+    row.qubits = n;
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [serial_ns, threaded_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          const kern::ParallelThreadsGuard one(1);
+          sv.run(prog);
+        },
+        [&] {
+          const kern::ParallelThreadsGuard two(2);
+          sv.run(prog);
+        });
+    row.ns_baseline = serial_ns;
+    row.ns_new = threaded_ns;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 void write_json(const std::vector<FusionRow>& rows) {
   const char* env = std::getenv("QUCP_BENCH_OUT");
   const std::string path = (env != nullptr && *env != '\0')
@@ -246,7 +290,8 @@ void write_json(const std::vector<FusionRow>& rows) {
   std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
   std::fprintf(f,
                "  \"unit\": \"ns_per_call\",\n"
-               "  \"baseline\": \"unfused (ideal) / scalar (dense_simd)\",\n"
+               "  \"baseline\": \"unfused (ideal) / scalar (dense_simd) / "
+               "1-thread (parallel_split)\",\n"
                "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const FusionRow& r = rows[i];
@@ -300,6 +345,25 @@ void print_fusion_tables() {
     std::printf("\n(native kernels not compiled/supported: dense_simd "
                 "section omitted)\n");
   }
+
+  const std::vector<FusionRow> split = run_parallel_split_section();
+  bench::heading(
+      "parallel_for split point: dense sweep, 1 thread vs 2 forced threads");
+  bench::row({"kernel", "qubits", "1-thread ns", "2-thread ns", "ratio"},
+             20);
+  bench::rule(5, 20);
+  for (const FusionRow& r : split) {
+    bench::row({r.name, std::to_string(r.qubits),
+                fmt_double(r.ns_baseline, 0), fmt_double(r.ns_new, 0),
+                fmt_double(r.speedup(), 2) + "x"},
+               20);
+  }
+  std::printf(
+      "\n16q is below the 2*kParallelGrain engage threshold (columns must\n"
+      "match); 17q/18q engage parallel_for under the forced 2-thread cap.\n"
+      "On a 1-core box (meta.hw_threads = 1) ratios <= 1 are expected and\n"
+      "the threshold stays put; re-run on a multi-core box to tune it.\n");
+  rows.insert(rows.end(), split.begin(), split.end());
   write_json(rows);
 }
 

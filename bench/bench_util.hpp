@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sim/kernels.hpp"
@@ -50,12 +51,17 @@ inline void write_meta_json(std::FILE* f) {
   const std::string compiler = "unknown";
 #endif
   const kern::CpuFeatures cpu = kern::detect_cpu_features();
+  // hw_threads disambiguates threading-sensitive rows (parallel_for split
+  // points, dense_simd timings): a 1-core box cannot see multi-thread
+  // crossovers, and the artifact should say so.
   std::fprintf(f,
                "  \"meta\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
                "\"cpu\": {\"avx2\": %s, \"fma\": %s}, "
+               "\"hw_threads\": %u, "
                "\"native_kernels\": {\"compiled\": %s, \"active\": %s}},\n",
                json_escape(compiler).c_str(), json_escape(flags).c_str(),
                cpu.avx2 ? "true" : "false", cpu.fma ? "true" : "false",
+               std::thread::hardware_concurrency(),
                kern::native_kernels_compiled() ? "true" : "false",
                kern::native_kernels_active() ? "true" : "false");
 }

@@ -1,0 +1,32 @@
+#include "fleetsim/events.hpp"
+
+#include <algorithm>
+
+namespace qucp::fleetsim {
+
+namespace {
+
+/// std::push_heap/pop_heap build a max-heap, so "greater" here means
+/// "pops later": later time first, then higher sequence number.
+struct PopsLater {
+  bool operator()(const SimEvent& a, const SimEvent& b) const noexcept {
+    if (a.time_s != b.time_s) return a.time_s > b.time_s;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+void EventQueue::push(EventKind kind, double time_s, std::uint64_t payload) {
+  heap_.push_back({time_s, next_seq_++, kind, payload});
+  std::push_heap(heap_.begin(), heap_.end(), PopsLater{});
+}
+
+SimEvent EventQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), PopsLater{});
+  SimEvent event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+}  // namespace qucp::fleetsim

@@ -1,0 +1,52 @@
+#pragma once
+// Discrete-event core of the fleet simulator.
+//
+// The paper's §II-A decomposes overall runtime into waiting time +
+// execution time; everything the fleet-level claims rest on (queue
+// pressure, batch drains, policy choices) is a sequence of timed events.
+// This queue is the single source of time in the simulator: events pop in
+// (time, sequence) order, where the sequence number is assigned at push
+// and breaks ties deterministically — two events at the same instant
+// always replay in the order they were scheduled, so a whole simulation
+// is a pure function of its inputs (no wall clock, no thread timing).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace qucp::fleetsim {
+
+enum class EventKind {
+  JobArrival,  ///< payload = index into the arrival stream
+  DeviceFree,  ///< payload = device id whose batch just drained
+};
+
+struct SimEvent {
+  double time_s = 0.0;
+  std::uint64_t seq = 0;  ///< push order; the deterministic tie-break
+  EventKind kind = EventKind::JobArrival;
+  std::uint64_t payload = 0;
+};
+
+/// Time-ordered event queue with a stable tie-break on sequence number.
+/// A plain binary min-heap: the simulator pushes O(jobs + batches) events,
+/// so 1M-job traces stay a few tens of MB and pops are O(log n).
+class EventQueue {
+ public:
+  void push(EventKind kind, double time_s, std::uint64_t payload);
+
+  /// Pop the earliest event; ties on time resolve to the lowest sequence
+  /// number. Precondition: !empty().
+  [[nodiscard]] SimEvent pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  /// Total events ever pushed (== the next sequence number).
+  [[nodiscard]] std::uint64_t pushed() const noexcept { return next_seq_; }
+
+ private:
+  std::vector<SimEvent> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace qucp::fleetsim

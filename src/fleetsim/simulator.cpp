@@ -1,0 +1,253 @@
+#include "fleetsim/simulator.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "fleetsim/events.hpp"
+
+namespace qucp::fleetsim {
+
+namespace {
+
+/// Open/queued batch as the lane models it: member count and the running
+/// max makespan, which fixes the batch's modeled runtime. Only the tail
+/// batch of a lane's deque can be non-full, so a dispatch always consumes
+/// exactly the head batch — the modeled grouping IS the actual grouping.
+struct ModeledBatch {
+  int count = 0;
+  double max_ns = 0.0;
+  double runtime_s = 0.0;
+};
+
+struct Lane {
+  std::deque<std::size_t> queue;        ///< arrival ordinals, FIFO
+  std::deque<ModeledBatch> batches;     ///< grouping of `queue`, head first
+  double queued_work_s = 0.0;           ///< sum of batches[i].runtime_s
+  bool busy = false;
+  double busy_until_s = 0.0;
+  double busy_total_s = 0.0;
+  std::uint64_t dispatched_batches = 0;
+  std::uint64_t routed_load = 0;        ///< cumulative qubit load (LL)
+};
+
+}  // namespace
+
+std::string_view sim_policy_name(SimPolicy policy) noexcept {
+  switch (policy) {
+    case SimPolicy::RoundRobin: return "RoundRobin";
+    case SimPolicy::LeastLoaded: return "LeastLoaded";
+    case SimPolicy::BestEfs: return "BestEfs";
+    case SimPolicy::ExpectedLatency: return "ExpectedLatency";
+  }
+  return "?";
+}
+
+std::uint64_t SimTrace::hash() const {
+  std::uint64_t h = kFnv1aBasis;
+  for (const JobRecord& r : jobs) {
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(r.job_class));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(r.device));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(r.arrival_s));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(r.start_s));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(r.end_s));
+  }
+  for (double b : busy_s) h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(b));
+  for (std::uint64_t b : batches) h = fnv1a_mix(h, b);
+  return fnv1a_mix(h, std::bit_cast<std::uint64_t>(horizon_s));
+}
+
+FleetSimulator::FleetSimulator(std::vector<SimJobClass> classes,
+                               std::size_t num_devices, SimOptions options)
+    : classes_(std::move(classes)),
+      num_devices_(num_devices),
+      options_(options) {
+  if (num_devices_ == 0) {
+    throw std::invalid_argument("FleetSimulator: no devices");
+  }
+  if (classes_.empty()) {
+    throw std::invalid_argument("FleetSimulator: no job classes");
+  }
+  for (const SimJobClass& c : classes_) {
+    if (c.makespan_ns.size() != num_devices_ ||
+        c.efs.size() != num_devices_) {
+      throw std::invalid_argument("FleetSimulator: class '" + c.name +
+                                  "' per-device vectors do not match the "
+                                  "device count");
+    }
+    const bool fits_somewhere =
+        std::any_of(c.makespan_ns.begin(), c.makespan_ns.end(),
+                    [](double m) { return m >= 0.0; });
+    if (!fits_somewhere) {
+      throw std::invalid_argument("FleetSimulator: class '" + c.name +
+                                  "' fits on no device");
+    }
+  }
+  options_.model.queue_depth = 0;  // queueing is simulated, not modeled
+}
+
+SimTrace FleetSimulator::run(std::span<const Arrival> arrivals) const {
+  const int cap = options_.max_batch_size <= 0
+                      ? std::numeric_limits<int>::max()
+                      : options_.max_batch_size;
+
+  SimTrace trace;
+  trace.jobs.resize(arrivals.size());
+  trace.busy_s.assign(num_devices_, 0.0);
+  trace.batches.assign(num_devices_, 0);
+
+  std::vector<Lane> lanes(num_devices_);
+
+  // Enqueue `job` on `lane`, maintaining the modeled batch grouping the
+  // dispatcher will consume (see ModeledBatch).
+  const auto enqueue = [&](Lane& lane, std::size_t job) {
+    const SimJobClass& cls = classes_[static_cast<std::size_t>(
+        trace.jobs[job].job_class)];
+    const int device = trace.jobs[job].device;
+    const double ns = cls.makespan_ns[static_cast<std::size_t>(device)];
+    lane.queue.push_back(job);
+    if (lane.batches.empty() || lane.batches.back().count >= cap) {
+      ModeledBatch b;
+      b.count = 1;
+      b.max_ns = ns;
+      b.runtime_s = job_runtime_s(options_.model, ns);
+      lane.queued_work_s += b.runtime_s;
+      lane.batches.push_back(b);
+    } else {
+      ModeledBatch& b = lane.batches.back();
+      b.count += 1;
+      if (ns > b.max_ns) {
+        const double runtime = job_runtime_s(options_.model, ns);
+        lane.queued_work_s += runtime - b.runtime_s;
+        b.max_ns = ns;
+        b.runtime_s = runtime;
+      }
+    }
+  };
+
+  EventQueue events;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    events.push(EventKind::JobArrival, arrivals[i].time_s, i);
+  }
+
+  // Dispatch the head batch of `lane` (device `d`) at time `now`.
+  const auto start_batch = [&](std::size_t d, double now) {
+    Lane& lane = lanes[d];
+    const ModeledBatch head = lane.batches.front();
+    lane.batches.pop_front();
+    lane.queued_work_s -= head.runtime_s;
+    // Guard against float drift accumulating a phantom backlog.
+    if (lane.batches.empty()) lane.queued_work_s = 0.0;
+    const double end = now + head.runtime_s;
+    for (int i = 0; i < head.count; ++i) {
+      const std::size_t job = lane.queue.front();
+      lane.queue.pop_front();
+      trace.jobs[job].start_s = now;
+      trace.jobs[job].end_s = end;
+    }
+    lane.busy = true;
+    lane.busy_until_s = end;
+    lane.busy_total_s += head.runtime_s;
+    ++lane.dispatched_batches;
+    events.push(EventKind::DeviceFree, end, d);
+  };
+
+  // Pick the device for arrival ordinal `job` of class `cls` at `now`.
+  const auto route = [&](std::size_t job, const SimJobClass& cls,
+                         double now) -> std::size_t {
+    std::size_t best = num_devices_;  // sentinel; ctor guarantees a fit
+    double best_score = 0.0;
+    std::size_t fit_count = 0;
+    // RoundRobin needs the job's ordinal among fitting devices, so it
+    // scans in id order like everything else; ties everywhere resolve to
+    // the lowest id via strict '<'.
+    for (std::size_t d = 0; d < num_devices_; ++d) {
+      const double ns = cls.makespan_ns[d];
+      if (ns < 0.0) continue;
+      ++fit_count;
+      double score = 0.0;
+      switch (options_.policy) {
+        case SimPolicy::RoundRobin:
+          // Handled after the scan (needs fit_count); score unused.
+          break;
+        case SimPolicy::LeastLoaded:
+          score = static_cast<double>(lanes[d].routed_load);
+          break;
+        case SimPolicy::BestEfs:
+          score = cls.efs[d];
+          break;
+        case SimPolicy::ExpectedLatency: {
+          const Lane& lane = lanes[d];
+          const double remaining =
+              lane.busy ? lane.busy_until_s - now : 0.0;
+          // Work queued ahead of the batch this job would join, plus that
+          // batch's runtime after joining: an open tail batch with room
+          // absorbs the job at the cost of only the makespan delta.
+          double ahead = lane.queued_work_s;
+          double own_batch = job_runtime_s(options_.model, ns);
+          if (!lane.batches.empty() && lane.batches.back().count < cap) {
+            ahead -= lane.batches.back().runtime_s;
+            own_batch = job_runtime_s(
+                options_.model, std::max(lane.batches.back().max_ns, ns));
+          }
+          score = std::max(0.0, remaining) + ahead + own_batch;
+          break;
+        }
+      }
+      if (options_.policy != SimPolicy::RoundRobin &&
+          (best == num_devices_ || score < best_score)) {
+        best = d;
+        best_score = score;
+      }
+    }
+    if (options_.policy == SimPolicy::RoundRobin) {
+      std::size_t target = job % fit_count;
+      for (std::size_t d = 0; d < num_devices_; ++d) {
+        if (cls.makespan_ns[d] < 0.0) continue;
+        if (target-- == 0) return d;
+      }
+    }
+    return best;
+  };
+
+  while (!events.empty()) {
+    const SimEvent event = events.pop();
+    switch (event.kind) {
+      case EventKind::JobArrival: {
+        const std::size_t job = event.payload;
+        const Arrival& arrival = arrivals[job];
+        const SimJobClass& cls =
+            classes_[static_cast<std::size_t>(arrival.job_class)];
+        JobRecord& record = trace.jobs[job];
+        record.job_class = arrival.job_class;
+        record.arrival_s = arrival.time_s;
+        const std::size_t d = route(job, cls, event.time_s);
+        record.device = static_cast<int>(d);
+        Lane& lane = lanes[d];
+        lane.routed_load += static_cast<std::uint64_t>(
+            std::max(1, cls.qubits));
+        enqueue(lane, job);
+        if (!lane.busy) start_batch(d, event.time_s);
+        break;
+      }
+      case EventKind::DeviceFree: {
+        const std::size_t d = event.payload;
+        Lane& lane = lanes[d];
+        lane.busy = false;
+        if (!lane.queue.empty()) start_batch(d, event.time_s);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t d = 0; d < num_devices_; ++d) {
+    trace.busy_s[d] = lanes[d].busy_total_s;
+    trace.batches[d] = lanes[d].dispatched_batches;
+    trace.horizon_s = std::max(trace.horizon_s, lanes[d].busy_until_s);
+  }
+  return trace;
+}
+
+}  // namespace qucp::fleetsim

@@ -1,0 +1,124 @@
+#pragma once
+// FleetSimulator: a deterministic discrete-event model of the fleet.
+//
+// The service layer (service/fleet.hpp) routes a live job stream; this
+// simulator answers the question the live path cannot afford to ask —
+// "what would this routing policy have done to latency under a million
+// jobs of realistic traffic?" — by replaying an arrival stream against a
+// modeled fleet. Each device is a service lane: a FIFO queue of admitted
+// jobs, an open tail batch that fills to `max_batch_size`, and a drain
+// model where a dispatched batch occupies the device for
+// job_runtime_s(model, max member makespan) seconds — the same
+// RuntimeModel (core/runtime.hpp) the service's modeled-drain metric and
+// BENCH_fleet.json use, so online and offline numbers share units.
+//
+// Job classes carry calibration-dependent per-device execution estimates
+// (makespan_ns from the real transpile + ALAP-schedule machinery, or the
+// shape-based estimator in service/fleet.hpp) and per-device solo-EFS
+// fidelity scores; a negative makespan marks a device the class cannot be
+// placed on, and every routing policy excludes those.
+//
+// Routing policies mirror the online RoutingPolicy set by name and
+// decision rule, plus the queue-aware one this subsystem exists for:
+//   RoundRobin      — rotate over fitting devices by arrival ordinal.
+//   LeastLoaded     — ascending cumulative routed qubit load, ties low id.
+//   BestEfs         — ascending solo EFS (error), ties low id.
+//   ExpectedLatency — ascending modeled completion: remaining busy time
+//                     + drain of queued batches ahead + the runtime of the
+//                     batch the job would join (open-batch occupancy makes
+//                     joining an already-slow batch nearly free and
+//                     opening a fresh batch behind a backlog expensive).
+//
+// Determinism: the simulation is single-threaded pure logic over the
+// event queue (fleetsim/events.hpp); the same arrival stream produces a
+// bit-identical trace regardless of kernel thread caps, submission
+// interleaving, or whether the arrivals were generated or replayed from a
+// recorded trace. tests/test_fleetsim.cpp pins all three.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "fleetsim/arrivals.hpp"
+
+namespace qucp::fleetsim {
+
+/// A job template: one circuit the traffic mix draws from, with its
+/// modeled footprint on every fleet device.
+struct SimJobClass {
+  std::string name;
+  int qubits = 0;
+  /// Modeled batch-context makespan per device id; < 0 when the class
+  /// cannot be placed on that device even alone.
+  std::vector<double> makespan_ns;
+  /// Best solo EFS per device id (error; lower is better). Only read for
+  /// devices the class fits on.
+  std::vector<double> efs;
+};
+
+enum class SimPolicy { RoundRobin, LeastLoaded, BestEfs, ExpectedLatency };
+
+[[nodiscard]] std::string_view sim_policy_name(SimPolicy policy) noexcept;
+
+struct SimOptions {
+  SimPolicy policy = SimPolicy::ExpectedLatency;
+  int max_batch_size = 4;  ///< jobs per dispatched batch; <= 0 unbounded
+  /// Device-time model for batch runtimes (shots, per-job overhead). The
+  /// queue_depth field is ignored — queueing is what the simulator models.
+  RuntimeModel model;
+};
+
+/// Per-job outcome, in arrival order. start_s/end_s bound the job's batch
+/// on its device; latency is end_s - arrival_s (waiting + execution).
+struct JobRecord {
+  int job_class = 0;
+  int device = -1;
+  double arrival_s = 0.0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Full simulation outcome: one record per arrival plus per-device
+/// occupancy. hash() folds every field of every record, so two traces
+/// with the same hash are (for all testing purposes) bit-identical.
+struct SimTrace {
+  std::vector<JobRecord> jobs;
+  std::vector<double> busy_s;     ///< summed batch occupancy per device
+  std::vector<std::uint64_t> batches;  ///< batches dispatched per device
+  double horizon_s = 0.0;         ///< last batch completion time
+  [[nodiscard]] std::uint64_t hash() const;
+};
+
+class FleetSimulator {
+ public:
+  /// `classes` must all carry per-device vectors of length `num_devices`,
+  /// and every class must fit on at least one device.
+  FleetSimulator(std::vector<SimJobClass> classes, std::size_t num_devices,
+                 SimOptions options);
+
+  /// Replay an arrival stream to completion. Pure: identical inputs give
+  /// a bit-identical trace; the simulator's own state resets per run.
+  [[nodiscard]] SimTrace run(std::span<const Arrival> arrivals) const;
+
+  [[nodiscard]] std::size_t num_devices() const noexcept {
+    return num_devices_;
+  }
+  [[nodiscard]] const std::vector<SimJobClass>& classes() const noexcept {
+    return classes_;
+  }
+  [[nodiscard]] const SimOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  std::vector<SimJobClass> classes_;
+  std::size_t num_devices_ = 0;
+  SimOptions options_;
+};
+
+}  // namespace qucp::fleetsim

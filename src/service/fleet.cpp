@@ -8,6 +8,92 @@
 
 namespace qucp {
 
+namespace {
+
+double mean_cx_duration_ns(const Calibration& cal) {
+  if (cal.cx_duration_ns.empty()) return 0.0;
+  double sum = 0.0;
+  for (double d : cal.cx_duration_ns) sum += d;
+  return sum / static_cast<double>(cal.cx_duration_ns.size());
+}
+
+// Width-normalized serial gate time: with w qubits at most w/2 two-qubit
+// gates (and w one-qubit gates) run concurrently, so the serial sum over
+// gates divided by w/2 brackets the ALAP makespan from above for
+// width-parallel circuits and degrades gracefully to the serial sum for
+// 1-2 qubit programs.
+double exec_ns_from_calibration(const Calibration& cal,
+                                const ProgramShape& shape,
+                                double avg_cx_ns) {
+  const double width = std::max(2.0, static_cast<double>(shape.num_qubits));
+  const double serial =
+      static_cast<double>(shape.num_1q) * cal.q1_duration_ns +
+      static_cast<double>(shape.num_2q) * avg_cx_ns;
+  return serial * 2.0 / width + cal.readout_duration_ns;
+}
+
+}  // namespace
+
+double modeled_exec_ns(const Device& device, const ProgramShape& shape) {
+  const Calibration& cal = device.calibration();
+  return exec_ns_from_calibration(cal, shape, mean_cx_duration_ns(cal));
+}
+
+FleetView::FleetView(std::span<const FleetSlot> slots,
+                     const Partitioner& partitioner,
+                     std::span<const LaneEstimate> lanes,
+                     const RuntimeModel* model, int max_batch_size)
+    : slots_(slots),
+      partitioner_(&partitioner),
+      lanes_(lanes),
+      model_(model),
+      max_batch_size_(max_batch_size) {
+  avg_cx_ns_.reserve(slots_.size());
+  for (const FleetSlot& slot : slots_) {
+    avg_cx_ns_.push_back(mean_cx_duration_ns(slot.device->calibration()));
+  }
+}
+
+double FleetView::drain_estimate_s(std::size_t slot) const {
+  if (lanes_.empty()) return 0.0;
+  return lanes_[slot].initial_backlog_s + lanes_[slot].planned_closed_s;
+}
+
+int FleetView::open_jobs(std::size_t slot) const {
+  return lanes_.empty() ? 0 : lanes_[slot].open_jobs;
+}
+
+double FleetView::exec_estimate_ns(std::size_t slot,
+                                   const PackJob& job) const {
+  return exec_ns_from_calibration(slots_[slot].device->calibration(),
+                                  job.shape, avg_cx_ns_[slot]);
+}
+
+double FleetView::expected_latency_s(std::size_t slot,
+                                     const PackJob& job) const {
+  static const RuntimeModel kDefaultModel{};
+  const RuntimeModel& model = model_ != nullptr ? *model_ : kDefaultModel;
+  const double own_ns = exec_estimate_ns(slot, job);
+  double wait = drain_estimate_s(slot);
+  double batch_ns = own_ns;
+  if (!lanes_.empty()) {
+    const LaneEstimate& lane = lanes_[slot];
+    const bool open_has_room =
+        lane.open_jobs > 0 &&
+        (max_batch_size_ <= 0 || lane.open_jobs < max_batch_size_);
+    if (open_has_room) {
+      // Joining the open batch: the batch's runtime only grows by the
+      // makespan delta, which is zero when a slower co-runner already
+      // bounds it — the §II-A win batching exists for.
+      batch_ns = std::max(lane.open_max_ns, own_ns);
+    } else if (lane.open_jobs > 0) {
+      // Full open batch ahead: wait behind it, then run a fresh batch.
+      wait += job_runtime_s(model, lane.open_max_ns);
+    }
+  }
+  return wait + job_runtime_s(model, batch_ns);
+}
+
 std::optional<double> FleetView::solo_efs(std::size_t slot,
                                           const PackJob& job) const {
   // Does-not-fit is memoized as +infinity: EFS sums finite error terms, so
@@ -31,6 +117,7 @@ std::string_view route_policy_name(RoutePolicy policy) noexcept {
     case RoutePolicy::RoundRobin: return "RoundRobin";
     case RoutePolicy::LeastLoaded: return "LeastLoaded";
     case RoutePolicy::BestEfs: return "BestEfs";
+    case RoutePolicy::ExpectedLatency: return "ExpectedLatency";
   }
   return "?";
 }
@@ -86,12 +173,39 @@ void BestEfsPolicy::preference(const FleetView& fleet, const PackJob& job,
   for (const Scored& s : scored) order.push_back(s.slot);
 }
 
+void ExpectedLatencyPolicy::preference(const FleetView& fleet,
+                                       const PackJob& job,
+                                       std::vector<std::size_t>& order) {
+  // Ascending §II-A modeled completion time (waiting + execution); unfit
+  // devices are excluded, ties go to the lowest id. All queue state lives
+  // in the lane estimates the packer maintains, so the policy itself is
+  // stateless and replayable.
+  struct Scored {
+    std::size_t slot;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(fleet.size());
+  for (std::size_t s = 0; s < fleet.size(); ++s) {
+    if (!fleet.solo_efs(s, job)) continue;
+    scored.push_back({s, fleet.expected_latency_s(s, job)});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score < b.score;
+                   });
+  order.clear();
+  for (const Scored& s : scored) order.push_back(s.slot);
+}
+
 std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy) {
   switch (policy) {
     case RoutePolicy::RoundRobin: return std::make_unique<RoundRobinPolicy>();
     case RoutePolicy::LeastLoaded:
       return std::make_unique<LeastLoadedPolicy>();
     case RoutePolicy::BestEfs: return std::make_unique<BestEfsPolicy>();
+    case RoutePolicy::ExpectedLatency:
+      return std::make_unique<ExpectedLatencyPolicy>();
   }
   throw std::logic_error("make_routing_policy: unhandled policy");
 }
@@ -99,18 +213,41 @@ std::unique_ptr<RoutingPolicy> make_routing_policy(RoutePolicy policy) {
 FleetPlan pack_fleet(std::span<const FleetSlot> slots,
                      std::span<const PackJob> jobs,
                      const Partitioner& partitioner,
-                     const PackOptions& options, RoutingPolicy* policy) {
+                     const PackOptions& options, RoutingPolicy* policy,
+                     std::span<const double> initial_backlog_s) {
+  if (!initial_backlog_s.empty() && initial_backlog_s.size() != slots.size()) {
+    throw std::invalid_argument(
+        "pack_fleet: initial_backlog_s must be empty or one entry per slot");
+  }
   FleetPlan plan;
   plan.batches.resize(slots.size());
+  plan.batch_exec_s.resize(slots.size());
+  plan.wait_sum_s.assign(slots.size(), 0.0);
+  plan.wait_max_s.assign(slots.size(), 0.0);
   if (slots.empty() || jobs.empty()) return plan;
+
+  // Queueing is exactly what the drain estimates model, so a caller-set
+  // queue depth would double-count the wait term.
+  RuntimeModel model = options.runtime;
+  model.queue_depth = 0;
 
   if (options.single_batch) {
     // run_parallel() semantics: everything in exactly one batch on the
     // first slot; the execution pipeline fails the whole batch when it
     // does not fit.
     PackedBatch batch;
-    for (const PackJob& job : jobs) batch.jobs.push_back(job.index);
+    const FleetView solo_view(slots, partitioner);
+    double max_ns = 0.0;
+    for (const PackJob& job : jobs) {
+      batch.jobs.push_back(job.index);
+      max_ns = std::max(max_ns, solo_view.exec_estimate_ns(0, job));
+    }
     plan.batches[0].push_back(std::move(batch));
+    plan.batch_exec_s[0].push_back(job_runtime_s(model, max_ns));
+    const double wait =
+        initial_backlog_s.empty() ? 0.0 : initial_backlog_s[0];
+    plan.wait_sum_s[0] = wait * static_cast<double>(jobs.size());
+    plan.wait_max_s[0] = wait;
     return plan;
   }
 
@@ -119,7 +256,17 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
                               ? jobs.size()
                               : static_cast<std::size_t>(options.max_batch_size);
   const bool check_threshold = std::isfinite(options.efs_threshold);
-  const FleetView view(slots, partitioner);
+
+  // Modeled lane state, maintained placement by placement so queue-aware
+  // policies see occupancy grow within a round and backlog grow across
+  // rounds. Time-blind policies never read it, so maintaining it cannot
+  // change their decisions.
+  std::vector<LaneEstimate> lanes(num_slots);
+  for (std::size_t s = 0; s < initial_backlog_s.size(); ++s) {
+    lanes[s].initial_backlog_s = initial_backlog_s[s];
+  }
+  const FleetView view(slots, partitioner, lanes, &model,
+                       options.max_batch_size);
 
   std::vector<const PackJob*> remaining;
   remaining.reserve(jobs.size());
@@ -230,6 +377,16 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
 
       if (placed) {
         if (rejected_earlier) ++plan.cross_device_spills;
+        // §II-A waiting term at admission: everything modeled to run on
+        // the lane before the batch this job just joined.
+        const double wait = view.drain_estimate_s(placed_slot);
+        plan.wait_sum_s[placed_slot] += wait;
+        plan.wait_max_s[placed_slot] =
+            std::max(plan.wait_max_s[placed_slot], wait);
+        LaneEstimate& lane = lanes[placed_slot];
+        lane.open_jobs += 1;
+        lane.open_max_ns = std::max(
+            lane.open_max_ns, view.exec_estimate_ns(placed_slot, *job));
         if (policy != nullptr) policy->on_placed(placed_slot, *job);
         continue;
       }
@@ -249,6 +406,13 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
       PackedBatch packed;
       for (const PackJob* job : batch[s]) packed.jobs.push_back(job->index);
       plan.batches[s].push_back(std::move(packed));
+      // Close the round's open batch: its modeled runtime joins the lane's
+      // planned drain, so the next round's admissions queue behind it.
+      const double exec_s = job_runtime_s(model, lanes[s].open_max_ns);
+      plan.batch_exec_s[s].push_back(exec_s);
+      lanes[s].planned_closed_s += exec_s;
+      lanes[s].open_jobs = 0;
+      lanes[s].open_max_ns = 0.0;
     }
     if (!any_batch && !spilled.empty()) {
       // Unreachable by construction (the first remaining job either opens
@@ -278,7 +442,8 @@ FleetScheduler::FleetScheduler(const BackendRegistry& fleet,
 
 FleetPlan FleetScheduler::plan(std::span<const PackJob> jobs,
                                const Partitioner& partitioner,
-                               const PackOptions& options) {
+                               const PackOptions& options,
+                               std::span<const double> initial_backlog_s) {
   std::vector<FleetSlot> slots;
   slots.reserve(fleet_->size());
   for (std::size_t i = 0; i < fleet_->size(); ++i) {
@@ -286,7 +451,8 @@ FleetPlan FleetScheduler::plan(std::span<const PackJob> jobs,
     slots.push_back({&backend.device(), &backend.candidate_index(),
                      &solo_cache_[i]});
   }
-  return pack_fleet(slots, jobs, partitioner, options, policy_.get());
+  return pack_fleet(slots, jobs, partitioner, options, policy_.get(),
+                    initial_backlog_s);
 }
 
 }  // namespace qucp

@@ -13,15 +13,30 @@
 // batch rejects it.
 //
 // Routing policies (pluggable, deterministic):
-//   RoundRobin  — rotate the starting device by canonical queue position;
-//                 throughput-first, calibration-blind.
-//   LeastLoaded — ascending routed-qubit load (cumulative per scheduler),
-//                 ties to the lowest id; balances heterogeneous job sizes.
-//   BestEfs     — ascending best-solo-EFS of the job on each device
-//                 (partition/solo_efs_score, memoized per device); routes
-//                 every job to the chip where its accumulated error is
-//                 lowest, fidelity-first. Devices the job cannot fit on
-//                 are excluded.
+//   RoundRobin      — rotate the starting device by canonical queue
+//                     position; throughput-first, calibration-blind.
+//   LeastLoaded     — ascending routed-qubit load (cumulative per
+//                     scheduler), ties to the lowest id; balances
+//                     heterogeneous job sizes.
+//   BestEfs         — ascending best-solo-EFS of the job on each device
+//                     (partition/solo_efs_score, memoized per device);
+//                     routes every job to the chip where its accumulated
+//                     error is lowest, fidelity-first. Devices the job
+//                     cannot fit on are excluded.
+//   ExpectedLatency — ascending modeled completion time (§II-A: waiting +
+//                     execution). The wait term is the slot's modeled
+//                     drain — backlog already dispatched to the lane plus
+//                     batches planned earlier this cycle — and the
+//                     execution term is the runtime of the open batch the
+//                     job would join, under the calibration-dependent
+//                     makespan estimate modeled_exec_ns(). Joining an
+//                     occupied open batch whose makespan already covers
+//                     the job is nearly free, while opening a fresh batch
+//                     behind a backlog is charged in full, so the policy
+//                     is queue-aware where BestEfs/LeastLoaded are time-
+//                     blind. Unfit devices are excluded. Validated
+//                     offline by the src/fleetsim/ discrete-event
+//                     simulator, whose ExpectedLatency mirrors this rule.
 //
 // pack_fleet() is the shared engine: with one slot and no policy it makes
 // exactly the decisions pack_batches() historically made — pack_batches()
@@ -41,6 +56,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/runtime.hpp"
 #include "service/packer.hpp"
 #include "service/registry.hpp"
 
@@ -56,14 +72,41 @@ struct FleetSlot {
   std::map<std::uint64_t, double>* solo_efs = nullptr;
 };
 
+/// Calibration-dependent modeled makespan (ns) of a program shape on a
+/// device: width-normalized serial gate time plus readout. A ranking
+/// proxy, not a schedule — the same formula applied across devices makes
+/// per-device duration calibration (CX/1q/readout times) the
+/// discriminator, which is all the ExpectedLatency policy and the
+/// service's queue-wait accounting need. The offline fleet simulator can
+/// substitute exact transpile + ALAP-schedule makespans for the same
+/// slot (see bench/bench_fleetsim.cpp).
+[[nodiscard]] double modeled_exec_ns(const Device& device,
+                                     const ProgramShape& shape);
+
+/// Modeled drain state of one slot's lane during a packing cycle: the
+/// backlog already dispatched to the lane when the cycle started, the
+/// batches closed by earlier rounds of this cycle, and the open batch
+/// being grown. Maintained by pack_fleet; read through FleetView by
+/// queue-aware policies and the wait accounting.
+struct LaneEstimate {
+  double initial_backlog_s = 0.0;  ///< dispatched, unfinished at cycle start
+  double planned_closed_s = 0.0;   ///< batches closed earlier this cycle
+  int open_jobs = 0;               ///< jobs in the open batch
+  double open_max_ns = 0.0;        ///< max modeled makespan in the open batch
+};
+
 /// Read-mostly view of the fleet handed to routing policies and used by
 /// the packer's threshold checks. Probes are memoized in each slot's
 /// solo-EFS map, so routing and spill checks share one score per
-/// (device, circuit) pair.
+/// (device, circuit) pair. When constructed by pack_fleet the view also
+/// exposes the per-slot drain/occupancy estimators queue-aware policies
+/// score with; the two-argument form (tests, ad-hoc probing) reports an
+/// idle fleet.
 class FleetView {
  public:
-  FleetView(std::span<const FleetSlot> slots, const Partitioner& partitioner)
-      : slots_(slots), partitioner_(&partitioner) {}
+  FleetView(std::span<const FleetSlot> slots, const Partitioner& partitioner,
+            std::span<const LaneEstimate> lanes = {},
+            const RuntimeModel* model = nullptr, int max_batch_size = 0);
 
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
   [[nodiscard]] const Device& device(std::size_t slot) const {
@@ -74,13 +117,34 @@ class FleetView {
   [[nodiscard]] std::optional<double> solo_efs(std::size_t slot,
                                                const PackJob& job) const;
 
+  /// Modeled seconds until `slot` would start a batch opened now: initial
+  /// backlog plus the batches planned earlier this cycle. This is also
+  /// the modeled wait a job admitted to the slot's open batch incurs.
+  [[nodiscard]] double drain_estimate_s(std::size_t slot) const;
+  /// Jobs in the slot's open batch this packing round.
+  [[nodiscard]] int open_jobs(std::size_t slot) const;
+  /// modeled_exec_ns() of `job` on the slot's device (per-slot duration
+  /// averages are cached in the view).
+  [[nodiscard]] double exec_estimate_ns(std::size_t slot,
+                                        const PackJob& job) const;
+  /// §II-A modeled completion time were `job` admitted to `slot` now:
+  /// drain_estimate_s + the runtime of the batch it would join (the open
+  /// batch while it has room, else a fresh one behind it).
+  [[nodiscard]] double expected_latency_s(std::size_t slot,
+                                          const PackJob& job) const;
+
  private:
   std::span<const FleetSlot> slots_;
   const Partitioner* partitioner_;
+  std::span<const LaneEstimate> lanes_;
+  const RuntimeModel* model_ = nullptr;
+  int max_batch_size_ = 0;  ///< <= 0 means unbounded
+  /// Per-slot mean CX duration (ns), computed once per view.
+  std::vector<double> avg_cx_ns_;
 };
 
 /// How a multi-backend ExecutionService picks a device for each job.
-enum class RoutePolicy { RoundRobin, LeastLoaded, BestEfs };
+enum class RoutePolicy { RoundRobin, LeastLoaded, BestEfs, ExpectedLatency };
 
 [[nodiscard]] std::string_view route_policy_name(RoutePolicy policy) noexcept;
 
@@ -135,6 +199,18 @@ class BestEfsPolicy final : public RoutingPolicy {
                   std::vector<std::size_t>& order) override;
 };
 
+/// Queue-aware routing: ascending FleetView::expected_latency_s, unfit
+/// devices excluded, ties to the lowest id. Stateless — all load state
+/// lives in the lane estimates pack_fleet maintains.
+class ExpectedLatencyPolicy final : public RoutingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "ExpectedLatency";
+  }
+  void preference(const FleetView& fleet, const PackJob& job,
+                  std::vector<std::size_t>& order) override;
+};
+
 [[nodiscard]] std::unique_ptr<RoutingPolicy> make_routing_policy(
     RoutePolicy policy);
 
@@ -151,17 +227,30 @@ struct FleetPlan {
   /// full batch on the way to another device is queueing, not a spill,
   /// and is not counted.
   std::uint64_t cross_device_spills = 0;
+  /// Modeled execution seconds per planned batch, aligned with `batches`
+  /// (job_runtime_s of the batch's max modeled makespan). The service
+  /// adds these to its per-lane backlog at dispatch and removes them at
+  /// completion, closing the loop for the next cycle's wait estimates.
+  std::vector<std::vector<double>> batch_exec_s;
+  /// Per-slot modeled queue wait at admission (§II-A waiting term): for
+  /// every job placed on the slot this cycle, the drain estimate it was
+  /// admitted behind. Sum and max feed ServiceStats so online estimates
+  /// can be audited against realized batch order.
+  std::vector<double> wait_sum_s;
+  std::vector<double> wait_max_s;
 };
 
 /// Pack `jobs` (already in the desired queue order) across `slots`.
 /// `policy` == nullptr routes every job through slots in id order (the
-/// single-slot instantiation of this engine IS pack_batches). Not
-/// thread-safe — callers serialize packing.
-[[nodiscard]] FleetPlan pack_fleet(std::span<const FleetSlot> slots,
-                                   std::span<const PackJob> jobs,
-                                   const Partitioner& partitioner,
-                                   const PackOptions& options,
-                                   RoutingPolicy* policy = nullptr);
+/// single-slot instantiation of this engine IS pack_batches).
+/// `initial_backlog_s` (empty, or one modeled-seconds entry per slot)
+/// seeds each lane's drain estimate with work already dispatched to it.
+/// Not thread-safe — callers serialize packing.
+[[nodiscard]] FleetPlan pack_fleet(
+    std::span<const FleetSlot> slots, std::span<const PackJob> jobs,
+    const Partitioner& partitioner, const PackOptions& options,
+    RoutingPolicy* policy = nullptr,
+    std::span<const double> initial_backlog_s = {});
 
 /// The service-side orchestrator: owns the routing policy and the
 /// per-backend solo-EFS memos for a BackendRegistry, and turns a pending
@@ -173,9 +262,13 @@ class FleetScheduler {
  public:
   FleetScheduler(const BackendRegistry& fleet, RoutePolicy policy);
 
+  /// `initial_backlog_s` — see pack_fleet. The service passes each lane's
+  /// modeled dispatched-but-unfinished work so ExpectedLatency routing and
+  /// the wait accounting see queue state across dispatch cycles.
   [[nodiscard]] FleetPlan plan(std::span<const PackJob> jobs,
                                const Partitioner& partitioner,
-                               const PackOptions& options);
+                               const PackOptions& options,
+                               std::span<const double> initial_backlog_s = {});
 
   /// Active policy; nullptr on single-backend fleets.
   [[nodiscard]] RoutingPolicy* policy() noexcept { return policy_.get(); }

@@ -26,6 +26,7 @@
 #include <span>
 #include <vector>
 
+#include "core/runtime.hpp"
 #include "partition/partitioners.hpp"
 
 namespace qucp {
@@ -60,6 +61,11 @@ struct PackOptions {
   /// the execution pipeline then reports failure for the whole batch when
   /// it does not fit. This is run_parallel()'s historical contract.
   bool single_batch = false;
+  /// Device-time model for the fleet packer's drain estimates (queue-aware
+  /// routing, modeled-wait accounting). The service sets shots from its
+  /// ExecOptions; queue_depth is ignored — queueing is what the estimates
+  /// model. Does not influence packing decisions for time-blind policies.
+  RuntimeModel runtime;
 };
 
 class CandidateIndex;  // partition/candidate_index.hpp

@@ -273,8 +273,19 @@ void ExecutionService::dispatch_pending() {
   popts.max_batch_size = options_.max_batch_size;
   popts.efs_threshold = options_.efs_threshold;
   popts.single_batch = options_.single_batch;
+  popts.runtime.shots = options_.exec.shots;
+  // Snapshot each lane's modeled backlog so queue-aware routing and the
+  // wait accounting see work dispatched in earlier cycles. Read under the
+  // lane mutexes but used under pack_mutex_, so concurrent completions can
+  // only make the snapshot conservative (stale-high), never inconsistent
+  // with the plan that consumes it.
+  std::vector<double> backlogs(lanes_.size(), 0.0);
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    std::lock_guard<std::mutex> lane_lock(lanes_[i]->mutex);
+    backlogs[i] = lanes_[i]->backlog_s;
+  }
   const FleetPlan plan =
-      scheduler_->plan(pack_jobs, *partitioner_, popts);
+      scheduler_->plan(pack_jobs, *partitioner_, popts, backlogs);
 
   for (std::size_t idx : plan.unplaceable) {
     const std::string where =
@@ -307,16 +318,21 @@ void ExecutionService::dispatch_pending() {
     if (plan.batches[s].empty()) continue;
     {
       std::lock_guard<std::mutex> lane_lock(lane.mutex);
-      for (const PackedBatch& pb : plan.batches[s]) {
+      for (std::size_t b = 0; b < plan.batches[s].size(); ++b) {
+        const PackedBatch& pb = plan.batches[s][b];
         Batch batch;
         batch.index = lane.next_ordinal++ * num_lanes +
                       static_cast<std::uint64_t>(lane.id);
+        batch.modeled_exec_s = plan.batch_exec_s[s][b];
         batch.jobs.reserve(pb.jobs.size());
         for (std::size_t idx : pb.jobs) batch.jobs.push_back(jobs[idx]);
         lane.jobs_routed += batch.jobs.size();
+        lane.backlog_s += batch.modeled_exec_s;
         inflight_batches_.fetch_add(1, std::memory_order_relaxed);
         lane.queue.push_back(std::move(batch));
       }
+      lane.wait_sum_s += plan.wait_sum_s[s];
+      lane.wait_max_s = std::max(lane.wait_max_s, plan.wait_max_s[s]);
     }
     lane.cv.notify_all();
   }
@@ -413,6 +429,9 @@ void ExecutionService::execute_batch(Lane& lane, Batch batch,
     ++lane.batches_executed;
     lane.jobs_failed += failed;
     lane.jobs_completed += batch.jobs.size() - failed;
+    // Clamp: float summation drift must never leave a phantom backlog sign
+    // flip behind for the next dispatch cycle's wait estimates.
+    lane.backlog_s = std::max(0.0, lane.backlog_s - batch.modeled_exec_s);
   }
   inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
   {
@@ -479,6 +498,9 @@ ServiceStats ExecutionService::stats() const {
       bs.jobs_completed = lane->jobs_completed;
       bs.jobs_failed = lane->jobs_failed;
       bs.batches_executed = lane->batches_executed;
+      bs.modeled_wait_sum_s = lane->wait_sum_s;
+      bs.modeled_wait_max_s = lane->wait_max_s;
+      bs.modeled_backlog_s = lane->backlog_s;
     }
     stats.transpile_cache.hits += bs.transpile_cache.hits;
     stats.transpile_cache.misses += bs.transpile_cache.misses;

@@ -104,6 +104,17 @@ struct BackendStats {
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
   std::uint64_t batches_executed = 0;
+  /// §II-A modeled queue-wait accounting, captured at admission: for every
+  /// job routed to this backend, the modeled drain (dispatched backlog +
+  /// batches planned ahead of it in the same cycle) it was admitted
+  /// behind. The sum and max are auditable against the FleetPlan that
+  /// produced them — tests recompute the same numbers from batch order.
+  double modeled_wait_sum_s = 0.0;
+  double modeled_wait_max_s = 0.0;
+  /// Modeled execution seconds dispatched to the lane and not yet
+  /// finished — the backlog snapshot the next dispatch cycle's
+  /// ExpectedLatency routing and wait accounting start from.
+  double modeled_backlog_s = 0.0;
   TranspileCacheStats transpile_cache;
 };
 
@@ -175,6 +186,9 @@ class ExecutionService {
   using JobPtr = std::shared_ptr<detail::JobState>;
   struct Batch {
     std::uint64_t index = 0;  ///< fleet-unique: per-lane ordinal * B + lane
+    /// Modeled runtime from the plan that created the batch; added to the
+    /// lane backlog at dispatch, removed at completion.
+    double modeled_exec_s = 0.0;
     std::vector<JobPtr> jobs;
   };
   /// Per-backend execution lane: its own batch queue, condition variable
@@ -194,6 +208,12 @@ class ExecutionService {
     std::uint64_t jobs_completed = 0;
     std::uint64_t jobs_failed = 0;
     std::uint64_t batches_executed = 0;
+    /// Modeled dispatched-but-unfinished seconds (guarded by mutex):
+    /// += Batch::modeled_exec_s at dispatch, -= at completion. Snapshotted
+    /// per dispatch cycle as pack_fleet's initial_backlog_s.
+    double backlog_s = 0.0;
+    double wait_sum_s = 0.0;  ///< modeled wait at admission, summed
+    double wait_max_s = 0.0;  ///< worst modeled wait at admission
     std::vector<std::thread> workers;
   };
 

@@ -76,7 +76,8 @@ TEST(MakeNamedDevice, ResolvesBundledNamesAndRejectsUnknown) {
 TEST(RoutingPolicy, FactoryNamesMatch) {
   for (const RoutePolicy p : {RoutePolicy::RoundRobin,
                               RoutePolicy::LeastLoaded,
-                              RoutePolicy::BestEfs}) {
+                              RoutePolicy::BestEfs,
+                              RoutePolicy::ExpectedLatency}) {
     EXPECT_EQ(make_routing_policy(p)->name(), route_policy_name(p));
   }
 }
@@ -345,6 +346,165 @@ TEST(PackFleet, ThresholdSpillsCrossDeviceBeforeDeferring) {
   EXPECT_TRUE(plan.unplaceable.empty());
   EXPECT_GE(plan.spill_events, 1u);
   EXPECT_EQ(plan.cross_device_spills, 1u);
+}
+
+TEST(PackFleet, InitialBacklogSizeIsValidated) {
+  TestFleet fleet({make_line_device(8, 3), make_line_device(8, 3)});
+  const QucpPartitioner partitioner;
+  const std::vector<PackJob> jobs = {make_job(0, {2, 1, 2}, 1)};
+  const std::vector<double> short_backlog = {1.0};
+  EXPECT_THROW((void)pack_fleet(fleet.slots, jobs, partitioner, PackOptions{},
+                                nullptr, short_backlog),
+               std::invalid_argument);
+  const std::vector<double> exact = {1.0, 2.0};
+  EXPECT_NO_THROW((void)pack_fleet(fleet.slots, jobs, partitioner,
+                                   PackOptions{}, nullptr, exact));
+}
+
+TEST(PackFleet, WaitAccountingMatchesHandComputation) {
+  // Single slot, batch cap 2, three identical jobs behind a 5s backlog:
+  // jobs 0 and 1 join the first batch (modeled wait = the backlog), job 2
+  // opens a second one behind the first batch's modeled execution. Every
+  // number in the plan's accounting is recomputable from modeled_exec_ns
+  // and job_runtime_s alone.
+  const Device device = make_line_device(10);
+  const QucpPartitioner partitioner;
+  const ProgramShape shape{2, 1, 2};
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 3; ++i) jobs.push_back(make_job(i, shape, i));
+  std::map<std::uint64_t, double> cache;
+  const FleetSlot slot{&device, nullptr, &cache};
+  PackOptions opts;
+  opts.max_batch_size = 2;
+  const std::vector<double> backlog = {5.0};
+  const FleetPlan plan =
+      pack_fleet(std::span<const FleetSlot>(&slot, 1), jobs, partitioner,
+                 opts, nullptr, backlog);
+
+  RuntimeModel model = opts.runtime;
+  model.queue_depth = 0;  // queueing is what the estimates model
+  const double exec_s =
+      job_runtime_s(model, modeled_exec_ns(device, shape));
+  ASSERT_EQ(plan.batches[0].size(), 2u);
+  ASSERT_EQ(plan.batch_exec_s[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.batch_exec_s[0][0], exec_s);
+  EXPECT_DOUBLE_EQ(plan.batch_exec_s[0][1], exec_s);
+  // Waits at admission: 5.0 + 5.0 + (5.0 + exec_s).
+  EXPECT_DOUBLE_EQ(plan.wait_sum_s[0], 15.0 + exec_s);
+  EXPECT_DOUBLE_EQ(plan.wait_max_s[0], 5.0 + exec_s);
+
+  // Without a backlog the first batch's jobs wait zero.
+  const FleetPlan idle =
+      pack_fleet(std::span<const FleetSlot>(&slot, 1), jobs, partitioner,
+                 opts, nullptr);
+  EXPECT_DOUBLE_EQ(idle.wait_sum_s[0], exec_s);
+  EXPECT_DOUBLE_EQ(idle.wait_max_s[0], exec_s);
+}
+
+TEST(FleetView, ExpectedLatencyScoresMatchHandComputation) {
+  // Two identical devices; lane 0 carries a 50s backlog plus a full open
+  // batch, lane 1 an open batch with room. The score decomposition
+  // (drain + runtime of the batch the job would join) must follow
+  // fleet.hpp's documented semantics exactly.
+  TestFleet fleet({make_line_device(10, 3), make_line_device(10, 3)});
+  const QucpPartitioner partitioner;
+  const PackJob job = make_job(0, {2, 1, 2}, 9);
+  RuntimeModel model;
+  model.queue_depth = 0;
+  const double own_ns = modeled_exec_ns(fleet.devices[0], job.shape);
+
+  std::vector<LaneEstimate> lanes(2);
+  lanes[0].initial_backlog_s = 50.0;
+  lanes[0].open_jobs = 2;  // full at max_batch_size = 2
+  lanes[0].open_max_ns = 4 * own_ns;
+  lanes[1].open_jobs = 1;  // room for one more
+  lanes[1].open_max_ns = 3 * own_ns;
+  const FleetView view(fleet.slots, partitioner, lanes, &model, 2);
+
+  EXPECT_DOUBLE_EQ(view.drain_estimate_s(0), 50.0);
+  EXPECT_DOUBLE_EQ(view.drain_estimate_s(1), 0.0);
+  EXPECT_EQ(view.open_jobs(0), 2);
+  // Slot 0: wait behind backlog AND the full open batch, then run alone.
+  EXPECT_DOUBLE_EQ(view.expected_latency_s(0, job),
+                   50.0 + job_runtime_s(model, 4 * own_ns) +
+                       job_runtime_s(model, own_ns));
+  // Slot 1: join the open batch; its slower co-runner bounds the runtime.
+  EXPECT_DOUBLE_EQ(view.expected_latency_s(1, job),
+                   job_runtime_s(model, 3 * own_ns));
+
+  ExpectedLatencyPolicy policy;
+  std::vector<std::size_t> order;
+  policy.preference(view, job, order);
+  EXPECT_EQ(order, (std::vector<std::size_t>{1, 0}));
+
+  // An idle view (no lanes) reports zero queues and ties to slot id.
+  const FleetView idle(fleet.slots, partitioner);
+  EXPECT_DOUBLE_EQ(idle.drain_estimate_s(0), 0.0);
+  policy.preference(idle, job, order);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PackFleet, ExpectedLatencyRoutesAroundBacklog) {
+  // Identical devices, lane 0 pre-loaded with 1000 modeled seconds: the
+  // queue-aware policy prefers lane 1 for every job, so the first open
+  // batch fills there and lane 0 stays empty. (Only two jobs: once a
+  // preferred batch is full the round engine falls through to the next
+  // slot in preference order — deliberately queueing-not-spill — so a
+  // longer stream WOULD overflow onto the backlogged lane within a round.)
+  TestFleet fleet({make_line_device(8, 3), make_line_device(8, 3)});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    jobs.push_back(make_job(i, {2, 1, 2}, 700 + i));
+  }
+  ExpectedLatencyPolicy policy;
+  PackOptions opts;
+  opts.max_batch_size = 2;
+  const std::vector<double> backlog = {1000.0, 0.0};
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, opts, &policy, backlog);
+  EXPECT_TRUE(plan.batches[0].empty());
+  std::size_t on_lane1 = 0;
+  for (const PackedBatch& batch : plan.batches[1]) on_lane1 += batch.jobs.size();
+  EXPECT_EQ(on_lane1, 2u);
+  EXPECT_TRUE(plan.unplaceable.empty());
+  EXPECT_EQ(plan.cross_device_spills, 0u);
+}
+
+TEST(PackFleet, TimeBlindPoliciesIgnoreBacklog) {
+  // The lane estimates exist for ExpectedLatency and the wait accounting;
+  // RoundRobin/LeastLoaded/BestEfs must plan the identical batches with or
+  // without a lopsided backlog (single-backend golden paths depend on it).
+  TestFleet fleet({make_toronto27(), make_manhattan65()});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  for (std::size_t i = 0; i < 9; ++i) {
+    jobs.push_back(make_job(i, {2 + static_cast<int>(i % 4), 3, 4}, 300 + i));
+  }
+  PackOptions opts;
+  opts.max_batch_size = 3;
+  const std::vector<double> backlog = {500.0, 0.0};
+  for (const RoutePolicy kind : {RoutePolicy::RoundRobin,
+                                 RoutePolicy::LeastLoaded,
+                                 RoutePolicy::BestEfs}) {
+    const auto without = make_routing_policy(kind);
+    const FleetPlan a =
+        pack_fleet(fleet.slots, jobs, partitioner, opts, without.get());
+    const auto with = make_routing_policy(kind);
+    const FleetPlan b =
+        pack_fleet(fleet.slots, jobs, partitioner, opts, with.get(), backlog);
+    ASSERT_EQ(a.batches.size(), b.batches.size());
+    for (std::size_t s = 0; s < a.batches.size(); ++s) {
+      ASSERT_EQ(a.batches[s].size(), b.batches[s].size())
+          << route_policy_name(kind);
+      for (std::size_t i = 0; i < a.batches[s].size(); ++i) {
+        EXPECT_EQ(a.batches[s][i].jobs, b.batches[s][i].jobs)
+            << route_policy_name(kind);
+      }
+    }
+    // The backlog still shifts the modeled waits, decisions aside.
+    EXPECT_GE(b.wait_max_s[0], a.wait_max_s[0]) << route_policy_name(kind);
+  }
 }
 
 TEST(FleetScheduler, SingleBackendBypassesPolicy) {

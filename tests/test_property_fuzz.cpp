@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <map>
 #include <tuple>
 #include <utility>
 #include <vector>
@@ -16,6 +19,7 @@
 #include "circuit/optimize.hpp"
 #include "circuit/qasm.hpp"
 #include "common/rng.hpp"
+#include "fleetsim/simulator.hpp"
 #include "mapping/transpiler.hpp"
 #include "partition/candidates.hpp"
 #include "service/service.hpp"
@@ -193,6 +197,94 @@ TEST_P(FuzzSeeds, FleetSchedulerDeterministicUnderSubmissionInterleaving) {
     std::swap(shuffled[i - 1], shuffled[rng.index(i)]);
   }
   EXPECT_EQ(run(in_order), run(shuffled));
+}
+
+TEST_P(FuzzSeeds, FleetSimulatorInvariantsUnderRandomTraffic) {
+  // Randomized interleaving fuzz over the discrete-event simulator: a
+  // random fleet (random class tables, some classes unfit on some
+  // devices), a random arrival process and a random policy must always
+  // yield a physical trace — every arrival served on a device it fits,
+  // batches within the cap, FIFO starts per lane, busy time bounded by
+  // the horizon — and rerunning the simulation must be bit-identical.
+  Rng rng(11000 + GetParam());
+  const std::size_t num_devices = 2 + rng.index(3);  // 2..4
+  const std::size_t num_classes = 1 + rng.index(4);  // 1..4
+  std::vector<fleetsim::SimJobClass> classes;
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    fleetsim::SimJobClass cls;
+    cls.name = "c" + std::to_string(c);
+    cls.qubits = 2 + static_cast<int>(rng.index(6));
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      // ~1 in 5 (device, class) pairs are unfit; retried below if a class
+      // ends up fitting nowhere.
+      const bool unfit = rng.bernoulli(0.2) && d + 1 < num_devices;
+      cls.makespan_ns.push_back(unfit ? -1.0 : rng.uniform(500.0, 8000.0));
+      cls.efs.push_back(rng.uniform(0.01, 0.5));
+    }
+    if (std::all_of(cls.makespan_ns.begin(), cls.makespan_ns.end(),
+                    [](double m) { return m < 0.0; })) {
+      cls.makespan_ns.back() = rng.uniform(500.0, 8000.0);
+    }
+    classes.push_back(std::move(cls));
+  }
+
+  fleetsim::ArrivalConfig config;
+  config.kind = static_cast<fleetsim::ArrivalKind>(rng.index(3));
+  config.rate_per_s = rng.uniform(0.05, 2.0);
+  config.diurnal_period_s = rng.uniform(60.0, 600.0);
+  config.class_weights.assign(num_classes, 0.0);
+  for (double& w : config.class_weights) w = rng.uniform(0.1, 3.0);
+
+  fleetsim::SimOptions options;
+  options.policy = static_cast<fleetsim::SimPolicy>(rng.index(4));
+  options.max_batch_size = static_cast<int>(rng.index(5));  // 0 = unbounded
+  const int cap = options.max_batch_size <= 0
+                      ? std::numeric_limits<int>::max()
+                      : options.max_batch_size;
+
+  const fleetsim::FleetSimulator sim(classes, num_devices, options);
+  const auto arrivals =
+      fleetsim::generate_arrivals(config, 400, 500 + GetParam());
+  const fleetsim::SimTrace trace = sim.run(arrivals);
+
+  ASSERT_EQ(trace.jobs.size(), arrivals.size());
+  std::vector<double> last_start(num_devices, 0.0);
+  std::map<std::tuple<int, double, double>, int> batch_sizes;
+  for (std::size_t i = 0; i < trace.jobs.size(); ++i) {
+    const fleetsim::JobRecord& r = trace.jobs[i];
+    EXPECT_EQ(r.job_class, arrivals[i].job_class);
+    EXPECT_DOUBLE_EQ(r.arrival_s, arrivals[i].time_s);
+    ASSERT_GE(r.device, 0);
+    ASSERT_LT(static_cast<std::size_t>(r.device), num_devices);
+    // Routed somewhere the class actually fits.
+    EXPECT_GE(classes[static_cast<std::size_t>(r.job_class)]
+                  .makespan_ns[static_cast<std::size_t>(r.device)],
+              0.0);
+    EXPECT_GE(r.start_s, r.arrival_s);
+    EXPECT_GT(r.end_s, r.start_s);
+    EXPECT_LE(r.end_s, trace.horizon_s);
+    // FIFO lanes: start times never regress in arrival order per device.
+    EXPECT_GE(r.start_s, last_start[static_cast<std::size_t>(r.device)]);
+    last_start[static_cast<std::size_t>(r.device)] = r.start_s;
+    batch_sizes[{r.device, r.start_s, r.end_s}] += 1;
+  }
+  std::vector<std::uint64_t> batches_per_device(num_devices, 0);
+  for (const auto& [key, size] : batch_sizes) {
+    EXPECT_LE(size, cap);
+    batches_per_device[static_cast<std::size_t>(std::get<0>(key))] += 1;
+  }
+  double busy_sum = 0.0;
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    EXPECT_LE(trace.busy_s[d], trace.horizon_s + 1e-9);
+    // Distinct (start, end) pairs undercount only if two batches on one
+    // device share both endpoints, which disjoint busy intervals forbid.
+    EXPECT_EQ(trace.batches[d], batches_per_device[d]);
+    busy_sum += trace.busy_s[d];
+  }
+  EXPECT_GT(busy_sum, 0.0);
+
+  // Bit-identical on rerun: the simulator holds no hidden state.
+  EXPECT_EQ(trace.hash(), sim.run(arrivals).hash());
 }
 
 TEST_P(FuzzSeeds, InverseCircuitComposesToIdentity) {

@@ -640,6 +640,100 @@ TEST(FleetService, ExclusiveJobRunsAloneOnSomeBackend) {
   }
 }
 
+TEST(FleetService, WaitAccountingIsAuditableAgainstAnIndependentPlan) {
+  // The per-backend modeled-wait counters (ServiceStats) must be exactly
+  // recomputable from an independent FleetScheduler run over the same
+  // jobs: one flush = one dispatch cycle with a zero backlog snapshot, so
+  // planning the canonically-sorted PackJobs with the same options must
+  // reproduce wait_sum/wait_max per lane. After the flush every batch has
+  // completed, so the modeled backlog must have drained back to zero.
+  ServiceOptions opts = fast_service_options();
+  opts.route_policy = RoutePolicy::LeastLoaded;
+  const std::vector<Device> devices{make_toronto27(), make_manhattan65()};
+  ExecutionService service(BackendRegistry(devices), opts);
+
+  std::vector<Circuit> circuits;
+  for (int i = 0; i < 12; ++i) circuits.push_back(mix_circuit(i));
+  std::vector<JobHandle> handles;
+  for (const Circuit& c : circuits) handles.push_back(service.submit(c));
+  service.flush();
+  for (const JobHandle& h : handles) ASSERT_EQ(h.status(), JobStatus::Done);
+
+  // Replay the dispatch: canonical order sorts by (fingerprint, name, id).
+  struct Key {
+    std::uint64_t fingerprint;
+    std::string name;
+    std::size_t id;
+  };
+  std::vector<Key> keys;
+  for (std::size_t i = 0; i < circuits.size(); ++i) {
+    keys.push_back({circuit_fingerprint(circuits[i]), circuits[i].name(), i});
+  }
+  std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+    return std::tie(a.fingerprint, a.name, a.id) <
+           std::tie(b.fingerprint, b.name, b.id);
+  });
+  std::vector<PackJob> pack_jobs;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    pack_jobs.push_back(
+        {i, shape_of(circuits[keys[i].id]), keys[i].fingerprint, false});
+  }
+  PackOptions popts;
+  popts.max_batch_size = opts.max_batch_size;
+  popts.efs_threshold = opts.efs_threshold;
+  popts.single_batch = opts.single_batch;
+  popts.runtime.shots = opts.exec.shots;
+  BackendRegistry audit(devices);
+  FleetScheduler scheduler(audit, opts.route_policy);
+  const QucpPartitioner partitioner(opts.sigma);
+  const std::vector<double> idle = {0.0, 0.0};
+  const FleetPlan plan =
+      scheduler.plan(pack_jobs, partitioner, popts, idle);
+
+  const ServiceStats stats = service.stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  for (std::size_t s = 0; s < 2; ++s) {
+    EXPECT_DOUBLE_EQ(stats.backends[s].modeled_wait_sum_s, plan.wait_sum_s[s])
+        << "lane " << s;
+    EXPECT_DOUBLE_EQ(stats.backends[s].modeled_wait_max_s, plan.wait_max_s[s])
+        << "lane " << s;
+    EXPECT_DOUBLE_EQ(stats.backends[s].modeled_backlog_s, 0.0) << "lane " << s;
+  }
+  // The modeled waits are real numbers, not zeros: at least one lane saw
+  // a job admitted behind planned work.
+  EXPECT_GT(stats.backends[0].modeled_wait_sum_s +
+                stats.backends[1].modeled_wait_sum_s,
+            0.0);
+}
+
+TEST(FleetService, ExpectedLatencyDrainsDeterministicallyAcrossInterleavings) {
+  // The queue-aware policy reads lane backlog snapshots, which could in
+  // principle vary with worker timing — but one flush cycle starts from
+  // zero backlog and canonical order, so routing must stay reproducible
+  // across submission interleavings, like every other policy.
+  auto fleet_service = [] {
+    ServiceOptions opts = fast_service_options();
+    opts.route_policy = RoutePolicy::ExpectedLatency;
+    return std::make_unique<ExecutionService>(
+        BackendRegistry(
+            std::vector<Device>{make_toronto27(), make_manhattan65()}),
+        opts);
+  };
+  auto serial = fleet_service();
+  const auto base = run_jobs(*serial, 24, 1);
+  bool multiple_backends = false;
+  for (const auto& [name, out] : base) {
+    multiple_backends |= out.backend_id != base.begin()->second.backend_id;
+  }
+  EXPECT_TRUE(multiple_backends);
+
+  auto reversed = fleet_service();
+  EXPECT_EQ(run_jobs(*reversed, 24, 1, /*reversed=*/true), base);
+
+  auto threaded = fleet_service();
+  EXPECT_EQ(run_jobs(*threaded, 24, 4), base);
+}
+
 TEST(Backend, TranspileCacheHitsAndEviction) {
   Backend backend(make_toronto27(), /*transpile_cache_capacity=*/2);
   const Circuit bell = get_benchmark("bell").circuit;
