@@ -230,10 +230,79 @@ std::vector<FusionRow> run_dense_simd_section() {
     return row;
   };
 
+  // CZ with absorbed phase gates on a qubit ring: the fused blocks stay
+  // diagonal (kDiag2 sweeps).
+  auto sv_diag2 = [&](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) {
+      c.u1(0.3 + 0.05 * q, q);
+      c.cz(q, (q + 1) % n);
+      c.u1(0.7 - 0.04 * q, (q + 1) % n);
+    }
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    Statevector sv(n);
+    const int reps = smoke_mode() ? 30 : 200;
+    FusionRow row;
+    row.section = "dense_simd";
+    row.name = "sv_diag2_phase_ring";
+    row.qubits = n;
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          sv.run(prog);
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          sv.run(prog);
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+  // CX with absorbed phase gates: the fused blocks are generalized
+  // permutations (kPerm2 sweeps).
+  auto sv_perm2 = [&](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) {
+      c.u1(0.3 + 0.05 * q, q);
+      c.cx(q, (q + 1) % n);
+      c.u1(0.7 - 0.04 * q, (q + 1) % n);
+    }
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    Statevector sv(n);
+    const int reps = smoke_mode() ? 30 : 200;
+    FusionRow row;
+    row.section = "dense_simd";
+    row.name = "sv_perm2_phased_cx_ring";
+    row.qubits = n;
+    row.gates = prog.source_gate_count();
+    row.fused_gates = prog.ops().size();
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          sv.run(prog);
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          sv.run(prog);
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+
   rows.push_back(sv_dense1(10));
   rows.push_back(sv_dense1(smoke_mode() ? 12 : 14));
   rows.push_back(sv_dense2(10));
   rows.push_back(sv_dense2(smoke_mode() ? 12 : 14));
+  rows.push_back(sv_diag2(10));
+  rows.push_back(sv_diag2(smoke_mode() ? 12 : 14));
+  rows.push_back(sv_perm2(10));
+  rows.push_back(sv_perm2(smoke_mode() ? 12 : 14));
   rows.push_back(dm_dense(5));
   rows.push_back(dm_dense(smoke_mode() ? 6 : 7));
   return rows;

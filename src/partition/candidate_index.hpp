@@ -127,6 +127,11 @@ class AllocationSession {
     return allocated_;
   }
 
+  /// The index this session replays against (and through it the device).
+  [[nodiscard]] const CandidateIndex& index() const noexcept {
+    return *index_;
+  }
+
  private:
   /// Fringe scoring: efs_score's exact arithmetic against the session's
   /// incrementally-maintained allocated-edge list, skipping the per-call

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 #include <set>
+#include <stdexcept>
 
 #include "partition/candidate_index.hpp"
 #include "partition/candidates.hpp"
@@ -44,6 +45,31 @@ std::optional<double> solo_efs_score(const Device& device,
 
 namespace {
 
+/// One grow step of the EFS-greedy allocation against a session: pick the
+/// lowest-EFS candidate in the current allocation context, without
+/// committing. The indexed allocate loop and Partitioner::grow_one both
+/// call this, so the incremental admission path replays the exact
+/// decision (and floating-point) stream of a fresh allocate by
+/// construction.
+std::optional<PartitionAssignment> efs_greedy_grow_one(
+    AllocationSession& session, const ProgramShape& shape,
+    const CrosstalkPolicy& policy) {
+  const auto& candidates = session.candidates(shape.num_qubits);
+  bool found = false;
+  PartitionAssignment current;
+  double best_score = 0.0;
+  for (const AllocationSession::Candidate& cand : candidates) {
+    EfsBreakdown efs = session.score(cand, shape, policy);
+    if (!found || efs.score < best_score) {
+      current = {*cand.part, std::move(efs)};
+      found = true;
+      best_score = current.efs.score;
+    }
+  }
+  if (!found) return std::nullopt;
+  return current;
+}
+
 /// Shared EFS-greedy allocation used by QuCP and QuMC. The reference
 /// (index == nullptr) path regenerates candidates and rescores everything
 /// per program; the indexed path replays the identical decisions through
@@ -56,22 +82,10 @@ std::optional<std::vector<PartitionAssignment>> efs_greedy_allocate(
   if (index != nullptr) {
     AllocationSession session(*index);
     for (std::size_t idx = 0; idx < programs.size(); ++idx) {
-      const ProgramShape& shape = programs[idx];
-      const auto& candidates = session.candidates(shape.num_qubits);
-      bool found = false;
-      PartitionAssignment current;
-      double best_score = 0.0;
-      for (const AllocationSession::Candidate& cand : candidates) {
-        EfsBreakdown efs = session.score(cand, shape, policy);
-        if (!found || efs.score < best_score) {
-          current = {*cand.part, std::move(efs)};
-          found = true;
-          best_score = current.efs.score;
-        }
-      }
-      if (!found) return std::nullopt;
-      session.commit(current.qubits);
-      result[idx] = std::move(current);
+      auto current = efs_greedy_grow_one(session, programs[idx], policy);
+      if (!current) return std::nullopt;
+      session.commit(current->qubits);
+      result[idx] = std::move(*current);
     }
     return result;
   }
@@ -104,6 +118,34 @@ std::optional<std::vector<PartitionAssignment>> efs_greedy_allocate(
 /// The index accelerates candidate generation only; each method's own
 /// ranking runs unchanged, and the chosen region's EFS breakdown comes
 /// from the reference efs_score either way.
+/// One grow step of the score-based allocation (QuCloud/MultiQC) against
+/// a session, without committing — shared with Partitioner::grow_one like
+/// efs_greedy_grow_one above.
+template <typename ScoreFn>
+std::optional<PartitionAssignment> score_greedy_grow_one(
+    AllocationSession& session, const ProgramShape& shape, ScoreFn score) {
+  const NoCrosstalkPolicy no_xtalk;
+  const Device& device = session.index().device();
+  const auto& candidates = session.candidates(shape.num_qubits);
+  bool found = false;
+  std::vector<int> best_cand;
+  double best_score = 0.0;
+  for (const AllocationSession::Candidate& cand : candidates) {
+    const double s = score(device, *cand.part);
+    if (!found || s > best_score) {
+      best_cand = *cand.part;
+      best_score = s;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+  PartitionAssignment assignment;
+  assignment.qubits = best_cand;
+  assignment.efs =
+      efs_score(device, best_cand, shape, session.allocated(), no_xtalk);
+  return assignment;
+}
+
 template <typename ScoreFn>
 std::optional<std::vector<PartitionAssignment>> score_greedy_allocate(
     const Device& device, std::span<const ProgramShape> programs,
@@ -114,26 +156,10 @@ std::optional<std::vector<PartitionAssignment>> score_greedy_allocate(
   if (index != nullptr) {
     AllocationSession session(*index);
     for (std::size_t idx = 0; idx < programs.size(); ++idx) {
-      const ProgramShape& shape = programs[idx];
-      const auto& candidates = session.candidates(shape.num_qubits);
-      bool found = false;
-      std::vector<int> best_cand;
-      double best_score = 0.0;
-      for (const AllocationSession::Candidate& cand : candidates) {
-        const double s = score(device, *cand.part);
-        if (!found || s > best_score) {
-          best_cand = *cand.part;
-          best_score = s;
-          found = true;
-        }
-      }
-      if (!found) return std::nullopt;
-      PartitionAssignment assignment;
-      assignment.qubits = best_cand;
-      assignment.efs = efs_score(device, best_cand, shape,
-                                 session.allocated(), no_xtalk);
-      session.commit(best_cand);
-      result[idx] = std::move(assignment);
+      auto assignment = score_greedy_grow_one(session, programs[idx], score);
+      if (!assignment) return std::nullopt;
+      session.commit(assignment->qubits);
+      result[idx] = std::move(*assignment);
     }
     return result;
   }
@@ -165,12 +191,55 @@ std::optional<std::vector<PartitionAssignment>> score_greedy_allocate(
   return result;
 }
 
+/// Fidelity degree of qubit q: sum over incident edges of (1 - cx error),
+/// penalized by readout error — QuCloud's CMR-style heuristic. Candidates
+/// arrive sorted, so membership is a binary search, not a per-call set.
+double qucloud_score(const Device& dev, const std::vector<int>& cand) {
+  double total = 0.0;
+  for (int q : cand) {
+    double fd = 0.0;
+    for (int nb : dev.topology().neighbors(q)) {
+      if (std::binary_search(cand.begin(), cand.end(), nb)) {
+        fd += 1.0 - dev.cx_error(q, nb);
+      }
+    }
+    total += fd - dev.readout_error(q);
+  }
+  return total;
+}
+
+/// Region utility: product of edge and readout survival probabilities
+/// (log-sum for numeric stability) — Das et al.'s reliability ranking.
+double multiqc_score(const Device& dev, const std::vector<int>& cand) {
+  double log_survival = 0.0;
+  for (int e : dev.topology().induced_edges(cand)) {
+    log_survival += std::log1p(-dev.calibration().cx_error[e]);
+  }
+  for (int q : cand) {
+    log_survival += std::log1p(-dev.readout_error(q));
+  }
+  return log_survival;
+}
+
 }  // namespace
+
+std::optional<PartitionAssignment> Partitioner::grow_one(
+    AllocationSession& session, const ProgramShape& shape) const {
+  (void)session;
+  (void)shape;
+  throw std::logic_error("Partitioner::grow_one: " + name() +
+                         " does not support incremental allocation");
+}
 
 std::optional<std::vector<PartitionAssignment>> QucpPartitioner::do_allocate(
     const Device& device, std::span<const ProgramShape> programs,
     const CandidateIndex* index) const {
   return efs_greedy_allocate(device, programs, policy_, index);
+}
+
+std::optional<PartitionAssignment> QucpPartitioner::grow_one(
+    AllocationSession& session, const ProgramShape& shape) const {
+  return efs_greedy_grow_one(session, shape, policy_);
 }
 
 std::optional<std::vector<PartitionAssignment>> QumcPartitioner::do_allocate(
@@ -179,44 +248,31 @@ std::optional<std::vector<PartitionAssignment>> QumcPartitioner::do_allocate(
   return efs_greedy_allocate(device, programs, policy_, index);
 }
 
+std::optional<PartitionAssignment> QumcPartitioner::grow_one(
+    AllocationSession& session, const ProgramShape& shape) const {
+  return efs_greedy_grow_one(session, shape, policy_);
+}
+
 std::optional<std::vector<PartitionAssignment>> QucloudPartitioner::do_allocate(
     const Device& device, std::span<const ProgramShape> programs,
     const CandidateIndex* index) const {
-  // Fidelity degree of qubit q: sum over incident edges of (1 - cx error),
-  // penalized by readout error — QuCloud's CMR-style heuristic. Candidates
-  // arrive sorted, so membership is a binary search, not a per-call set.
-  auto score = [](const Device& dev, const std::vector<int>& cand) {
-    double total = 0.0;
-    for (int q : cand) {
-      double fd = 0.0;
-      for (int nb : dev.topology().neighbors(q)) {
-        if (std::binary_search(cand.begin(), cand.end(), nb)) {
-          fd += 1.0 - dev.cx_error(q, nb);
-        }
-      }
-      total += fd - dev.readout_error(q);
-    }
-    return total;
-  };
-  return score_greedy_allocate(device, programs, score, index);
+  return score_greedy_allocate(device, programs, qucloud_score, index);
+}
+
+std::optional<PartitionAssignment> QucloudPartitioner::grow_one(
+    AllocationSession& session, const ProgramShape& shape) const {
+  return score_greedy_grow_one(session, shape, qucloud_score);
 }
 
 std::optional<std::vector<PartitionAssignment>> MultiqcPartitioner::do_allocate(
     const Device& device, std::span<const ProgramShape> programs,
     const CandidateIndex* index) const {
-  // Region utility: product of edge and readout survival probabilities
-  // (log-sum for numeric stability) — Das et al.'s reliability ranking.
-  auto score = [](const Device& dev, const std::vector<int>& cand) {
-    double log_survival = 0.0;
-    for (int e : dev.topology().induced_edges(cand)) {
-      log_survival += std::log1p(-dev.calibration().cx_error[e]);
-    }
-    for (int q : cand) {
-      log_survival += std::log1p(-dev.readout_error(q));
-    }
-    return log_survival;
-  };
-  return score_greedy_allocate(device, programs, score, index);
+  return score_greedy_allocate(device, programs, multiqc_score, index);
+}
+
+std::optional<PartitionAssignment> MultiqcPartitioner::grow_one(
+    AllocationSession& session, const ProgramShape& shape) const {
+  return score_greedy_grow_one(session, shape, multiqc_score);
 }
 
 std::optional<std::vector<PartitionAssignment>> NaivePartitioner::do_allocate(

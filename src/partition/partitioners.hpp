@@ -18,7 +18,8 @@
 
 namespace qucp {
 
-class CandidateIndex;  // partition/candidate_index.hpp
+class CandidateIndex;     // partition/candidate_index.hpp
+class AllocationSession;  // partition/candidate_index.hpp
 
 /// Derive a program's partition requirements from its circuit.
 [[nodiscard]] ProgramShape shape_of(const Circuit& circuit);
@@ -49,6 +50,24 @@ class Partitioner {
     return do_allocate(device, programs, index);
   }
 
+  /// True when grow_one() can extend an indexed allocation one program at
+  /// a time with results bit-identical to a fresh allocate() over the
+  /// whole ordered batch (the candidate-based partitioners; Naive ignores
+  /// the index and stays from-scratch).
+  [[nodiscard]] virtual bool supports_incremental() const noexcept {
+    return false;
+  }
+
+  /// Allocate `shape` as the NEXT program of an ongoing indexed
+  /// allocation whose earlier commits live in `session`, without
+  /// committing — callers commit the returned qubits on admission. Given
+  /// a session that replayed commits for programs[0..n-1] in order, the
+  /// result is bit-identical (same partition, same EFS doubles) to entry
+  /// n of allocate(device, programs[0..n], index). Throws
+  /// std::logic_error when !supports_incremental().
+  [[nodiscard]] virtual std::optional<PartitionAssignment> grow_one(
+      AllocationSession& session, const ProgramShape& shape) const;
+
  protected:
   [[nodiscard]] virtual std::optional<std::vector<PartitionAssignment>>
   do_allocate(const Device& device, std::span<const ProgramShape> programs,
@@ -78,6 +97,11 @@ class QucpPartitioner final : public Partitioner {
   [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
       const Device& device, std::span<const ProgramShape> programs,
       const CandidateIndex* index) const override;
+  [[nodiscard]] bool supports_incremental() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::optional<PartitionAssignment> grow_one(
+      AllocationSession& session, const ProgramShape& shape) const override;
   [[nodiscard]] double sigma() const noexcept { return policy_.sigma(); }
 
  private:
@@ -93,6 +117,11 @@ class QumcPartitioner final : public Partitioner {
   [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
       const Device& device, std::span<const ProgramShape> programs,
       const CandidateIndex* index) const override;
+  [[nodiscard]] bool supports_incremental() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::optional<PartitionAssignment> grow_one(
+      AllocationSession& session, const ProgramShape& shape) const override;
 
  private:
   CrosstalkModel estimates_;
@@ -107,6 +136,11 @@ class QucloudPartitioner final : public Partitioner {
   [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
       const Device& device, std::span<const ProgramShape> programs,
       const CandidateIndex* index) const override;
+  [[nodiscard]] bool supports_incremental() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::optional<PartitionAssignment> grow_one(
+      AllocationSession& session, const ProgramShape& shape) const override;
 };
 
 /// MultiQC-style (Das et al.): picks the most reliable region by a
@@ -117,6 +151,11 @@ class MultiqcPartitioner final : public Partitioner {
   [[nodiscard]] std::optional<std::vector<PartitionAssignment>> do_allocate(
       const Device& device, std::span<const ProgramShape> programs,
       const CandidateIndex* index) const override;
+  [[nodiscard]] bool supports_incremental() const noexcept override {
+    return true;
+  }
+  [[nodiscard]] std::optional<PartitionAssignment> grow_one(
+      AllocationSession& session, const ProgramShape& shape) const override;
 };
 
 /// First-fit connected region by BFS from the lowest free index,

@@ -1,10 +1,13 @@
 #include "service/fleet.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+
+#include "partition/candidate_index.hpp"
 
 namespace qucp {
 
@@ -37,6 +40,110 @@ double exec_ns_from_calibration(const Calibration& cal,
 double modeled_exec_ns(const Device& device, const ProgramShape& shape) {
   const Calibration& cal = device.calibration();
   return exec_ns_from_calibration(cal, shape, mean_cx_duration_ns(cal));
+}
+
+AdmissionProbe::AdmissionProbe(const FleetSlot& slot,
+                               const Partitioner& partitioner,
+                               bool incremental)
+    : slot_(&slot), partitioner_(&partitioner), incremental_(incremental) {}
+
+AdmissionProbe::~AdmissionProbe() = default;
+AdmissionProbe::AdmissionProbe(AdmissionProbe&&) noexcept = default;
+AdmissionProbe& AdmissionProbe::operator=(AdmissionProbe&&) noexcept =
+    default;
+
+void AdmissionProbe::rebuild_session() {
+  // A session's future queries depend only on the committed set and
+  // commit order, so replaying assignments_ (already in allocation order)
+  // reproduces exactly the session state a fresh allocate() would have
+  // after the same prefix.
+  session_ = std::make_unique<AllocationSession>(*slot_->index);
+  for (const PartitionAssignment& a : assignments_) {
+    session_->commit(a.qubits);
+  }
+  session_valid_ = true;
+}
+
+const std::vector<PartitionAssignment>* AdmissionProbe::probe(
+    const ProgramShape& shape) {
+  has_pending_ = false;
+  pending_shape_ = shape;
+
+  // allocation_order sorts (qubits desc, 2q desc, stable): the new shape
+  // — holding the highest original index — sorts last iff it does not
+  // strictly precede the currently-last ordered member.
+  const auto sorts_last = [&] {
+    if (shapes_.empty()) return true;
+    const ProgramShape& last = shapes_[order_.back()];
+    const bool precedes =
+        shape.num_qubits > last.num_qubits ||
+        (shape.num_qubits == last.num_qubits && shape.num_2q > last.num_2q);
+    return !precedes;
+  };
+
+  if (incremental_ && slot_->index != nullptr &&
+      partitioner_->supports_incremental() && sorts_last()) {
+    // Fast path: the grown batch's allocation order is the old order plus
+    // the new shape at the end, so the members' greedy prefix (and their
+    // context EFS scores, frozen at their own allocation step) is
+    // unchanged — only the new job needs an allocation, against the
+    // persistent session.
+    if (!session_valid_) rebuild_session();
+    auto grown = partitioner_->grow_one(*session_, shape);
+    if (!grown) return nullptr;
+    pending_assignments_ = assignments_;
+    pending_assignments_.push_back(std::move(*grown));
+    pending_order_ = order_;
+    pending_order_.push_back(shapes_.size());
+    pending_fast_ = true;
+  } else {
+    // Reference path: re-allocate the whole grown batch from scratch, in
+    // the same largest-first order the execution pipeline will use.
+    std::vector<ProgramShape> tentative = shapes_;
+    tentative.push_back(shape);
+    pending_order_ = allocation_order(tentative);
+    std::vector<ProgramShape> ordered_shapes;
+    ordered_shapes.reserve(pending_order_.size());
+    for (std::size_t idx : pending_order_) {
+      ordered_shapes.push_back(tentative[idx]);
+    }
+    auto alloc =
+        partitioner_->allocate(*slot_->device, ordered_shapes, slot_->index);
+    if (!alloc) return nullptr;
+    pending_assignments_ = std::move(*alloc);
+    pending_fast_ = false;
+  }
+  has_pending_ = true;
+  return &pending_assignments_;
+}
+
+void AdmissionProbe::admit() {
+  assert(has_pending_);
+  if (pending_fast_ && session_valid_) {
+    // Tail admission: the session extends by exactly the new commit.
+    session_->commit(pending_assignments_.back().qubits);
+  } else {
+    // Mid-order admission re-shuffled the commit order; rebuild lazily on
+    // the next fast probe.
+    session_valid_ = false;
+  }
+  shapes_.push_back(pending_shape_);
+  order_ = std::move(pending_order_);
+  assignments_ = std::move(pending_assignments_);
+  pending_order_.clear();
+  pending_assignments_.clear();
+  has_pending_ = false;
+}
+
+void AdmissionProbe::reset() {
+  shapes_.clear();
+  order_.clear();
+  assignments_.clear();
+  session_.reset();
+  session_valid_ = false;
+  pending_order_.clear();
+  pending_assignments_.clear();
+  has_pending_ = false;
 }
 
 FleetView::FleetView(std::span<const FleetSlot> slots,
@@ -267,21 +374,29 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
   }
   const FleetView view(slots, partitioner, lanes, &model,
                        options.max_batch_size);
+  const bool queue_aware = policy != nullptr && policy->queue_aware();
 
   std::vector<const PackJob*> remaining;
   remaining.reserve(jobs.size());
   for (const PackJob& job : jobs) remaining.push_back(&job);
 
-  // Per-round open batch state, slot-indexed.
+  // Per-round open batch state, slot-indexed. The probes carry the open
+  // batches' shapes and allocations across admissions (see AdmissionProbe)
+  // so each test grows one job instead of re-allocating the whole batch.
   std::vector<std::vector<const PackJob*>> batch(num_slots);
-  std::vector<std::vector<ProgramShape>> batch_shapes(num_slots);
+  std::vector<AdmissionProbe> probes;
+  probes.reserve(num_slots);
+  for (std::size_t s = 0; s < num_slots; ++s) {
+    probes.emplace_back(slots[s], partitioner,
+                        options.incremental_admission);
+  }
   std::vector<char> closed(num_slots, 0);
   std::vector<std::size_t> prefs;
 
   while (!remaining.empty()) {
     for (std::size_t s = 0; s < num_slots; ++s) {
       batch[s].clear();
-      batch_shapes[s].clear();
+      probes[s].reset();
       closed[s] = 0;
     }
     std::vector<const PackJob*> spilled;
@@ -292,6 +407,19 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
         policy->preference(view, *job, prefs);
       } else {
         for (std::size_t s = 0; s < num_slots; ++s) prefs.push_back(s);
+      }
+      if (job->exclusive) {
+        // Reservation lane: an exclusive job idles a whole chip for its
+        // round, so instead of closing the policy's best-ranked device,
+        // route it to the emptiest one — ascending modeled drain over the
+        // policy's preferences, ties keeping the policy order. With no
+        // backlog and no earlier-closed batches every drain is 0 and the
+        // order is unchanged (single-slot fleets trivially so).
+        std::stable_sort(prefs.begin(), prefs.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           return view.drain_estimate_s(a) <
+                                  view.drain_estimate_s(b);
+                         });
       }
 
       bool placed = false;
@@ -311,6 +439,13 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
         // Waiting behind a full batch is queueing, not a spill.
         if (closed[s] || batch[s].size() >= cap) {
           unfit_everywhere = false;
+          // Queue-aware deferral: the policy already priced waiting into
+          // its ranking, so when the best-ranked slot that can host the
+          // job at all is busy this round, overflowing onto a worse-
+          // ranked lane is modeled slower than waiting a round. Defer
+          // instead — but only when the job actually fits on s
+          // (memoized probe), else keep scanning.
+          if (queue_aware && view.solo_efs(s, *job)) break;
           continue;
         }
         if (job->exclusive) {
@@ -320,28 +455,19 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
           }
           if (!view.solo_efs(s, *job)) continue;  // unfit alone on s
           batch[s].push_back(job);
-          batch_shapes[s].push_back(job->shape);
           closed[s] = 1;
           placed = true;
           placed_slot = s;
           break;
         }
 
-        // Tentatively grow slot s's batch and re-allocate in the same
-        // largest-first order the execution pipeline will use, so the EFS
-        // we threshold against is the EFS the job will actually get.
-        std::vector<ProgramShape> tentative_shapes = batch_shapes[s];
-        tentative_shapes.push_back(job->shape);
-        const std::vector<std::size_t> order =
-            allocation_order(tentative_shapes);
-        std::vector<ProgramShape> ordered_shapes;
-        ordered_shapes.reserve(order.size());
-        for (std::size_t idx : order) {
-          ordered_shapes.push_back(tentative_shapes[idx]);
-        }
-        const auto alloc = partitioner.allocate(*slots[s].device,
-                                                ordered_shapes, slots[s].index);
-        if (!alloc) {
+        // Grow slot s's open batch by this job through the slot's
+        // admission probe: assignments come back in the same largest-
+        // first order the execution pipeline will use, so the EFS we
+        // threshold against is the EFS the job will actually get.
+        const std::vector<PartitionAssignment>* alloc =
+            probes[s].probe(job->shape);
+        if (alloc == nullptr) {
           if (batch[s].empty()) continue;  // cannot fit even alone on s
           ++plan.spill_events;
           rejected_earlier = true;
@@ -351,10 +477,11 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
         unfit_everywhere = false;
 
         bool over_threshold = false;
-        if (check_threshold && tentative_shapes.size() > 1) {
+        if (check_threshold && alloc->size() > 1) {
+          const std::span<const std::size_t> order = probes[s].order();
           for (std::size_t pos = 0; pos < order.size() && !over_threshold;
                ++pos) {
-            const PackJob& member = order[pos] == tentative_shapes.size() - 1
+            const PackJob& member = order[pos] == probes[s].size()
                                         ? *job
                                         : *batch[s][order[pos]];
             const auto solo = view.solo_efs(s, member);
@@ -368,8 +495,8 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
           rejected_earlier = true;
           continue;
         }
+        probes[s].admit();
         batch[s].push_back(job);
-        batch_shapes[s].push_back(job->shape);
         placed = true;
         placed_slot = s;
         break;
@@ -383,6 +510,12 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
         plan.wait_sum_s[placed_slot] += wait;
         plan.wait_max_s[placed_slot] =
             std::max(plan.wait_max_s[placed_slot], wait);
+        if (job->exclusive) {
+          ++plan.reservation_jobs;
+          plan.reservation_wait_sum_s += wait;
+          plan.reservation_wait_max_s =
+              std::max(plan.reservation_wait_max_s, wait);
+        }
         LaneEstimate& lane = lanes[placed_slot];
         lane.open_jobs += 1;
         lane.open_max_ns = std::max(

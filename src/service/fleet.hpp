@@ -83,6 +83,78 @@ struct FleetSlot {
 [[nodiscard]] double modeled_exec_ns(const Device& device,
                                      const ProgramShape& shape);
 
+/// Incremental grow-one-job admission probe for one slot's open batch.
+///
+/// The packer's admission test asks "does job J fit in this device's open
+/// batch, and at what EFS?". The from-scratch answer re-allocates the
+/// whole grown batch per probe (O(batch) allocations x N devices x
+/// rounds). This probe keeps a persistent AllocationSession mirroring the
+/// open batch's commits and, when the probed shape sorts last in
+/// allocation_order (the common case: allocation order is
+/// largest-first, and the §IV-B spill stream tends to present jobs in
+/// shrinking shape order within a batch), extends it with a single
+/// Partitioner::grow_one step — the earlier members' assignments are the
+/// greedy prefix replay, which is bit-identical by construction, so only
+/// the new job is allocated. A probe that would land mid-order (or a
+/// partitioner/slot without incremental support) falls back to the
+/// reference from-scratch allocation; either way the produced assignment
+/// vector and order are bit-identical to the historical path, which
+/// tests/test_fleet.cpp pins golden-style over randomized streams on all
+/// bundled topologies.
+class AdmissionProbe {
+ public:
+  /// `incremental` off forces the from-scratch path for every probe (the
+  /// reference arm of the golden A/B tests).
+  AdmissionProbe(const FleetSlot& slot, const Partitioner& partitioner,
+                 bool incremental);
+  ~AdmissionProbe();
+  AdmissionProbe(AdmissionProbe&&) noexcept;
+  AdmissionProbe& operator=(AdmissionProbe&&) noexcept;
+
+  /// Test admitting `shape` as the next member of the open batch. On
+  /// success returns the assignments of the grown batch in allocation
+  /// order (use order() to map positions back to admission order); null
+  /// when the grown batch cannot be placed. The pointer is valid until
+  /// the next probe()/admit()/reset().
+  [[nodiscard]] const std::vector<PartitionAssignment>* probe(
+      const ProgramShape& shape);
+
+  /// Admission-order index of each ordered assignment from the last
+  /// successful probe; the value size() marks the probed shape itself.
+  [[nodiscard]] std::span<const std::size_t> order() const noexcept {
+    return pending_order_;
+  }
+
+  /// Commit the last successful probe into the open batch.
+  void admit();
+
+  /// Forget the open batch (the round closed it / a new round starts).
+  void reset();
+
+  /// Jobs admitted to the open batch so far.
+  [[nodiscard]] std::size_t size() const noexcept { return shapes_.size(); }
+
+ private:
+  void rebuild_session();
+
+  const FleetSlot* slot_;
+  const Partitioner* partitioner_;
+  bool incremental_;
+  std::vector<ProgramShape> shapes_;  ///< open batch, admission order
+  std::vector<std::size_t> order_;    ///< == allocation_order(shapes_)
+  std::vector<PartitionAssignment> assignments_;  ///< allocation order
+  /// Session mirroring assignments_ commits; rebuilt lazily after a
+  /// mid-order (from-scratch) admission invalidates it.
+  std::unique_ptr<AllocationSession> session_;
+  bool session_valid_ = false;
+  // Last probe, pending until admit()/reset().
+  std::vector<PartitionAssignment> pending_assignments_;
+  std::vector<std::size_t> pending_order_;
+  ProgramShape pending_shape_;
+  bool pending_fast_ = false;
+  bool has_pending_ = false;
+};
+
 /// Modeled drain state of one slot's lane during a packing cycle: the
 /// backlog already dispatched to the lane when the cycle started, the
 /// batches closed by earlier rounds of this cycle, and the open batch
@@ -164,6 +236,14 @@ class RoutingPolicy {
     (void)slot;
     (void)job;
   }
+  /// True when the preference order already prices queueing (waiting
+  /// behind full batches and backlogs). The packer then DEFERS a job to
+  /// the next round when its preferred fitting slot's batch is full,
+  /// instead of overflowing onto a worse-ranked (possibly catastrophically
+  /// backlogged) lane — for a queue-aware order, every later preference
+  /// is modeled slower than simply waiting. Time-blind policies keep the
+  /// historical overflow behavior.
+  [[nodiscard]] virtual bool queue_aware() const noexcept { return false; }
 };
 
 class RoundRobinPolicy final : public RoutingPolicy {
@@ -209,6 +289,7 @@ class ExpectedLatencyPolicy final : public RoutingPolicy {
   }
   void preference(const FleetView& fleet, const PackJob& job,
                   std::vector<std::size_t>& order) override;
+  [[nodiscard]] bool queue_aware() const noexcept override { return true; }
 };
 
 [[nodiscard]] std::unique_ptr<RoutingPolicy> make_routing_policy(
@@ -238,6 +319,13 @@ struct FleetPlan {
   /// can be audited against realized batch order.
   std::vector<double> wait_sum_s;
   std::vector<double> wait_max_s;
+  /// Reservation lane: exclusive jobs placed this cycle (each claims a
+  /// whole device for its round, routed to the lowest-modeled-drain slot
+  /// among its policy preferences), and the modeled wait each reservation
+  /// was admitted behind — the §II-A cost of idling a chip for one job.
+  std::uint64_t reservation_jobs = 0;
+  double reservation_wait_sum_s = 0.0;
+  double reservation_wait_max_s = 0.0;
 };
 
 /// Pack `jobs` (already in the desired queue order) across `slots`.

@@ -1,0 +1,131 @@
+#include "service/intake.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <thread>
+
+namespace qucp::detail {
+
+namespace {
+
+/// Process-wide ordinal of intake-using threads, assigned on first use.
+std::atomic<std::size_t> g_intake_thread_counter{0};
+
+std::size_t intake_thread_ordinal() {
+  thread_local const std::size_t ordinal =
+      g_intake_thread_counter.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+SubmitRing::SubmitRing(std::size_t capacity) {
+  capacity_ = std::bit_ceil(std::max<std::size_t>(capacity, 2));
+  mask_ = capacity_ - 1;
+  cells_ = std::vector<Cell>(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    cells_[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+bool SubmitRing::try_push(const JobPtr& job) {
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells_[pos & mask_];
+    const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff =
+        static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+    if (diff == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                             std::memory_order_relaxed)) {
+        cell.value = job;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded pos; retry against the new ticket.
+    } else if (diff < 0) {
+      return false;  // the cell still holds an unconsumed lap: full
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool SubmitRing::try_push_block(std::span<const JobPtr> jobs) {
+  const std::uint64_t n = jobs.size();
+  if (n == 0) return true;
+  if (n > capacity_) return false;
+  std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+  for (;;) {
+    // The consumer frees cells in ticket order, so "the last cell of the
+    // block is writable" implies every earlier cell of the block has been
+    // consumed too (any producer holding an older unpublished ticket would
+    // have stalled the consumer before it could free our last cell).
+    Cell& last = cells_[(pos + n - 1) & mask_];
+    const std::uint64_t seq = last.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::int64_t>(seq) -
+                      static_cast<std::int64_t>(pos + n - 1);
+    if (diff == 0) {
+      if (enqueue_pos_.compare_exchange_weak(pos, pos + n,
+                                             std::memory_order_relaxed)) {
+        for (std::uint64_t i = 0; i < n; ++i) {
+          Cell& cell = cells_[(pos + i) & mask_];
+          // Immediate by the argument above; the acquire load (re)checks
+          // it per cell and orders our write after the consumer's read of
+          // the previous lap's value.
+          while (cell.seq.load(std::memory_order_acquire) != pos + i) {
+            std::this_thread::yield();
+          }
+          cell.value = jobs[i];
+          cell.seq.store(pos + i + 1, std::memory_order_release);
+        }
+        return true;
+      }
+    } else if (diff < 0) {
+      return false;  // not enough consumed room for the whole block
+    } else {
+      pos = enqueue_pos_.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool SubmitRing::try_pop(JobPtr& out) {
+  const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+  Cell& cell = cells_[pos & mask_];
+  const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+  if (seq != pos + 1) return false;  // empty, or head ticket not published
+  out = std::move(cell.value);
+  cell.value.reset();
+  dequeue_pos_.store(pos + 1, std::memory_order_relaxed);
+  cell.seq.store(pos + capacity_, std::memory_order_release);
+  return true;
+}
+
+ShardedIntake::ShardedIntake(std::size_t num_shards,
+                             std::size_t shard_capacity) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("ShardedIntake: num_shards must be >= 1");
+  }
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<SubmitRing>(shard_capacity));
+  }
+}
+
+std::size_t ShardedIntake::home_shard() const noexcept {
+  return intake_thread_ordinal() % shards_.size();
+}
+
+std::size_t ShardedIntake::drain(std::vector<JobPtr>& out) {
+  std::size_t drained = 0;
+  JobPtr job;
+  for (auto& shard : shards_) {
+    while (shard->try_pop(job)) {
+      out.push_back(std::move(job));
+      ++drained;
+    }
+  }
+  return drained;
+}
+
+}  // namespace qucp::detail

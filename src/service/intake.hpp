@@ -1,0 +1,119 @@
+#pragma once
+// Sharded MPSC submission intake: the lock-free front half of the
+// ExecutionService queue.
+//
+// Every submit() used to take the one service mutex, so N producer threads
+// serialized on a single cache line long before the packer or the
+// simulator became the bottleneck. The intake splits the pending queue
+// into S independent fixed-capacity ring buffers (shards). A producer
+// thread picks its home shard once (thread ordinal mod S) and then
+// publishes jobs with two atomic operations — a bounded MPMC-style
+// ticket claim and a per-cell sequence release (Vyukov's bounded queue,
+// producer side) — so unrelated submitter threads never touch the same
+// shard, and same-shard producers contend only on one fetch-like CAS.
+//
+// The consumer side is single-threaded by construction: only the pack
+// cycle drains, under the service's pack mutex, walking shards in id
+// order and each shard in ticket (FIFO) order. That drain order is
+// deterministic given the shard contents, and the service sorts the
+// drained jobs canonically (or by submission id) before packing, so for
+// a single-submitter stream the dispatched batches are bit-identical to
+// the historical mutex-guarded queue.
+//
+// Capacity is fixed at construction (rounded up to a power of two). A
+// full shard makes try_push return false; the service reacts by draining
+// the rings itself (backpressure dispatch) and retrying, so producers
+// never block on a condition variable and never drop jobs.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace qucp::detail {
+
+struct JobState;  // service/job.hpp
+using JobPtr = std::shared_ptr<JobState>;
+
+/// Bounded multi-producer ring buffer of queued jobs (Vyukov bounded
+/// queue). Producers are lock-free (ticket CAS + cell-sequence publish);
+/// the consumer side assumes a single drainer at a time — the service
+/// serializes pops under its pack mutex.
+class SubmitRing {
+ public:
+  /// `capacity` is rounded up to a power of two, minimum 2.
+  explicit SubmitRing(std::size_t capacity);
+
+  SubmitRing(const SubmitRing&) = delete;
+  SubmitRing& operator=(const SubmitRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Publish one job. False when the ring is full (the job is untouched).
+  [[nodiscard]] bool try_push(const JobPtr& job);
+
+  /// Publish `jobs` as one contiguous ticket block — consumers see the
+  /// whole vector in order, with no interleaved jobs from other producers
+  /// on this shard. All-or-nothing; false when the ring lacks room for the
+  /// whole block or the block exceeds the capacity (jobs are untouched).
+  [[nodiscard]] bool try_push_block(std::span<const JobPtr> jobs);
+
+  /// Pop the oldest job in ticket order. False when empty, or when the
+  /// head ticket was claimed but not yet published (the job stays queued
+  /// for the next drain — nothing is ever lost or reordered). Single
+  /// consumer at a time.
+  [[nodiscard]] bool try_pop(JobPtr& out);
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    JobPtr value;
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<std::uint64_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::uint64_t> dequeue_pos_{0};
+};
+
+/// The service-facing intake: S independent SubmitRings plus the
+/// thread-to-shard mapping. Producers address their home shard (stable
+/// per thread for FIFO-per-producer ordering); the pack cycle drains all
+/// shards in shard-then-ticket order.
+class ShardedIntake {
+ public:
+  ShardedIntake(std::size_t num_shards, std::size_t shard_capacity);
+
+  [[nodiscard]] std::size_t num_shards() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t shard_capacity() const noexcept {
+    return shards_.front()->capacity();
+  }
+
+  /// Stable home shard of the calling thread: thread ordinal (order of
+  /// first intake use, process-wide) mod num_shards. Keeps one submitter
+  /// alone on its shard for up to S concurrent producers.
+  [[nodiscard]] std::size_t home_shard() const noexcept;
+
+  [[nodiscard]] bool try_push(const JobPtr& job, std::size_t shard) {
+    return shards_[shard]->try_push(job);
+  }
+  [[nodiscard]] bool try_push_block(std::span<const JobPtr> jobs,
+                                    std::size_t shard) {
+    return shards_[shard]->try_push_block(jobs);
+  }
+
+  /// Drain every shard into `out` (appended), shard 0..S-1, each in FIFO
+  /// ticket order. Returns the number of jobs drained. Single consumer at
+  /// a time — the service calls this under its pack mutex.
+  std::size_t drain(std::vector<JobPtr>& out);
+
+ private:
+  std::vector<std::unique_ptr<SubmitRing>> shards_;
+};
+
+}  // namespace qucp::detail

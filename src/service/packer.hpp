@@ -61,6 +61,14 @@ struct PackOptions {
   /// the execution pipeline then reports failure for the whole batch when
   /// it does not fit. This is run_parallel()'s historical contract.
   bool single_batch = false;
+  /// Admission probes grow the open batch one job at a time through a
+  /// persistent AllocationSession (AdmissionProbe, service/fleet.hpp)
+  /// instead of re-allocating the whole batch from scratch per test.
+  /// Decision- and bit-identical to the from-scratch path — same batches,
+  /// same EFS doubles, same spill stream (golden-pinned in
+  /// tests/test_fleet.cpp) — so this is purely a speed knob; off keeps
+  /// the reference path for A/B tests.
+  bool incremental_admission = true;
   /// Device-time model for the fleet packer's drain estimates (queue-aware
   /// routing, modeled-wait accounting). The service sets shots from its
   /// ExecOptions; queue_depth is ignored — queueing is what the estimates

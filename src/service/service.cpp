@@ -184,6 +184,9 @@ ExecutionService::ExecutionService(BackendRegistry fleet,
   scheduler_ =
       std::make_unique<FleetScheduler>(fleet_, options_.route_policy);
   options_.num_workers = std::max(1, options_.num_workers);
+  options_.submit_shards = std::max<std::size_t>(1, options_.submit_shards);
+  intake_ = std::make_unique<detail::ShardedIntake>(
+      options_.submit_shards, options_.submit_shard_capacity);
   lanes_.reserve(fleet_.size());
   for (std::size_t i = 0; i < fleet_.size(); ++i) {
     lanes_.push_back(
@@ -210,41 +213,130 @@ void ExecutionService::start_workers() {
   }
 }
 
+namespace {
+
+/// RAII submit gate: counts the caller into active_submits before reading
+/// the accepting flag (both seq_cst), so shutdown()'s store-then-wait
+/// sequence either rejects this submit or waits for it to finish
+/// publishing — a published job can never be stranded behind a shutdown.
+class SubmitGate {
+ public:
+  SubmitGate(std::atomic<bool>& accepting, std::atomic<std::size_t>& active)
+      : active_(active) {
+    active_.fetch_add(1);
+    if (!accepting.load()) {
+      active_.fetch_sub(1);
+      throw std::runtime_error(
+          "ExecutionService::submit: service is shut down");
+    }
+  }
+  ~SubmitGate() { active_.fetch_sub(1); }
+  SubmitGate(const SubmitGate&) = delete;
+  SubmitGate& operator=(const SubmitGate&) = delete;
+
+ private:
+  std::atomic<std::size_t>& active_;
+};
+
+}  // namespace
+
+void ExecutionService::maybe_auto_flush(std::size_t pending_now) {
+  if (options_.auto_flush_batch_size > 0 &&
+      pending_now >= options_.auto_flush_batch_size) {
+    dispatch_pending();
+  }
+}
+
+void ExecutionService::enqueue_job(const JobPtr& state, std::size_t shard) {
+  state->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+  while (!intake_->try_push(state, shard)) {
+    // Ring full: backpressure. Drain the rings ourselves (one pack/
+    // dispatch cycle) and retry — producers never block on a lock and
+    // jobs are never dropped.
+    dispatch_pending();
+  }
+  maybe_auto_flush(pending_count_.fetch_add(1, std::memory_order_acq_rel) +
+                   1);
+}
+
 JobHandle ExecutionService::submit(Circuit circuit, JobOptions options) {
   auto state = std::make_shared<detail::JobState>();
   state->fingerprint = circuit_fingerprint(circuit);
   state->name = options.name.empty() ? circuit.name() : options.name;
   state->exclusive = options.exclusive;
   state->circuit = std::move(circuit);
-  bool auto_flush = false;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!accepting_) {
-      throw std::runtime_error("ExecutionService::submit: service is shut down");
-    }
-    state->id = next_job_id_++;
-    pending_.push_back(state);
-    auto_flush = options_.auto_flush_batch_size > 0 &&
-                 pending_.size() >= options_.auto_flush_batch_size;
-  }
-  if (auto_flush) dispatch_pending();
+  const SubmitGate gate(accepting_, active_submits_);
+  enqueue_job(state, intake_->home_shard());
   return JobHandle(state);
 }
 
 std::vector<JobHandle> ExecutionService::submit_all(
     std::vector<Circuit> circuits) {
+  std::vector<JobPtr> states;
+  states.reserve(circuits.size());
+  for (Circuit& c : circuits) {
+    auto state = std::make_shared<detail::JobState>();
+    state->fingerprint = circuit_fingerprint(c);
+    state->name = c.name();
+    state->circuit = std::move(c);
+    // Construction order = id order for this producer, so the contiguous
+    // ticket blocks below publish in id order like a submit() loop would.
+    state->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
+    states.push_back(std::move(state));
+  }
+
+  const SubmitGate gate(accepting_, active_submits_);
+  const std::size_t shard = intake_->home_shard();
+  // One contiguous ticket block per chunk: a drain can never interleave
+  // another producer's jobs inside the chunk.
+  const std::size_t chunk_cap = intake_->shard_capacity();
+  std::size_t done = 0;
+  while (done < states.size()) {
+    const std::size_t n = std::min(chunk_cap, states.size() - done);
+    const std::span<const JobPtr> chunk(states.data() + done, n);
+    while (!intake_->try_push_block(chunk, shard)) {
+      dispatch_pending();  // backpressure, as in enqueue_job
+    }
+    done += n;
+    maybe_auto_flush(
+        pending_count_.fetch_add(n, std::memory_order_acq_rel) + n);
+  }
+
   std::vector<JobHandle> handles;
-  handles.reserve(circuits.size());
-  for (Circuit& c : circuits) handles.push_back(submit(std::move(c)));
+  handles.reserve(states.size());
+  for (JobPtr& state : states) handles.push_back(JobHandle(std::move(state)));
   return handles;
+}
+
+std::size_t ExecutionService::cancel_pending() {
+  // pack_mutex_ makes us the single intake consumer and serializes against
+  // dispatch cycles, so a job is either cancelled here or packed there —
+  // never both.
+  std::lock_guard<std::mutex> pack_lock(pack_mutex_);
+  std::vector<JobPtr> jobs;
+  intake_->drain(jobs);
+  if (jobs.empty()) return 0;
+  pending_count_.fetch_sub(jobs.size(), std::memory_order_acq_rel);
+  for (const JobPtr& job : jobs) {
+    job->fail("job '" + job->name + "' cancelled before dispatch");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_cancelled_ += jobs.size();
+    jobs_failed_ += jobs.size();
+  }
+  return jobs.size();
 }
 
 void ExecutionService::dispatch_pending() {
   std::lock_guard<std::mutex> pack_lock(pack_mutex_);
   std::vector<JobPtr> jobs;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    jobs.swap(pending_);
+  // Deterministic shard-then-ticket drain under pack_mutex_ (the single
+  // consumer). The canonical/FIFO sort below is a total order over the
+  // drained set, so the plan does not depend on the drain layout.
+  const std::size_t drained = intake_->drain(jobs);
+  if (drained != 0) {
+    pending_count_.fetch_sub(drained, std::memory_order_acq_rel);
   }
   if (jobs.empty()) return;
 
@@ -273,6 +365,7 @@ void ExecutionService::dispatch_pending() {
   popts.max_batch_size = options_.max_batch_size;
   popts.efs_threshold = options_.efs_threshold;
   popts.single_batch = options_.single_batch;
+  popts.incremental_admission = options_.incremental_admission;
   popts.runtime.shots = options_.exec.shots;
   // Snapshot each lane's modeled backlog so queue-aware routing and the
   // wait accounting see work dispatched in earlier cycles. Read under the
@@ -309,6 +402,10 @@ void ExecutionService::dispatch_pending() {
     jobs_failed_ += plan.unplaceable.size();
     spill_events_ += plan.spill_events;
     cross_device_spills_ += plan.cross_device_spills;
+    reservation_jobs_ += plan.reservation_jobs;
+    reservation_wait_sum_s_ += plan.reservation_wait_sum_s;
+    reservation_wait_max_s_ =
+        std::max(reservation_wait_max_s_, plan.reservation_wait_max_s);
     outstanding_jobs_ += dispatched;
   }
 
@@ -455,10 +552,11 @@ void ExecutionService::flush() {
 }
 
 void ExecutionService::shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    accepting_ = false;
-  }
+  // Close the gate, then wait for in-flight submits to finish publishing
+  // (see SubmitGate): after the spin no new job can reach the rings, so
+  // the flush below drains everything ever accepted.
+  accepting_.store(false);
+  while (active_submits_.load() != 0) std::this_thread::yield();
   flush();
   for (auto& lane : lanes_) {
     {
@@ -477,14 +575,18 @@ void ExecutionService::shutdown() {
 
 ServiceStats ExecutionService::stats() const {
   ServiceStats stats;
+  stats.jobs_submitted = next_job_id_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    stats.jobs_submitted = next_job_id_;
     stats.jobs_completed = jobs_completed_;
     stats.jobs_failed = jobs_failed_;
+    stats.jobs_cancelled = jobs_cancelled_;
     stats.batches_executed = batches_executed_;
     stats.spill_events = spill_events_;
     stats.cross_device_spills = cross_device_spills_;
+    stats.reservation_jobs = reservation_jobs_;
+    stats.reservation_wait_sum_s = reservation_wait_sum_s_;
+    stats.reservation_wait_max_s = reservation_wait_max_s_;
   }
   stats.backends.reserve(lanes_.size());
   for (const auto& lane : lanes_) {
@@ -512,8 +614,7 @@ ServiceStats ExecutionService::stats() const {
 }
 
 std::size_t ExecutionService::pending_jobs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return pending_.size();
+  return pending_count_.load(std::memory_order_acquire);
 }
 
 double modeled_fleet_drain_s(std::span<const JobHandle> handles,

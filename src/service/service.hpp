@@ -52,6 +52,7 @@
 #include "core/runtime.hpp"
 #include "service/backend.hpp"
 #include "service/fleet.hpp"
+#include "service/intake.hpp"
 #include "service/job.hpp"
 #include "service/packer.hpp"
 #include "service/registry.hpp"
@@ -94,6 +95,23 @@ struct ServiceOptions {
   /// submitters the batch boundaries then depend on arrival interleaving.
   std::size_t auto_flush_batch_size = 0;
   std::size_t transpile_cache_capacity = 1024;
+  /// Sharded MPSC intake (service/intake.hpp): number of submission
+  /// shards. Each submitter thread homes on shard (thread ordinal mod
+  /// shards), so up to this many producers publish without touching the
+  /// same ring. Fixed default (not hardware-derived) so batch boundaries
+  /// never depend on the machine.
+  std::size_t submit_shards = 8;
+  /// Fixed capacity per submission shard, rounded up to a power of two.
+  /// A full shard backpressures submit() into draining the rings itself
+  /// (a pack/dispatch cycle) and retrying — nothing blocks indefinitely
+  /// and nothing is dropped, but under overload batch boundaries follow
+  /// drain timing rather than auto_flush_batch_size.
+  std::size_t submit_shard_capacity = 4096;
+  /// Use the incremental grow-one-job admission probe in the packer
+  /// (PackOptions::incremental_admission). Decision- and bit-identical to
+  /// the from-scratch re-allocation path; off = reference path, kept for
+  /// golden A/B tests.
+  bool incremental_admission = true;
 };
 
 /// Per-backend slice of the service counters, keyed by registry id.
@@ -122,11 +140,20 @@ struct ServiceStats {
   std::uint64_t jobs_submitted = 0;
   std::uint64_t jobs_completed = 0;
   std::uint64_t jobs_failed = 0;
+  /// Jobs failed by cancel_pending() before ever being dispatched
+  /// (also counted in jobs_failed).
+  std::uint64_t jobs_cancelled = 0;
   std::uint64_t batches_executed = 0;
   std::uint64_t spill_events = 0;  ///< EFS-threshold / fit rejections
   /// Jobs placed on a backend after a fit/threshold rejection on an
   /// earlier-preferred one (always 0 on a single-backend service).
   std::uint64_t cross_device_spills = 0;
+  /// Reservation lane: exclusive jobs routed by the modeled-backlog
+  /// reservation order (lowest drain first) instead of the policy's
+  /// preference, and the modeled §II-A wait each one was admitted behind.
+  std::uint64_t reservation_jobs = 0;
+  double reservation_wait_sum_s = 0.0;
+  double reservation_wait_max_s = 0.0;
   /// Aggregate over every backend's transpile cache.
   TranspileCacheStats transpile_cache;
   /// Per-backend breakdown, indexed by registry id.
@@ -148,13 +175,24 @@ class ExecutionService {
   ExecutionService(const ExecutionService&) = delete;
   ExecutionService& operator=(const ExecutionService&) = delete;
 
-  /// Enqueue a circuit. Cheap and thread-safe; nothing executes until a
-  /// batch is dispatched (flush(), shutdown() or auto-flush). Throws
-  /// std::runtime_error after shutdown().
+  /// Enqueue a circuit. Cheap, thread-safe and lock-free on the hot path
+  /// (sharded MPSC intake, see service/intake.hpp); nothing executes
+  /// until a batch is dispatched (flush(), shutdown() or auto-flush).
+  /// Throws std::runtime_error after shutdown().
   JobHandle submit(Circuit circuit, JobOptions options = {});
 
-  /// Convenience: submit a vector of circuits, one handle each.
+  /// Batch submission: one handle per circuit. The whole vector is
+  /// published to the caller's home shard as a single contiguous ticket
+  /// block (one reservation, not one per job), so a drain sees it in
+  /// order with no interleaved jobs from same-shard producers. Oversized
+  /// vectors fall back to shard-capacity chunks.
   std::vector<JobHandle> submit_all(std::vector<Circuit> circuits);
+
+  /// Fail every not-yet-dispatched job ("cancelled before dispatch") and
+  /// return how many were cancelled. Dispatched/running jobs are
+  /// untouched. Used by intake benchmarks to exercise the submission path
+  /// at full rate without simulating millions of circuits.
+  std::size_t cancel_pending();
 
   /// Pack every pending job into batches, dispatch them to the backend
   /// lanes, and block until all dispatched work has drained.
@@ -218,6 +256,10 @@ class ExecutionService {
   };
 
   void start_workers();
+  /// Assign an id and publish `state` to `shard`, backpressure-dispatching
+  /// while the ring is full; throws std::runtime_error once shut down.
+  void enqueue_job(const JobPtr& state, std::size_t shard);
+  void maybe_auto_flush(std::size_t pending_now);
   void worker_loop(Lane& lane);
   /// Pack current pending jobs through the fleet scheduler and enqueue
   /// the planned batches onto their lanes. Serialized by pack_mutex_.
@@ -234,17 +276,26 @@ class ExecutionService {
   std::unique_ptr<Partitioner> partitioner_;    ///< drives the packer
   std::unique_ptr<FleetScheduler> scheduler_;  ///< guarded by pack_mutex_
 
-  mutable std::mutex mutex_;            ///< pending queue + fleet counters
+  /// Sharded MPSC submission queues; drained only under pack_mutex_.
+  std::unique_ptr<detail::ShardedIntake> intake_;
+  /// Submission-side state, all atomic — submit() takes no lock.
+  std::atomic<std::uint64_t> next_job_id_{0};
+  std::atomic<std::size_t> pending_count_{0};  ///< published, not drained
+  std::atomic<bool> accepting_{true};  ///< false in shutdown(); submit throws
+  std::atomic<std::size_t> active_submits_{0};  ///< submits past the gate
+
+  mutable std::mutex mutex_;            ///< fleet counters + drain state
   std::condition_variable drained_cv_;  ///< outstanding == 0 -> flush()
-  std::vector<JobPtr> pending_;
   std::size_t outstanding_jobs_ = 0;  ///< dispatched, not yet finished
-  bool accepting_ = true;  ///< false after shutdown(); submit() throws
-  std::uint64_t next_job_id_ = 0;
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_cancelled_ = 0;
   std::uint64_t batches_executed_ = 0;
   std::uint64_t spill_events_ = 0;
   std::uint64_t cross_device_spills_ = 0;
+  std::uint64_t reservation_jobs_ = 0;
+  double reservation_wait_sum_s_ = 0.0;
+  double reservation_wait_max_s_ = 0.0;
 
   /// Batches dispatched and not yet finished, fleet-wide (queued +
   /// executing); sizes the kernel-thread budget without taking any lock.

@@ -242,6 +242,14 @@ void run_swap_perm(cx* a, std::size_t quads, int p0, int p1, std::size_t mh,
 
 void run_diag2(cx* a, std::size_t quads, int p0, int p1, std::size_t mh,
                std::size_t ml, const CompiledUnitary& cu) {
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  if (native_kernels_active()) {
+    parallel_for(quads, [&](std::size_t begin, std::size_t end) {
+      detail::diag2_range_avx2(a, begin, end, mh, ml, p0, p1, cu);
+    });
+    return;
+  }
+#endif
   parallel_for(quads, [&](std::size_t begin, std::size_t end) {
     for (std::size_t t = begin; t < end; ++t) {
       const std::size_t base = insert_bit(insert_bit(t, p0), p1);
@@ -257,6 +265,14 @@ void run_diag2(cx* a, std::size_t quads, int p0, int p1, std::size_t mh,
 
 void run_perm2(cx* a, std::size_t quads, int p0, int p1, std::size_t mh,
                std::size_t ml, const CompiledUnitary& cu) {
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  if (native_kernels_active()) {
+    parallel_for(quads, [&](std::size_t begin, std::size_t end) {
+      detail::perm2_range_avx2(a, begin, end, mh, ml, p0, p1, cu);
+    });
+    return;
+  }
+#endif
   parallel_for(quads, [&](std::size_t begin, std::size_t end) {
     for (std::size_t t = begin; t < end; ++t) {
       const std::size_t base = insert_bit(insert_bit(t, p0), p1);

@@ -189,6 +189,12 @@ void dense1_range_avx2(cx* a, std::size_t begin, std::size_t end, int target,
 void dense2_range_avx2(cx* a, std::size_t begin, std::size_t end,
                        std::size_t mh, std::size_t ml, int p0, int p1,
                        const CompiledUnitary& cu);
+void diag2_range_avx2(cx* a, std::size_t begin, std::size_t end,
+                      std::size_t mh, std::size_t ml, int p0, int p1,
+                      const CompiledUnitary& cu);
+void perm2_range_avx2(cx* a, std::size_t begin, std::size_t end,
+                      std::size_t mh, std::size_t ml, int p0, int p1,
+                      const CompiledUnitary& cu);
 
 }  // namespace detail
 

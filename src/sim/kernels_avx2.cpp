@@ -204,6 +204,120 @@ void dense2_range_avx2(cx* a, std::size_t begin, std::size_t end,
   }
 }
 
+namespace {
+
+/// One quad through the diagonal 4x4, used where the two-quad vector body
+/// cannot engage. Single multiplies per output (no sums), so this matches
+/// the scalar kernel bitwise.
+inline void diag2_one_quad(cx* a, std::size_t base, std::size_t mh,
+                           std::size_t ml, const CompiledUnitary& cu) {
+  const std::size_t idx[4] = {base, base | ml, base | mh, base | mh | ml};
+  for (int r = 0; r < 4; ++r) {
+    const double sr = a[idx[r]].real(), si = a[idx[r]].imag();
+    a[idx[r]] =
+        cx{cu.re[r] * sr - cu.im[r] * si, cu.re[r] * si + cu.im[r] * sr};
+  }
+}
+
+/// One quad through the generalized permutation 4x4 (gather-then-scatter,
+/// all four inputs read before any store).
+inline void perm2_one_quad(cx* a, std::size_t base, std::size_t mh,
+                           std::size_t ml, const CompiledUnitary& cu) {
+  const std::size_t idx[4] = {base, base | ml, base | mh, base | mh | ml};
+  const cx in[4] = {a[idx[0]], a[idx[1]], a[idx[2]], a[idx[3]]};
+  for (int r = 0; r < 4; ++r) {
+    const cx s = in[cu.src[r]];
+    a[idx[r]] = cx{cu.re[r] * s.real() - cu.im[r] * s.imag(),
+                   cu.re[r] * s.imag() + cu.im[r] * s.real()};
+  }
+}
+
+}  // namespace
+
+void diag2_range_avx2(cx* a, std::size_t begin, std::size_t end,
+                      std::size_t mh, std::size_t ml, int p0, int p1,
+                      const CompiledUnitary& cu) {
+  double* const p = reinterpret_cast<double*>(a);
+  if (p0 >= 1) {
+    // Contiguous runs of length 2^p0 >= 2: an even t and its successor map
+    // to adjacent bases, so each of the four quad offsets is a full-width
+    // two-complex access scaled by one broadcast diagonal entry. A single
+    // mul per component (no FMA chains) keeps this bitwise equal to the
+    // scalar kernel.
+    __m256d vr[4], vi[4];
+    for (int r = 0; r < 4; ++r) {
+      vr[r] = _mm256_set1_pd(cu.re[r]);
+      vi[r] = _mm256_set1_pd(cu.im[r]);
+    }
+    std::size_t t = begin;
+    if ((t & 1U) != 0 && t < end) {
+      diag2_one_quad(a, insert_bit(insert_bit(t, p0), p1), mh, ml, cu);
+      ++t;
+    }
+    for (; t + 1 < end; t += 2) {
+      const std::size_t base = insert_bit(insert_bit(t, p0), p1);
+      double* const q[4] = {p + 2 * base, p + 2 * (base | ml),
+                            p + 2 * (base | mh), p + 2 * (base | mh | ml)};
+      for (int r = 0; r < 4; ++r) {
+        const __m256d x = _mm256_loadu_pd(q[r]);
+        const __m256d y = _mm256_addsub_pd(
+            _mm256_mul_pd(vr[r], x),
+            _mm256_mul_pd(vi[r], _mm256_permute_pd(x, 0x5)));
+        _mm256_storeu_pd(q[r], y);
+      }
+    }
+    if (t < end) {
+      diag2_one_quad(a, insert_bit(insert_bit(t, p0), p1), mh, ml, cu);
+    }
+    return;
+  }
+  for (std::size_t t = begin; t < end; ++t) {
+    diag2_one_quad(a, insert_bit(insert_bit(t, p0), p1), mh, ml, cu);
+  }
+}
+
+void perm2_range_avx2(cx* a, std::size_t begin, std::size_t end,
+                      std::size_t mh, std::size_t ml, int p0, int p1,
+                      const CompiledUnitary& cu) {
+  double* const p = reinterpret_cast<double*>(a);
+  if (p0 >= 1) {
+    // Same contiguous two-quad layout as diag2, but rows permute their
+    // source offset: load all four offsets first (stores may alias a later
+    // row's source), then scale x[src[r]] into offset r.
+    __m256d vr[4], vi[4];
+    for (int r = 0; r < 4; ++r) {
+      vr[r] = _mm256_set1_pd(cu.re[r]);
+      vi[r] = _mm256_set1_pd(cu.im[r]);
+    }
+    std::size_t t = begin;
+    if ((t & 1U) != 0 && t < end) {
+      perm2_one_quad(a, insert_bit(insert_bit(t, p0), p1), mh, ml, cu);
+      ++t;
+    }
+    for (; t + 1 < end; t += 2) {
+      const std::size_t base = insert_bit(insert_bit(t, p0), p1);
+      double* const q[4] = {p + 2 * base, p + 2 * (base | ml),
+                            p + 2 * (base | mh), p + 2 * (base | mh | ml)};
+      const __m256d x[4] = {_mm256_loadu_pd(q[0]), _mm256_loadu_pd(q[1]),
+                            _mm256_loadu_pd(q[2]), _mm256_loadu_pd(q[3])};
+      for (int r = 0; r < 4; ++r) {
+        const __m256d s = x[cu.src[r]];
+        const __m256d y = _mm256_addsub_pd(
+            _mm256_mul_pd(vr[r], s),
+            _mm256_mul_pd(vi[r], _mm256_permute_pd(s, 0x5)));
+        _mm256_storeu_pd(q[r], y);
+      }
+    }
+    if (t < end) {
+      perm2_one_quad(a, insert_bit(insert_bit(t, p0), p1), mh, ml, cu);
+    }
+    return;
+  }
+  for (std::size_t t = begin; t < end; ++t) {
+    perm2_one_quad(a, insert_bit(insert_bit(t, p0), p1), mh, ml, cu);
+  }
+}
+
 }  // namespace qucp::kern::detail
 
 #endif  // QUCP_NATIVE_KERNELS && x86

@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "benchmarks/suite.hpp"
 #include "common/rng.hpp"
+#include "partition/candidate_index.hpp"
 #include "service/packer.hpp"
 
 namespace qucp {
@@ -447,14 +450,16 @@ TEST(FleetView, ExpectedLatencyScoresMatchHandComputation) {
 TEST(PackFleet, ExpectedLatencyRoutesAroundBacklog) {
   // Identical devices, lane 0 pre-loaded with 1000 modeled seconds: the
   // queue-aware policy prefers lane 1 for every job, so the first open
-  // batch fills there and lane 0 stays empty. (Only two jobs: once a
-  // preferred batch is full the round engine falls through to the next
-  // slot in preference order — deliberately queueing-not-spill — so a
-  // longer stream WOULD overflow onto the backlogged lane within a round.)
+  // batch fills there and lane 0 stays empty. The THIRD job finds its
+  // preferred batch full — because the policy is queue_aware(), the round
+  // engine DEFERS it to the next round instead of overflowing onto the
+  // catastrophically backlogged lane (for a queue-aware order every later
+  // preference is modeled slower than waiting), so it opens lane 1's
+  // second batch and lane 0 still plans nothing.
   TestFleet fleet({make_line_device(8, 3), make_line_device(8, 3)});
   const QucpPartitioner partitioner;
   std::vector<PackJob> jobs;
-  for (std::size_t i = 0; i < 2; ++i) {
+  for (std::size_t i = 0; i < 3; ++i) {
     jobs.push_back(make_job(i, {2, 1, 2}, 700 + i));
   }
   ExpectedLatencyPolicy policy;
@@ -464,11 +469,71 @@ TEST(PackFleet, ExpectedLatencyRoutesAroundBacklog) {
   const FleetPlan plan =
       pack_fleet(fleet.slots, jobs, partitioner, opts, &policy, backlog);
   EXPECT_TRUE(plan.batches[0].empty());
-  std::size_t on_lane1 = 0;
-  for (const PackedBatch& batch : plan.batches[1]) on_lane1 += batch.jobs.size();
-  EXPECT_EQ(on_lane1, 2u);
+  ASSERT_EQ(plan.batches[1].size(), 2u);
+  EXPECT_EQ(plan.batches[1][0].jobs, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(plan.batches[1][1].jobs, (std::vector<std::size_t>{2}));
   EXPECT_TRUE(plan.unplaceable.empty());
   EXPECT_EQ(plan.cross_device_spills, 0u);
+  // The deferral is queueing, not a fidelity spill.
+  EXPECT_EQ(plan.spill_events, 0u);
+
+  // Same stream under a time-blind policy on identical devices: BestEfs
+  // ties to slot 0, jobs 0-1 fill its batch, and job 2 — no deferral
+  // semantics — overflows to slot 1 within the round (queueing, not a
+  // spill). Pins that queue_aware() alone gates the new behavior.
+  TestFleet blind_fleet({make_line_device(8, 3), make_line_device(8, 3)});
+  BestEfsPolicy blind;
+  const FleetPlan blind_plan = pack_fleet(blind_fleet.slots, jobs, partitioner,
+                                          opts, &blind, backlog);
+  ASSERT_EQ(blind_plan.batches[0].size(), 1u);
+  EXPECT_EQ(blind_plan.batches[0][0].jobs, (std::vector<std::size_t>{0, 1}));
+  ASSERT_EQ(blind_plan.batches[1].size(), 1u);
+  EXPECT_EQ(blind_plan.batches[1][0].jobs, (std::vector<std::size_t>{2}));
+  EXPECT_EQ(blind_plan.cross_device_spills, 0u);
+}
+
+TEST(PackFleet, ReservationLaneClaimsTheEmptiestChip) {
+  // An exclusive job idles a whole chip for its round, so the reservation
+  // lane re-sorts the policy's preferences by ascending modeled drain:
+  // identical devices tie under BestEfs (slot 0 first), but with lane 0
+  // backlogged the reservation goes to idle lane 1 and the plan records
+  // the (zero) wait it was admitted behind. The non-exclusive co-stream
+  // still lands by policy order, and the reserved chip admits nobody else
+  // in that round.
+  TestFleet fleet({make_line_device(8, 3), make_line_device(8, 3)});
+  const QucpPartitioner partitioner;
+  std::vector<PackJob> jobs;
+  jobs.push_back(make_job(0, {2, 1, 2}, 900, true));   // exclusive
+  jobs.push_back(make_job(1, {2, 1, 2}, 901, false));
+  jobs.push_back(make_job(2, {2, 1, 2}, 902, false));
+  BestEfsPolicy policy;
+  PackOptions opts;
+  opts.max_batch_size = 4;
+  const std::vector<double> backlog = {50.0, 0.0};
+  const FleetPlan plan =
+      pack_fleet(fleet.slots, jobs, partitioner, opts, &policy, backlog);
+  // Reservation on the idle chip, alone; the rest share backlogged lane 0
+  // (BestEfs is time-blind, ties to the lowest id).
+  ASSERT_EQ(plan.batches[1].size(), 1u);
+  EXPECT_EQ(plan.batches[1][0].jobs, (std::vector<std::size_t>{0}));
+  ASSERT_EQ(plan.batches[0].size(), 1u);
+  EXPECT_EQ(plan.batches[0][0].jobs, (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(plan.reservation_jobs, 1u);
+  EXPECT_DOUBLE_EQ(plan.reservation_wait_sum_s, 0.0);
+  EXPECT_DOUBLE_EQ(plan.reservation_wait_max_s, 0.0);
+
+  // Both lanes backlogged: the reservation waits behind the smaller drain
+  // and the accounting records exactly that wait.
+  TestFleet busy({make_line_device(8, 3), make_line_device(8, 3)});
+  BestEfsPolicy policy2;
+  const std::vector<double> both = {50.0, 20.0};
+  const std::vector<PackJob> solo = {make_job(0, {2, 1, 2}, 900, true)};
+  const FleetPlan busy_plan =
+      pack_fleet(busy.slots, solo, partitioner, opts, &policy2, both);
+  ASSERT_EQ(busy_plan.batches[1].size(), 1u);
+  EXPECT_EQ(busy_plan.reservation_jobs, 1u);
+  EXPECT_DOUBLE_EQ(busy_plan.reservation_wait_sum_s, 20.0);
+  EXPECT_DOUBLE_EQ(busy_plan.reservation_wait_max_s, 20.0);
 }
 
 TEST(PackFleet, TimeBlindPoliciesIgnoreBacklog) {
@@ -504,6 +569,162 @@ TEST(PackFleet, TimeBlindPoliciesIgnoreBacklog) {
     }
     // The backlog still shifts the modeled waits, decisions aside.
     EXPECT_GE(b.wait_max_s[0], a.wait_max_s[0]) << route_policy_name(kind);
+  }
+}
+
+std::vector<Device> bundled_topologies() {
+  std::vector<Device> devices;
+  devices.push_back(make_melbourne16());
+  devices.push_back(make_toronto27());
+  devices.push_back(make_manhattan65());
+  devices.push_back(make_line_device(9));
+  devices.push_back(make_grid_device(4, 5));
+  return devices;
+}
+
+std::vector<std::unique_ptr<Partitioner>> candidate_partitioners(
+    const Device& device, Rng& rng) {
+  std::vector<std::unique_ptr<Partitioner>> out;
+  out.push_back(std::make_unique<QucpPartitioner>(4.0));
+  CrosstalkModel estimates;
+  for (const auto& [e1, e2] : device.topology().one_hop_edge_pairs()) {
+    if (rng.bernoulli(0.5)) {
+      estimates.add_pair(e1, e2, rng.uniform(1.0, 8.0));
+    }
+  }
+  out.push_back(std::make_unique<QumcPartitioner>(std::move(estimates)));
+  out.push_back(std::make_unique<QucloudPartitioner>());
+  out.push_back(std::make_unique<MultiqcPartitioner>());
+  return out;
+}
+
+/// Full-plan bit-identity: every decision AND every accounting double.
+/// EXPECT_EQ on the double vectors is deliberate — the incremental
+/// admission probe claims bit-identity, not closeness.
+void expect_plans_identical(const FleetPlan& a, const FleetPlan& b,
+                            const std::string& context) {
+  ASSERT_EQ(a.batches.size(), b.batches.size()) << context;
+  for (std::size_t s = 0; s < a.batches.size(); ++s) {
+    ASSERT_EQ(a.batches[s].size(), b.batches[s].size())
+        << context << " slot " << s;
+    for (std::size_t i = 0; i < a.batches[s].size(); ++i) {
+      EXPECT_EQ(a.batches[s][i].jobs, b.batches[s][i].jobs)
+          << context << " slot " << s << " batch " << i;
+    }
+    EXPECT_EQ(a.batch_exec_s[s], b.batch_exec_s[s]) << context << " slot "
+                                                    << s;
+  }
+  EXPECT_EQ(a.unplaceable, b.unplaceable) << context;
+  EXPECT_EQ(a.spill_events, b.spill_events) << context;
+  EXPECT_EQ(a.cross_device_spills, b.cross_device_spills) << context;
+  EXPECT_EQ(a.wait_sum_s, b.wait_sum_s) << context;
+  EXPECT_EQ(a.wait_max_s, b.wait_max_s) << context;
+  EXPECT_EQ(a.reservation_jobs, b.reservation_jobs) << context;
+  EXPECT_EQ(a.reservation_wait_sum_s, b.reservation_wait_sum_s) << context;
+  EXPECT_EQ(a.reservation_wait_max_s, b.reservation_wait_max_s) << context;
+}
+
+std::vector<PackJob> random_pack_jobs(Rng& rng, int max_qubits) {
+  std::vector<PackJob> jobs;
+  const int n = static_cast<int>(rng.integer(1, 12));
+  for (int i = 0; i < n; ++i) {
+    ProgramShape s;
+    s.num_qubits = static_cast<int>(rng.integer(1, max_qubits));
+    s.num_2q = s.num_qubits >= 2 ? static_cast<int>(rng.integer(0, 20)) : 0;
+    s.num_1q = static_cast<int>(rng.integer(0, 20));
+    jobs.push_back(make_job(static_cast<std::size_t>(i), s, rng.next_u64(),
+                            rng.bernoulli(0.2)));
+  }
+  return jobs;
+}
+
+TEST(PackFleet, IncrementalAdmissionBitIdenticalOnAllTopologies) {
+  // Golden A/B for the grow-one admission probe: with
+  // PackOptions::incremental_admission on, pack_fleet must reproduce the
+  // from-scratch re-allocation path bit for bit — same batches, same
+  // spill stream, same modeled-seconds doubles, same solo-EFS cache
+  // fills — over randomized job streams (exclusive jobs and tight EFS
+  // thresholds included) on every bundled topology, for every candidate
+  // partitioner (with and without grow_one support) both with and
+  // without the backend's CandidateIndex.
+  Rng rng(20260808);
+  for (const Device& device : bundled_topologies()) {
+    CandidateIndex index(device);  // persists across trials, like Backend's
+    const int max_qubits = std::min(6, device.num_qubits());
+    auto partitioners = candidate_partitioners(device, rng);
+    for (int trial = 0; trial < 4; ++trial) {
+      const std::vector<PackJob> jobs = random_pack_jobs(rng, max_qubits);
+      PackOptions opts;
+      opts.max_batch_size = static_cast<int>(rng.integer(1, 5));
+      if (rng.bernoulli(0.5)) opts.efs_threshold = rng.uniform(0.0, 0.4);
+      for (const auto& partitioner : partitioners) {
+        for (const bool use_index : {false, true}) {
+          const std::string context =
+              device.name() + "/" + std::string(partitioner->name()) +
+              "/trial" + std::to_string(trial) +
+              (use_index ? "/indexed" : "/plain");
+          std::map<std::uint64_t, double> cache_ref;
+          std::map<std::uint64_t, double> cache_inc;
+          const FleetSlot slot_ref{&device, use_index ? &index : nullptr,
+                                   &cache_ref};
+          const FleetSlot slot_inc{&device, use_index ? &index : nullptr,
+                                   &cache_inc};
+          PackOptions ref_opts = opts;
+          ref_opts.incremental_admission = false;
+          const FleetPlan reference =
+              pack_fleet(std::span<const FleetSlot>(&slot_ref, 1), jobs,
+                         *partitioner, ref_opts, nullptr);
+          PackOptions inc_opts = opts;
+          inc_opts.incremental_admission = true;
+          const FleetPlan incremental =
+              pack_fleet(std::span<const FleetSlot>(&slot_inc, 1), jobs,
+                         *partitioner, inc_opts, nullptr);
+          expect_plans_identical(reference, incremental, context);
+          EXPECT_EQ(cache_ref, cache_inc) << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(PackFleet, IncrementalAdmissionBitIdenticalAcrossPoliciesAndBacklogs) {
+  // Same A/B over a heterogeneous multi-slot fleet under every routing
+  // policy (and the policy-less id-order engine), with lopsided modeled
+  // backlogs so the queue-aware path and the reservation lane are
+  // exercised: the probe must not shift a single routing decision, spill,
+  // or wait/reservation double.
+  Rng rng(8088);
+  const QucpPartitioner partitioner;
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::vector<PackJob> jobs = random_pack_jobs(rng, 6);
+    PackOptions opts;
+    opts.max_batch_size = static_cast<int>(rng.integer(1, 4));
+    if (rng.bernoulli(0.5)) opts.efs_threshold = rng.uniform(0.0, 0.4);
+    const std::vector<double> backlog = {rng.uniform(0.0, 100.0),
+                                         rng.uniform(0.0, 100.0), 0.0};
+    for (const bool use_policy : {false, true}) {
+      for (const RoutePolicy kind : {RoutePolicy::RoundRobin,
+                                     RoutePolicy::LeastLoaded,
+                                     RoutePolicy::BestEfs,
+                                     RoutePolicy::ExpectedLatency}) {
+        const std::string context =
+            "trial" + std::to_string(trial) + "/" +
+            (use_policy ? std::string(route_policy_name(kind)) : "id-order");
+        auto run = [&](bool incremental) {
+          TestFleet fleet({make_toronto27(), make_line_device(9),
+                           make_grid_device(4, 5)});
+          PackOptions arm = opts;
+          arm.incremental_admission = incremental;
+          const auto policy = use_policy ? make_routing_policy(kind) : nullptr;
+          return pack_fleet(fleet.slots, jobs, partitioner, arm, policy.get(),
+                            backlog);
+        };
+        const FleetPlan reference = run(false);
+        const FleetPlan incremental = run(true);
+        expect_plans_identical(reference, incremental, context);
+        if (!use_policy) break;  // the id-order arm has no policy kinds
+      }
+    }
   }
 }
 

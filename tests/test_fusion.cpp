@@ -449,5 +449,66 @@ TEST(NativeKernels, ScalarAndNativeDenseKernelsAgree) {
   }
 }
 
+TEST(NativeKernels, ScalarAndNativeDiagPermKernelsAgree) {
+  if (!kern::native_kernels_active()) {
+    GTEST_SKIP() << "native kernels not compiled/supported on this machine";
+  }
+  // Monomial-heavy fused circuits: CZ + diagonal 1q gates fuse into kDiag2
+  // blocks, CX + diagonal 1q gates into kPerm2 blocks (products of monomial
+  // matrices stay monomial). The Hadamard layer spreads amplitude across
+  // the whole register so every quad carries signal; the barrier keeps it
+  // out of the monomial tail so the fused 2q ops stay diag/perm, not dense.
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+  static const GateKind diag_kinds[] = {GateKind::Z,  GateKind::S,
+                                        GateKind::Sdg, GateKind::T,
+                                        GateKind::Tdg, GateKind::RZ,
+                                        GateKind::U1};
+  Rng rng(7117);
+  for (int n = 2; n <= 6; ++n) {
+    for (const GateKind twoq : {GateKind::CZ, GateKind::CX}) {
+      Circuit c(n);
+      for (int q = 0; q < n; ++q) c.h(q);
+      c.barrier();
+      for (int step = 0; step < 24; ++step) {
+        if (step % 2 == 0) {
+          const int x = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+          int y = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+          if (y >= x) ++y;
+          if (twoq == GateKind::CZ) {
+            c.cz(x, y);
+          } else {
+            c.cx(x, y);
+          }
+        }
+        Gate g;
+        g.kind = diag_kinds[rng.index(std::size(diag_kinds))];
+        g.qubits = {static_cast<int>(rng.index(static_cast<std::size_t>(n)))};
+        for (int i = 0; i < gate_param_count(g.kind); ++i) {
+          g.params.push_back(rng.uniform(-3.0, 3.0));
+        }
+        c.append(g);
+      }
+      const CompiledProgram prog = CompiledProgram::compile(c);
+      kern::set_native_kernels(false);
+      Statevector scalar_sv(n);
+      scalar_sv.run(prog);
+      DensityMatrix scalar_dm(n);
+      scalar_dm.run(prog);
+      kern::set_native_kernels(true);
+      Statevector native_sv(n);
+      native_sv.run(prog);
+      DensityMatrix native_dm(n);
+      native_dm.run(prog);
+      EXPECT_LT(state_diff(scalar_sv.amplitudes(), native_sv.amplitudes()),
+                kTol)
+          << "n=" << n << " twoq=" << static_cast<int>(twoq);
+      EXPECT_LT(state_diff(scalar_dm.data(), native_dm.data()), kTol)
+          << "n=" << n << " twoq=" << static_cast<int>(twoq);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qucp

@@ -640,6 +640,36 @@ TEST(FleetService, ExclusiveJobRunsAloneOnSomeBackend) {
   }
 }
 
+TEST(FleetService, ReservationStatsTrackExclusiveJobs) {
+  // Three exclusive jobs on a two-backend fleet, one dispatch cycle: the
+  // first two reservations each claim an idle chip (zero modeled wait),
+  // the third defers a round and is admitted behind a closed reservation
+  // batch — so the service counters record three reservation jobs and
+  // exactly one positive wait (sum == max).
+  ServiceOptions opts = fast_service_options();
+  opts.route_policy = RoutePolicy::LeastLoaded;
+  BackendRegistry fleet(
+      std::vector<Device>{make_toronto27(), make_toronto27()});
+  ExecutionService service(std::move(fleet), opts);
+  JobOptions exclusive;
+  exclusive.exclusive = true;
+  std::vector<JobHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    exclusive.name = "solo-" + std::to_string(i);
+    handles.push_back(
+        service.submit(get_benchmark("adder").circuit, exclusive));
+  }
+  service.flush();
+  for (const JobHandle& h : handles) {
+    ASSERT_EQ(h.status(), JobStatus::Done) << h.name();
+    EXPECT_EQ(h.result().batch.batch_size, 1u) << h.name();
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.reservation_jobs, 3u);
+  EXPECT_GT(stats.reservation_wait_sum_s, 0.0);
+  EXPECT_DOUBLE_EQ(stats.reservation_wait_sum_s, stats.reservation_wait_max_s);
+}
+
 TEST(FleetService, WaitAccountingIsAuditableAgainstAnIndependentPlan) {
   // The per-backend modeled-wait counters (ServiceStats) must be exactly
   // recomputable from an independent FleetScheduler run over the same
