@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -85,6 +86,16 @@ FleetSimulator::FleetSimulator(std::vector<SimJobClass> classes,
                                   "' fits on no device");
     }
   }
+  for (const DriftProcess& p : options_.drift) {
+    if (p.device < 0 || static_cast<std::size_t>(p.device) >= num_devices_) {
+      throw std::invalid_argument(
+          "FleetSimulator: drift process targets an unknown device");
+    }
+    if (p.end_s < p.start_s) {
+      throw std::invalid_argument(
+          "FleetSimulator: drift process window end precedes start");
+    }
+  }
   options_.model.queue_depth = 0;  // queueing is simulated, not modeled
 }
 
@@ -92,6 +103,37 @@ SimTrace FleetSimulator::run(std::span<const Arrival> arrivals) const {
   const int cap = options_.max_batch_size <= 0
                       ? std::numeric_limits<int>::max()
                       : options_.max_batch_size;
+
+  // Accumulated drift of one process at time `now`: zero outside the
+  // window, else seconds since the window opened — wrapped by the
+  // scheduled recalibration period, which models the daily cycle
+  // resetting the chip.
+  const auto drift_elapsed = [](const DriftProcess& p, double now) {
+    if (now < p.start_s || now >= p.end_s) return 0.0;
+    double elapsed = now - p.start_s;
+    if (p.recalibration_period_s > 0.0) {
+      elapsed = std::fmod(elapsed, p.recalibration_period_s);
+    }
+    return elapsed;
+  };
+  // Drifted per-device estimates. With no drift configured these return
+  // their input untouched (no arithmetic), keeping the frozen-calibration
+  // simulator bit-identical.
+  const auto drifted_efs = [&](std::size_t d, double base, double now) {
+    for (const DriftProcess& p : options_.drift) {
+      if (p.device != static_cast<int>(d)) continue;
+      base *= 1.0 + p.efs_ramp_per_s * drift_elapsed(p, now);
+    }
+    return base;
+  };
+  const auto drifted_ns = [&](std::size_t d, double base, double now) {
+    if (base < 0.0) return base;  // unfit stays unfit
+    for (const DriftProcess& p : options_.drift) {
+      if (p.device != static_cast<int>(d)) continue;
+      base *= 1.0 + p.makespan_ramp_per_s * drift_elapsed(p, now);
+    }
+    return base;
+  };
 
   SimTrace trace;
   trace.jobs.resize(arrivals.size());
@@ -101,12 +143,18 @@ SimTrace FleetSimulator::run(std::span<const Arrival> arrivals) const {
   std::vector<Lane> lanes(num_devices_);
 
   // Enqueue `job` on `lane`, maintaining the modeled batch grouping the
-  // dispatcher will consume (see ModeledBatch).
-  const auto enqueue = [&](Lane& lane, std::size_t job) {
+  // dispatcher will consume (see ModeledBatch). The makespan is read at
+  // enqueue time under the drift in force *now* — a job admitted to a
+  // degraded chip carries the degraded estimate even if the chip
+  // recalibrates before the batch dispatches, mirroring the service's
+  // pack-time-epoch rule.
+  const auto enqueue = [&](Lane& lane, std::size_t job, double now) {
     const SimJobClass& cls = classes_[static_cast<std::size_t>(
         trace.jobs[job].job_class)];
     const int device = trace.jobs[job].device;
-    const double ns = cls.makespan_ns[static_cast<std::size_t>(device)];
+    const double ns = drifted_ns(
+        static_cast<std::size_t>(device),
+        cls.makespan_ns[static_cast<std::size_t>(device)], now);
     lane.queue.push_back(job);
     if (lane.batches.empty() || lane.batches.back().count >= cap) {
       ModeledBatch b;
@@ -164,7 +212,7 @@ SimTrace FleetSimulator::run(std::span<const Arrival> arrivals) const {
     // scans in id order like everything else; ties everywhere resolve to
     // the lowest id via strict '<'.
     for (std::size_t d = 0; d < num_devices_; ++d) {
-      const double ns = cls.makespan_ns[d];
+      const double ns = drifted_ns(d, cls.makespan_ns[d], now);
       if (ns < 0.0) continue;
       ++fit_count;
       double score = 0.0;
@@ -176,7 +224,7 @@ SimTrace FleetSimulator::run(std::span<const Arrival> arrivals) const {
           score = static_cast<double>(lanes[d].routed_load);
           break;
         case SimPolicy::BestEfs:
-          score = cls.efs[d];
+          score = drifted_efs(d, cls.efs[d], now);
           break;
         case SimPolicy::ExpectedLatency: {
           const Lane& lane = lanes[d];
@@ -228,7 +276,7 @@ SimTrace FleetSimulator::run(std::span<const Arrival> arrivals) const {
         Lane& lane = lanes[d];
         lane.routed_load += static_cast<std::uint64_t>(
             std::max(1, cls.qubits));
-        enqueue(lane, job);
+        enqueue(lane, job, event.time_s);
         if (!lane.busy) start_batch(d, event.time_s);
         break;
       }

@@ -42,7 +42,13 @@ class Device {
   [[nodiscard]] double readout_error(int q) const;
   [[nodiscard]] double q1_error(int q) const;
 
-  /// Replace the calibration snapshot (e.g. for what-if studies in tests).
+  /// Replace the calibration snapshot in place (e.g. for what-if studies
+  /// in tests). Live recalibration of a serving backend must NOT use
+  /// this: every derived cache (CandidateIndex, transpile/compiled-
+  /// program caches, solo-EFS memos) assumes the Device it was built
+  /// against never changes. Backend::recalibrate (service/backend.hpp)
+  /// builds a fresh epoch-owned Device copy instead and swaps the whole
+  /// cache set atomically.
   void set_calibration(Calibration cal);
 
  private:

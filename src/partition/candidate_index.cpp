@@ -93,6 +93,14 @@ std::size_t CandidateIndex::sizes_cached() const {
   return cache_.size();
 }
 
+std::vector<int> CandidateIndex::cached_sizes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<int> sizes;
+  sizes.reserve(cache_.size());
+  for (const auto& [k, entry] : cache_) sizes.push_back(k);
+  return sizes;
+}
+
 AllocationSession::AllocationSession(const CandidateIndex& index)
     : index_(&index) {
   const std::size_t n =

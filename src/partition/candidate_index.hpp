@@ -82,6 +82,12 @@ class CandidateIndex {
   /// Partition sizes cached so far (for stats/tests).
   [[nodiscard]] std::size_t sizes_cached() const;
 
+  /// The cached partition sizes themselves, ascending. Used by
+  /// Backend::recalibrate to warm-build a replacement index off-lane with
+  /// the same working set the retiring index accumulated, so the first
+  /// dispatch cycle on a fresh calibration epoch pays no per_k builds.
+  [[nodiscard]] std::vector<int> cached_sizes() const;
+
  private:
   const Device* device_;
   mutable std::mutex mutex_;

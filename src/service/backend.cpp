@@ -1,19 +1,23 @@
 #include "service/backend.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 namespace qucp {
 
-Backend::Backend(Device device, std::size_t transpile_cache_capacity)
-    : device_(std::move(device)),
+CalibrationEpoch::CalibrationEpoch(std::uint64_t id, Device device,
+                                   std::size_t transpile_cache_capacity)
+    : id_(id),
+      device_(std::move(device)),
       candidate_index_(device_),
+      derived_noise_(DerivedNoise::from(device_.calibration())),
       capacity_(transpile_cache_capacity) {}
 
-TranspiledProgram Backend::transpile(const Circuit& logical,
-                                     std::span<const int> partition,
-                                     const TranspileOptions& options,
-                                     std::uint64_t options_fp) {
+TranspiledProgram CalibrationEpoch::transpile(const Circuit& logical,
+                                              std::span<const int> partition,
+                                              const TranspileOptions& options,
+                                              std::uint64_t options_fp) const {
   if (capacity_ == 0) {
     return transpile_to_partition(logical, device_, partition, options);
   }
@@ -45,24 +49,78 @@ TranspiledProgram Backend::transpile(const Circuit& logical,
   return result;
 }
 
-ParallelRunReport Backend::execute(std::vector<PhysicalProgram> programs,
-                                   const ExecOptions& options) const {
+ParallelRunReport CalibrationEpoch::execute(
+    std::vector<PhysicalProgram> programs, const ExecOptions& options) const {
   return execute_parallel(device_, std::move(programs), options, &gate_cache_,
-                          &program_cache_);
+                          &program_cache_, &derived_noise_);
 }
 
-TranspileCacheStats Backend::cache_stats() const {
+TranspileCacheStats CalibrationEpoch::cache_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   TranspileCacheStats stats = stats_;
   stats.entries = cache_.size();
   return stats;
 }
 
-void Backend::clear_cache() {
+void CalibrationEpoch::clear_cache() const {
   std::lock_guard<std::mutex> lock(mutex_);
   cache_.clear();
   insertion_order_.clear();
   stats_.entries = 0;
+}
+
+void CalibrationEpoch::warm(std::span<const int> partition_sizes) const {
+  for (int k : partition_sizes) {
+    if (k <= 0 || k > device_.num_qubits()) continue;
+    (void)candidate_index_.per_k(k);
+  }
+}
+
+Backend::Backend(Device device, std::size_t transpile_cache_capacity)
+    : capacity_(transpile_cache_capacity),
+      epoch_(std::make_shared<CalibrationEpoch>(0, std::move(device),
+                                                transpile_cache_capacity)) {}
+
+std::shared_ptr<const CalibrationEpoch> Backend::epoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return epoch_;
+}
+
+std::uint64_t Backend::epoch_id() const { return epoch()->id(); }
+
+double Backend::recalibrate(Calibration cal) {
+  // One recalibration at a time: epoch ids stay monotonic and two
+  // concurrent swaps cannot interleave their build/publish steps.
+  std::lock_guard<std::mutex> recal_lock(recal_mutex_);
+  const std::shared_ptr<const CalibrationEpoch> old = epoch();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // The Device constructor validates `cal` against the topology and
+  // throws std::invalid_argument before any state changes.
+  Device next(old->device().name(), old->device().topology(), std::move(cal),
+              old->device().crosstalk_ground_truth());
+  auto fresh = std::make_shared<const CalibrationEpoch>(
+      old->id() + 1, std::move(next), capacity_);
+  // Off-lane warm build: reproduce the candidate working set the retiring
+  // epoch accumulated, so the first pack cycle on the new epoch routes at
+  // full speed. Runs entirely on this thread — no lane or worker waits.
+  fresh->warm(old->candidate_index().cached_sizes());
+  const double build_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  {
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    epoch_ = std::move(fresh);
+  }
+  recalibrations_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add(double) needs C++20 library support that not every
+  // toolchain ships; a CAS loop is equivalent and portable.
+  double expected = recalibration_build_s_.load(std::memory_order_relaxed);
+  while (!recalibration_build_s_.compare_exchange_weak(
+      expected, expected + build_s, std::memory_order_relaxed)) {
+  }
+  return build_s;
 }
 
 }  // namespace qucp

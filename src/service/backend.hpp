@@ -1,23 +1,38 @@
 #pragma once
-// Backend: a device endpoint for the ExecutionService.
+// Backend: a device endpoint for the ExecutionService, versioned by
+// calibration epoch.
 //
-// Wraps a Device together with its noisy executor and a thread-safe
-// transpilation cache. The service (and the run_parallel() compatibility
-// shim) never call transpile_to_partition() or execute_parallel() directly;
-// they go through a Backend so that repeated submissions of the same
-// circuit onto the same partition pay transpilation once, and so future
-// PRs can slot in other endpoints (real hardware transports, remote
-// simulators, shards) behind the same interface.
+// Everything a backend derives from its calibration — the Device snapshot
+// itself, the CandidateIndex, the transpile cache, the compiled-program
+// and gate-matrix caches, and the executor's derived noise constants —
+// lives inside an immutable CalibrationEpoch. The Backend owns a
+// shared_ptr to the current epoch and swaps it RCU-style on
+// recalibrate(): the replacement epoch's caches are warm-built on the
+// calling thread (off-lane — no dispatch cycle or worker ever waits on
+// the build), then the pointer swap publishes the whole cache set
+// atomically. Holders of the old epoch (in-flight batches, a dispatch
+// cycle mid-plan) keep executing against the calibration they were packed
+// under; the old epoch retires when its last shared_ptr drops.
 //
-// The cache key covers everything transpile_to_partition() reads: the
-// circuit's content fingerprint, the target partition, and an
+// The transpile cache key covers everything transpile_to_partition()
+// reads: the circuit's content fingerprint, the target partition, and an
 // options fingerprint the caller derives from the method configuration
 // (placement style, optimize flags, CNA crosstalk context). Transpilation
 // is deterministic, so a cache hit is observationally identical to a
-// fresh transpile.
+// fresh transpile — and because the cache lives inside the epoch, a hit
+// can never serve a result transpiled under a different calibration.
+//
+// Backend keeps the historical accessor surface (device(),
+// candidate_index(), transpile(), execute(), ...) as forwarders to the
+// current epoch, so single-epoch callers are untouched. References
+// returned by the forwarders stay valid until the next recalibrate();
+// code that must survive a concurrent recalibration (the fleet planner,
+// batch execution) pins an epoch with epoch() and works through it.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -38,58 +53,75 @@ struct TranspileCacheStats {
   std::size_t entries = 0;
 };
 
-class Backend {
+/// One immutable calibration snapshot plus every cache derived from it.
+/// Construction is cheap (the caches fill lazily); warm() optionally
+/// pre-builds the candidate lists a predecessor epoch had accumulated.
+/// All methods are const and internally synchronized, so concurrent
+/// service workers share one epoch exactly as they shared the old
+/// Backend. An epoch never mutates its calibration — drift is modeled by
+/// building a successor epoch, not by touching this one.
+class CalibrationEpoch {
  public:
-  /// `transpile_cache_capacity` = 0 disables caching.
-  explicit Backend(Device device, std::size_t transpile_cache_capacity = 1024);
+  /// `transpile_cache_capacity` = 0 disables transpile caching.
+  CalibrationEpoch(std::uint64_t id, Device device,
+                   std::size_t transpile_cache_capacity);
+
+  CalibrationEpoch(const CalibrationEpoch&) = delete;
+  CalibrationEpoch& operator=(const CalibrationEpoch&) = delete;
+
+  /// Monotonic per-backend epoch number (0 = construction epoch).
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
 
   [[nodiscard]] const Device& device() const noexcept { return device_; }
 
-  /// Persistent incremental-EFS candidate cache for this backend's device
-  /// (see partition/candidate_index.hpp). Shared by the batch pipeline and
-  /// the packer so candidate generation + base scoring is paid once per
-  /// (device, partition size) instead of once per batch. Thread-safe; the
-  /// cache stays valid because Backend never exposes a mutable Device.
+  /// Persistent incremental-EFS candidate cache built against this
+  /// epoch's device snapshot (see partition/candidate_index.hpp).
+  /// Thread-safe; valid because the epoch never exposes a mutable Device.
   [[nodiscard]] const CandidateIndex& candidate_index() const noexcept {
     return candidate_index_;
   }
 
-  /// Persistent program-compilation cache (sim/fusion.hpp): fused kernel
-  /// streams for the ideal pipeline, lowered per-op kernel streams for the
-  /// noisy executor, both keyed by circuit fingerprint. Thread-safe.
+  /// Executor noise constants derived from this epoch's calibration once,
+  /// instead of per gate application (sim/executor.hpp).
+  [[nodiscard]] const DerivedNoise& derived_noise() const noexcept {
+    return derived_noise_;
+  }
+
+  /// Persistent program-compilation cache (sim/fusion.hpp). Thread-safe.
   [[nodiscard]] const CompiledProgramCache& program_cache() const noexcept {
     return program_cache_;
   }
 
-  /// Fused compilation of `logical`, memoized per circuit fingerprint —
-  /// what the batch pipeline feeds ideal_distribution.
+  /// Fused compilation of `logical`, memoized per circuit fingerprint.
   [[nodiscard]] std::shared_ptr<const CompiledProgram> compiled_program(
       const Circuit& logical) const {
     return program_cache_.fused(logical);
   }
 
-  /// Transpile `logical` onto `partition`, consulting the cache first.
-  /// `options_fp` must fingerprint every TranspileOptions field that can
-  /// differ between calls (the service derives it from method, optimize
-  /// flags and CNA context). Thread-safe.
+  /// Transpile `logical` onto `partition`, consulting the epoch's cache
+  /// first. `options_fp` must fingerprint every TranspileOptions field
+  /// that can differ between calls. Thread-safe.
   [[nodiscard]] TranspiledProgram transpile(const Circuit& logical,
                                             std::span<const int> partition,
                                             const TranspileOptions& options,
-                                            std::uint64_t options_fp);
+                                            std::uint64_t options_fp) const;
 
-  /// Execute pre-mapped programs on the simulated hardware. Thread-safe:
-  /// execute_parallel only reads the device, and the shared gate-matrix
-  /// cache is internally synchronized.
+  /// Execute pre-mapped programs on this epoch's simulated hardware.
   [[nodiscard]] ParallelRunReport execute(std::vector<PhysicalProgram> programs,
                                           const ExecOptions& options) const;
 
   [[nodiscard]] TranspileCacheStats cache_stats() const;
-  void clear_cache();
+  void clear_cache() const;
 
-  /// Distinct (kind, params) gate unitaries memoized by this backend.
+  /// Distinct (kind, params) gate unitaries memoized by this epoch.
   [[nodiscard]] std::size_t gate_cache_entries() const {
     return gate_cache_.entries();
   }
+
+  /// Pre-build the candidate lists for `partition_sizes` (typically the
+  /// predecessor epoch's working set) so the first dispatch cycle on this
+  /// epoch pays no per_k builds. Part of recalibrate()'s off-lane work.
+  void warm(std::span<const int> partition_sizes) const;
 
  private:
   struct CacheKey {
@@ -103,21 +135,99 @@ class Backend {
     }
   };
 
+  std::uint64_t id_ = 0;
   Device device_;
   CandidateIndex candidate_index_;  ///< built against device_ (declared above)
+  DerivedNoise derived_noise_;      ///< derived from device_.calibration()
   std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::map<CacheKey, TranspiledProgram> cache_;
-  std::vector<CacheKey> insertion_order_;  ///< FIFO eviction queue
-  TranspileCacheStats stats_;
-  /// Gate unitaries shared by every execution on this backend (its own
+  mutable std::map<CacheKey, TranspiledProgram> cache_;
+  mutable std::vector<CacheKey> insertion_order_;  ///< FIFO eviction queue
+  mutable TranspileCacheStats stats_;
+  /// Gate unitaries shared by every execution on this epoch (its own
   /// mutex; never cleared, so references handed to the simulator stay
-  /// valid for the backend's lifetime).
+  /// valid for the epoch's lifetime).
   mutable GateMatrixCache gate_cache_;
   /// Compiled (fused / lowered per-op) programs shared by every execution
-  /// on this backend (its own mutex; shared_ptr entries, so eviction never
+  /// on this epoch (its own mutex; shared_ptr entries, so eviction never
   /// invalidates an in-flight replay).
   mutable CompiledProgramCache program_cache_;
+};
+
+class Backend {
+ public:
+  /// `transpile_cache_capacity` = 0 disables transpile caching (applies
+  /// to every epoch this backend ever builds).
+  explicit Backend(Device device, std::size_t transpile_cache_capacity = 1024);
+
+  /// Pin the current calibration epoch. The returned shared_ptr keeps the
+  /// epoch (device, caches, derived constants) alive across any number of
+  /// concurrent recalibrate() calls — this is how in-flight batches keep
+  /// executing against their pack-time calibration.
+  [[nodiscard]] std::shared_ptr<const CalibrationEpoch> epoch() const;
+
+  /// Current epoch number (0 until the first recalibrate()).
+  [[nodiscard]] std::uint64_t epoch_id() const;
+
+  /// Swap in a new calibration without draining anything: validates
+  /// `cal` against the device topology, builds a successor epoch with a
+  /// fresh cache set on the calling thread (warm-building the candidate
+  /// sizes the retiring epoch had accumulated), then atomically publishes
+  /// it. Dispatch cycles pick the new epoch up at their next pack
+  /// boundary; batches already packed complete against their pinned
+  /// epoch. Returns the off-lane build time in seconds (the "stall" a
+  /// drain-the-world design would have imposed on the lane). Concurrent
+  /// recalibrate() calls serialize; throws std::invalid_argument (leaving
+  /// the current epoch untouched) when `cal` fails validation.
+  double recalibrate(Calibration cal);
+
+  /// Epochs published by recalibrate() so far.
+  [[nodiscard]] std::uint64_t recalibrations() const noexcept {
+    return recalibrations_.load(std::memory_order_relaxed);
+  }
+  /// Total off-lane epoch build seconds across every recalibrate().
+  [[nodiscard]] double recalibration_build_s() const noexcept {
+    return recalibration_build_s_.load(std::memory_order_relaxed);
+  }
+
+  // Forwarders to the current epoch. References are valid until the next
+  // recalibrate(); epoch-crossing callers pin epoch() instead.
+  [[nodiscard]] const Device& device() const { return epoch()->device(); }
+  [[nodiscard]] const CandidateIndex& candidate_index() const {
+    return epoch()->candidate_index();
+  }
+  [[nodiscard]] const CompiledProgramCache& program_cache() const {
+    return epoch()->program_cache();
+  }
+  [[nodiscard]] std::shared_ptr<const CompiledProgram> compiled_program(
+      const Circuit& logical) const {
+    return epoch()->compiled_program(logical);
+  }
+  [[nodiscard]] TranspiledProgram transpile(const Circuit& logical,
+                                            std::span<const int> partition,
+                                            const TranspileOptions& options,
+                                            std::uint64_t options_fp) {
+    return epoch()->transpile(logical, partition, options, options_fp);
+  }
+  [[nodiscard]] ParallelRunReport execute(std::vector<PhysicalProgram> programs,
+                                          const ExecOptions& options) const {
+    return epoch()->execute(std::move(programs), options);
+  }
+  [[nodiscard]] TranspileCacheStats cache_stats() const {
+    return epoch()->cache_stats();
+  }
+  void clear_cache() { epoch()->clear_cache(); }
+  [[nodiscard]] std::size_t gate_cache_entries() const {
+    return epoch()->gate_cache_entries();
+  }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex epoch_mutex_;  ///< guards the epoch_ pointer swap
+  std::shared_ptr<const CalibrationEpoch> epoch_;
+  std::mutex recal_mutex_;  ///< serializes concurrent recalibrate() calls
+  std::atomic<std::uint64_t> recalibrations_{0};
+  std::atomic<double> recalibration_build_s_{0.0};
 };
 
 }  // namespace qucp

@@ -577,15 +577,30 @@ FleetPlan FleetScheduler::plan(std::span<const PackJob> jobs,
                                const Partitioner& partitioner,
                                const PackOptions& options,
                                std::span<const double> initial_backlog_s) {
+  // Pin each backend's calibration epoch for the whole cycle: routing,
+  // admission probing and threshold checks all read one consistent
+  // snapshot even if the backend recalibrates mid-plan, and the epochs
+  // travel with the plan so dispatched batches execute against it too.
+  std::vector<std::shared_ptr<const CalibrationEpoch>> epochs;
+  epochs.reserve(fleet_->size());
   std::vector<FleetSlot> slots;
   slots.reserve(fleet_->size());
   for (std::size_t i = 0; i < fleet_->size(); ++i) {
-    const Backend& backend = fleet_->at(i);
-    slots.push_back({&backend.device(), &backend.candidate_index(),
-                     &solo_cache_[i]});
+    epochs.push_back(fleet_->at(i).epoch());
+    const CalibrationEpoch& epoch = *epochs.back();
+    if (solo_cache_[i].epoch_id != epoch.id()) {
+      // The memoized solo-EFS scores were computed under a retired
+      // calibration; drop them so the new epoch re-scores.
+      solo_cache_[i].scores.clear();
+      solo_cache_[i].epoch_id = epoch.id();
+    }
+    slots.push_back({&epoch.device(), &epoch.candidate_index(),
+                     &solo_cache_[i].scores});
   }
-  return pack_fleet(slots, jobs, partitioner, options, policy_.get(),
-                    initial_backlog_s);
+  FleetPlan plan = pack_fleet(slots, jobs, partitioner, options, policy_.get(),
+                              initial_backlog_s);
+  plan.epochs = std::move(epochs);
+  return plan;
 }
 
 }  // namespace qucp

@@ -326,6 +326,14 @@ struct FleetPlan {
   std::uint64_t reservation_jobs = 0;
   double reservation_wait_sum_s = 0.0;
   double reservation_wait_max_s = 0.0;
+  /// Calibration epoch each slot was planned under, one entry per slot
+  /// when the plan came from FleetScheduler::plan (raw pack_fleet calls
+  /// leave it empty — their slots' lifetimes are the caller's problem).
+  /// The service attaches epochs[s] to every batch dispatched to slot s,
+  /// so a batch executes against exactly the calibration its partitions
+  /// and EFS scores were computed from, even if the backend recalibrates
+  /// between planning and execution.
+  std::vector<std::shared_ptr<const CalibrationEpoch>> epochs;
 };
 
 /// Pack `jobs` (already in the desired queue order) across `slots`.
@@ -362,9 +370,19 @@ class FleetScheduler {
   [[nodiscard]] RoutingPolicy* policy() noexcept { return policy_.get(); }
 
  private:
+  /// Per-backend solo-EFS memo, keyed by the calibration epoch it was
+  /// scored under: plan() pins each backend's current epoch, and a memo
+  /// whose epoch_id no longer matches is discarded wholesale — a
+  /// recalibrated chip re-scores from scratch instead of routing on stale
+  /// fidelity numbers.
+  struct SoloCache {
+    std::uint64_t epoch_id = 0;
+    std::map<std::uint64_t, double> scores;  ///< circuit fp -> best solo EFS
+  };
+
   const BackendRegistry* fleet_;
   std::unique_ptr<RoutingPolicy> policy_;
-  std::vector<std::map<std::uint64_t, double>> solo_cache_;  ///< per backend
+  std::vector<SoloCache> solo_cache_;  ///< per backend
 };
 
 }  // namespace qucp

@@ -89,6 +89,26 @@ bool SubmitRing::try_push_block(std::span<const JobPtr> jobs) {
   }
 }
 
+std::uint64_t SubmitRing::reserve_span(std::uint64_t count) {
+  // Unconditional ticket claim: same counter try_push CASes on, so the
+  // span is totally ordered against every concurrent push. Concurrent
+  // try_push/try_push_block calls that land on a reserved-but-unpublished
+  // cell observe seq < pos (an unconsumed lap) and report full — normal
+  // backpressure, no special case.
+  return enqueue_pos_.fetch_add(count, std::memory_order_relaxed);
+}
+
+bool SubmitRing::try_publish_at(std::uint64_t ticket, const JobPtr& job) {
+  Cell& cell = cells_[ticket & mask_];
+  // The cell is ours to write only once the consumer has freed every
+  // earlier lap of this slot (seq reaches the ticket value). The acquire
+  // load orders our write after the consumer's read of the old value.
+  if (cell.seq.load(std::memory_order_acquire) != ticket) return false;
+  cell.value = job;
+  cell.seq.store(ticket + 1, std::memory_order_release);
+  return true;
+}
+
 bool SubmitRing::try_pop(JobPtr& out) {
   const std::uint64_t pos = dequeue_pos_.load(std::memory_order_relaxed);
   Cell& cell = cells_[pos & mask_];

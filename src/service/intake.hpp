@@ -66,6 +66,24 @@ class SubmitRing {
   /// consumer at a time.
   [[nodiscard]] bool try_pop(JobPtr& out);
 
+  /// Reserve `count` contiguous tickets unconditionally (the span may
+  /// exceed the ring capacity) and return the first ticket. This is the
+  /// oversized-batch path of submit_all: the whole vector claims one
+  /// contiguous id span up front, then publishes cell by cell with
+  /// try_publish_at, so a drain sees the block contiguous in ticket order
+  /// with no chunk seam — at the cost of the reserver being obliged to
+  /// keep publishing (an abandoned reservation stalls the shard at its
+  /// first unpublished ticket, exactly like a producer dying between
+  /// ticket claim and publish).
+  [[nodiscard]] std::uint64_t reserve_span(std::uint64_t count);
+
+  /// Publish `job` at `ticket` (previously returned by reserve_span, plus
+  /// an offset). False when the ticket's cell still holds an unconsumed
+  /// earlier lap — the reserver must let the consumer drain (the service
+  /// backpressures into dispatch_pending) and retry. Tickets of one span
+  /// must be published in ascending order.
+  [[nodiscard]] bool try_publish_at(std::uint64_t ticket, const JobPtr& job);
+
  private:
   struct Cell {
     std::atomic<std::uint64_t> seq{0};
@@ -105,6 +123,14 @@ class ShardedIntake {
   [[nodiscard]] bool try_push_block(std::span<const JobPtr> jobs,
                                     std::size_t shard) {
     return shards_[shard]->try_push_block(jobs);
+  }
+  [[nodiscard]] std::uint64_t reserve_span(std::uint64_t count,
+                                           std::size_t shard) {
+    return shards_[shard]->reserve_span(count);
+  }
+  [[nodiscard]] bool try_publish_at(std::uint64_t ticket, const JobPtr& job,
+                                    std::size_t shard) {
+    return shards_[shard]->try_publish_at(ticket, job);
   }
 
   /// Drain every shard into `out` (appended), shard 0..S-1, each in FIFO

@@ -2,12 +2,15 @@
 // BackendRegistry: the set of device endpoints an ExecutionService fleet
 // schedules over.
 //
-// Each registered Backend keeps its own TranspileCache, CandidateIndex,
-// GateMatrixCache and CompiledProgramCache (service/backend.hpp), so per-
-// device memoization survives routing decisions: a job bounced between
-// devices warms each device's caches independently. Backends are held by
-// shared_ptr and identified by a dense id (their registration order) —
-// the id the FleetScheduler routes on and the id a JobResult reports back.
+// Each registered Backend carries its own epoch-versioned cache set —
+// TranspileCache, CandidateIndex, GateMatrixCache, CompiledProgramCache,
+// all owned by the backend's current CalibrationEpoch (service/
+// backend.hpp) — so per-device memoization survives routing decisions: a
+// job bounced between devices warms each device's caches independently,
+// and a device recalibrated mid-stream swaps in a fresh cache set without
+// touching its fleet peers. Backends are held by shared_ptr and
+// identified by a dense id (their registration order) — the id the
+// FleetScheduler routes on and the id a JobResult reports back.
 //
 // Heterogeneous fleets are first-class: a registry may mix e.g. toronto27
 // and manhattan65, and calibration-aware policies (BestEfs) use each

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <map>
 #include <stdexcept>
 #include <utility>
@@ -48,6 +49,16 @@ BatchReport run_batch_pipeline(Backend& backend,
                                const std::vector<Circuit>& programs,
                                const std::vector<std::string>& names,
                                const ParallelOptions& options) {
+  // Pin the backend's current epoch for the whole pipeline: partitioning,
+  // transpilation and execution all read one calibration snapshot even if
+  // the backend recalibrates mid-call.
+  return run_batch_pipeline(*backend.epoch(), programs, names, options);
+}
+
+BatchReport run_batch_pipeline(const CalibrationEpoch& epoch,
+                               const std::vector<Circuit>& programs,
+                               const std::vector<std::string>& names,
+                               const ParallelOptions& options) {
   if (programs.empty()) {
     throw std::invalid_argument("run_batch_pipeline: no programs");
   }
@@ -55,7 +66,7 @@ BatchReport run_batch_pipeline(Backend& backend,
   // executor: the ideal_distribution() statevector passes below also
   // engage parallel_for on wide programs.
   const kern::ParallelThreadsGuard thread_cap(options.exec.kernel_threads);
-  const Device& device = backend.device();
+  const Device& device = epoch.device();
 
   // Partition in QuMC's largest-first order.
   std::vector<ProgramShape> shapes;
@@ -69,7 +80,7 @@ BatchReport run_batch_pipeline(Backend& backend,
   const auto partitioner =
       make_partitioner(options.method, options.sigma, options.srb_estimates);
   const auto allocations = partitioner->allocate(
-      device, ordered_shapes, &backend.candidate_index());
+      device, ordered_shapes, &epoch.candidate_index());
   if (!allocations) {
     throw std::runtime_error("run_batch_pipeline: batch does not fit on " +
                              device.name());
@@ -108,7 +119,7 @@ BatchReport run_batch_pipeline(Backend& backend,
         options.method, options.sigma, options.optimize_circuits, context,
         options.srb_estimates);
     TranspiledProgram tp =
-        backend.transpile(programs[i], assignment[i].qubits, topts, opts_fp);
+        epoch.transpile(programs[i], assignment[i].qubits, topts, opts_fp);
     swaps[i] = tp.swaps_added;
     layouts[i] = tp.final_layout;
     std::string name = (i < names.size() && !names[i].empty())
@@ -118,8 +129,7 @@ BatchReport run_batch_pipeline(Backend& backend,
     physical[i] = {std::move(tp.physical), std::move(name)};
   }
 
-  const ParallelRunReport run =
-      backend.execute(physical, options.exec);
+  const ParallelRunReport run = epoch.execute(physical, options.exec);
 
   BatchReport report;
   report.throughput = run.throughput;
@@ -135,7 +145,7 @@ BatchReport run_batch_pipeline(Backend& backend,
     pr.swaps_added = swaps[i];
     // Fused, backend-cached ideal pipeline: repeated submissions of the
     // same circuit replay a precompiled kernel stream (sim/fusion.hpp).
-    pr.ideal = ideal_distribution(*backend.compiled_program(programs[i]));
+    pr.ideal = ideal_distribution(*epoch.compiled_program(programs[i]));
     pr.noisy = run.programs[i].distribution;
     pr.counts = run.programs[i].counts;
     pr.jsd_value = jsd(pr.noisy, pr.ideal);
@@ -287,19 +297,40 @@ std::vector<JobHandle> ExecutionService::submit_all(
 
   const SubmitGate gate(accepting_, active_submits_);
   const std::size_t shard = intake_->home_shard();
-  // One contiguous ticket block per chunk: a drain can never interleave
-  // another producer's jobs inside the chunk.
-  const std::size_t chunk_cap = intake_->shard_capacity();
-  std::size_t done = 0;
-  while (done < states.size()) {
-    const std::size_t n = std::min(chunk_cap, states.size() - done);
-    const std::span<const JobPtr> chunk(states.data() + done, n);
-    while (!intake_->try_push_block(chunk, shard)) {
+  if (states.size() <= intake_->shard_capacity()) {
+    // Fits in one lap: the all-or-nothing block push either publishes the
+    // whole vector or backpressures without touching the ring.
+    const std::span<const JobPtr> block(states);
+    while (!intake_->try_push_block(block, shard)) {
       dispatch_pending();  // backpressure, as in enqueue_job
     }
-    done += n;
-    maybe_auto_flush(
-        pending_count_.fetch_add(n, std::memory_order_acq_rel) + n);
+    maybe_auto_flush(pending_count_.fetch_add(states.size(),
+                                              std::memory_order_acq_rel) +
+                     states.size());
+  } else {
+    // Oversized batch: reserve the whole multi-lap ticket span up front —
+    // ids stay contiguous with no chunk seam another same-shard producer
+    // could land inside — then publish cell by cell. A cell whose earlier
+    // lap has not been consumed yet backpressures us into draining the
+    // rings ourselves (we publish in ascending ticket order, so our own
+    // published prefix is always drainable and frees the cells we need).
+    const std::uint64_t base =
+        intake_->reserve_span(states.size(), shard);
+    std::size_t published_unflushed = 0;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      while (!intake_->try_publish_at(base + i, states[i], shard)) {
+        // Make our published prefix visible to pending_jobs()/auto-flush
+        // accounting before draining it.
+        pending_count_.fetch_add(published_unflushed,
+                                 std::memory_order_acq_rel);
+        published_unflushed = 0;
+        dispatch_pending();
+      }
+      ++published_unflushed;
+    }
+    maybe_auto_flush(pending_count_.fetch_add(published_unflushed,
+                                              std::memory_order_acq_rel) +
+                     published_unflushed);
   }
 
   std::vector<JobHandle> handles;
@@ -371,11 +402,16 @@ void ExecutionService::dispatch_pending() {
   // wait accounting see work dispatched in earlier cycles. Read under the
   // lane mutexes but used under pack_mutex_, so concurrent completions can
   // only make the snapshot conservative (stale-high), never inconsistent
-  // with the plan that consumes it.
+  // with the plan that consumes it. With realized-duration feedback on,
+  // the snapshot is scaled by the lane's observed realized/modeled ratio
+  // so routing prices how the lane actually drains, not just the model.
   std::vector<double> backlogs(lanes_.size(), 0.0);
   for (std::size_t i = 0; i < lanes_.size(); ++i) {
     std::lock_guard<std::mutex> lane_lock(lanes_[i]->mutex);
     backlogs[i] = lanes_[i]->backlog_s;
+    if (options_.feed_realized_durations) {
+      backlogs[i] *= lanes_[i]->realized_ratio;
+    }
   }
   const FleetPlan plan =
       scheduler_->plan(pack_jobs, *partitioner_, popts, backlogs);
@@ -421,6 +457,11 @@ void ExecutionService::dispatch_pending() {
         batch.index = lane.next_ordinal++ * num_lanes +
                       static_cast<std::uint64_t>(lane.id);
         batch.modeled_exec_s = plan.batch_exec_s[s][b];
+        // Pin the plan-time epoch: the batch executes against the exact
+        // calibration its partitions and EFS admissions were computed
+        // from, even if the backend recalibrates before a worker gets to
+        // it.
+        batch.epoch = plan.epochs[s];
         batch.jobs.reserve(pb.jobs.size());
         for (std::size_t idx : pb.jobs) batch.jobs.push_back(jobs[idx]);
         lane.jobs_routed += batch.jobs.size();
@@ -494,14 +535,20 @@ void ExecutionService::execute_batch(Lane& lane, Batch batch,
         std::max(1, kern::parallel_threads() / concurrency);
   }
 
+  // Only read the clock when realized-duration feedback is on: the
+  // modeled-only mode must not depend on timing in any way.
+  const bool feed_realized = options_.feed_realized_durations;
+  std::chrono::steady_clock::time_point wall_start;
+  if (feed_realized) wall_start = std::chrono::steady_clock::now();
+
   std::size_t failed = 0;
   try {
     const BatchReport report =
-        run_batch_pipeline(*lane.backend, circuits, names, popts);
+        run_batch_pipeline(*batch.epoch, circuits, names, popts);
     BatchStats stats;
     stats.batch_index = batch.index;
     stats.backend_id = lane.id;
-    stats.backend_device = lane.backend->device().name();
+    stats.backend_device = batch.epoch->device().name();
     stats.batch_size = batch.jobs.size();
     stats.makespan_ns = report.makespan_ns;
     stats.throughput = report.throughput;
@@ -521,6 +568,18 @@ void ExecutionService::execute_batch(Lane& lane, Batch batch,
     failed = batch.jobs.size();
   }
 
+  double realized_s = 0.0;
+  if (feed_realized) {
+    realized_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - wall_start)
+                     .count();
+  }
+  // A batch that outlived its epoch completed against its pack-time
+  // calibration while the backend already serves a newer one — the
+  // overlap live recalibration exists to permit. Counted under the lane
+  // mutex below.
+  const bool stale_epoch = batch.epoch->id() != lane.backend->epoch_id();
+
   {
     std::lock_guard<std::mutex> lane_lock(lane.mutex);
     ++lane.batches_executed;
@@ -529,6 +588,19 @@ void ExecutionService::execute_batch(Lane& lane, Batch batch,
     // Clamp: float summation drift must never leave a phantom backlog sign
     // flip behind for the next dispatch cycle's wait estimates.
     lane.backlog_s = std::max(0.0, lane.backlog_s - batch.modeled_exec_s);
+    if (stale_epoch) ++lane.stale_epoch_batches;
+    if (feed_realized) {
+      lane.realized_exec_sum_s += realized_s;
+      ++lane.realized_batches;
+      if (batch.modeled_exec_s > 0.0) {
+        // EWMA with alpha = 0.2: smooths per-batch wall-clock jitter while
+        // still tracking a lane whose real drain speed shifts.
+        constexpr double kAlpha = 0.2;
+        const double ratio = realized_s / batch.modeled_exec_s;
+        lane.realized_ratio =
+            (1.0 - kAlpha) * lane.realized_ratio + kAlpha * ratio;
+      }
+    }
   }
   inflight_batches_.fetch_sub(1, std::memory_order_relaxed);
   {
@@ -592,8 +664,14 @@ ServiceStats ExecutionService::stats() const {
   for (const auto& lane : lanes_) {
     BackendStats bs;
     bs.backend_id = lane->id;
-    bs.device = lane->backend->device().name();
-    bs.transpile_cache = lane->backend->cache_stats();
+    // One epoch pin for the whole row, so device/epoch/cache fields are
+    // mutually consistent even against a concurrent recalibrate().
+    const auto epoch = lane->backend->epoch();
+    bs.device = epoch->device().name();
+    bs.transpile_cache = epoch->cache_stats();
+    bs.calibration_epoch = epoch->id();
+    bs.recalibrations = lane->backend->recalibrations();
+    bs.recalibration_build_s = lane->backend->recalibration_build_s();
     {
       std::lock_guard<std::mutex> lane_lock(lane->mutex);
       bs.jobs_routed = lane->jobs_routed;
@@ -603,7 +681,14 @@ ServiceStats ExecutionService::stats() const {
       bs.modeled_wait_sum_s = lane->wait_sum_s;
       bs.modeled_wait_max_s = lane->wait_max_s;
       bs.modeled_backlog_s = lane->backlog_s;
+      bs.stale_epoch_batches = lane->stale_epoch_batches;
+      bs.realized_exec_sum_s = lane->realized_exec_sum_s;
+      bs.realized_batches = lane->realized_batches;
+      bs.realized_ratio = lane->realized_ratio;
     }
+    stats.recalibrations += bs.recalibrations;
+    stats.recalibration_build_s += bs.recalibration_build_s;
+    stats.stale_epoch_batches += bs.stale_epoch_batches;
     stats.transpile_cache.hits += bs.transpile_cache.hits;
     stats.transpile_cache.misses += bs.transpile_cache.misses;
     stats.transpile_cache.evictions += bs.transpile_cache.evictions;

@@ -112,6 +112,16 @@ struct ServiceOptions {
   /// the from-scratch re-allocation path; off = reference path, kept for
   /// golden A/B tests.
   bool incremental_admission = true;
+  /// Feed *realized* batch durations back into the per-lane backlog the
+  /// next dispatch cycle routes on: each lane keeps an EWMA of
+  /// (measured wall-clock batch duration) / (modeled batch runtime), and
+  /// the backlog snapshot handed to ExpectedLatency routing is scaled by
+  /// it — a lane whose batches consistently run longer than the model
+  /// says attracts less traffic. Off (default) the service never reads a
+  /// clock and stays bit-identical to the modeled-only behavior. Note the
+  /// ratio calibrates modeled device-time against observed host-time
+  /// behavior; only its trend matters, not its absolute scale.
+  bool feed_realized_durations = false;
 };
 
 /// Per-backend slice of the service counters, keyed by registry id.
@@ -133,6 +143,25 @@ struct BackendStats {
   /// finished — the backlog snapshot the next dispatch cycle's
   /// ExpectedLatency routing and wait accounting start from.
   double modeled_backlog_s = 0.0;
+  /// Calibration epoch accounting (service/backend.hpp): the epoch the
+  /// backend currently serves, how many live recalibrations published new
+  /// epochs, and the total off-lane epoch build seconds those
+  /// recalibrations spent — the stall a drain-the-world design would have
+  /// charged to the lane, paid on the recalibrating thread instead.
+  std::uint64_t calibration_epoch = 0;
+  std::uint64_t recalibrations = 0;
+  double recalibration_build_s = 0.0;
+  /// Batches that completed against a pack-time epoch older than the
+  /// backend's current one — in-flight work that rode out a live
+  /// recalibration on its pinned snapshot.
+  std::uint64_t stale_epoch_batches = 0;
+  /// Realized-duration feedback (ServiceOptions::feed_realized_durations):
+  /// measured wall seconds summed over executed batches, the number of
+  /// batches measured, and the lane's current EWMA of realized/modeled
+  /// duration. All zero (ratio 1) when the knob is off.
+  double realized_exec_sum_s = 0.0;
+  std::uint64_t realized_batches = 0;
+  double realized_ratio = 1.0;
   TranspileCacheStats transpile_cache;
 };
 
@@ -154,7 +183,14 @@ struct ServiceStats {
   std::uint64_t reservation_jobs = 0;
   double reservation_wait_sum_s = 0.0;
   double reservation_wait_max_s = 0.0;
-  /// Aggregate over every backend's transpile cache.
+  /// Fleet-wide calibration-epoch accounting: recalibrations published
+  /// across every backend, their total off-lane build seconds, and the
+  /// batches that completed against a superseded epoch (see the
+  /// per-backend fields for the breakdown).
+  std::uint64_t recalibrations = 0;
+  double recalibration_build_s = 0.0;
+  std::uint64_t stale_epoch_batches = 0;
+  /// Aggregate over every backend's transpile cache (current epochs).
   TranspileCacheStats transpile_cache;
   /// Per-backend breakdown, indexed by registry id.
   std::vector<BackendStats> backends;
@@ -184,8 +220,11 @@ class ExecutionService {
   /// Batch submission: one handle per circuit. The whole vector is
   /// published to the caller's home shard as a single contiguous ticket
   /// block (one reservation, not one per job), so a drain sees it in
-  /// order with no interleaved jobs from same-shard producers. Oversized
-  /// vectors fall back to shard-capacity chunks.
+  /// order with no interleaved jobs from same-shard producers — including
+  /// vectors larger than the shard capacity, which reserve a multi-lap
+  /// ticket span up front and publish through it, backpressure-draining
+  /// as the consumer frees cells (no chunk seam another producer could
+  /// land inside).
   std::vector<JobHandle> submit_all(std::vector<Circuit> circuits);
 
   /// Fail every not-yet-dispatched job ("cancelled before dispatch") and
@@ -227,6 +266,11 @@ class ExecutionService {
     /// Modeled runtime from the plan that created the batch; added to the
     /// lane backlog at dispatch, removed at completion.
     double modeled_exec_s = 0.0;
+    /// The calibration epoch this batch was planned under. Execution goes
+    /// through it — not through the backend's current epoch — so a
+    /// recalibration between dispatch and execution cannot change the
+    /// batch's results or invalidate its partition/EFS decisions.
+    std::shared_ptr<const CalibrationEpoch> epoch;
     std::vector<JobPtr> jobs;
   };
   /// Per-backend execution lane: its own batch queue, condition variable
@@ -252,6 +296,17 @@ class ExecutionService {
     double backlog_s = 0.0;
     double wait_sum_s = 0.0;  ///< modeled wait at admission, summed
     double wait_max_s = 0.0;  ///< worst modeled wait at admission
+    /// Batches that finished against an epoch the backend had already
+    /// superseded (guarded by mutex) — the live-recalibration overlap.
+    std::uint64_t stale_epoch_batches = 0;
+    /// Realized-duration feedback (only touched when
+    /// ServiceOptions::feed_realized_durations is on; guarded by mutex).
+    /// realized_ratio is an EWMA of measured-wall / modeled-runtime per
+    /// executed batch; the dispatch cycle multiplies its backlog snapshot
+    /// by it so routing sees a lane's *observed* drain speed.
+    double realized_ratio = 1.0;
+    double realized_exec_sum_s = 0.0;
+    std::uint64_t realized_batches = 0;
     std::vector<std::thread> workers;
   };
 
@@ -315,6 +370,15 @@ class ExecutionService {
 /// batch cannot be placed.
 [[nodiscard]] BatchReport run_batch_pipeline(
     Backend& backend, const std::vector<Circuit>& programs,
+    const std::vector<std::string>& names, const ParallelOptions& options);
+
+/// Epoch-pinned form: runs the pipeline entirely against one calibration
+/// epoch (device snapshot + caches + derived noise constants). The
+/// Backend& overload forwards here with the backend's current epoch; the
+/// service workers call it with each batch's pack-time epoch so execution
+/// matches planning even across a live recalibration.
+[[nodiscard]] BatchReport run_batch_pipeline(
+    const CalibrationEpoch& epoch, const std::vector<Circuit>& programs,
     const std::vector<std::string>& names, const ParallelOptions& options);
 
 /// Modeled fleet drain time for a set of finished jobs: batches are

@@ -27,11 +27,21 @@ struct CxEvent {
 
 }  // namespace
 
+DerivedNoise DerivedNoise::from(const Calibration& cal) {
+  DerivedNoise d;
+  d.cx_depol.reserve(cal.cx_error.size());
+  for (double err : cal.cx_error) d.cx_depol.push_back(depolarizing_param(err));
+  d.q1_depol.reserve(cal.q1_error.size());
+  for (double err : cal.q1_error) d.q1_depol.push_back(depolarizing_param(err));
+  return d;
+}
+
 ParallelRunReport execute_parallel(const Device& device,
                                    std::vector<PhysicalProgram> programs,
                                    const ExecOptions& options,
                                    GateMatrixCache* gate_cache,
-                                   const CompiledProgramCache* program_cache) {
+                                   const CompiledProgramCache* program_cache,
+                                   const DerivedNoise* derived) {
   // Cap kernel-level threading for the whole run (scoped to this thread).
   const kern::ParallelThreadsGuard thread_cap(options.kernel_threads);
   // Callers without a long-lived cache still deduplicate within the run.
@@ -334,11 +344,19 @@ ParallelRunReport execute_parallel(const Device& device,
         if (g.kind == GateKind::CX) {
           const double gamma = gamma_of[p][idx];
           const int edge = *topo.edge_index(g.qubits[0], g.qubits[1]);
-          dm.apply_depolarizing(
-              depolarizing_param(cal.cx_error[edge] * gamma), local_span);
+          // x * 1.0 == x bitwise for every finite error rate, so the
+          // epoch-precomputed parameter is exact for unamplified gates.
+          const double param =
+              (derived != nullptr && gamma == 1.0)
+                  ? derived->cx_depol[static_cast<std::size_t>(edge)]
+                  : depolarizing_param(cal.cx_error[edge] * gamma);
+          dm.apply_depolarizing(param, local_span);
         } else {
-          dm.apply_depolarizing(
-              depolarizing_param(cal.q1_error[g.qubits[0]]), local_span);
+          const double param =
+              derived != nullptr
+                  ? derived->q1_depol[static_cast<std::size_t>(g.qubits[0])]
+                  : depolarizing_param(cal.q1_error[g.qubits[0]]);
+          dm.apply_depolarizing(param, local_span);
         }
       }
     }

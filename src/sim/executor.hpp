@@ -78,6 +78,20 @@ struct ProgramOutcome {
   Counts counts;              ///< sampled shots
 };
 
+/// Calibration-derived noise constants, computed once per calibration
+/// snapshot instead of once per gate application: the per-edge CX
+/// depolarizing parameter at gamma = 1 and the per-qubit 1q depolarizing
+/// parameter. A CalibrationEpoch (service/backend.hpp) derives one table
+/// when it is built and hands it to every execution on that epoch;
+/// crosstalk-amplified CX events (gamma > 1) still derive their parameter
+/// on the fly. Purely a recompute-avoidance table — depolarizing_param is
+/// deterministic, so results are bit-identical with or without it.
+struct DerivedNoise {
+  std::vector<double> cx_depol;  ///< depolarizing_param(cx_error[e]) per edge
+  std::vector<double> q1_depol;  ///< depolarizing_param(q1_error[q]) per qubit
+  [[nodiscard]] static DerivedNoise from(const Calibration& cal);
+};
+
 struct ParallelRunReport {
   std::vector<ProgramOutcome> programs;
   double makespan_ns = 0.0;
@@ -94,13 +108,17 @@ struct ParallelRunReport {
 /// when null a run-local cache still deduplicates within the call.
 /// `program_cache` (optional) memoizes each program's CX lowering and
 /// per-op compiled kernels (sim/fusion.hpp) across calls; when null the
-/// compilation happens per call. Either way every gate replays through a
+/// compilation happens per call. `derived` (optional) supplies the
+/// calibration-derived depolarizing parameters precomputed for this
+/// device's calibration snapshot — it must have been built from exactly
+/// device.calibration(). Either way every gate replays through a
 /// precompiled kernel, with noise channels interleaved exactly as the
 /// uncompiled path did — results are bit-identical.
 [[nodiscard]] ParallelRunReport execute_parallel(
     const Device& device, std::vector<PhysicalProgram> programs,
     const ExecOptions& options = {}, GateMatrixCache* gate_cache = nullptr,
-    const CompiledProgramCache* program_cache = nullptr);
+    const CompiledProgramCache* program_cache = nullptr,
+    const DerivedNoise* derived = nullptr);
 
 /// Convenience: execute a single program (no co-runners).
 [[nodiscard]] ProgramOutcome execute_single(const Device& device,
