@@ -18,6 +18,13 @@
 //                box (see meta.hw_threads) forcing 2 threads timeshares
 //                one core, so ratios <= 1 are expected and the threshold
 //                is left alone.
+//   channel_simd — ns per noise-channel pass (1q/2q depolarizing, thermal
+//                relaxation) over the superket, scalar vs AVX2 dispatch
+//                (rows appear only with the native kernels compiled in);
+//   plan_materialize — ns per CompiledProgram::compile (fusion walk +
+//                matrix products) vs materialize() of a prebuilt
+//                FusionPlan (products only): what the structural plan
+//                cache saves per iteration of a parameter sweep.
 //
 // Writes BENCH_fusion.json (schema qucp-bench-fusion-v1, meta block with
 // compiler/flags/CPU features/hw_threads) so the fusion trajectory is
@@ -308,6 +315,101 @@ std::vector<FusionRow> run_dense_simd_section() {
   return rows;
 }
 
+std::vector<FusionRow> run_channel_simd_section() {
+  std::vector<FusionRow> rows;
+  if (!kern::native_kernels_active()) return rows;
+  const int rounds = smoke_mode() ? 3 : 10;
+  const int reps = smoke_mode() ? 30 : 200;
+
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+
+  // One superket pass per channel application; the state content does not
+  // affect the arithmetic path, so an H ladder is enough to avoid
+  // denormal-heavy all-zero sweeps.
+  const auto make_state = [](int n) {
+    Circuit c(n);
+    for (int q = 0; q < n; ++q) c.h(q);
+    DensityMatrix dm(n);
+    dm.run(CompiledProgram::compile(c));
+    return dm;
+  };
+  const auto channel_row = [&](int n, const char* name, auto&& apply) {
+    DensityMatrix dm = make_state(n);
+    FusionRow row;
+    row.section = "channel_simd";
+    row.name = name;
+    row.qubits = n;
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          apply(dm);
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          apply(dm);
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+  const auto depol1_all = [](DensityMatrix& dm) {
+    for (int q = 0; q < dm.num_qubits(); ++q) {
+      const int one[] = {q};
+      dm.apply_depolarizing(0.01, one);
+    }
+  };
+  const auto depol2_chain = [](DensityMatrix& dm) {
+    for (int q = 0; q + 1 < dm.num_qubits(); ++q) {
+      const int two[] = {q, q + 1};
+      dm.apply_depolarizing(0.01, two);
+    }
+  };
+  const auto relax_all = [](DensityMatrix& dm) {
+    for (int q = 0; q < dm.num_qubits(); ++q) {
+      dm.apply_relaxation(q, 120.0, 85.0, 70.0);
+    }
+  };
+  for (const int n : {5, smoke_mode() ? 6 : 7}) {
+    rows.push_back(channel_row(n, "dm_depol1_all_qubits", depol1_all));
+    rows.push_back(channel_row(n, "dm_depol2_chain", depol2_chain));
+    rows.push_back(channel_row(n, "dm_relax_all_qubits", relax_all));
+  }
+  return rows;
+}
+
+std::vector<FusionRow> run_plan_materialize_section() {
+  const int rounds = smoke_mode() ? 3 : 10;
+  const int reps = smoke_mode() ? 100 : 1000;
+  std::vector<FusionRow> rows;
+  // The sweep-iteration cost model: compile() pays the fusion walk plus
+  // the matrix products, materialize() replays a cached plan and pays the
+  // products only. "var" is the paper's rotation-heavy VQE circuit —
+  // exactly the shape a parameter sweep re-compiles each iteration.
+  for (const char* name : {"var", "alu"}) {
+    const Circuit& c = get_benchmark(name).circuit;
+    const FusionPlan plan = FusionPlan::build(c);
+    FusionRow row;
+    row.section = "plan_materialize";
+    row.name = name;
+    row.qubits = c.num_qubits();
+    row.gates = static_cast<std::size_t>(c.gate_count());
+    row.fused_gates = plan.emitted();
+    const auto [compile_ns, materialize_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] { benchmark::DoNotOptimize(CompiledProgram::compile(c)); },
+        [&] {
+          benchmark::DoNotOptimize(CompiledProgram::materialize(plan, c));
+        });
+    row.ns_baseline = compile_ns;
+    row.ns_new = materialize_ns;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 std::vector<FusionRow> run_parallel_split_section() {
   const int rounds = smoke_mode() ? 3 : 10;
   const int reps = smoke_mode() ? 5 : 40;
@@ -359,7 +461,8 @@ void write_json(const std::vector<FusionRow>& rows) {
   std::fprintf(f, "  \"smoke\": %s,\n", smoke_mode() ? "true" : "false");
   std::fprintf(f,
                "  \"unit\": \"ns_per_call\",\n"
-               "  \"baseline\": \"unfused (ideal) / scalar (dense_simd) / "
+               "  \"baseline\": \"unfused (ideal) / scalar (dense_simd, "
+               "channel_simd) / compile (plan_materialize) / "
                "1-thread (parallel_split)\",\n"
                "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -414,6 +517,37 @@ void print_fusion_tables() {
     std::printf("\n(native kernels not compiled/supported: dense_simd "
                 "section omitted)\n");
   }
+
+  const std::vector<FusionRow> channels = run_channel_simd_section();
+  if (!channels.empty()) {
+    bench::heading(
+        "Noise channels: ns/pass over the superket, scalar vs AVX2 dispatch");
+    bench::row({"channel", "qubits", "scalar ns", "native ns", "speedup"}, 20);
+    bench::rule(5, 20);
+    for (const FusionRow& r : channels) {
+      bench::row({r.name, std::to_string(r.qubits),
+                  fmt_double(r.ns_baseline, 0), fmt_double(r.ns_new, 0),
+                  fmt_double(r.speedup(), 2) + "x"},
+                 20);
+    }
+    rows.insert(rows.end(), channels.begin(), channels.end());
+  }
+
+  const std::vector<FusionRow> plans = run_plan_materialize_section();
+  bench::heading(
+      "Parametric fusion: compile (walk + products) vs materialize "
+      "(products only)");
+  bench::row({"bench", "qubits", "gates", "fused", "compile ns",
+              "materialize ns", "speedup"},
+             14);
+  bench::rule(7, 14);
+  for (const FusionRow& r : plans) {
+    bench::row({r.name, std::to_string(r.qubits), std::to_string(r.gates),
+                std::to_string(r.fused_gates), fmt_double(r.ns_baseline, 0),
+                fmt_double(r.ns_new, 0), fmt_double(r.speedup(), 2) + "x"},
+               14);
+  }
+  rows.insert(rows.end(), plans.begin(), plans.end());
 
   const std::vector<FusionRow> split = run_parallel_split_section();
   bench::heading(

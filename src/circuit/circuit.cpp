@@ -91,6 +91,7 @@ void Circuit::append(Gate g) {
     }
   }
   ops_.push_back(std::move(g));
+  fp_memo_.invalidate();
 }
 
 void Circuit::barrier() { append({GateKind::Barrier, {}, {}}); }
@@ -298,22 +299,60 @@ Matrix Circuit::to_unitary() const {
   return u;
 }
 
-std::uint64_t circuit_fingerprint(const Circuit& circuit) {
-  // FNV-1a over the structural content. Doubles hash by bit pattern so the
-  // fingerprint is exact (no epsilon aliasing) and platform-stable.
-  std::uint64_t h = kFnv1aBasis;
-  const auto mix = [&h](std::uint64_t v) { h = fnv1a_mix(h, v); };
-  mix(static_cast<std::uint64_t>(circuit.num_qubits()));
-  mix(static_cast<std::uint64_t>(circuit.num_clbits()));
-  for (const Gate& g : circuit.ops()) {
-    mix(static_cast<std::uint64_t>(g.kind));
-    mix(static_cast<std::uint64_t>(g.qubits.size()));
-    for (int q : g.qubits) mix(static_cast<std::uint64_t>(q));
-    mix(static_cast<std::uint64_t>(g.params.size()));
-    for (double p : g.params) mix(std::bit_cast<std::uint64_t>(p));
-    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(g.clbit)));
+CircuitFingerprints Circuit::fingerprints() const {
+  CircuitFingerprints fp;
+  if (fp_memo_.load(fp)) return fp;
+  // One walk, two FNV-1a streams over the structural content. The exact
+  // stream hashes parameter bit patterns (no epsilon aliasing,
+  // platform-stable); the structural stream substitutes a fixed slot
+  // marker per parameter value (the parameter *count* still mixes, so RZ
+  // vs U3 never alias), which is why circuits differing only in rotation
+  // angles share a structural fingerprint. The name is deliberately
+  // excluded from both.
+  constexpr std::uint64_t kSlotMarker = 0x9E3779B97F4A7C15ull;
+  std::uint64_t he = kFnv1aBasis;
+  std::uint64_t hs = kFnv1aBasis;
+  const auto mix_both = [&](std::uint64_t v) {
+    he = fnv1a_mix(he, v);
+    hs = fnv1a_mix(hs, v);
+  };
+  mix_both(static_cast<std::uint64_t>(num_qubits_));
+  mix_both(static_cast<std::uint64_t>(num_clbits_));
+  for (const Gate& g : ops_) {
+    mix_both(static_cast<std::uint64_t>(g.kind));
+    mix_both(static_cast<std::uint64_t>(g.qubits.size()));
+    for (int q : g.qubits) mix_both(static_cast<std::uint64_t>(q));
+    mix_both(static_cast<std::uint64_t>(g.params.size()));
+    for (double p : g.params) {
+      he = fnv1a_mix(he, std::bit_cast<std::uint64_t>(p));
+      hs = fnv1a_mix(hs, kSlotMarker);
+    }
+    mix_both(static_cast<std::uint64_t>(static_cast<std::int64_t>(g.clbit)));
   }
-  return h;
+  fp = {he, hs};
+  fp_memo_.store(fp);
+  return fp;
+}
+
+std::uint64_t circuit_fingerprint(const Circuit& circuit) {
+  return circuit.fingerprints().exact;
+}
+
+std::uint64_t structural_fingerprint(const Circuit& circuit) {
+  return circuit.fingerprints().structural;
+}
+
+CircuitFingerprints circuit_fingerprints(const Circuit& circuit) {
+  return circuit.fingerprints();
+}
+
+ParamBinding::ParamBinding(const Circuit& circuit) {
+  std::size_t n = 0;
+  for (const Gate& g : circuit.ops()) n += g.params.size();
+  values.reserve(n);
+  for (const Gate& g : circuit.ops()) {
+    values.insert(values.end(), g.params.begin(), g.params.end());
+  }
 }
 
 }  // namespace qucp

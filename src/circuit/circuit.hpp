@@ -6,6 +6,8 @@
 // the small NISQ benchmarks this library targets, and every transformation
 // (mapping, folding, optimization) returns a new Circuit.
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <span>
@@ -15,6 +17,63 @@
 #include "circuit/gate.hpp"
 
 namespace qucp {
+
+/// Both fingerprints of one circuit, computed in a single walk.
+struct CircuitFingerprints {
+  std::uint64_t exact = 0;       ///< == circuit_fingerprint(circuit)
+  std::uint64_t structural = 0;  ///< == structural_fingerprint(circuit)
+};
+
+namespace detail {
+
+/// Lazily filled fingerprint cache attached to a Circuit. Concurrent const
+/// readers may race to fill it; both compute identical values from the same
+/// gate list, and every access is an atomic, so the race is benign and
+/// TSan-clean (values publish via release/acquire on state_). Mutation of
+/// the owning circuit invalidates; non-const access requires external
+/// synchronization, exactly like the circuit's own op list.
+class FingerprintMemo {
+ public:
+  FingerprintMemo() = default;
+  FingerprintMemo(const FingerprintMemo& other) noexcept { *this = other; }
+  FingerprintMemo& operator=(const FingerprintMemo& other) noexcept {
+    CircuitFingerprints fp;
+    if (other.load(fp)) {
+      store(fp);
+    } else {
+      invalidate();
+    }
+    return *this;
+  }
+  FingerprintMemo(FingerprintMemo&& other) noexcept { *this = other; }
+  FingerprintMemo& operator=(FingerprintMemo&& other) noexcept {
+    return *this = static_cast<const FingerprintMemo&>(other);
+  }
+
+  bool load(CircuitFingerprints& out) const noexcept {
+    if (state_.load(std::memory_order_acquire) != 1) return false;
+    out.exact = exact_.load(std::memory_order_relaxed);
+    out.structural = structural_.load(std::memory_order_relaxed);
+    return true;
+  }
+  void store(const CircuitFingerprints& fp) const noexcept {
+    exact_.store(fp.exact, std::memory_order_relaxed);
+    structural_.store(fp.structural, std::memory_order_relaxed);
+    state_.store(1, std::memory_order_release);
+  }
+  void invalidate() noexcept {
+    if (state_.load(std::memory_order_relaxed) != 0) {
+      state_.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> exact_{0};
+  mutable std::atomic<std::uint64_t> structural_{0};
+  mutable std::atomic<int> state_{0};  ///< 0 = invalid, 1 = valid
+};
+
+}  // namespace detail
 
 class Circuit {
  public:
@@ -35,6 +94,15 @@ class Circuit {
 
   /// Append an op after validating operand counts and index ranges.
   void append(Gate g);
+
+  /// Overwrite parameter `index` of op `op` (range-checked, no other
+  /// revalidation — the gate kind fixes the parameter count). Used by the
+  /// parametric compilation paths to bind fresh angles into a structural
+  /// template without rebuilding the op list.
+  void set_param(std::size_t op, std::size_t index, double value) {
+    ops_.at(op).params.at(index) = value;
+    fp_memo_.invalidate();
+  }
 
   // -- gate helpers -------------------------------------------------------
   void i(int q) { append({GateKind::I, {q}, {}}); }
@@ -111,6 +179,12 @@ class Circuit {
   /// intended for <= ~12 qubits.
   [[nodiscard]] Matrix to_unitary() const;
 
+  /// Exact + structural fingerprints of this circuit, memoized until the
+  /// next mutation. Backing store for the circuit_fingerprint family of
+  /// free functions — a job that is hashed by the transpile cache and then
+  /// again by the compiled-program cache walks its gate list once.
+  [[nodiscard]] CircuitFingerprints fingerprints() const;
+
  private:
   void check_qubit(int q) const;
 
@@ -118,6 +192,7 @@ class Circuit {
   int num_clbits_ = 0;
   std::string name_;
   std::vector<Gate> ops_;
+  mutable detail::FingerprintMemo fp_memo_;
 };
 
 /// Stable 64-bit content hash of a circuit: qubit/clbit counts plus every
@@ -127,5 +202,37 @@ class Circuit {
 /// caches. Used as the cache and canonical-ordering key by the
 /// ExecutionService.
 [[nodiscard]] std::uint64_t circuit_fingerprint(const Circuit& circuit);
+
+/// Structural sibling of circuit_fingerprint: hashes gate kinds, operands,
+/// clbits and parameter *counts* in order, but treats every parameter value
+/// as an anonymous slot. Two circuits differing only in rotation angles
+/// (an ansatz across optimizer iterations, ZNE folded variants, ...) share
+/// a structural fingerprint, which keys the parametric transpile-template
+/// and fusion-plan caches. A circuit with no parameters hashes identically
+/// to its own structure, so the key degenerates gracefully for
+/// non-parameterized traffic.
+[[nodiscard]] std::uint64_t structural_fingerprint(const Circuit& circuit);
+
+/// Computes circuit_fingerprint and structural_fingerprint together in one
+/// pass over the ops (memoized on the circuit until its next mutation).
+/// Hot caches (CompiledProgramCache::fused, the parametric TranspileCache)
+/// need both keys per lookup; walking the gate list once halves the
+/// hashing cost on a cache miss.
+[[nodiscard]] CircuitFingerprints circuit_fingerprints(const Circuit& circuit);
+
+/// Slot -> value view of a circuit's parameters: slot s is the s-th gate
+/// parameter encountered scanning ops front to back (U2/U3 contribute one
+/// slot per angle). Circuits with equal structural_fingerprint have the
+/// same slot layout, so a binding extracted from one can be bound into a
+/// template built from another.
+struct ParamBinding {
+  std::vector<double> values;  ///< values[slot], circuit order
+
+  ParamBinding() = default;
+  explicit ParamBinding(const Circuit& circuit);
+
+  [[nodiscard]] std::size_t size() const noexcept { return values.size(); }
+  [[nodiscard]] bool operator==(const ParamBinding&) const = default;
+};
 
 }  // namespace qucp

@@ -1,5 +1,6 @@
 #include "circuit/gate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -159,92 +160,104 @@ Gate inverse_gate(const Gate& g) {
   }
 }
 
-Matrix gate_matrix(GateKind kind, std::span<const double> params) {
+int gate_matrix_into(GateKind kind, std::span<const double> params, cx* out) {
   const int want = gate_param_count(kind);
   if (static_cast<int>(params.size()) < want) {
     throw std::invalid_argument("gate_matrix: missing parameters");
   }
   const double s2 = 1.0 / std::sqrt(2.0);
+  const auto m2 = [out](cx a, cx b, cx c, cx d) {
+    out[0] = a;
+    out[1] = b;
+    out[2] = c;
+    out[3] = d;
+    return 2;
+  };
+  const auto m4 = [out](std::initializer_list<cx> vals) {
+    int i = 0;
+    for (cx v : vals) out[i++] = v;
+    return 4;
+  };
   switch (kind) {
     case GateKind::I:
-      return Matrix::identity(2);
+      return m2(1, 0, 0, 1);
     case GateKind::X:
-      return Matrix(2, 2, {0, 1, 1, 0});
+      return m2(0, 1, 1, 0);
     case GateKind::Y:
-      return Matrix(2, 2, {0, -kI, kI, 0});
+      return m2(0, -kI, kI, 0);
     case GateKind::Z:
-      return Matrix(2, 2, {1, 0, 0, -1});
+      return m2(1, 0, 0, -1);
     case GateKind::H:
-      return Matrix(2, 2, {s2, s2, s2, -s2});
+      return m2(s2, s2, s2, -s2);
     case GateKind::S:
-      return Matrix(2, 2, {1, 0, 0, kI});
+      return m2(1, 0, 0, kI);
     case GateKind::Sdg:
-      return Matrix(2, 2, {1, 0, 0, -kI});
+      return m2(1, 0, 0, -kI);
     case GateKind::T:
-      return Matrix(2, 2, {1, 0, 0, std::exp(kI * (kPi / 4.0))});
+      return m2(1, 0, 0, std::exp(kI * (kPi / 4.0)));
     case GateKind::Tdg:
-      return Matrix(2, 2, {1, 0, 0, std::exp(-kI * (kPi / 4.0))});
+      return m2(1, 0, 0, std::exp(-kI * (kPi / 4.0)));
     case GateKind::SX:
-      return Matrix(2, 2,
-                    {cx{0.5, 0.5}, cx{0.5, -0.5}, cx{0.5, -0.5}, cx{0.5, 0.5}});
+      return m2(cx{0.5, 0.5}, cx{0.5, -0.5}, cx{0.5, -0.5}, cx{0.5, 0.5});
     case GateKind::RX: {
       const double t = params[0] / 2.0;
-      return Matrix(2, 2,
-                    {std::cos(t), -kI * std::sin(t), -kI * std::sin(t),
-                     std::cos(t)});
+      return m2(std::cos(t), -kI * std::sin(t), -kI * std::sin(t),
+                std::cos(t));
     }
     case GateKind::RY: {
       const double t = params[0] / 2.0;
-      return Matrix(2, 2, {std::cos(t), -std::sin(t), std::sin(t),
-                           std::cos(t)});
+      return m2(std::cos(t), -std::sin(t), std::sin(t), std::cos(t));
     }
     case GateKind::RZ: {
       const double t = params[0] / 2.0;
-      return Matrix(2, 2, {std::exp(-kI * t), 0, 0, std::exp(kI * t)});
+      return m2(std::exp(-kI * t), 0, 0, std::exp(kI * t));
     }
     case GateKind::U1:
-      return Matrix(2, 2, {1, 0, 0, std::exp(kI * params[0])});
+      return m2(1, 0, 0, std::exp(kI * params[0]));
     case GateKind::U2: {
       const double phi = params[0];
       const double lam = params[1];
-      return Matrix(2, 2,
-                    {s2, -s2 * std::exp(kI * lam), s2 * std::exp(kI * phi),
-                     s2 * std::exp(kI * (phi + lam))});
+      return m2(s2, -s2 * std::exp(kI * lam), s2 * std::exp(kI * phi),
+                s2 * std::exp(kI * (phi + lam)));
     }
     case GateKind::U3: {
       const double t = params[0] / 2.0;
       const double phi = params[1];
       const double lam = params[2];
-      return Matrix(2, 2,
-                    {std::cos(t), -std::exp(kI * lam) * std::sin(t),
-                     std::exp(kI * phi) * std::sin(t),
-                     std::exp(kI * (phi + lam)) * std::cos(t)});
+      return m2(std::cos(t), -std::exp(kI * lam) * std::sin(t),
+                std::exp(kI * phi) * std::sin(t),
+                std::exp(kI * (phi + lam)) * std::cos(t));
     }
     // Two-qubit matrices use basis index (first_operand << 1) | second,
     // i.e. the first operand (control for CX) is the high bit.
     case GateKind::CX:
-      return Matrix(4, 4,
-                    {1, 0, 0, 0,  //
-                     0, 1, 0, 0,  //
-                     0, 0, 0, 1,  //
-                     0, 0, 1, 0});
+      return m4({1, 0, 0, 0,  //
+                 0, 1, 0, 0,  //
+                 0, 0, 0, 1,  //
+                 0, 0, 1, 0});
     case GateKind::CZ:
-      return Matrix(4, 4,
-                    {1, 0, 0, 0,  //
-                     0, 1, 0, 0,  //
-                     0, 0, 1, 0,  //
-                     0, 0, 0, -1});
+      return m4({1, 0, 0, 0,  //
+                 0, 1, 0, 0,  //
+                 0, 0, 1, 0,  //
+                 0, 0, 0, -1});
     case GateKind::SWAP:
-      return Matrix(4, 4,
-                    {1, 0, 0, 0,  //
-                     0, 0, 1, 0,  //
-                     0, 1, 0, 0,  //
-                     0, 0, 0, 1});
+      return m4({1, 0, 0, 0,  //
+                 0, 0, 1, 0,  //
+                 0, 1, 0, 0,  //
+                 0, 0, 0, 1});
     case GateKind::Barrier:
     case GateKind::Measure:
       throw std::invalid_argument("gate_matrix: non-unitary op");
   }
   throw std::logic_error("gate_matrix: unhandled kind");
+}
+
+Matrix gate_matrix(GateKind kind, std::span<const double> params) {
+  cx buf[16];
+  const int dim = gate_matrix_into(kind, params, buf);
+  Matrix m(static_cast<std::size_t>(dim), static_cast<std::size_t>(dim));
+  std::copy_n(buf, static_cast<std::size_t>(dim) * dim, m.data().begin());
+  return m;
 }
 
 Matrix gate_matrix(const Gate& g) { return gate_matrix(g.kind, g.params); }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/matrix.hpp"
+#include "common/small_vector.hpp"
 
 namespace qucp {
 
@@ -47,10 +48,14 @@ enum class GateKind : std::uint8_t {
 /// two-qubit gates, and any number (>=1) for barriers. `params` holds the
 /// rotation angles in radians (RX/RY/RZ/U1: 1, U2: 2, U3: 3, others: 0).
 /// For Measure, `clbit` is the destination classical bit.
+///
+/// Operand and angle lists live inline (no heap allocation) up to the gate
+/// set's natural widths — 2 qubits, 3 angles — so copying a Gate is a
+/// memcpy. Only device-wide barriers on >2 qubits spill to the heap.
 struct Gate {
   GateKind kind = GateKind::I;
-  std::vector<int> qubits;
-  std::vector<double> params;
+  SmallVector<int, 2> qubits;
+  SmallVector<double, 3> params;
   int clbit = -1;
 
   [[nodiscard]] bool operator==(const Gate& other) const = default;
@@ -86,6 +91,13 @@ struct Gate {
 /// {control, target} for CX). Throws for Barrier/Measure.
 [[nodiscard]] Matrix gate_matrix(GateKind kind,
                                  std::span<const double> params = {});
+
+/// Allocation-free core of gate_matrix: writes the row-major unitary into
+/// `out` (capacity >= 16 entries) and returns the dimension (2 or 4). The
+/// entries are computed by exactly the arithmetic gate_matrix uses, so the
+/// two are bit-identical; hot compile paths (CompiledProgram::materialize)
+/// call this to skip the per-gate Matrix heap allocation.
+int gate_matrix_into(GateKind kind, std::span<const double> params, cx* out);
 
 /// Convenience: unitary of a concrete gate.
 [[nodiscard]] Matrix gate_matrix(const Gate& g);

@@ -1,7 +1,9 @@
 #include "circuit/optimize.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace qucp {
 
@@ -13,12 +15,6 @@ constexpr double kEps = 1e-12;
 bool is_rotation(GateKind k) {
   return k == GateKind::RX || k == GateKind::RY || k == GateKind::RZ ||
          k == GateKind::U1;
-}
-
-/// Angle equivalent to zero (identity up to an unobservable global phase)?
-bool angle_is_identity(double theta) {
-  const double m = std::fmod(std::fmod(theta, kTau) + kTau, kTau);
-  return m < kEps || kTau - m < kEps;
 }
 
 /// Operand-sensitive inverse-pair test for gates of equal qubit sets.
@@ -54,12 +50,22 @@ bool is_inverse_pair(const Gate& a, const Gate& b) {
   }
 }
 
-}  // namespace
-
-Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+/// Shared fixpoint body. When `trace` is non-null, `exprs` carries the
+/// expression id of every live op's params; merges append Add nodes and
+/// every identity decision is logged so a template bind can validate a new
+/// binding against the recorded control flow.
+Circuit optimize_impl(const Circuit& circuit, OptimizeStats* stats,
+                      const std::vector<std::vector<std::uint32_t>>* in_exprs,
+                      OptimizeTrace* trace) {
   std::vector<Gate> ops = circuit.ops();
   std::vector<bool> alive(ops.size(), true);
   OptimizeStats local;
+  const bool tracing = trace != nullptr;
+  std::vector<std::vector<std::uint32_t>> exprs;
+  if (tracing) {
+    assert(in_exprs != nullptr && in_exprs->size() == ops.size());
+    exprs = *in_exprs;
+  }
 
   // Returns the first alive op index after `i` acting on qubit `q`, or -1.
   auto next_on_qubit = [&](std::size_t i, int q) -> long {
@@ -80,9 +86,15 @@ Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
       const Gate& g = ops[i];
       if (!is_unitary_gate(g.kind)) continue;
 
-      // Identity removal.
-      if (g.kind == GateKind::I ||
-          (is_rotation(g.kind) && angle_is_identity(g.params[0]))) {
+      // Identity removal — the fixpoint's only value-dependent branch, so
+      // it is the only decision the trace needs to log.
+      bool remove = g.kind == GateKind::I;
+      if (!remove && is_rotation(g.kind)) {
+        const bool ident = angle_is_identity(g.params[0]);
+        if (tracing) trace->checks.push_back({exprs[i][0], ident});
+        remove = ident;
+      }
+      if (remove) {
         alive[i] = false;
         ++local.removed_identities;
         changed = true;
@@ -120,6 +132,10 @@ Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
       }
       if (is_rotation(g.kind) && h.kind == g.kind &&
           h.qubits == g.qubits) {
+        if (tracing) {
+          exprs[static_cast<std::size_t>(j)][0] =
+              trace->add(exprs[static_cast<std::size_t>(j)][0], exprs[i][0]);
+        }
         h.params[0] += g.params[0];
         alive[i] = false;
         ++local.merged_rotations;
@@ -131,10 +147,52 @@ Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
 
   Circuit out(circuit.num_qubits(), circuit.num_clbits(), circuit.name());
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    if (alive[i]) out.append(ops[i]);
+    if (alive[i]) {
+      out.append(ops[i]);
+      if (tracing) trace->out_exprs.push_back(exprs[i]);
+    }
   }
   if (stats != nullptr) *stats = local;
   return out;
+}
+
+}  // namespace
+
+bool angle_is_identity(double theta) noexcept {
+  const double m = std::fmod(std::fmod(theta, kTau) + kTau, kTau);
+  return m < kEps || kTau - m < kEps;
+}
+
+void OptimizeTrace::eval(std::span<const double> binding,
+                         std::vector<double>& out) const {
+  out.resize(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const ParamExpr& e = nodes[i];
+    switch (e.kind) {
+      case ParamExpr::Kind::Slot:
+        out[i] = binding[static_cast<std::size_t>(e.slot)];
+        break;
+      case ParamExpr::Kind::Add:
+        out[i] = out[e.a] + out[e.b];
+        break;
+      case ParamExpr::Kind::Const:
+        out[i] = e.value;
+        break;
+    }
+  }
+}
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+  return optimize_impl(circuit, stats, nullptr, nullptr);
+}
+
+Circuit optimize_traced(const Circuit& circuit,
+                        const std::vector<std::vector<std::uint32_t>>& in_exprs,
+                        OptimizeTrace& trace, OptimizeStats* stats) {
+  if (in_exprs.size() != circuit.size()) {
+    throw std::invalid_argument("optimize_traced: in_exprs/ops size mismatch");
+  }
+  return optimize_impl(circuit, stats, &in_exprs, &trace);
 }
 
 }  // namespace qucp

@@ -1,0 +1,150 @@
+#pragma once
+// Small-buffer vector for trivially copyable elements.
+//
+// Gate operand and parameter lists are tiny (<= 2 qubits, <= 3 angles) but
+// were held in std::vector, so every Gate copy paid two heap allocations —
+// and circuits are copied on every transpile-template bind, every remap,
+// every service enqueue. SmallVector keeps up to N elements inline and only
+// spills to the heap for the rare oversized case (device-wide barriers),
+// making Gate copies allocation-free and gate walks pointer-chase-free.
+//
+// Deliberately minimal: the API covers what the circuit layer uses
+// (vector-like access, push_back/resize/assign, equality, iteration,
+// implicit std::span conversion via the C++20 range constructor). Elements
+// must be trivially copyable so copies are memcpy and destruction is free.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <stdexcept>
+#include <type_traits>
+#include <vector>
+
+namespace qucp {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector requires trivially copyable elements");
+  static_assert(N >= 1);
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(std::initializer_list<T> vals) { assign(vals.begin(), vals.end()); }
+  SmallVector(const std::vector<T>& vals) {  // NOLINT(google-explicit-constructor)
+    assign(vals.begin(), vals.end());
+  }
+  SmallVector(std::vector<T>&& vals) {  // NOLINT(google-explicit-constructor)
+    assign(vals.begin(), vals.end());
+  }
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) assign(other.begin(), other.end());
+    return *this;
+  }
+  SmallVector(SmallVector&& other) noexcept { steal(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      delete[] heap_;
+      heap_ = nullptr;
+      steal(other);
+    }
+    return *this;
+  }
+  SmallVector& operator=(std::initializer_list<T> vals) {
+    assign(vals.begin(), vals.end());
+    return *this;
+  }
+  ~SmallVector() { delete[] heap_; }
+
+  [[nodiscard]] T* data() noexcept { return heap_ != nullptr ? heap_ : inline_; }
+  [[nodiscard]] const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] iterator begin() noexcept { return data(); }
+  [[nodiscard]] iterator end() noexcept { return data() + size_; }
+  [[nodiscard]] const_iterator begin() const noexcept { return data(); }
+  [[nodiscard]] const_iterator end() const noexcept { return data() + size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("SmallVector::at");
+    return data()[i];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SmallVector::at");
+    return data()[i];
+  }
+  [[nodiscard]] T& front() noexcept { return data()[0]; }
+  [[nodiscard]] const T& front() const noexcept { return data()[0]; }
+  [[nodiscard]] T& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return data()[size_ - 1]; }
+
+  void push_back(T v) {
+    reserve(size_ + 1);
+    data()[size_++] = v;
+  }
+  void clear() noexcept { size_ = 0; }
+  void resize(std::size_t n) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data()[i] = T{};
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    const auto n = static_cast<std::size_t>(std::distance(first, last));
+    reserve(n);
+    std::copy(first, last, data());
+    size_ = static_cast<std::uint32_t>(n);
+  }
+  void reserve(std::size_t n) {
+    if (n <= capacity()) return;
+    const std::size_t grown = std::max(n, 2 * capacity());
+    T* fresh = new T[grown];
+    std::memcpy(fresh, data(), size_ * sizeof(T));
+    delete[] heap_;
+    heap_ = fresh;
+    heap_cap_ = static_cast<std::uint32_t>(grown);
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return heap_ != nullptr ? heap_cap_ : N;
+  }
+
+  [[nodiscard]] bool operator==(const SmallVector& other) const noexcept {
+    return size_ == other.size_ &&
+           std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  void steal(SmallVector& other) noexcept {
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      heap_cap_ = other.heap_cap_;
+      other.heap_ = nullptr;
+      other.heap_cap_ = 0;
+    } else {
+      std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  std::uint32_t size_ = 0;
+  std::uint32_t heap_cap_ = 0;
+};
+
+}  // namespace qucp

@@ -1,0 +1,62 @@
+#pragma once
+// Parametric transpilation templates: transpile a circuit *structure* once,
+// bind per-job parameter values in one cheap pass.
+//
+// Everything in the transpile pipeline except the peephole optimizer is
+// parameter-blind: initial placement reads interaction weights (2q gate
+// counts), SABRE routing copies gates verbatim and inserts parameterless
+// SWAPs, and the partition/EFS layers consume gate placement only. The
+// optimizer's control flow depends on values solely through its
+// angle-is-identity decisions. A template therefore stores:
+//
+//   - the full TranspiledProgram of one representative binding (binding0);
+//   - the parameter-expression DAG tracing every physical-op parameter back
+//     to input slots through the optimizer's rotation merges (two traced
+//     optimize passes — input-side and post-routing — share one DAG, glued
+//     through routing by re-routing a positionally tagged copy of the
+//     prepared circuit and decoding where each routed parameter came from;
+//     safe precisely because the router never reads parameter values);
+//   - the ordered log of every identity decision both passes took.
+//
+// bind() evaluates the DAG for a new slot binding, validates the decision
+// log, and patches the evaluated parameters into a copy of the stored
+// physical circuit. Because the DAG replays the optimizer's additions in
+// the original order and the structure is reused verbatim, a successful
+// bind is bit-identical to a from-scratch transpile_to_partition() of the
+// newly-bound circuit (golden-pinned in tests/test_parametric.cpp). A
+// binding that flips any recorded decision (an angle landing on an
+// identity the representative didn't have) is rejected and the caller
+// falls back to a from-scratch transpile.
+
+#include <optional>
+#include <span>
+
+#include "circuit/optimize.hpp"
+#include "mapping/transpiler.hpp"
+
+namespace qucp {
+
+struct TranspileTemplate {
+  TranspiledProgram result;      ///< transpile of the binding0 circuit
+  std::vector<double> binding0;  ///< slot values the template was built from
+  std::vector<ParamExpr> nodes;  ///< shared expression DAG (both passes)
+  std::vector<ParamCheck> checks;  ///< identity decisions, evaluation order
+  /// Node id per (physical op, param), parallel to result.physical.ops().
+  std::vector<std::vector<std::uint32_t>> phys_exprs;
+
+  /// Build a template from a representative logical circuit. Returns
+  /// nullopt when parameter provenance through routing cannot be decoded
+  /// (not expected for the supported gate set; callers fall back to plain
+  /// transpilation and cache the result without a template).
+  [[nodiscard]] static std::optional<TranspileTemplate> build(
+      const Circuit& logical, const Device& device,
+      std::span<const int> partition, const TranspileOptions& options);
+
+  /// Bind a new slot assignment (ParamBinding order of a circuit with the
+  /// same structural_fingerprint). Returns nullopt when the binding flips
+  /// a recorded optimizer decision or its slot count mismatches.
+  [[nodiscard]] std::optional<TranspiledProgram> bind(
+      std::span<const double> binding) const;
+};
+
+}  // namespace qucp

@@ -7,12 +7,15 @@
 namespace qucp {
 
 CalibrationEpoch::CalibrationEpoch(std::uint64_t id, Device device,
-                                   std::size_t transpile_cache_capacity)
+                                   std::size_t transpile_cache_capacity,
+                                   bool parametric)
     : id_(id),
       device_(std::move(device)),
       candidate_index_(device_),
       derived_noise_(DerivedNoise::from(device_.calibration())),
-      capacity_(transpile_cache_capacity) {}
+      capacity_(transpile_cache_capacity),
+      parametric_(parametric),
+      program_cache_(parametric) {}
 
 TranspiledProgram CalibrationEpoch::transpile(const Circuit& logical,
                                               std::span<const int> partition,
@@ -21,27 +24,76 @@ TranspiledProgram CalibrationEpoch::transpile(const Circuit& logical,
   if (capacity_ == 0) {
     return transpile_to_partition(logical, device_, partition, options);
   }
-  CacheKey key{circuit_fingerprint(logical), options_fp,
-               std::vector<int>(partition.begin(), partition.end())};
+  const ParamBinding binding =
+      parametric_ ? ParamBinding(logical) : ParamBinding{};
+  // Parameterless circuits gain nothing from a template (there is nothing
+  // to rebind), so they take the exact-key path even in parametric mode —
+  // the structural key still folds, e.g., renamed copies together.
+  const bool use_template = parametric_ && !binding.values.empty();
+  CacheKey key{parametric_ ? structural_fingerprint(logical)
+                           : circuit_fingerprint(logical),
+               options_fp, std::vector<int>(partition.begin(), partition.end())};
+  std::shared_ptr<const TranspileTemplate> tmpl;
+  bool fallback = false;  // structure matched, but the entry can't serve it
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = cache_.find(key); it != cache_.end()) {
-      ++stats_.hits;
-      return it->second;
+      if (it->second.binding0 == binding.values) {
+        ++stats_.hits;
+        return it->second.result;
+      }
+      // Same structure, different angles. Bind outside the lock; if the
+      // entry has no template (an earlier build failed), rebuild below.
+      tmpl = it->second.tmpl;
+      fallback = tmpl == nullptr;
+    } else {
+      ++stats_.misses;
     }
-    ++stats_.misses;
   }
-  // Transpile outside the lock: routing is the expensive part and two
-  // threads racing on the same key both produce the identical result.
-  TranspiledProgram result =
-      transpile_to_partition(logical, device_, partition, options);
+
+  if (tmpl != nullptr) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (std::optional<TranspiledProgram> bound = tmpl->bind(binding.values)) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.structural_hits;
+      stats_.bind_ns += static_cast<std::uint64_t>(ns);
+      return *std::move(bound);
+    }
+    fallback = true;  // binding flipped a recorded optimizer decision
+  }
+
+  // From-scratch path (first sighting of this key, or a binding the
+  // template rejected), outside the lock: routing is the expensive part
+  // and two threads racing on the same key produce identical results.
+  CacheEntry entry;
+  if (use_template) {
+    if (std::optional<TranspileTemplate> built =
+            TranspileTemplate::build(logical, device_, partition, options)) {
+      entry.result = built->result;
+      entry.tmpl = std::make_shared<const TranspileTemplate>(std::move(*built));
+    } else {
+      entry.result = transpile_to_partition(logical, device_, partition,
+                                            options);
+    }
+    entry.binding0 = binding.values;
+  } else {
+    entry.result = transpile_to_partition(logical, device_, partition, options);
+  }
+  TranspiledProgram result = entry.result;
   std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = cache_.emplace(key, result);
+  if (fallback) ++stats_.bind_fallbacks;
+  // insert_or_assign so a fallback *replaces* the entry: the cache adapts
+  // to the binding actually in flight instead of pinning a template whose
+  // representative binding was degenerate.
+  auto [it, inserted] = cache_.insert_or_assign(key, std::move(entry));
   if (inserted) {
     insertion_order_.push_back(std::move(key));
     if (cache_.size() > capacity_) {
       cache_.erase(insertion_order_.front());
-      insertion_order_.erase(insertion_order_.begin());
+      insertion_order_.pop_front();
       ++stats_.evictions;
     }
   }
@@ -76,10 +128,12 @@ void CalibrationEpoch::warm(std::span<const int> partition_sizes) const {
   }
 }
 
-Backend::Backend(Device device, std::size_t transpile_cache_capacity)
+Backend::Backend(Device device, std::size_t transpile_cache_capacity,
+                 bool parametric)
     : capacity_(transpile_cache_capacity),
-      epoch_(std::make_shared<CalibrationEpoch>(0, std::move(device),
-                                                transpile_cache_capacity)) {}
+      parametric_(parametric),
+      epoch_(std::make_shared<CalibrationEpoch>(
+          0, std::move(device), transpile_cache_capacity, parametric)) {}
 
 std::shared_ptr<const CalibrationEpoch> Backend::epoch() const {
   std::lock_guard<std::mutex> lock(epoch_mutex_);
@@ -100,7 +154,7 @@ double Backend::recalibrate(Calibration cal) {
   Device next(old->device().name(), old->device().topology(), std::move(cal),
               old->device().crosstalk_ground_truth());
   auto fresh = std::make_shared<const CalibrationEpoch>(
-      old->id() + 1, std::move(next), capacity_);
+      old->id() + 1, std::move(next), capacity_, parametric_);
   // Off-lane warm build: reproduce the candidate working set the retiring
   // epoch accumulated, so the first pack cycle on the new epoch routes at
   // full speed. Runs entirely on this thread — no lane or worker waits.

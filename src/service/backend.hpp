@@ -15,12 +15,24 @@
 // under; the old epoch retires when its last shared_ptr drops.
 //
 // The transpile cache key covers everything transpile_to_partition()
-// reads: the circuit's content fingerprint, the target partition, and an
-// options fingerprint the caller derives from the method configuration
-// (placement style, optimize flags, CNA crosstalk context). Transpilation
-// is deterministic, so a cache hit is observationally identical to a
-// fresh transpile — and because the cache lives inside the epoch, a hit
-// can never serve a result transpiled under a different calibration.
+// reads: the circuit's fingerprint, the target partition, and an options
+// fingerprint the caller derives from the method configuration (placement
+// style, optimize flags, CNA crosstalk context). Transpilation is
+// deterministic, so a cache hit is observationally identical to a fresh
+// transpile — and because the cache lives inside the epoch, a hit can
+// never serve a result transpiled under a different calibration.
+//
+// In parametric mode (the default) the circuit key is the *structural*
+// fingerprint: entries for parameterized circuits store a
+// TranspileTemplate (mapping/parametric.hpp) alongside the transpiled
+// program of the first binding seen. A job whose structure matches but
+// whose angles differ binds the template in one cheap pass —
+// bit-identical to a from-scratch transpile — instead of re-placing and
+// re-routing. Bindings the template rejects (an angle flipping one of the
+// optimizer's recorded identity decisions) fall back to a from-scratch
+// template rebuild, which also replaces the cached entry so a degenerate
+// first binding (e.g. an all-zero VQE start) does not pin a
+// fallback-prone template forever.
 //
 // Backend keeps the historical accessor surface (device(),
 // candidate_index(), transpile(), execute(), ...) as forwarders to the
@@ -31,6 +43,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +52,7 @@
 
 #include "circuit/gate_cache.hpp"
 #include "hardware/device.hpp"
+#include "mapping/parametric.hpp"
 #include "mapping/transpiler.hpp"
 #include "partition/candidate_index.hpp"
 #include "sim/executor.hpp"
@@ -47,10 +61,17 @@
 namespace qucp {
 
 struct TranspileCacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
+  std::uint64_t hits = 0;    ///< exact-binding hits (identical circuit)
+  std::uint64_t misses = 0;  ///< no usable entry; full transpile performed
   std::uint64_t evictions = 0;
   std::size_t entries = 0;
+  /// Structure matched with different angles; served by template bind.
+  std::uint64_t structural_hits = 0;
+  /// Structure matched but the binding flipped a recorded optimizer
+  /// decision (or the entry had no template); rebuilt from scratch.
+  std::uint64_t bind_fallbacks = 0;
+  /// Total nanoseconds spent in successful template binds.
+  std::uint64_t bind_ns = 0;
 };
 
 /// One immutable calibration snapshot plus every cache derived from it.
@@ -63,8 +84,11 @@ struct TranspileCacheStats {
 class CalibrationEpoch {
  public:
   /// `transpile_cache_capacity` = 0 disables transpile caching.
+  /// `parametric` = false keys the cache on exact circuit fingerprints
+  /// only (the pre-template behavior; useful for A/B benchmarking).
   CalibrationEpoch(std::uint64_t id, Device device,
-                   std::size_t transpile_cache_capacity);
+                   std::size_t transpile_cache_capacity,
+                   bool parametric = true);
 
   CalibrationEpoch(const CalibrationEpoch&) = delete;
   CalibrationEpoch& operator=(const CalibrationEpoch&) = delete;
@@ -135,14 +159,25 @@ class CalibrationEpoch {
     }
   };
 
+  /// One cached transpilation. `tmpl` is non-null only for parametric
+  /// entries that built a template; `binding0` is the parameter binding
+  /// `result` was transpiled from (empty for parameterless circuits and
+  /// non-parametric entries, where the key already pins exact values).
+  struct CacheEntry {
+    TranspiledProgram result;
+    std::vector<double> binding0;
+    std::shared_ptr<const TranspileTemplate> tmpl;
+  };
+
   std::uint64_t id_ = 0;
   Device device_;
   CandidateIndex candidate_index_;  ///< built against device_ (declared above)
   DerivedNoise derived_noise_;      ///< derived from device_.calibration()
   std::size_t capacity_;
+  bool parametric_ = true;
   mutable std::mutex mutex_;
-  mutable std::map<CacheKey, TranspiledProgram> cache_;
-  mutable std::vector<CacheKey> insertion_order_;  ///< FIFO eviction queue
+  mutable std::map<CacheKey, CacheEntry> cache_;
+  mutable std::deque<CacheKey> insertion_order_;  ///< FIFO eviction queue
   mutable TranspileCacheStats stats_;
   /// Gate unitaries shared by every execution on this epoch (its own
   /// mutex; never cleared, so references handed to the simulator stay
@@ -156,9 +191,11 @@ class CalibrationEpoch {
 
 class Backend {
  public:
-  /// `transpile_cache_capacity` = 0 disables transpile caching (applies
-  /// to every epoch this backend ever builds).
-  explicit Backend(Device device, std::size_t transpile_cache_capacity = 1024);
+  /// `transpile_cache_capacity` = 0 disables transpile caching; both
+  /// knobs apply to every epoch this backend ever builds. `parametric` =
+  /// false reverts the transpile cache to exact-fingerprint keying.
+  explicit Backend(Device device, std::size_t transpile_cache_capacity = 1024,
+                   bool parametric = true);
 
   /// Pin the current calibration epoch. The returned shared_ptr keeps the
   /// epoch (device, caches, derived constants) alive across any number of
@@ -223,6 +260,7 @@ class Backend {
 
  private:
   std::size_t capacity_;
+  bool parametric_ = true;
   mutable std::mutex epoch_mutex_;  ///< guards the epoch_ pointer swap
   std::shared_ptr<const CalibrationEpoch> epoch_;
   std::mutex recal_mutex_;  ///< serializes concurrent recalibrate() calls

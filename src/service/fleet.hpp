@@ -64,8 +64,10 @@ namespace qucp {
 
 /// One schedulable device endpoint, as the fleet packer sees it. `index`
 /// (optional) must have been built for `device`; `solo_efs` (required) is
-/// the per-device memo of best-solo-EFS scores keyed by circuit
-/// fingerprint — the §IV-B spill baseline and the BestEfs routing score.
+/// the per-device memo of best-solo-EFS scores keyed by the job's
+/// structural fingerprint (falling back to the exact circuit fingerprint
+/// when the submitter leaves it zero) — the §IV-B spill baseline and the
+/// BestEfs routing score.
 struct FleetSlot {
   const Device* device = nullptr;
   const CandidateIndex* index = nullptr;
@@ -185,7 +187,8 @@ class FleetView {
     return *slots_[slot].device;
   }
   /// Best solo EFS of `job` on `slot`'s device; nullopt = does not fit
-  /// even alone. Memoized by circuit fingerprint in the slot's map.
+  /// even alone. Memoized in the slot's map by structural fingerprint
+  /// (exact fingerprint when the job carries none).
   [[nodiscard]] std::optional<double> solo_efs(std::size_t slot,
                                                const PackJob& job) const;
 

@@ -74,6 +74,7 @@ struct JobState {
   std::uint64_t id = 0;  ///< submission sequence number (tie-break only)
   Circuit circuit;
   std::uint64_t fingerprint = 0;
+  std::uint64_t structural_fp = 0;  ///< parameter-blind fingerprint
   std::string name;
   bool exclusive = false;
 

@@ -36,6 +36,12 @@ struct PackJob {
   ProgramShape shape;
   std::uint64_t fingerprint = 0;  ///< solo-EFS cache key
   bool exclusive = false;         ///< must run alone in its batch
+  /// Structural fingerprint (parameter-blind). When nonzero, the planner
+  /// keys its solo-EFS cache on this instead of `fingerprint`, since solo
+  /// EFS depends only on shape and placement — a parameter sweep over one
+  /// ansatz then scores once, not once per binding. Last field so
+  /// positional aggregate initializers predating it stay valid.
+  std::uint64_t structural_fp = 0;
 };
 
 struct PackedBatch {

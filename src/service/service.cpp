@@ -170,7 +170,8 @@ BatchReport run_batch_pipeline(const CalibrationEpoch& epoch,
 ExecutionService::ExecutionService(Device device, ServiceOptions options)
     : ExecutionService(
           std::make_shared<Backend>(std::move(device),
-                                    options.transpile_cache_capacity),
+                                    options.transpile_cache_capacity,
+                                    options.parametric_transpile),
           std::move(options)) {}
 
 ExecutionService::ExecutionService(std::shared_ptr<Backend> backend,
@@ -272,6 +273,7 @@ void ExecutionService::enqueue_job(const JobPtr& state, std::size_t shard) {
 JobHandle ExecutionService::submit(Circuit circuit, JobOptions options) {
   auto state = std::make_shared<detail::JobState>();
   state->fingerprint = circuit_fingerprint(circuit);
+  state->structural_fp = structural_fingerprint(circuit);
   state->name = options.name.empty() ? circuit.name() : options.name;
   state->exclusive = options.exclusive;
   state->circuit = std::move(circuit);
@@ -287,6 +289,7 @@ std::vector<JobHandle> ExecutionService::submit_all(
   for (Circuit& c : circuits) {
     auto state = std::make_shared<detail::JobState>();
     state->fingerprint = circuit_fingerprint(c);
+    state->structural_fp = structural_fingerprint(c);
     state->name = c.name();
     state->circuit = std::move(c);
     // Construction order = id order for this producer, so the contiguous
@@ -390,7 +393,7 @@ void ExecutionService::dispatch_pending() {
   pack_jobs.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     pack_jobs.push_back({i, shape_of(jobs[i]->circuit), jobs[i]->fingerprint,
-                         jobs[i]->exclusive});
+                         jobs[i]->exclusive, jobs[i]->structural_fp});
   }
   PackOptions popts;
   popts.max_batch_size = options_.max_batch_size;
@@ -693,6 +696,9 @@ ServiceStats ExecutionService::stats() const {
     stats.transpile_cache.misses += bs.transpile_cache.misses;
     stats.transpile_cache.evictions += bs.transpile_cache.evictions;
     stats.transpile_cache.entries += bs.transpile_cache.entries;
+    stats.transpile_cache.structural_hits += bs.transpile_cache.structural_hits;
+    stats.transpile_cache.bind_fallbacks += bs.transpile_cache.bind_fallbacks;
+    stats.transpile_cache.bind_ns += bs.transpile_cache.bind_ns;
     stats.backends.push_back(std::move(bs));
   }
   return stats;

@@ -95,6 +95,13 @@ struct ServiceOptions {
   /// submitters the batch boundaries then depend on arrival interleaving.
   std::size_t auto_flush_batch_size = 0;
   std::size_t transpile_cache_capacity = 1024;
+  /// Parametric compilation: key the transpile cache structurally and
+  /// serve parameter-sweep traffic by template binding
+  /// (service/backend.hpp). Off reverts to exact-fingerprint caching —
+  /// identical results either way (binds are bit-identical), so this is a
+  /// performance A/B knob, not a semantics switch. Excluded from the
+  /// transpile-options fingerprint for the same reason.
+  bool parametric_transpile = true;
   /// Sharded MPSC intake (service/intake.hpp): number of submission
   /// shards. Each submitter thread homes on shard (thread ordinal mod
   /// shards), so up to this many producers publish without touching the

@@ -135,6 +135,16 @@ void DensityMatrix::apply_depolarizing(double p, std::span<const int> qubits) {
     const std::size_t mr = std::size_t{1} << pr;
     const std::size_t quads = (dim_ * dim_) >> 2;
     cx* rho = rho_.data();
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+    if (kern::native_kernels_active()) {
+      const double fill_scale = c2 * inv_ldim;
+      kern::parallel_for(quads, [&](std::size_t begin, std::size_t end) {
+        kern::detail::depol1_range_avx2(rho, begin, end, pc, pr, c1,
+                                        fill_scale);
+      });
+      return;
+    }
+#endif
     kern::parallel_for(quads, [&](std::size_t begin, std::size_t end) {
       for (std::size_t t = begin; t < end; ++t) {
         const std::size_t base =
@@ -164,6 +174,16 @@ void DensityMatrix::apply_depolarizing(double p, std::span<const int> qubits) {
     std::sort(positions, positions + 4);
     const std::size_t blocks = (dim_ * dim_) >> 4;
     cx* rho = rho_.data();
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+    if (kern::native_kernels_active()) {
+      const double fill_scale = c2 * inv_ldim;
+      kern::parallel_for(blocks, [&](std::size_t begin, std::size_t end) {
+        kern::detail::depol2_range_avx2(rho, begin, end, positions, row_off,
+                                        col_off, c1, fill_scale);
+      });
+      return;
+    }
+#endif
     kern::parallel_for(blocks, [&](std::size_t begin, std::size_t end) {
       for (std::size_t t = begin; t < end; ++t) {
         std::size_t base = t;
@@ -314,6 +334,15 @@ void DensityMatrix::apply_relaxation(int qubit, double duration_ns,
   const std::size_t mr = std::size_t{1} << pr;
   const std::size_t quads = (dim_ * dim_) >> 2;
   cx* rho = rho_.data();
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  if (kern::native_kernels_active()) {
+    kern::parallel_for(quads, [&](std::size_t begin, std::size_t end) {
+      kern::detail::relax1_range_avx2(rho, begin, end, pc, pr, gamma, decay,
+                                      keep);
+    });
+    return;
+  }
+#endif
   kern::parallel_for(quads, [&](std::size_t begin, std::size_t end) {
     for (std::size_t t = begin; t < end; ++t) {
       const std::size_t base = kern::insert_bit(kern::insert_bit(t, pc), pr);

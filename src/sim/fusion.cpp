@@ -12,6 +12,17 @@ namespace qucp {
 
 namespace {
 
+/// Row-major unitary of a gate without heap traffic: parameterless kinds
+/// resolve to the immutable fixed_gate_matrix table, parameterized kinds
+/// are evaluated into `buf`. Values match gate_matrix bit for bit.
+const cx* step_matrix(const Gate& g, cx buf[16]) {
+  if (const Matrix* fixed = fixed_gate_matrix(g.kind)) {
+    return fixed->data().data();
+  }
+  gate_matrix_into(g.kind, g.params, buf);
+  return buf;
+}
+
 /// out = a * b for row-major 2x2 (aliasing-safe).
 void mul2(cx out[4], const cx a[4], const cx b[4]) {
   cx tmp[4];
@@ -112,52 +123,54 @@ FusedOp make_fused_op(const cx* u, int k, int q0, int q1) {
   return op;
 }
 
-/// The fusion state machine: open blocks accumulate gate products per
-/// qubit (1q) or qubit pair (2q); closing a block classifies the product
-/// and emits it. Each qubit is owned by at most one open block, and any
-/// gate, barrier or measurement on a block's qubits either merges into the
-/// block or closes it first, so emitted order only ever interchanges ops
-/// with disjoint supports (which commute exactly).
-class Fuser {
+/// The fusion state machine, structure only: open blocks accumulate gate
+/// *references* per qubit (1q) or qubit pair (2q); every decision —
+/// merge, absorb, close — is recorded as a FusionPlan::Step in the exact
+/// order the matrix arithmetic must replay. Each qubit is owned by at
+/// most one open block, and any gate, barrier or measurement on a block's
+/// qubits either merges into the block or closes it first, so emitted
+/// order only ever interchanges ops with disjoint supports (which commute
+/// exactly). No parameter value is read anywhere: the step stream is a
+/// pure function of gate kinds and operands.
+class PlanFuser {
  public:
-  explicit Fuser(int num_qubits, std::vector<FusedOp>& out)
-      : owner_(static_cast<std::size_t>(num_qubits), -1), out_(out) {}
+  using Op = FusionPlan::Op;
+  using Step = FusionPlan::Step;
 
-  void add_1q(int q, std::span<const cx> u) {
+  PlanFuser(int num_qubits, std::vector<Step>& steps,
+            std::vector<FusionPlan::BlockInfo>& blocks, std::size_t& emitted)
+      : owner_(static_cast<std::size_t>(num_qubits), -1),
+        steps_(steps),
+        blocks_(blocks),
+        emitted_(emitted) {}
+
+  void add_1q(int q, std::uint32_t gate) {
     const int bi = owner_[static_cast<std::size_t>(q)];
     if (bi < 0) {
-      Block b;
-      b.k = 1;
-      b.q0 = q;
-      std::memcpy(b.m, u.data(), 4 * sizeof(cx));
-      open_block(std::move(b));
+      const std::uint32_t nb = alloc_block(1, q, -1);
+      owner_[static_cast<std::size_t>(q)] = static_cast<int>(nb);
+      steps_.push_back({Op::kNew1, nb, gate, 0, false});
       return;
     }
-    Block& blk = blocks_[static_cast<std::size_t>(bi)];
-    if (blk.k == 1) {
-      mul2(blk.m, u.data(), blk.m);
+    const auto ubi = static_cast<std::uint32_t>(bi);
+    if (blocks_[static_cast<std::size_t>(bi)].k == 1) {
+      steps_.push_back({Op::kMul1, ubi, gate, 0, false});
       return;
     }
-    cx lifted[16];
-    lift1(lifted, u.data(), /*high=*/blk.q0 == q);
-    mul4(blk.m, lifted, blk.m);
+    steps_.push_back({Op::kLift1Mul, ubi, gate, 0,
+                      /*high=*/blocks_[static_cast<std::size_t>(bi)].q0 == q});
   }
 
-  void add_2q(int a, int b, std::span<const cx> u) {
+  void add_2q(int a, int b, std::uint32_t gate) {
     int ba = owner_[static_cast<std::size_t>(a)];
     int bb = owner_[static_cast<std::size_t>(b)];
     if (ba >= 0 && ba == bb) {
       // Same open 2q block — merge, permuting when the operand order of
       // this gate is the reverse of the block's.
-      Block& blk = blocks_[static_cast<std::size_t>(ba)];
-      assert(blk.k == 2);
-      if (blk.q0 == a) {
-        mul4(blk.m, u.data(), blk.m);
-      } else {
-        cx swapped[16];
-        swap_operands(swapped, u.data());
-        mul4(blk.m, swapped, blk.m);
-      }
+      assert(blocks_[static_cast<std::size_t>(ba)].k == 2);
+      steps_.push_back({Op::kMul2, static_cast<std::uint32_t>(ba), gate, 0,
+                        /*swapped=*/blocks_[static_cast<std::size_t>(ba)].q0 !=
+                            a});
       return;
     }
     // A 2q block sharing only one qubit cannot absorb this gate (that
@@ -170,26 +183,22 @@ class Fuser {
       close(bb);
       bb = -1;
     }
-    Block blk;
-    blk.k = 2;
-    blk.q0 = a;
-    blk.q1 = b;
-    std::memcpy(blk.m, u.data(), 16 * sizeof(cx));
+    const std::uint32_t nb = alloc_block(2, a, b);
+    steps_.push_back({Op::kNew2, nb, gate, 0, false});
     // Pending 1q gates on the operands were applied before this gate:
     // right-multiply their lifted forms, consuming the 1q blocks unemitted.
     if (ba >= 0) {
-      cx lifted[16];
-      lift1(lifted, blocks_[static_cast<std::size_t>(ba)].m, /*high=*/true);
-      mul4(blk.m, blk.m, lifted);
+      steps_.push_back(
+          {Op::kAbsorb, nb, 0, static_cast<std::uint32_t>(ba), /*high=*/true});
       discard(ba);
     }
     if (bb >= 0) {
-      cx lifted[16];
-      lift1(lifted, blocks_[static_cast<std::size_t>(bb)].m, /*high=*/false);
-      mul4(blk.m, blk.m, lifted);
+      steps_.push_back(
+          {Op::kAbsorb, nb, 0, static_cast<std::uint32_t>(bb), /*high=*/false});
       discard(bb);
     }
-    open_block(std::move(blk));
+    owner_[static_cast<std::size_t>(a)] = static_cast<int>(nb);
+    owner_[static_cast<std::size_t>(b)] = static_cast<int>(nb);
   }
 
   /// Barrier/measurement boundary: close whatever these qubits touch.
@@ -203,73 +212,153 @@ class Fuser {
   /// Flush every remaining open block, oldest first.
   void finish() {
     for (std::size_t i = 0; i < blocks_.size(); ++i) {
-      if (blocks_[i].open) close(static_cast<int>(i));
+      if (open_[i]) close(static_cast<int>(i));
     }
   }
 
  private:
-  struct Block {
-    int k = 0;
-    int q0 = -1;
-    int q1 = -1;
-    cx m[16];
-    bool open = false;
-  };
-
-  void open_block(Block b) {
-    b.open = true;
-    const int bi = static_cast<int>(blocks_.size());
-    owner_[static_cast<std::size_t>(b.q0)] = bi;
-    if (b.k == 2) owner_[static_cast<std::size_t>(b.q1)] = bi;
-    blocks_.push_back(std::move(b));
+  std::uint32_t alloc_block(std::uint8_t k, int q0, int q1) {
+    blocks_.push_back({k, q0, q1});
+    open_.push_back(true);
+    return static_cast<std::uint32_t>(blocks_.size() - 1);
   }
 
   void close(int bi) {
-    Block& blk = blocks_[static_cast<std::size_t>(bi)];
-    assert(blk.open);
-    out_.push_back(make_fused_op(blk.m, blk.k, blk.q0, blk.q1));
+    assert(open_[static_cast<std::size_t>(bi)]);
+    steps_.push_back(
+        {Op::kEmit, static_cast<std::uint32_t>(bi), 0, 0, false});
+    ++emitted_;
     discard(bi);
   }
 
   void discard(int bi) {
-    Block& blk = blocks_[static_cast<std::size_t>(bi)];
-    blk.open = false;
+    const FusionPlan::BlockInfo& blk = blocks_[static_cast<std::size_t>(bi)];
+    open_[static_cast<std::size_t>(bi)] = false;
     owner_[static_cast<std::size_t>(blk.q0)] = -1;
     if (blk.k == 2) owner_[static_cast<std::size_t>(blk.q1)] = -1;
   }
 
-  std::vector<Block> blocks_;
   std::vector<int> owner_;
-  std::vector<FusedOp>& out_;
+  std::vector<bool> open_;
+  std::vector<Step>& steps_;
+  std::vector<FusionPlan::BlockInfo>& blocks_;
+  std::size_t& emitted_;
 };
 
 }  // namespace
 
-CompiledProgram CompiledProgram::compile(const Circuit& circuit) {
-  CompiledProgram out;
-  out.num_qubits_ = circuit.num_qubits();
-  out.num_clbits_ = circuit.num_clbits();
-  Fuser fuser(circuit.num_qubits(), out.ops_);
-  for (const Gate& g : circuit.ops()) {
+FusionPlan FusionPlan::build(const Circuit& circuit) {
+  FusionPlan plan;
+  plan.num_qubits_ = circuit.num_qubits();
+  plan.num_clbits_ = circuit.num_clbits();
+  plan.source_size_ = circuit.size();
+  PlanFuser fuser(circuit.num_qubits(), plan.steps_, plan.blocks_,
+                  plan.emitted_);
+  for (std::size_t i = 0; i < circuit.size(); ++i) {
+    const Gate& g = circuit.ops()[i];
     if (g.kind == GateKind::Barrier) {
       fuser.fence(g.qubits);
       continue;
     }
     if (g.kind == GateKind::Measure) {
       fuser.fence(std::span<const int>(g.qubits.data(), 1));
-      out.measurements_.emplace_back(g.qubits[0], g.clbit);
+      plan.measurements_.emplace_back(g.qubits[0], g.clbit);
       continue;
     }
-    ++out.source_gates_;
-    const Matrix u = gate_matrix(g);
+    ++plan.source_gates_;
     if (g.qubits.size() == 1) {
-      fuser.add_1q(g.qubits[0], u.data());
+      fuser.add_1q(g.qubits[0], static_cast<std::uint32_t>(i));
     } else {
       assert(g.qubits.size() == 2);
-      fuser.add_2q(g.qubits[0], g.qubits[1], u.data());
+      fuser.add_2q(g.qubits[0], g.qubits[1], static_cast<std::uint32_t>(i));
     }
   }
   fuser.finish();
+  return plan;
+}
+
+CompiledProgram CompiledProgram::compile(const Circuit& circuit) {
+  return materialize(FusionPlan::build(circuit), circuit);
+}
+
+CompiledProgram CompiledProgram::materialize(const FusionPlan& plan,
+                                             const Circuit& circuit) {
+  if (circuit.size() != plan.source_size() ||
+      circuit.num_qubits() != plan.num_qubits()) {
+    throw std::invalid_argument(
+        "CompiledProgram::materialize: circuit does not match plan structure");
+  }
+  CompiledProgram out;
+  out.num_qubits_ = plan.num_qubits();
+  out.num_clbits_ = plan.num_clbits();
+  out.measurements_ = plan.measurements();
+  out.source_gates_ = plan.source_gate_count();
+  out.ops_.reserve(plan.emitted());
+  // One 4x4 scratch per block; 1q blocks use the first 4 entries, exactly
+  // like the old in-Fuser Block::m. Replaying the step stream performs
+  // the same products, with the same operands, in the same order the
+  // from-scratch fusion did — bit-identical results.
+  // Every block's first step (kNew1/kNew2) writes its scratch before any
+  // read, so the buffers need no initialization; small plans stay entirely
+  // on the stack.
+  constexpr std::size_t kStackBlocks = 32;
+  std::array<cx, 16> stack_scratch[kStackBlocks];
+  std::vector<std::array<cx, 16>> heap_scratch;
+  std::array<cx, 16>* scratch = stack_scratch;
+  if (plan.blocks().size() > kStackBlocks) {
+    heap_scratch.resize(plan.blocks().size());
+    scratch = heap_scratch.data();
+  }
+  cx ubuf[16];
+  for (const FusionPlan::Step& s : plan.steps()) {
+    cx* m = scratch[s.block].data();
+    switch (s.op) {
+      case FusionPlan::Op::kNew1: {
+        const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+        std::memcpy(m, u, 4 * sizeof(cx));
+        break;
+      }
+      case FusionPlan::Op::kMul1: {
+        const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+        mul2(m, u, m);
+        break;
+      }
+      case FusionPlan::Op::kLift1Mul: {
+        const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+        cx lifted[16];
+        lift1(lifted, u, s.flag);
+        mul4(m, lifted, m);
+        break;
+      }
+      case FusionPlan::Op::kNew2: {
+        const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+        std::memcpy(m, u, 16 * sizeof(cx));
+        break;
+      }
+      case FusionPlan::Op::kMul2: {
+        const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+        if (s.flag) {
+          cx swapped[16];
+          swap_operands(swapped, u);
+          mul4(m, swapped, m);
+        } else {
+          mul4(m, u, m);
+        }
+        break;
+      }
+      case FusionPlan::Op::kAbsorb: {
+        cx lifted[16];
+        lift1(lifted, scratch[s.src].data(), s.flag);
+        mul4(m, m, lifted);
+        break;
+      }
+      case FusionPlan::Op::kEmit: {
+        const FusionPlan::BlockInfo& blk = plan.blocks()[s.block];
+        out.ops_.push_back(make_fused_op(m, blk.k, blk.q0, blk.q1));
+        break;
+      }
+    }
+  }
   return out;
 }
 
@@ -313,24 +402,68 @@ Distribution ideal_distribution(const CompiledProgram& program) {
       sv.amplitudes(), program.num_clbits(), program.measurements());
 }
 
+std::shared_ptr<const FusionPlan> CompiledProgramCache::plan(
+    const Circuit& circuit) const {
+  return plan_for(structural_fingerprint(circuit), circuit);
+}
+
+std::shared_ptr<const FusionPlan> CompiledProgramCache::plan_for(
+    const std::uint64_t key, const Circuit& circuit) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = plans_.find(key); it != plans_.end()) {
+      ++plan_hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: deterministic, so a racing duplicate insert
+  // just loses and its result is identical anyway.
+  auto built = std::make_shared<const FusionPlan>(FusionPlan::build(circuit));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++plan_builds_;
+  auto [it, inserted] = plans_.emplace(key, std::move(built));
+  if (inserted) {
+    plans_order_.push_back(key);
+    if (plans_.size() > kMaxEntries) {
+      plans_.erase(plans_order_.front());
+      plans_order_.pop_front();
+    }
+  }
+  return it->second;
+}
+
 std::shared_ptr<const CompiledProgram> CompiledProgramCache::fused(
     const Circuit& circuit) const {
-  const std::uint64_t key = circuit_fingerprint(circuit);
+  const CircuitFingerprints fp = circuit_fingerprints(circuit);
+  const std::uint64_t key = fp.exact;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = fused_.find(key); it != fused_.end()) return it->second;
   }
-  // Compile outside the lock: deterministic, so a racing duplicate insert
-  // just loses and its result is identical anyway.
-  auto program =
-      std::make_shared<const CompiledProgram>(CompiledProgram::compile(circuit));
+  // Exact-fingerprint miss: fetch (or build) the structural plan, then
+  // materialize this circuit's matrices against it. A parameter sweep
+  // over one ansatz pays the fusion walk once — every later binding is a
+  // plan hit plus the cheap matrix products. With the parametric knob off
+  // the plan cache is bypassed and every distinct circuit pays the full
+  // fusion walk. Both halves run outside the lock; results are
+  // deterministic either way.
+  std::shared_ptr<const CompiledProgram> program;
+  if (parametric_) {
+    const std::shared_ptr<const FusionPlan> p = plan_for(fp.structural, circuit);
+    program = std::make_shared<const CompiledProgram>(
+        CompiledProgram::materialize(*p, circuit));
+  } else {
+    program = std::make_shared<const CompiledProgram>(
+        CompiledProgram::compile(circuit));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!parametric_) ++plan_builds_;  // a fusion walk ran, just uncached
   auto [it, inserted] = fused_.emplace(key, std::move(program));
   if (inserted) {
     fused_order_.push_back(key);
     if (fused_.size() > kMaxEntries) {
       fused_.erase(fused_order_.front());
-      fused_order_.erase(fused_order_.begin());
+      fused_order_.pop_front();
     }
   }
   return it->second;
@@ -345,15 +478,21 @@ std::shared_ptr<const CompiledExecutable> CompiledProgramCache::executable(
       return it->second;
     }
   }
-  auto exe = std::make_shared<const CompiledExecutable>(
-      CompiledExecutable::compile(physical, matrices));
+  // Assemble piecewise (friend access) instead of via
+  // CompiledExecutable::compile so the fused half of the executable also
+  // flows through the plan cache.
+  auto exe_ptr = std::make_shared<CompiledExecutable>();
+  exe_ptr->lowered_ = lower_to_cx_basis(physical);
+  exe_ptr->channels_ = compile_ops(exe_ptr->lowered_, matrices);
+  exe_ptr->fused_compacted_ = fused(exe_ptr->lowered_.compacted());
+  std::shared_ptr<const CompiledExecutable> exe = std::move(exe_ptr);
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = executables_.emplace(key, std::move(exe));
   if (inserted) {
     executables_order_.push_back(key);
     if (executables_.size() > kMaxEntries) {
       executables_.erase(executables_order_.front());
-      executables_order_.erase(executables_order_.begin());
+      executables_order_.pop_front();
     }
   }
   return it->second;
@@ -362,6 +501,16 @@ std::shared_ptr<const CompiledExecutable> CompiledProgramCache::executable(
 std::size_t CompiledProgramCache::entries() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return fused_.size() + executables_.size();
+}
+
+std::uint64_t CompiledProgramCache::plan_builds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_builds_;
+}
+
+std::uint64_t CompiledProgramCache::plan_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plan_hits_;
 }
 
 }  // namespace qucp

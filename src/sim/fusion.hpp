@@ -21,6 +21,19 @@
 // gate-by-gate replay to simulation accuracy (pinned at <= 1e-10 by
 // tests/test_fusion.cpp).
 //
+// Fusion itself is split in two. A FusionPlan is the *structural* half:
+// which gates land in which blocks, the exact order of matrix products,
+// and what gets emitted — everything the fusion state machine decides,
+// none of which depends on parameter values (adjacency and operand
+// overlap are pure structure). CompiledProgram::materialize() replays a
+// plan against a concrete circuit's gate matrices, performing the same
+// multiplications in the same order the from-scratch path would, so the
+// result is bit-identical to CompiledProgram::compile() — which is now
+// literally materialize(FusionPlan::build(c), c). Plans are cached per
+// structural_fingerprint in CompiledProgramCache, so a parameter sweep
+// over one ansatz re-runs only the cheap matrix products per iteration,
+// never the fusion walk.
+//
 // CompiledExecutable is the unfused sibling for the noisy executor: the
 // CX-lowered circuit plus per-op precompiled kernels (including the
 // superket forms DensityMatrix needs), replayed gate by gate so noise
@@ -30,6 +43,7 @@
 // CandidateIndex.
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -63,12 +77,85 @@ struct FusedOp {
   [[nodiscard]] bool is_unitary() const noexcept { return q[0] >= 0; }
 };
 
+/// The structural half of fusion: the block layout and the exact ordered
+/// sequence of matrix operations the fusion state machine performs on a
+/// circuit of a given structure. Built once per structural_fingerprint
+/// and replayed against any circuit sharing that structure (same kinds,
+/// operands, order — parameter values free).
+class FusionPlan {
+ public:
+  enum class Op : std::uint8_t {
+    kNew1,      ///< open 1q block `block` from gate `gate`'s 2x2
+    kMul1,      ///< block.m = gate * block.m (2x2)
+    kLift1Mul,  ///< block.m = lift1(gate, flag=high) * block.m (4x4)
+    kNew2,      ///< open 2q block `block` from gate `gate`'s 4x4
+    kMul2,      ///< block.m = gate * block.m (4x4; flag = operand-swapped)
+    kAbsorb,    ///< block.m = block.m * lift1(block `src`, flag=high)
+    kEmit,      ///< classify + emit block `block` as the next FusedOp
+  };
+  struct Step {
+    Op op = Op::kEmit;
+    std::uint32_t block = 0;  ///< target block id
+    std::uint32_t gate = 0;   ///< source op index (matrix-consuming steps)
+    std::uint32_t src = 0;    ///< kAbsorb: absorbed 1q block id
+    bool flag = false;        ///< high-operand lift / operand-swapped mul
+  };
+  struct BlockInfo {
+    std::uint8_t k = 0;
+    int q0 = -1;
+    int q1 = -1;
+  };
+
+  /// Run the fusion state machine over `circuit`, recording structure only.
+  [[nodiscard]] static FusionPlan build(const Circuit& circuit);
+
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept {
+    return steps_;
+  }
+  [[nodiscard]] const std::vector<BlockInfo>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const std::vector<std::pair<int, int>>& measurements()
+      const noexcept {
+    return measurements_;
+  }
+  [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
+  [[nodiscard]] int num_clbits() const noexcept { return num_clbits_; }
+  [[nodiscard]] std::size_t source_gate_count() const noexcept {
+    return source_gates_;
+  }
+  /// Op count of the circuit the plan was built from (materialize guard).
+  [[nodiscard]] std::size_t source_size() const noexcept {
+    return source_size_;
+  }
+  /// FusedOps an emit pass produces (kEmit step count).
+  [[nodiscard]] std::size_t emitted() const noexcept { return emitted_; }
+
+ private:
+  int num_qubits_ = 0;
+  int num_clbits_ = 0;
+  std::vector<Step> steps_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<std::pair<int, int>> measurements_;
+  std::size_t source_gates_ = 0;
+  std::size_t source_size_ = 0;
+  std::size_t emitted_ = 0;
+};
+
 /// A circuit compiled to a fused kernel stream plus its measurement map.
 class CompiledProgram {
  public:
   /// Fuse and compile `circuit`. Accepts any simulable circuit (unitary
-  /// gates, barriers, measurements).
+  /// gates, barriers, measurements). Equivalent to (and implemented as)
+  /// materialize(FusionPlan::build(circuit), circuit).
   [[nodiscard]] static CompiledProgram compile(const Circuit& circuit);
+
+  /// Replay `plan` against `circuit`'s gate matrices. `circuit` must have
+  /// the structure the plan was built from (same structural_fingerprint);
+  /// throws std::invalid_argument on an op-count/qubit-count mismatch.
+  /// Bit-identical to compile(circuit): same products, same order.
+  [[nodiscard]] static CompiledProgram materialize(const FusionPlan& plan,
+                                                   const Circuit& circuit);
 
   [[nodiscard]] int num_qubits() const noexcept { return num_qubits_; }
   [[nodiscard]] int num_clbits() const noexcept { return num_clbits_; }
@@ -119,6 +206,8 @@ class CompiledExecutable {
   }
 
  private:
+  friend class CompiledProgramCache;  // assembles executables against its
+                                      // plan-aware fused() path
   Circuit lowered_;
   std::vector<FusedOp> channels_;
   std::shared_ptr<const CompiledProgram> fused_compacted_;
@@ -145,6 +234,13 @@ class CompiledProgramCache {
  public:
   static constexpr std::size_t kMaxEntries = 1 << 10;
 
+  /// `parametric` gates the structural fusion-plan cache: when false,
+  /// exact-fingerprint misses compile from scratch (full fusion walk per
+  /// circuit) — the pre-parametric behavior, kept selectable so the knob
+  /// that disables template transpilation disables plan reuse too.
+  explicit CompiledProgramCache(bool parametric = true) noexcept
+      : parametric_(parametric) {}
+
   /// Fused compilation of `circuit` (ideal pipeline).
   [[nodiscard]] std::shared_ptr<const CompiledProgram> fused(
       const Circuit& circuit) const;
@@ -155,10 +251,27 @@ class CompiledProgramCache {
   [[nodiscard]] std::shared_ptr<const CompiledExecutable> executable(
       const Circuit& physical, GateMatrixCache* matrices = nullptr) const;
 
+  /// Fusion plan for `circuit`'s structure, memoized per
+  /// structural_fingerprint. Exact-fingerprint misses in fused() and
+  /// executable() go through here, so a parameter sweep over one ansatz
+  /// runs the fusion walk once and only re-materializes matrices.
+  [[nodiscard]] std::shared_ptr<const FusionPlan> plan(
+      const Circuit& circuit) const;
+
   /// Distinct programs currently held (fused + executable).
   [[nodiscard]] std::size_t entries() const;
 
+  /// Fusion walks actually performed / avoided via the plan cache.
+  [[nodiscard]] std::uint64_t plan_builds() const;
+  [[nodiscard]] std::uint64_t plan_hits() const;
+
  private:
+  /// Plan lookup with the structural key already in hand (fused() computes
+  /// both fingerprints in one circuit walk).
+  [[nodiscard]] std::shared_ptr<const FusionPlan> plan_for(
+      std::uint64_t structural_key, const Circuit& circuit) const;
+
+  bool parametric_ = true;
   mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t,
                              std::shared_ptr<const CompiledProgram>>
@@ -166,8 +279,13 @@ class CompiledProgramCache {
   mutable std::unordered_map<std::uint64_t,
                              std::shared_ptr<const CompiledExecutable>>
       executables_;
-  mutable std::vector<std::uint64_t> fused_order_;        ///< FIFO eviction
-  mutable std::vector<std::uint64_t> executables_order_;  ///< FIFO eviction
+  mutable std::unordered_map<std::uint64_t, std::shared_ptr<const FusionPlan>>
+      plans_;  ///< keyed by structural_fingerprint
+  mutable std::deque<std::uint64_t> fused_order_;        ///< FIFO eviction
+  mutable std::deque<std::uint64_t> executables_order_;  ///< FIFO eviction
+  mutable std::deque<std::uint64_t> plans_order_;        ///< FIFO eviction
+  mutable std::uint64_t plan_builds_ = 0;
+  mutable std::uint64_t plan_hits_ = 0;
 };
 
 }  // namespace qucp

@@ -196,6 +196,19 @@ void perm2_range_avx2(cx* a, std::size_t begin, std::size_t end,
                       std::size_t mh, std::size_t ml, int p0, int p1,
                       const CompiledUnitary& cu);
 
+// Range bodies of DensityMatrix's fused noise-channel updates (real-scalar
+// scaling of superket elements — no complex products, so these vectorize
+// into pure mul/add streams). `pc`/`pr` are the column/row superket bit
+// positions of the target qubit; `fill_scale` folds c2 * inv_ldim.
+void depol1_range_avx2(cx* rho, std::size_t begin, std::size_t end, int pc,
+                       int pr, double c1, double fill_scale);
+void depol2_range_avx2(cx* rho, std::size_t begin, std::size_t end,
+                       const int* positions, const std::size_t* row_off,
+                       const std::size_t* col_off, double c1,
+                       double fill_scale);
+void relax1_range_avx2(cx* rho, std::size_t begin, std::size_t end, int pc,
+                       int pr, double gamma, double decay, double keep);
+
 }  // namespace detail
 
 }  // namespace qucp::kern

@@ -318,6 +318,218 @@ void perm2_range_avx2(cx* a, std::size_t begin, std::size_t end,
   }
 }
 
+namespace {
+
+/// One quad of the fused depolarizing (k = 1) update, for heads/tails.
+inline void depol1_one(cx* rho, std::size_t base, std::size_t mc,
+                       std::size_t mr, double c1, double fill_scale) {
+  const cx p00 = rho[base];
+  const cx p11 = rho[base | mr | mc];
+  const cx fill = fill_scale * (p00 + p11);
+  rho[base] = c1 * p00 + fill;
+  rho[base | mc] *= c1;
+  rho[base | mr] *= c1;
+  rho[base | mr | mc] = c1 * p11 + fill;
+}
+
+/// One quad of the fused relaxation update, for heads/tails.
+inline void relax1_one(cx* rho, std::size_t base, std::size_t mc,
+                       std::size_t mr, double gamma, double decay,
+                       double keep) {
+  const cx p11 = rho[base | mr | mc];
+  rho[base] += gamma * p11;
+  rho[base | mc] *= decay;
+  rho[base | mr] *= decay;
+  rho[base | mr | mc] = keep * p11;
+}
+
+/// One 16-element block of the fused depolarizing (k = 2) update.
+inline void depol2_one(cx* rho, std::size_t base, const std::size_t* row_off,
+                       const std::size_t* col_off, double c1,
+                       double fill_scale) {
+  cx traced{0.0, 0.0};
+  for (std::size_t s = 0; s < 4; ++s) {
+    traced += rho[base + row_off[s] + col_off[s]];
+  }
+  const cx fill = fill_scale * traced;
+  for (std::size_t sr = 0; sr < 4; ++sr) {
+    for (std::size_t sc = 0; sc < 4; ++sc) {
+      cx& v = rho[base + row_off[sr] + col_off[sc]];
+      v *= c1;
+      if (sr == sc) v += fill;
+    }
+  }
+}
+
+}  // namespace
+
+void depol1_range_avx2(cx* rho, std::size_t begin, std::size_t end, int pc,
+                       int pr, double c1, double fill_scale) {
+  const std::size_t mc = std::size_t{1} << pc;
+  const std::size_t mr = std::size_t{1} << pr;
+  double* const p = reinterpret_cast<double*>(rho);
+  const __m256d c1v = _mm256_set1_pd(c1);
+  const __m256d fsv = _mm256_set1_pd(fill_scale);
+  if (pc >= 1) {
+    // Bases with both target bits clear come in contiguous runs of
+    // 2^pc >= 2: an even t and its successor map to adjacent quads, so
+    // every offset is a full-width two-complex access scaled elementwise.
+    std::size_t t = begin;
+    if ((t & 1U) != 0 && t < end) {
+      depol1_one(rho, insert_bit(insert_bit(t, pc), pr), mc, mr, c1,
+                 fill_scale);
+      ++t;
+    }
+    for (; t + 1 < end; t += 2) {
+      const std::size_t base = insert_bit(insert_bit(t, pc), pr);
+      double* const q00 = p + 2 * base;
+      double* const q01 = p + 2 * (base | mc);
+      double* const q10 = p + 2 * (base | mr);
+      double* const q11 = p + 2 * (base | mr | mc);
+      const __m256d v00 = _mm256_loadu_pd(q00);
+      const __m256d v11 = _mm256_loadu_pd(q11);
+      const __m256d fill = _mm256_mul_pd(fsv, _mm256_add_pd(v00, v11));
+      _mm256_storeu_pd(q00, _mm256_add_pd(_mm256_mul_pd(c1v, v00), fill));
+      _mm256_storeu_pd(q01, _mm256_mul_pd(c1v, _mm256_loadu_pd(q01)));
+      _mm256_storeu_pd(q10, _mm256_mul_pd(c1v, _mm256_loadu_pd(q10)));
+      _mm256_storeu_pd(q11, _mm256_add_pd(_mm256_mul_pd(c1v, v11), fill));
+    }
+    if (t < end) {
+      depol1_one(rho, insert_bit(insert_bit(t, pc), pr), mc, mr, c1,
+                 fill_scale);
+    }
+    return;
+  }
+  // pc == 0 (pr = pc + n >= 1): the (p00, p01) pair is contiguous at base
+  // and (p10, p11) at base | mr, so one register holds each row of the
+  // quad. Build the fill in the p00 lanes, mirror it into the p11 lanes.
+  const __m256d zero = _mm256_setzero_pd();
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t base = insert_bit(insert_bit(t, 0), pr);
+    double* const q0 = p + 2 * base;
+    double* const q1 = p + 2 * (base | mr);
+    const __m256d v0 = _mm256_loadu_pd(q0);  // [p00, p01]
+    const __m256d v1 = _mm256_loadu_pd(q1);  // [p10, p11]
+    const __m256d v1sw = _mm256_permute2f128_pd(v1, v1, 0x01);  // [p11, p10]
+    // Lanes {0,1} hold p00 + p11 — the only lanes the blends keep.
+    const __m256d fillv = _mm256_mul_pd(fsv, _mm256_add_pd(v0, v1sw));
+    const __m256d out0 = _mm256_add_pd(_mm256_mul_pd(c1v, v0),
+                                       _mm256_blend_pd(zero, fillv, 0x3));
+    const __m256d fillsw = _mm256_permute2f128_pd(fillv, fillv, 0x01);
+    const __m256d out1 = _mm256_add_pd(_mm256_mul_pd(c1v, v1),
+                                       _mm256_blend_pd(zero, fillsw, 0xC));
+    _mm256_storeu_pd(q0, out0);
+    _mm256_storeu_pd(q1, out1);
+  }
+}
+
+void depol2_range_avx2(cx* rho, std::size_t begin, std::size_t end,
+                       const int* positions, const std::size_t* row_off,
+                       const std::size_t* col_off, double c1,
+                       double fill_scale) {
+  double* const p = reinterpret_cast<double*>(rho);
+  if (positions[0] < 1) {
+    // The lowest target bit sits at position 0: bases are never adjacent,
+    // so full-width loads would straddle block boundaries. Keep the
+    // scalar body (still inside this TU so the caller's dispatch is one
+    // branch either way).
+    for (std::size_t t = begin; t < end; ++t) {
+      std::size_t base = t;
+      for (int j = 0; j < 4; ++j) base = insert_bit(base, positions[j]);
+      depol2_one(rho, base, row_off, col_off, c1, fill_scale);
+    }
+    return;
+  }
+  const __m256d c1v = _mm256_set1_pd(c1);
+  const __m256d fsv = _mm256_set1_pd(fill_scale);
+  auto expand = [&](std::size_t t) {
+    for (int j = 0; j < 4; ++j) t = insert_bit(t, positions[j]);
+    return t;
+  };
+  std::size_t t = begin;
+  if ((t & 1U) != 0 && t < end) {
+    depol2_one(rho, expand(t), row_off, col_off, c1, fill_scale);
+    ++t;
+  }
+  for (; t + 1 < end; t += 2) {
+    const std::size_t base = expand(t);
+    // Trace of the local diagonal across both blocks, then one scaled
+    // (+ diagonal fill) pass over all 16 offsets.
+    __m256d sum = _mm256_loadu_pd(p + 2 * (base + row_off[0] + col_off[0]));
+    for (std::size_t s = 1; s < 4; ++s) {
+      sum = _mm256_add_pd(
+          sum, _mm256_loadu_pd(p + 2 * (base + row_off[s] + col_off[s])));
+    }
+    const __m256d fill = _mm256_mul_pd(fsv, sum);
+    for (std::size_t sr = 0; sr < 4; ++sr) {
+      for (std::size_t sc = 0; sc < 4; ++sc) {
+        double* const q = p + 2 * (base + row_off[sr] + col_off[sc]);
+        __m256d v = _mm256_mul_pd(c1v, _mm256_loadu_pd(q));
+        if (sr == sc) v = _mm256_add_pd(v, fill);
+        _mm256_storeu_pd(q, v);
+      }
+    }
+  }
+  if (t < end) {
+    depol2_one(rho, expand(t), row_off, col_off, c1, fill_scale);
+  }
+}
+
+void relax1_range_avx2(cx* rho, std::size_t begin, std::size_t end, int pc,
+                       int pr, double gamma, double decay, double keep) {
+  const std::size_t mc = std::size_t{1} << pc;
+  const std::size_t mr = std::size_t{1} << pr;
+  double* const p = reinterpret_cast<double*>(rho);
+  if (pc >= 1) {
+    const __m256d gv = _mm256_set1_pd(gamma);
+    const __m256d dv = _mm256_set1_pd(decay);
+    const __m256d kv = _mm256_set1_pd(keep);
+    std::size_t t = begin;
+    if ((t & 1U) != 0 && t < end) {
+      relax1_one(rho, insert_bit(insert_bit(t, pc), pr), mc, mr, gamma, decay,
+                 keep);
+      ++t;
+    }
+    for (; t + 1 < end; t += 2) {
+      const std::size_t base = insert_bit(insert_bit(t, pc), pr);
+      double* const q00 = p + 2 * base;
+      double* const q01 = p + 2 * (base | mc);
+      double* const q10 = p + 2 * (base | mr);
+      double* const q11 = p + 2 * (base | mr | mc);
+      const __m256d v11 = _mm256_loadu_pd(q11);
+      _mm256_storeu_pd(
+          q00, _mm256_add_pd(_mm256_loadu_pd(q00), _mm256_mul_pd(gv, v11)));
+      _mm256_storeu_pd(q01, _mm256_mul_pd(dv, _mm256_loadu_pd(q01)));
+      _mm256_storeu_pd(q10, _mm256_mul_pd(dv, _mm256_loadu_pd(q10)));
+      _mm256_storeu_pd(q11, _mm256_mul_pd(kv, v11));
+    }
+    if (t < end) {
+      relax1_one(rho, insert_bit(insert_bit(t, pc), pr), mc, mr, gamma, decay,
+                 keep);
+    }
+    return;
+  }
+  // pc == 0: rows of the quad are contiguous pairs; per-lane coefficient
+  // vectors apply (1, decay) to the top row and (decay, keep) to the
+  // bottom, with the gamma*p11 term mirrored into the p00 lanes.
+  const __m256d top = _mm256_setr_pd(1.0, 1.0, decay, decay);
+  const __m256d bot = _mm256_setr_pd(decay, decay, keep, keep);
+  const __m256d gsel = _mm256_setr_pd(gamma, gamma, 0.0, 0.0);
+  for (std::size_t t = begin; t < end; ++t) {
+    const std::size_t base = insert_bit(insert_bit(t, 0), pr);
+    double* const q0 = p + 2 * base;
+    double* const q1 = p + 2 * (base | mr);
+    const __m256d v0 = _mm256_loadu_pd(q0);  // [p00, p01]
+    const __m256d v1 = _mm256_loadu_pd(q1);  // [p10, p11]
+    const __m256d v1sw = _mm256_permute2f128_pd(v1, v1, 0x01);  // [p11, p10]
+    const __m256d out0 =
+        _mm256_add_pd(_mm256_mul_pd(v0, top), _mm256_mul_pd(v1sw, gsel));
+    const __m256d out1 = _mm256_mul_pd(v1, bot);
+    _mm256_storeu_pd(q0, out0);
+    _mm256_storeu_pd(q1, out1);
+  }
+}
+
 }  // namespace qucp::kern::detail
 
 #endif  // QUCP_NATIVE_KERNELS && x86

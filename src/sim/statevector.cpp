@@ -52,7 +52,8 @@ const kern::CompiledUnitary& compiled_for(const Gate& g) {
     return spill;
   }
   return memo
-      .emplace(GateKey{g.kind, g.params}, kern::compile_unitary(m.data()))
+      .emplace(GateKey{g.kind, {g.params.begin(), g.params.end()}},
+               kern::compile_unitary(m.data()))
       .first->second;
 }
 

@@ -510,5 +510,53 @@ TEST(NativeKernels, ScalarAndNativeDiagPermKernelsAgree) {
   }
 }
 
+TEST(NativeKernels, ScalarAndNativeChannelKernelsAgree) {
+  if (!kern::native_kernels_active()) {
+    GTEST_SKIP() << "native kernels not compiled/supported on this machine";
+  }
+  // Noise-channel superket passes (depolarizing 1q/2q, thermal
+  // relaxation): the AVX2 bodies pre-fold c2 * inv_ldim into one
+  // fill_scale, so agreement is pinned at <= 1e-10 rather than bitwise.
+  // Qubit 0 operands exercise the packed-lane (pc == 0) code paths; higher
+  // qubits the full-width two-quad bodies.
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+  Rng rng(9911);
+  for (int n = 2; n <= 6; ++n) {
+    Circuit c(n);
+    for (int step = 0; step < 20; ++step) {
+      c.append(random_1q_gate(
+          rng, static_cast<int>(rng.index(static_cast<std::size_t>(n)))));
+      if (rng.bernoulli(0.3)) {
+        const int x = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        int y = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+        if (y >= x) ++y;
+        c.cx(x, y);
+      }
+    }
+    const CompiledProgram prog = CompiledProgram::compile(c);
+    const auto run_channels = [&](bool native) {
+      kern::set_native_kernels(native);
+      DensityMatrix dm(n);
+      dm.run(prog);  // non-trivial state so every superket element matters
+      for (int q = 0; q < n; ++q) {
+        const int one[] = {q};
+        dm.apply_depolarizing(0.015 + 0.004 * q, one);
+        dm.apply_relaxation(q, 120.0 + 15.0 * q, 85.0, 70.0);
+      }
+      for (int q = 0; q + 1 < n; ++q) {
+        const int two[] = {q, q + 1};
+        dm.apply_depolarizing(0.02, two);
+      }
+      std::vector<cx> snapshot(dm.data().begin(), dm.data().end());
+      return snapshot;
+    };
+    const std::vector<cx> scalar = run_channels(false);
+    const std::vector<cx> native = run_channels(true);
+    EXPECT_LT(state_diff(scalar, native), kTol) << "n=" << n;
+  }
+}
+
 }  // namespace
 }  // namespace qucp
