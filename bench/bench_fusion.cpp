@@ -1,6 +1,6 @@
 // Fusion + native-kernel microbenchmark: what the program-compilation
 // layer (sim/fusion.hpp) and the AVX2/FMA dense kernels buy on the
-// simulation pipeline. Three sections:
+// simulation pipeline. Sections:
 //
 //   ideal      — ns per ideal_distribution() call for every Table II
 //                benchmark, gate-by-gate vs fused precompiled replay (the
@@ -25,6 +25,11 @@
 //                matrix products) vs materialize() of a prebuilt
 //                FusionPlan (products only): what the structural plan
 //                cache saves per iteration of a parameter sweep.
+//   materialize_simd — ns per materialize() of a 2q-heavy product chain,
+//                scalar vs native dispatch: the AVX2 mul4 kernel family
+//                (mul4 + lift/swap/absorb) in isolation, the per-job
+//                compile cost the sweep_batched service path pays (rows
+//                appear only with the native kernels compiled in).
 //
 // Writes BENCH_fusion.json (schema qucp-bench-fusion-v1, meta block with
 // compiler/flags/CPU features/hw_threads) so the fusion trajectory is
@@ -410,6 +415,56 @@ std::vector<FusionRow> run_plan_materialize_section() {
   return rows;
 }
 
+std::vector<FusionRow> run_materialize_simd_section() {
+  std::vector<FusionRow> rows;
+  if (!kern::native_kernels_active()) return rows;
+  const int rounds = smoke_mode() ? 3 : 10;
+  const int reps = smoke_mode() ? 100 : 1000;
+
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+
+  // The mul4 micro row: materialize's product chain on a 2q-heavy ring
+  // (rotations absorbed around every CX) is dominated by the 4x4
+  // complex products — mul4 plus its lift/swap/absorb forms — so the
+  // scalar-vs-native delta here is the mul4 kernel family in isolation
+  // (the sweep_batched arm in BENCH_service.json buys this per job).
+  auto mul4_row = [&](int n) {
+    Circuit c(n);
+    for (int layer = 0; layer < 3; ++layer) {
+      for (int q = 0; q < n; ++q) {
+        c.ry(0.3 + 0.07 * q + 0.11 * layer, q);
+        c.cx(q, (q + 1) % n);
+        c.rz(0.9 - 0.05 * q + 0.13 * layer, (q + 1) % n);
+      }
+    }
+    const FusionPlan plan = FusionPlan::build(c);
+    FusionRow row;
+    row.section = "materialize_simd";
+    row.name = "materialize_mul4_cx_ring";
+    row.qubits = n;
+    row.gates = static_cast<std::size_t>(c.gate_count());
+    row.fused_gates = plan.emitted();
+    const auto [scalar_ns, native_ns] = interleaved_best_of(
+        rounds, reps,
+        [&] {
+          kern::set_native_kernels(false);
+          benchmark::DoNotOptimize(CompiledProgram::materialize(plan, c));
+        },
+        [&] {
+          kern::set_native_kernels(true);
+          benchmark::DoNotOptimize(CompiledProgram::materialize(plan, c));
+        });
+    row.ns_baseline = scalar_ns;
+    row.ns_new = native_ns;
+    return row;
+  };
+  rows.push_back(mul4_row(8));
+  rows.push_back(mul4_row(16));
+  return rows;
+}
+
 std::vector<FusionRow> run_parallel_split_section() {
   const int rounds = smoke_mode() ? 3 : 10;
   const int reps = smoke_mode() ? 5 : 40;
@@ -462,8 +517,8 @@ void write_json(const std::vector<FusionRow>& rows) {
   std::fprintf(f,
                "  \"unit\": \"ns_per_call\",\n"
                "  \"baseline\": \"unfused (ideal) / scalar (dense_simd, "
-               "channel_simd) / compile (plan_materialize) / "
-               "1-thread (parallel_split)\",\n"
+               "channel_simd, materialize_simd) / compile (plan_materialize) "
+               "/ 1-thread (parallel_split)\",\n"
                "  \"results\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const FusionRow& r = rows[i];
@@ -548,6 +603,23 @@ void print_fusion_tables() {
                14);
   }
   rows.insert(rows.end(), plans.begin(), plans.end());
+
+  const std::vector<FusionRow> mul4 = run_materialize_simd_section();
+  if (!mul4.empty()) {
+    bench::heading(
+        "materialize product chain: ns/call, scalar vs AVX2 mul4 family");
+    bench::row({"bench", "qubits", "gates", "fused", "scalar ns", "native ns",
+                "speedup"},
+               14);
+    bench::rule(7, 14);
+    for (const FusionRow& r : mul4) {
+      bench::row({r.name, std::to_string(r.qubits), std::to_string(r.gates),
+                  std::to_string(r.fused_gates), fmt_double(r.ns_baseline, 0),
+                  fmt_double(r.ns_new, 0), fmt_double(r.speedup(), 2) + "x"},
+                 14);
+    }
+    rows.insert(rows.end(), mul4.begin(), mul4.end());
+  }
 
   const std::vector<FusionRow> split = run_parallel_split_section();
   bench::heading(

@@ -38,6 +38,7 @@
 #include "mapping/transpiler.hpp"
 #include "service/backend.hpp"
 #include "service/service.hpp"
+#include "sim/kernels.hpp"
 #include "vqe/ansatz.hpp"
 
 namespace {
@@ -336,10 +337,23 @@ struct ParametricRow {
 
 struct ParametricSection {
   ParametricRow on;
+  ParametricRow on_scalar;  ///< per-job bind path, scalar materialize
   ParametricRow off;
+  ParametricRow batched;  ///< transpile_sweep: one probe + batched binds
 
   [[nodiscard]] double speedup() const {
     return on.ns_per_job() > 0.0 ? off.ns_per_job() / on.ns_per_job() : 0.0;
+  }
+  /// The sweep fast path's target: the full batched path (group-probed
+  /// cache + bind_many + plan-direct materialize on the AVX2 kernels) vs
+  /// the per-job bind path it replaces as previously shipped — per-job
+  /// cache round-trips and scalar materialize (`on_scalar`). In a build
+  /// without native kernels both arms run the same scalar products and
+  /// this reduces to the pure batching win.
+  [[nodiscard]] double batched_speedup() const {
+    return batched.ns_per_job() > 0.0
+               ? on_scalar.ns_per_job() / batched.ns_per_job()
+               : 0.0;
   }
 };
 
@@ -399,7 +413,13 @@ std::vector<Circuit> build_sweep_stream(int iters) {
   return stream;
 }
 
-ParametricRow run_parametric_config(int iters, bool parametric) {
+ParametricRow run_parametric_config(int iters, bool parametric,
+                                    bool scalar_kernels = false) {
+  // scalar_kernels reproduces the pre-AVX2 per-job bind path (the
+  // baseline the sweep fast path is measured against); restore whatever
+  // dispatch state the process started with on the way out.
+  const bool native_before = kern::native_kernels_active();
+  if (scalar_kernels) kern::set_native_kernels(false);
   const Device device = make_toronto27();
   Backend backend(device, /*transpile_cache_capacity=*/1024, parametric);
   const std::vector<int> partition = bfs_partition(device, kSweepQubits);
@@ -422,6 +442,50 @@ ParametricRow run_parametric_config(int iters, bool parametric) {
   row.cache = backend.cache_stats();
   row.plan_builds = backend.program_cache().plan_builds();
   row.plan_hits = backend.program_cache().plan_hits();
+  if (scalar_kernels) kern::set_native_kernels(native_before);
+  return row;
+}
+
+/// The sweep_batched arm: the same stream, but grouped by structure and
+/// pushed through the submit_all() sweep fast path's two batched legs:
+/// CalibrationEpoch::transpile_sweep (one epoch pin and one cache probe
+/// per group, templates bound batch-at-a-time via bind_many) plus one
+/// fusion-plan fetch per group with the ideal-reference program
+/// materialized directly per job (what run_batch_pipeline does for
+/// prebound sweep jobs, skipping the per-job fingerprint + cache lock).
+ParametricRow run_parametric_batched(int iters) {
+  const Device device = make_toronto27();
+  Backend backend(device, /*transpile_cache_capacity=*/1024,
+                  /*parametric=*/true);
+  const std::vector<int> partition = bfs_partition(device, kSweepQubits);
+  const TranspileOptions topts = hardware_aware_options();
+  const std::vector<Circuit> stream = build_sweep_stream(iters);
+  // Group per structural fingerprint, submission order kept within groups.
+  std::map<std::uint64_t, std::vector<const Circuit*>> groups;
+  for (const Circuit& c : stream) {
+    groups[structural_fingerprint(c)].push_back(&c);
+  }
+  ParametricRow row;
+  row.parametric = true;
+  row.jobs = stream.size();
+  std::vector<TranspiledProgram> bound;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto epoch = backend.epoch();
+  for (const auto& [fp, circuits] : groups) {
+    epoch->transpile_sweep(circuits, partition, topts, /*options_fp=*/1,
+                           bound);
+    benchmark::DoNotOptimize(bound.data());
+    const auto fusion_plan = backend.program_cache().plan(*circuits.front());
+    for (const Circuit* c : circuits) {
+      const CompiledProgram prog =
+          CompiledProgram::materialize(*fusion_plan, *c);
+      benchmark::DoNotOptimize(&prog);
+    }
+  }
+  row.total_s = seconds_since(t0);
+  row.cache = backend.cache_stats();
+  row.plan_builds = backend.program_cache().plan_builds();
+  row.plan_hits = backend.program_cache().plan_hits();
   return row;
 }
 
@@ -436,11 +500,33 @@ ParametricSection run_parametric_section() {
               "fallbacks", "bind ns/hit", "plan builds"});
   bench::rule(9);
   ParametricSection section;
+  // Every arm is deterministic (fresh backend + identical stream per
+  // round), so cache stats are round-invariant and best-of-rounds only
+  // strips scheduler noise from the timings — the arms are compared at
+  // their capability, not at whatever the machine was doing that second.
+  const int rounds = smoke_mode() ? 2 : 3;
+  const auto best_of = [&](auto&& run) {
+    auto best = run();
+    for (int r = 1; r < rounds; ++r) {
+      auto next = run();
+      if (next.total_s < best.total_s) best = std::move(next);
+    }
+    return best;
+  };
   // Off first so the on-arm's speedup column can print in its row.
-  section.off = run_parametric_config(iters, false);
-  section.on = run_parametric_config(iters, true);
-  for (const ParametricRow* r : {&section.off, &section.on}) {
-    bench::row({r->parametric ? "on" : "off", std::to_string(r->jobs),
+  section.off = best_of([&] { return run_parametric_config(iters, false); });
+  section.on = best_of([&] { return run_parametric_config(iters, true); });
+  section.on_scalar = best_of(
+      [&] { return run_parametric_config(iters, true, /*scalar=*/true); });
+  section.batched = best_of([&] { return run_parametric_batched(iters); });
+  const auto mode_name = [&](const ParametricRow* r) {
+    if (r == &section.batched) return "sweep_batched";
+    if (r == &section.on_scalar) return "on_scalar";
+    return r->parametric ? "on" : "off";
+  };
+  for (const ParametricRow* r : {&section.off, &section.on,
+                                 &section.on_scalar, &section.batched}) {
+    bench::row({mode_name(r), std::to_string(r->jobs),
                 fmt_double(r->ns_per_job(), 0),
                 std::to_string(r->cache.hits),
                 std::to_string(r->cache.structural_hits),
@@ -451,10 +537,15 @@ ParametricSection run_parametric_section() {
   }
   std::printf(
       "\namortized transpile+compile speedup: %.2fx (target >= 5x)\n"
+      "sweep_batched vs per-job bind + scalar kernels: %.2fx "
+      "(target >= 1.8x)\n"
       "every job is a fresh binding: the off arm re-places and re-routes\n"
-      "per job, the on arm binds the structural template after one\n"
-      "transpile per structure.\n",
-      section.speedup());
+      "per job, the on/on_scalar arms bind the structural template per job\n"
+      "(native vs scalar materialize), and the sweep_batched arm probes\n"
+      "the cache + fusion plan once per structure group, binds the group\n"
+      "through bind_many and materializes each ideal reference straight\n"
+      "off the plan's AVX2 product chain (the submit_all sweep path).\n",
+      section.speedup(), section.batched_speedup());
   return section;
 }
 
@@ -516,7 +607,13 @@ void write_json(const std::vector<IntakeRow>& intake,
                  sep(), r.batch_cap, r.batches, r.spills, r.cache_hit_pct,
                  r.avg_pst, r.runtime_s, r.speedup);
   }
-  for (const ParametricRow* r : {&parametric.off, &parametric.on}) {
+  const auto parametric_mode = [&](const ParametricRow* r) {
+    if (r == &parametric.batched) return "sweep_batched";
+    if (r == &parametric.on_scalar) return "on_scalar";
+    return r->parametric ? "on" : "off";
+  };
+  for (const ParametricRow* r : {&parametric.off, &parametric.on,
+                                 &parametric.on_scalar, &parametric.batched}) {
     std::fprintf(f,
                  "%s    {\"section\": \"parametric\", \"mode\": \"%s\", "
                  "\"jobs\": %zu, \"ns_per_job\": %.1f, \"hits\": %" PRIu64
@@ -524,20 +621,24 @@ void write_json(const std::vector<IntakeRow>& intake,
                  ", \"bind_fallbacks\": %" PRIu64
                  ", \"bind_ns_per_hit\": %.1f, \"plan_builds\": %" PRIu64
                  ", \"plan_hits\": %" PRIu64 "}",
-                 sep(), r->parametric ? "on" : "off", r->jobs, r->ns_per_job(),
+                 sep(), parametric_mode(r), r->jobs, r->ns_per_job(),
                  r->cache.hits, r->cache.structural_hits, r->cache.misses,
                  r->cache.bind_fallbacks, r->bind_ns_per_hit(), r->plan_builds,
                  r->plan_hits);
   }
   std::fprintf(f,
                "%s    {\"section\": \"parametric_summary\", "
-               "\"speedup\": %.2f, \"meets_target\": %s}",
+               "\"speedup\": %.2f, \"meets_target\": %s, "
+               "\"sweep_batched_speedup\": %.2f, "
+               "\"sweep_batched_meets_target\": %s}",
                sep(), parametric.speedup(),
-               parametric.speedup() >= 5.0 ? "true" : "false");
+               parametric.speedup() >= 5.0 ? "true" : "false",
+               parametric.batched_speedup(),
+               parametric.batched_speedup() >= 1.8 ? "true" : "false");
   std::fprintf(f, "\n  ]\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s (%zu rows%s)\n", path.c_str(),
-              intake.size() + overhead.size() + 1 + capacity.size() + 3,
+              intake.size() + overhead.size() + 1 + capacity.size() + 5,
               smoke_mode() ? ", smoke mode" : "");
 }
 

@@ -104,6 +104,17 @@ class Circuit {
     fp_memo_.invalidate();
   }
 
+  /// Unchecked set_param for the template-binding hot loop, which patches
+  /// hundreds of pre-validated (op, index) pairs back to back: no bounds
+  /// checks, and the fingerprint memo is left alone so one
+  /// invalidate_fingerprints() call can close the whole patch sequence.
+  void patch_param(std::size_t op, std::size_t index, double value) noexcept {
+    ops_[op].params[index] = value;
+  }
+  /// Drop memoized fingerprints after a patch_param sequence. Equivalent
+  /// to what every set_param call does implicitly.
+  void invalidate_fingerprints() noexcept { fp_memo_.invalidate(); }
+
   // -- gate helpers -------------------------------------------------------
   void i(int q) { append({GateKind::I, {q}, {}}); }
   void x(int q) { append({GateKind::X, {q}, {}}); }

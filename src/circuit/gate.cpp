@@ -209,8 +209,14 @@ int gate_matrix_into(GateKind kind, std::span<const double> params, cx* out) {
       return m2(std::cos(t), -std::sin(t), std::sin(t), std::cos(t));
     }
     case GateKind::RZ: {
+      // exp(±i t) spelled as {cos t, ±sin t}: identical values (cexp of a
+      // purely imaginary argument scales sincos by exp(0) == 1), one
+      // sin/cos pair instead of two full complex exponentials — this is
+      // the hottest parameterized kind in materialize's replay loop.
       const double t = params[0] / 2.0;
-      return m2(std::exp(-kI * t), 0, 0, std::exp(kI * t));
+      const double c = std::cos(t);
+      const double s = std::sin(t);
+      return m2(cx{c, -s}, 0, 0, cx{c, s});
     }
     case GateKind::U1:
       return m2(1, 0, 0, std::exp(kI * params[0]));

@@ -130,6 +130,23 @@ class CalibrationEpoch {
                                             const TranspileOptions& options,
                                             std::uint64_t options_fp) const;
 
+  /// Batched sweep transpile: serve N circuits that share one structural
+  /// fingerprint on one partition with a single cache probe and one
+  /// bind_many pass — the per-circuit lock/lookup/bind round-trips of N
+  /// transpile() calls collapse to one. Results and every cache counter
+  /// are identical to calling transpile() on each circuit in order
+  /// (bind_ns aside — it is timing): the first unseen circuit still
+  /// counts the miss and builds the template, exact-binding repeats still
+  /// count hits, and a binding the template rejects still falls back
+  /// through the one-at-a-time path (replacing the entry, after which the
+  /// remaining circuits re-probe the replacement). `out` is cleared and
+  /// filled with one program per circuit. Thread-safe.
+  void transpile_sweep(std::span<const Circuit* const> circuits,
+                       std::span<const int> partition,
+                       const TranspileOptions& options,
+                       std::uint64_t options_fp,
+                       std::vector<TranspiledProgram>& out) const;
+
   /// Execute pre-mapped programs on this epoch's simulated hardware.
   [[nodiscard]] ParallelRunReport execute(std::vector<PhysicalProgram> programs,
                                           const ExecOptions& options) const;

@@ -135,6 +135,16 @@ void AdmissionProbe::admit() {
   has_pending_ = false;
 }
 
+std::vector<std::vector<int>> AdmissionProbe::admitted_partitions() const {
+  // assignments_ is allocation-ordered; order_[pos] maps each allocation
+  // position back to the admission index of the job it places.
+  std::vector<std::vector<int>> parts(assignments_.size());
+  for (std::size_t pos = 0; pos < assignments_.size(); ++pos) {
+    parts[order_[pos]] = assignments_[pos].qubits;
+  }
+  return parts;
+}
+
 void AdmissionProbe::reset() {
   shapes_.clear();
   order_.clear();
@@ -543,6 +553,13 @@ FleetPlan pack_fleet(std::span<const FleetSlot> slots,
       any_batch = true;
       PackedBatch packed;
       for (const PackJob* job : batch[s]) packed.jobs.push_back(job->index);
+      if (probes[s].size() == batch[s].size()) {
+        // Every member was admitted through the probe (exclusive jobs
+        // bypass it), so its committed assignments are exactly the
+        // partitions the execution pipeline will re-derive — export them
+        // as provenance for the service's sweep-bind fast path.
+        packed.partitions = probes[s].admitted_partitions();
+      }
       plan.batches[s].push_back(std::move(packed));
       // Close the round's open batch: its modeled runtime joins the lane's
       // planned drain, so the next round's admissions queue behind it.

@@ -77,6 +77,12 @@ struct JobState {
   std::uint64_t structural_fp = 0;  ///< parameter-blind fingerprint
   std::string name;
   bool exclusive = false;
+  /// Marked by submit_all() when this job arrived as part of a parameter
+  /// sweep (>= 2 jobs of one structural fingerprint, with parameters, in
+  /// one submitted vector). Dispatch groups marked jobs per planned batch
+  /// and binds their transpile templates batch-at-a-time; single-shot
+  /// submit() never sets it, so that traffic is byte-for-byte untouched.
+  bool sweep = false;
 
   // Guarded by mutex.
   mutable std::mutex mutex;

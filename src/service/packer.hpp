@@ -46,6 +46,13 @@ struct PackJob {
 
 struct PackedBatch {
   std::vector<std::size_t> jobs;  ///< PackJob::index values, queue order
+  /// Partition each member was admitted on (parallel to `jobs`), exported
+  /// from the admission probe when every member went through it. Empty
+  /// when unavailable (single_batch packing, exclusive jobs — they bypass
+  /// the probe). Consumers must re-derive partitions when empty; the
+  /// service's sweep fast path additionally re-verifies these against the
+  /// pipeline's own allocation before trusting a prebound transpile.
+  std::vector<std::vector<int>> partitions;
 };
 
 struct PackResult {

@@ -58,7 +58,8 @@ BatchReport run_batch_pipeline(Backend& backend,
 BatchReport run_batch_pipeline(const CalibrationEpoch& epoch,
                                const std::vector<Circuit>& programs,
                                const std::vector<std::string>& names,
-                               const ParallelOptions& options) {
+                               const ParallelOptions& options,
+                               PreboundTranspiles* prebound) {
   if (programs.empty()) {
     throw std::invalid_argument("run_batch_pipeline: no programs");
   }
@@ -118,8 +119,20 @@ BatchReport run_batch_pipeline(const CalibrationEpoch& epoch,
     const std::uint64_t opts_fp = transpile_options_fp(
         options.method, options.sigma, options.optimize_circuits, context,
         options.srb_estimates);
-    TranspiledProgram tp =
-        epoch.transpile(programs[i], assignment[i].qubits, topts, opts_fp);
+    TranspiledProgram tp;
+    if (prebound != nullptr && i < prebound->programs.size() &&
+        prebound->programs[i].has_value() &&
+        prebound->partitions[i] == assignment[i].qubits) {
+      // Sweep fast path: dispatch already probed the epoch cache for this
+      // job's structure and bound its template batch-at-a-time against
+      // this exact partition, so the per-job cache round-trip is skipped
+      // entirely. The partition equality check above makes this
+      // unconditional-safe: any divergence between the pack-time
+      // allocation and this pipeline's falls through to the normal path.
+      tp = *std::move(prebound->programs[i]);
+    } else {
+      tp = epoch.transpile(programs[i], assignment[i].qubits, topts, opts_fp);
+    }
     swaps[i] = tp.swaps_added;
     layouts[i] = tp.final_layout;
     std::string name = (i < names.size() && !names[i].empty())
@@ -145,7 +158,16 @@ BatchReport run_batch_pipeline(const CalibrationEpoch& epoch,
     pr.swaps_added = swaps[i];
     // Fused, backend-cached ideal pipeline: repeated submissions of the
     // same circuit replay a precompiled kernel stream (sim/fusion.hpp).
-    pr.ideal = ideal_distribution(*epoch.compiled_program(programs[i]));
+    // Sweep jobs carry their group's fusion plan from dispatch, so the
+    // reference program materializes directly — no per-job fingerprint
+    // hashing or program-cache lock. Bit-identical to the cached path.
+    if (prebound != nullptr && i < prebound->plans.size() &&
+        prebound->plans[i] != nullptr) {
+      pr.ideal = ideal_distribution(
+          CompiledProgram::materialize(*prebound->plans[i], programs[i]));
+    } else {
+      pr.ideal = ideal_distribution(*epoch.compiled_program(programs[i]));
+    }
     pr.noisy = run.programs[i].distribution;
     pr.counts = run.programs[i].counts;
     pr.jsd_value = jsd(pr.noisy, pr.ideal);
@@ -195,6 +217,15 @@ ExecutionService::ExecutionService(BackendRegistry fleet,
   scheduler_ =
       std::make_unique<FleetScheduler>(fleet_, options_.route_policy);
   options_.num_workers = std::max(1, options_.num_workers);
+  if (options_.submit_shards == 0) {
+    // Adaptive intake sharding: one shard per hardware thread, rounded up
+    // to a power of two, clamped to [8, 64] (see ServiceOptions). Plans
+    // are shard-layout independent, so this only moves contention.
+    const auto hw =
+        static_cast<std::size_t>(std::thread::hardware_concurrency());
+    options_.submit_shards =
+        std::clamp<std::size_t>(std::bit_ceil(hw), 8, 64);
+  }
   options_.submit_shards = std::max<std::size_t>(1, options_.submit_shards);
   intake_ = std::make_unique<detail::ShardedIntake>(
       options_.submit_shards, options_.submit_shard_capacity);
@@ -296,6 +327,25 @@ std::vector<JobHandle> ExecutionService::submit_all(
     // ticket blocks below publish in id order like a submit() loop would.
     state->id = next_job_id_.fetch_add(1, std::memory_order_relaxed);
     states.push_back(std::move(state));
+  }
+
+  // Sweep detection: >= 2 jobs of one structural fingerprint in a single
+  // submitted vector, each with parameters to rebind, is parameter-sweep
+  // traffic — mark it so dispatch can probe the transpile cache once per
+  // (structure, partition) group and bind templates batch-at-a-time.
+  // Only submit_all() marks (the caller declared these jobs related);
+  // single-shot submit() traffic stays byte-for-byte on the per-job path.
+  {
+    std::map<std::uint64_t, std::size_t> structure_counts;
+    for (const JobPtr& state : states) ++structure_counts[state->structural_fp];
+    for (const JobPtr& state : states) {
+      if (structure_counts[state->structural_fp] < 2) continue;
+      const auto& ops = state->circuit.ops();
+      const bool has_params =
+          std::any_of(ops.begin(), ops.end(),
+                      [](const Gate& g) { return !g.params.empty(); });
+      state->sweep = has_params;
+    }
   }
 
   const SubmitGate gate(accepting_, active_submits_);
@@ -448,6 +498,82 @@ void ExecutionService::dispatch_pending() {
     outstanding_jobs_ += dispatched;
   }
 
+  // Sweep fast path: group sweep-marked jobs in this plan by (slot,
+  // structure, admitted partition), probe each epoch's transpile cache
+  // once per group and bind the group's templates batch-at-a-time
+  // (CalibrationEpoch::transpile_sweep — one epoch pin, one cache/lock
+  // acquisition, N binds). The prebound programs ride on the batches and
+  // run_batch_pipeline re-verifies each recorded partition against its
+  // own allocation before use, so results and cache counters are exactly
+  // what the per-job path produces. CNA is excluded: its options
+  // fingerprint folds in per-batch co-runner context, so there is no
+  // batch-independent key to group under; single_batch plans carry no
+  // partition provenance and skip naturally.
+  std::vector<std::vector<PreboundTranspiles>> prebound(plan.batches.size());
+  std::vector<std::uint64_t> slot_sweep_groups(plan.batches.size(), 0);
+  std::vector<std::uint64_t> slot_batched_binds(plan.batches.size(), 0);
+  const bool sweep_eligible = options_.parametric_transpile &&
+                              options_.transpile_cache_capacity > 0 &&
+                              options_.method != Method::CNA &&
+                              !options_.single_batch;
+  if (sweep_eligible) {
+    TranspileOptions topts = hardware_aware_options();
+    topts.optimize_input = options_.optimize_circuits;
+    topts.optimize_output = options_.optimize_circuits;
+    const std::uint64_t opts_fp = transpile_options_fp(
+        options_.method, options_.sigma, options_.optimize_circuits,
+        std::span<const int>{}, options_.srb_estimates);
+    for (std::size_t s = 0; s < plan.batches.size(); ++s) {
+      struct Target {
+        std::size_t batch;
+        std::size_t pos;
+        std::size_t job;
+      };
+      std::map<std::pair<std::uint64_t, std::vector<int>>, std::vector<Target>>
+          groups;
+      for (std::size_t b = 0; b < plan.batches[s].size(); ++b) {
+        const PackedBatch& pb = plan.batches[s][b];
+        if (pb.partitions.size() != pb.jobs.size()) continue;
+        for (std::size_t pos = 0; pos < pb.jobs.size(); ++pos) {
+          const JobPtr& job = jobs[pb.jobs[pos]];
+          if (!job->sweep) continue;
+          groups[{job->structural_fp, pb.partitions[pos]}].push_back(
+              Target{b, pos, pb.jobs[pos]});
+        }
+      }
+      if (groups.empty()) continue;
+      prebound[s].resize(plan.batches[s].size());
+      std::vector<const Circuit*> circuits;
+      std::vector<TranspiledProgram> bound;
+      for (auto& [group_key, targets] : groups) {
+        if (targets.size() < 2) continue;  // nothing to amortize
+        circuits.clear();
+        circuits.reserve(targets.size());
+        for (const Target& t : targets) circuits.push_back(&jobs[t.job]->circuit);
+        plan.epochs[s]->transpile_sweep(circuits, group_key.second, topts,
+                                        opts_fp, bound);
+        // One fusion-plan fetch for the whole group (memoized per
+        // structure): the pipeline's scoring pass materializes each
+        // job's ideal-reference program from it directly.
+        const std::shared_ptr<const FusionPlan> fusion_plan =
+            plan.epochs[s]->program_cache().plan(*circuits.front());
+        ++slot_sweep_groups[s];
+        slot_batched_binds[s] += targets.size();
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+          PreboundTranspiles& pre = prebound[s][targets[t].batch];
+          if (pre.empty()) {
+            pre.programs.resize(plan.batches[s][targets[t].batch].jobs.size());
+            pre.partitions.resize(pre.programs.size());
+            pre.plans.resize(pre.programs.size());
+          }
+          pre.programs[targets[t].pos] = std::move(bound[t]);
+          pre.partitions[targets[t].pos] = group_key.second;
+          pre.plans[targets[t].pos] = fusion_plan;
+        }
+      }
+    }
+  }
+
   const std::uint64_t num_lanes = lanes_.size();
   for (std::size_t s = 0; s < plan.batches.size(); ++s) {
     Lane& lane = *lanes_[s];
@@ -467,6 +593,9 @@ void ExecutionService::dispatch_pending() {
         batch.epoch = plan.epochs[s];
         batch.jobs.reserve(pb.jobs.size());
         for (std::size_t idx : pb.jobs) batch.jobs.push_back(jobs[idx]);
+        if (b < prebound[s].size()) {
+          batch.prebound = std::move(prebound[s][b]);
+        }
         lane.jobs_routed += batch.jobs.size();
         lane.backlog_s += batch.modeled_exec_s;
         inflight_batches_.fetch_add(1, std::memory_order_relaxed);
@@ -474,6 +603,8 @@ void ExecutionService::dispatch_pending() {
       }
       lane.wait_sum_s += plan.wait_sum_s[s];
       lane.wait_max_s = std::max(lane.wait_max_s, plan.wait_max_s[s]);
+      lane.sweep_groups += slot_sweep_groups[s];
+      lane.batched_binds += slot_batched_binds[s];
     }
     lane.cv.notify_all();
   }
@@ -546,8 +677,9 @@ void ExecutionService::execute_batch(Lane& lane, Batch batch,
 
   std::size_t failed = 0;
   try {
-    const BatchReport report =
-        run_batch_pipeline(*batch.epoch, circuits, names, popts);
+    const BatchReport report = run_batch_pipeline(
+        *batch.epoch, circuits, names, popts,
+        batch.prebound.empty() ? nullptr : &batch.prebound);
     BatchStats stats;
     stats.batch_index = batch.index;
     stats.backend_id = lane.id;
@@ -688,7 +820,11 @@ ServiceStats ExecutionService::stats() const {
       bs.realized_exec_sum_s = lane->realized_exec_sum_s;
       bs.realized_batches = lane->realized_batches;
       bs.realized_ratio = lane->realized_ratio;
+      bs.sweep_groups = lane->sweep_groups;
+      bs.batched_binds = lane->batched_binds;
     }
+    stats.sweep_groups += bs.sweep_groups;
+    stats.batched_binds += bs.batched_binds;
     stats.recalibrations += bs.recalibrations;
     stats.recalibration_build_s += bs.recalibration_build_s;
     stats.stale_epoch_batches += bs.stale_epoch_batches;

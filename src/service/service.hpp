@@ -105,9 +105,16 @@ struct ServiceOptions {
   /// Sharded MPSC intake (service/intake.hpp): number of submission
   /// shards. Each submitter thread homes on shard (thread ordinal mod
   /// shards), so up to this many producers publish without touching the
-  /// same ring. Fixed default (not hardware-derived) so batch boundaries
-  /// never depend on the machine.
-  std::size_t submit_shards = 8;
+  /// same ring. 0 (the default) sizes the shard count from the machine:
+  /// hardware_concurrency rounded up to a power of two, clamped to
+  /// [8, 64] — at least 8 so an 8-producer burst never shares a ring even
+  /// on small boxes, capped so shard memory stays bounded. An explicit
+  /// value overrides. Shard count no longer affects plans: Canonical
+  /// packing totally orders the drained set, so batch boundaries are
+  /// drain-layout independent (see dispatch_pending); under Fifo order
+  /// the global ticket sort restores submission order regardless of
+  /// layout.
+  std::size_t submit_shards = 0;
   /// Fixed capacity per submission shard, rounded up to a power of two.
   /// A full shard backpressures submit() into draining the rings itself
   /// (a pack/dispatch cycle) and retrying — nothing blocks indefinitely
@@ -169,6 +176,12 @@ struct BackendStats {
   double realized_exec_sum_s = 0.0;
   std::uint64_t realized_batches = 0;
   double realized_ratio = 1.0;
+  /// Sweep fast path (see ExecutionService::submit_all): groups of
+  /// same-structure jobs in this lane's planned batches whose templates
+  /// were probed once and bound batch-at-a-time at dispatch, and the
+  /// number of jobs that received a prebound transpile that way.
+  std::uint64_t sweep_groups = 0;
+  std::uint64_t batched_binds = 0;
   TranspileCacheStats transpile_cache;
 };
 
@@ -197,10 +210,33 @@ struct ServiceStats {
   std::uint64_t recalibrations = 0;
   double recalibration_build_s = 0.0;
   std::uint64_t stale_epoch_batches = 0;
+  /// Fleet-wide sweep fast-path totals (see the BackendStats fields).
+  std::uint64_t sweep_groups = 0;
+  std::uint64_t batched_binds = 0;
   /// Aggregate over every backend's transpile cache (current epochs).
   TranspileCacheStats transpile_cache;
   /// Per-backend breakdown, indexed by registry id.
   std::vector<BackendStats> backends;
+};
+
+/// Sweep fast-path payload for run_batch_pipeline: transpiles prebound at
+/// dispatch (ExecutionService::dispatch_pending groups same-structure
+/// sweep jobs per planned batch and binds their templates
+/// batch-at-a-time). Entries are parallel to the pipeline's programs;
+/// a disengaged program means "transpile normally". `partitions[i]` is
+/// the partition prebind i was computed against — the pipeline uses a
+/// prebound program only after verifying its own allocation reproduced
+/// that exact partition, so the fast path can never change results.
+/// `plans[i]` (when set) is the group's shared fusion plan, fetched once
+/// per sweep group from the epoch's program cache; the scoring pass
+/// materializes the ideal-reference program straight from it instead of
+/// paying a per-job fingerprint + cache round-trip. materialize() is
+/// bit-identical to the cached fused() compile, so results don't change.
+struct PreboundTranspiles {
+  std::vector<std::optional<TranspiledProgram>> programs;
+  std::vector<std::vector<int>> partitions;
+  std::vector<std::shared_ptr<const FusionPlan>> plans;
+  [[nodiscard]] bool empty() const noexcept { return programs.empty(); }
 };
 
 class ExecutionService {
@@ -279,6 +315,9 @@ class ExecutionService {
     /// batch's results or invalidate its partition/EFS decisions.
     std::shared_ptr<const CalibrationEpoch> epoch;
     std::vector<JobPtr> jobs;
+    /// Sweep fast path: transpiles already bound at dispatch, parallel to
+    /// `jobs` (empty when the batch has none).
+    PreboundTranspiles prebound;
   };
   /// Per-backend execution lane: its own batch queue, condition variable
   /// and worker threads, so devices drain concurrently without sharing
@@ -314,6 +353,11 @@ class ExecutionService {
     double realized_ratio = 1.0;
     double realized_exec_sum_s = 0.0;
     std::uint64_t realized_batches = 0;
+    /// Sweep fast-path counters (written under pack_mutex_ at dispatch,
+    /// read under mutex at stats()-time via the same lane lock the
+    /// dispatch enqueue takes).
+    std::uint64_t sweep_groups = 0;
+    std::uint64_t batched_binds = 0;
     std::vector<std::thread> workers;
   };
 
@@ -383,10 +427,15 @@ class ExecutionService {
 /// epoch (device snapshot + caches + derived noise constants). The
 /// Backend& overload forwards here with the backend's current epoch; the
 /// service workers call it with each batch's pack-time epoch so execution
-/// matches planning even across a live recalibration.
+/// matches planning even across a live recalibration. `prebound`
+/// (optional) carries dispatch-time batch-bound transpiles; each entry is
+/// consumed (moved from) only when its recorded partition matches the
+/// allocation this pipeline derives, otherwise that program transpiles
+/// through the epoch cache as usual — results are identical either way.
 [[nodiscard]] BatchReport run_batch_pipeline(
     const CalibrationEpoch& epoch, const std::vector<Circuit>& programs,
-    const std::vector<std::string>& names, const ParallelOptions& options);
+    const std::vector<std::string>& names, const ParallelOptions& options,
+    PreboundTranspiles* prebound = nullptr);
 
 /// Modeled fleet drain time for a set of finished jobs: batches are
 /// grouped by (backend id, batch index), each backend's occupancy is the

@@ -309,6 +309,18 @@ CompiledProgram CompiledProgram::materialize(const FusionPlan& plan,
     heap_scratch.resize(plan.blocks().size());
     scratch = heap_scratch.data();
   }
+  // Per-angle sweeps replay this product chain once per binding, so the
+  // 4x4 products dispatch to the AVX2/FMA kernels when compiled in and the
+  // cpuid check passes (hoisted out of the step loop — dispatch reads an
+  // atomic). The AVX2 products are ~1 ulp from the scalar chain (FMA
+  // contraction), matching the dense-kernel dispatch contract; callers
+  // that need the exact scalar stream use set_native_kernels(false).
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+  const bool native = kern::native_kernels_active();
+#else
+  constexpr bool native = false;
+#endif
+  (void)native;
   cx ubuf[16];
   for (const FusionPlan::Step& s : plan.steps()) {
     cx* m = scratch[s.block].data();
@@ -325,6 +337,12 @@ CompiledProgram CompiledProgram::materialize(const FusionPlan& plan,
       }
       case FusionPlan::Op::kLift1Mul: {
         const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+        if (native) {
+          kern::detail::lift_mul4_avx2(m, u, s.flag);
+          break;
+        }
+#endif
         cx lifted[16];
         lift1(lifted, u, s.flag);
         mul4(m, lifted, m);
@@ -337,6 +355,16 @@ CompiledProgram CompiledProgram::materialize(const FusionPlan& plan,
       }
       case FusionPlan::Op::kMul2: {
         const cx* u = step_matrix(circuit.ops()[s.gate], ubuf);
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+        if (native) {
+          if (s.flag) {
+            kern::detail::swap_mul4_avx2(m, u);
+          } else {
+            kern::detail::mul4_avx2(m, u, m);
+          }
+          break;
+        }
+#endif
         if (s.flag) {
           cx swapped[16];
           swap_operands(swapped, u);
@@ -347,6 +375,12 @@ CompiledProgram CompiledProgram::materialize(const FusionPlan& plan,
         break;
       }
       case FusionPlan::Op::kAbsorb: {
+#if defined(QUCP_NATIVE_KERNELS) && (defined(__x86_64__) || defined(__i386__))
+        if (native) {
+          kern::detail::mul4_lift_avx2(m, scratch[s.src].data(), s.flag);
+          break;
+        }
+#endif
         cx lifted[16];
         lift1(lifted, scratch[s.src].data(), s.flag);
         mul4(m, m, lifted);

@@ -209,6 +209,26 @@ void depol2_range_avx2(cx* rho, std::size_t begin, std::size_t end,
 void relax1_range_avx2(cx* rho, std::size_t begin, std::size_t end, int pc,
                        int pr, double gamma, double decay, double keep);
 
+// 4x4 complex matrix products for FusionPlan::materialize's per-binding
+// block assembly (sim/fusion.cpp) — the matmul chain an angle sweep replays
+// per binding. All matrices are row-major spans of cx; `out` may alias
+// either operand (products accumulate in registers and store once).
+// Results match the scalar products to ~1 ulp per term (FMA), not bitwise.
+//
+// mul4_avx2:      out = a * b
+// swap_mul4_avx2: m = swap_operands(u) * m, the operand-reorder fused into
+//                 the coefficient loads (swapped(u)[r][c] = u[s[r]][s[c]],
+//                 s = {0,2,1,3}) so no reordered copy is materialized.
+// lift_mul4_avx2: m = lift1(u, high) * m for a 2x2 `u`, exploiting the
+//                 lifted matrix's sparsity: each output row mixes two rows
+//                 of m (8 complex row-scale FMAs instead of a full mul4).
+// mul4_lift_avx2: m = m * lift1(u, high), the kAbsorb orientation; each
+//                 output row mixes columns of the same row of m.
+void mul4_avx2(cx* out, const cx* a, const cx* b);
+void swap_mul4_avx2(cx* m, const cx* u);
+void lift_mul4_avx2(cx* m, const cx* u, bool high);
+void mul4_lift_avx2(cx* m, const cx* u, bool high);
+
 }  // namespace detail
 
 }  // namespace qucp::kern

@@ -530,6 +530,150 @@ void relax1_range_avx2(cx* rho, std::size_t begin, std::size_t end, int pc,
   }
 }
 
+namespace {
+
+inline __m256d imswap(__m256d v) { return _mm256_permute_pd(v, 0x5); }
+
+/// y = alpha * x + beta * z for complex scalars alpha/beta against a
+/// 2-amplitude vector x/z (xs/zs are their imswap'd forms): the addsub
+/// identity with both terms folded into one accumulate pair.
+inline __m256d scale2(__m256d x, __m256d xs, double ar, double ai, __m256d z,
+                      __m256d zs, double br, double bi) {
+  __m256d accr = _mm256_mul_pd(_mm256_set1_pd(ar), x);
+  accr = _mm256_fmadd_pd(_mm256_set1_pd(br), z, accr);
+  __m256d acci = _mm256_mul_pd(_mm256_set1_pd(ai), xs);
+  acci = _mm256_fmadd_pd(_mm256_set1_pd(bi), zs, acci);
+  return _mm256_addsub_pd(accr, acci);
+}
+
+/// out = perm(a) * b where perm(a)[r][c] = a[s[r]][s[c]]; S == 0 is the
+/// identity, S == 1 the operand swap {0, 2, 1, 3}. The permutation lands
+/// on the broadcast coefficient loads, so the swapped variant costs the
+/// same as the plain product and never materializes a reordered copy.
+/// All loads precede the stores, so out may alias a or b.
+template <int S>
+inline void mul4_perm(cx* out, const cx* a, const cx* b) {
+  static constexpr int kPerm[2][4] = {{0, 1, 2, 3}, {0, 2, 1, 3}};
+  const double* pa = reinterpret_cast<const double*>(a);
+  const double* pb = reinterpret_cast<const double*>(b);
+  __m256d bh[4][2], bs[4][2];
+  for (int k = 0; k < 4; ++k) {
+    bh[k][0] = _mm256_loadu_pd(pb + 8 * k);
+    bh[k][1] = _mm256_loadu_pd(pb + 8 * k + 4);
+    bs[k][0] = imswap(bh[k][0]);
+    bs[k][1] = imswap(bh[k][1]);
+  }
+  __m256d res[4][2];
+  for (int r = 0; r < 4; ++r) {
+    const int pr = kPerm[S][r];
+    __m256d ar0 = _mm256_setzero_pd(), ai0 = _mm256_setzero_pd();
+    __m256d ar1 = _mm256_setzero_pd(), ai1 = _mm256_setzero_pd();
+    for (int k = 0; k < 4; ++k) {
+      const int pk = kPerm[S][k];
+      const __m256d cr = _mm256_set1_pd(pa[8 * pr + 2 * pk]);
+      const __m256d ci = _mm256_set1_pd(pa[8 * pr + 2 * pk + 1]);
+      ar0 = _mm256_fmadd_pd(cr, bh[k][0], ar0);
+      ai0 = _mm256_fmadd_pd(ci, bs[k][0], ai0);
+      ar1 = _mm256_fmadd_pd(cr, bh[k][1], ar1);
+      ai1 = _mm256_fmadd_pd(ci, bs[k][1], ai1);
+    }
+    res[r][0] = _mm256_addsub_pd(ar0, ai0);
+    res[r][1] = _mm256_addsub_pd(ar1, ai1);
+  }
+  double* po = reinterpret_cast<double*>(out);
+  for (int r = 0; r < 4; ++r) {
+    _mm256_storeu_pd(po + 8 * r, res[r][0]);
+    _mm256_storeu_pd(po + 8 * r + 4, res[r][1]);
+  }
+}
+
+}  // namespace
+
+void mul4_avx2(cx* out, const cx* a, const cx* b) { mul4_perm<0>(out, a, b); }
+
+void swap_mul4_avx2(cx* m, const cx* u) { mul4_perm<1>(m, u, m); }
+
+void lift_mul4_avx2(cx* m, const cx* u, bool high) {
+  const double* pm = reinterpret_cast<const double*>(m);
+  const double* pu = reinterpret_cast<const double*>(u);
+  __m256d row[4][2], rsw[4][2];
+  for (int r = 0; r < 4; ++r) {
+    row[r][0] = _mm256_loadu_pd(pm + 8 * r);
+    row[r][1] = _mm256_loadu_pd(pm + 8 * r + 4);
+    rsw[r][0] = imswap(row[r][0]);
+    rsw[r][1] = imswap(row[r][1]);
+  }
+  // lift1(u, high) has two nonzeros per row, so each output row is a
+  // two-term combination of rows of m:
+  //   high: out(2ur+l) = u[2ur] * m(l)    + u[2ur+1] * m(2+l)
+  //   low:  out(2h+ur) = u[2ur] * m(2h)   + u[2ur+1] * m(2h+1)
+  static constexpr int kSrc[2][4][2] = {
+      {{0, 1}, {0, 1}, {2, 3}, {2, 3}},  // low
+      {{0, 2}, {1, 3}, {0, 2}, {1, 3}},  // high
+  };
+  static constexpr int kCoef[2][4][2] = {
+      {{0, 1}, {2, 3}, {0, 1}, {2, 3}},  // low
+      {{0, 1}, {0, 1}, {2, 3}, {2, 3}},  // high
+  };
+  const int hi = high ? 1 : 0;
+  __m256d res[4][2];
+  for (int r = 0; r < 4; ++r) {
+    const int x = kSrc[hi][r][0], z = kSrc[hi][r][1];
+    const int ca = kCoef[hi][r][0], cb = kCoef[hi][r][1];
+    for (int h = 0; h < 2; ++h) {
+      res[r][h] = scale2(row[x][h], rsw[x][h], pu[2 * ca], pu[2 * ca + 1],
+                         row[z][h], rsw[z][h], pu[2 * cb], pu[2 * cb + 1]);
+    }
+  }
+  double* po = reinterpret_cast<double*>(m);
+  for (int r = 0; r < 4; ++r) {
+    _mm256_storeu_pd(po + 8 * r, res[r][0]);
+    _mm256_storeu_pd(po + 8 * r + 4, res[r][1]);
+  }
+}
+
+void mul4_lift_avx2(cx* m, const cx* u, bool high) {
+  const double* pm = reinterpret_cast<const double*>(m);
+  const double* pu = reinterpret_cast<const double*>(u);
+  __m256d res[4][2];
+  if (high) {
+    // out_cols{0,1} = u00 * m_cols{0,1} + u10 * m_cols{2,3} (and u01/u11
+    // for cols {2,3}): whole column halves combine within each row.
+    for (int r = 0; r < 4; ++r) {
+      const __m256d h0 = _mm256_loadu_pd(pm + 8 * r);
+      const __m256d h1 = _mm256_loadu_pd(pm + 8 * r + 4);
+      const __m256d h0s = imswap(h0), h1s = imswap(h1);
+      res[r][0] = scale2(h0, h0s, pu[0], pu[1], h1, h1s, pu[4], pu[5]);
+      res[r][1] = scale2(h0, h0s, pu[2], pu[3], h1, h1s, pu[6], pu[7]);
+    }
+  } else {
+    // Columns combine within each 2-amplitude half: out = [c0*u00 + c1*u10,
+    // c0*u01 + c1*u11], so broadcast each cx across the register and use
+    // per-lane coefficient vectors.
+    const __m256d cre_a = _mm256_setr_pd(pu[0], pu[0], pu[2], pu[2]);
+    const __m256d cim_a = _mm256_setr_pd(pu[1], pu[1], pu[3], pu[3]);
+    const __m256d cre_b = _mm256_setr_pd(pu[4], pu[4], pu[6], pu[6]);
+    const __m256d cim_b = _mm256_setr_pd(pu[5], pu[5], pu[7], pu[7]);
+    for (int r = 0; r < 4; ++r) {
+      for (int h = 0; h < 2; ++h) {
+        const __m256d x = _mm256_loadu_pd(pm + 8 * r + 4 * h);
+        const __m256d x0 = _mm256_permute2f128_pd(x, x, 0x00);
+        const __m256d x1 = _mm256_permute2f128_pd(x, x, 0x11);
+        __m256d accr = _mm256_mul_pd(cre_a, x0);
+        accr = _mm256_fmadd_pd(cre_b, x1, accr);
+        __m256d acci = _mm256_mul_pd(cim_a, imswap(x0));
+        acci = _mm256_fmadd_pd(cim_b, imswap(x1), acci);
+        res[r][h] = _mm256_addsub_pd(accr, acci);
+      }
+    }
+  }
+  double* po = reinterpret_cast<double*>(m);
+  for (int r = 0; r < 4; ++r) {
+    _mm256_storeu_pd(po + 8 * r, res[r][0]);
+    _mm256_storeu_pd(po + 8 * r + 4, res[r][1]);
+  }
+}
+
 }  // namespace qucp::kern::detail
 
 #endif  // QUCP_NATIVE_KERNELS && x86

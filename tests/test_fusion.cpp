@@ -558,5 +558,109 @@ TEST(NativeKernels, ScalarAndNativeChannelKernelsAgree) {
   }
 }
 
+TEST(NativeKernels, ScalarAndNativeMaterializeAgree) {
+  if (!kern::native_kernels_active()) {
+    GTEST_SKIP() << "native kernels not compiled/supported on this machine";
+  }
+  // FusionPlan::materialize's per-angle product chain (mul4 / lift1+mul4 /
+  // operand-reorder+mul4 / absorb) dispatches to AVX2 FMA kernels when
+  // native kernels are active. FMA contraction reassociates the complex
+  // products, so agreement is pinned at <= 1e-10 rather than bitwise —
+  // and a cancellation that lands on an exact 0.0 in scalar arithmetic
+  // can leave ~1e-17 residue under FMA, flipping compile_unitary's
+  // exact-zero monomial classification to dense (always correct, just a
+  // different encoding). Compare the *decoded* matrices, not the raw
+  // per-tag coefficient layouts. compile() shares the same dispatch, so
+  // compile == materialize stays exact on either path (pinned in
+  // test_parametric.cpp).
+  struct NativeReset {
+    ~NativeReset() { kern::set_native_kernels(true); }
+  } reset;
+  const auto decode = [](const kern::CompiledUnitary& cu) {
+    const int dim = cu.k == 1 ? 2 : 4;
+    std::vector<cx> m(static_cast<std::size_t>(dim * dim), cx{0.0, 0.0});
+    using Tag = kern::CompiledUnitary::Tag;
+    switch (cu.tag) {
+      case Tag::kDiag1:
+        for (int r = 0; r < 2; ++r) m[3 * r] = cx{cu.re[r], cu.im[r]};
+        break;
+      case Tag::kAnti1:
+        for (int r = 0; r < 2; ++r) m[2 * r + (1 - r)] = cx{cu.re[r], cu.im[r]};
+        break;
+      case Tag::kDense1:
+        for (int i = 0; i < 4; ++i) m[i] = cx{cu.re[i], cu.im[i]};
+        break;
+      case Tag::kCxPerm: {
+        static constexpr int src[4] = {0, 1, 3, 2};
+        for (int r = 0; r < 4; ++r) m[4 * r + src[r]] = cx{1.0, 0.0};
+        break;
+      }
+      case Tag::kSwapPerm: {
+        static constexpr int src[4] = {0, 2, 1, 3};
+        for (int r = 0; r < 4; ++r) m[4 * r + src[r]] = cx{1.0, 0.0};
+        break;
+      }
+      case Tag::kDiag2:
+        for (int r = 0; r < 4; ++r) m[5 * r] = cx{cu.re[r], cu.im[r]};
+        break;
+      case Tag::kPerm2:
+        for (int r = 0; r < 4; ++r) m[4 * r + cu.src[r]] = cx{cu.re[r], cu.im[r]};
+        break;
+      case Tag::kDense2:
+        for (int i = 0; i < 16; ++i) m[i] = cx{cu.re[i], cu.im[i]};
+        break;
+    }
+    return m;
+  };
+  const auto coeff_diff = [&](const CompiledProgram& a,
+                              const CompiledProgram& b) {
+    EXPECT_EQ(a.ops().size(), b.ops().size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < a.ops().size(); ++i) {
+      for (const auto& pr :
+           {std::pair{&a.ops()[i].sv, &b.ops()[i].sv},
+            std::pair{&a.ops()[i].dm, &b.ops()[i].dm}}) {
+        EXPECT_EQ(pr.first->k, pr.second->k) << "op " << i;
+        const std::vector<cx> ma = decode(*pr.first);
+        const std::vector<cx> mb = decode(*pr.second);
+        for (std::size_t e = 0; e < ma.size(); ++e) {
+          worst = std::max(worst, std::abs(ma[e] - mb[e]));
+        }
+      }
+    }
+    return worst;
+  };
+  Rng rng(20220212);
+  for (int n = 2; n <= 6; ++n) {
+    for (int trial = 0; trial < 4; ++trial) {
+      // 2q-heavy so fused blocks chain 4x4 products (kMul2 / kAbsorb) and
+      // lift 1q rotations into them (kLift1Mul) — the AVX2-dispatched steps.
+      Circuit c(n);
+      for (int q = 0; q < n; ++q) c.h(q);
+      for (int step = 0; step < 30; ++step) {
+        if (rng.bernoulli(0.45)) {
+          const int x = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+          int y = static_cast<int>(rng.index(static_cast<std::size_t>(n) - 1));
+          if (y >= x) ++y;
+          c.cx(x, y);
+        }
+        c.append(random_1q_gate(
+            rng, static_cast<int>(rng.index(static_cast<std::size_t>(n)))));
+      }
+      const FusionPlan plan = FusionPlan::build(c);
+      kern::set_native_kernels(false);
+      const CompiledProgram scalar_mat = CompiledProgram::materialize(plan, c);
+      const CompiledProgram scalar_cmp = CompiledProgram::compile(c);
+      kern::set_native_kernels(true);
+      const CompiledProgram native_mat = CompiledProgram::materialize(plan, c);
+      const CompiledProgram native_cmp = CompiledProgram::compile(c);
+      EXPECT_LT(coeff_diff(scalar_mat, native_mat), kTol)
+          << "n=" << n << " trial=" << trial;
+      EXPECT_LT(coeff_diff(scalar_cmp, native_cmp), kTol)
+          << "n=" << n << " trial=" << trial;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qucp

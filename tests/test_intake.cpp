@@ -281,6 +281,93 @@ TEST(ServiceIntake, EightProducerStressNoLostNoDuplicateJobs) {
   EXPECT_EQ(ids.size(), kThreads * kPerThread);
 }
 
+TEST(ServiceIntake, AutoShardCountScalesToHardwareAndHoldsEightProducers) {
+  // submit_shards = 0 (the default) resolves from hardware_concurrency,
+  // rounded up to a power of two and clamped to [8, 64]. The floor of 8
+  // is the no-cliff guarantee: an 8-producer burst homes every producer
+  // on its own ring even on small machines, so producers never serialize
+  // on a shared shard's CAS loop. An explicit value still overrides.
+  {
+    ServiceOptions opts;
+    ASSERT_EQ(opts.submit_shards, 0u);  // auto is the default
+    ExecutionService service(make_toronto27(), opts);
+    const std::size_t resolved = service.options().submit_shards;
+    EXPECT_GE(resolved, 8u);
+    EXPECT_LE(resolved, 64u);
+    EXPECT_EQ(resolved & (resolved - 1), 0u) << "power of two, got "
+                                             << resolved;
+  }
+  {
+    ServiceOptions opts;
+    opts.submit_shards = 2;  // explicit override is honored verbatim
+    ExecutionService service(make_toronto27(), opts);
+    EXPECT_EQ(service.options().submit_shards, 2u);
+  }
+
+  // Burst stress on the resolved default: 8 producers alternating block
+  // submit_all() and single submit() at full rate. Every job must land
+  // exactly once (no lost, no duplicate ids) with nothing failed.
+  ServiceOptions opts;
+  opts.exec.shots = 1;
+  opts.num_workers = 2;
+  opts.max_batch_size = 8;
+  opts.auto_flush_batch_size = 32;  // dispatch cycles race the submitters
+  ExecutionService service(make_toronto27(), opts);
+  const Circuit circuit = get_benchmark("bell").circuit;
+
+  constexpr int kThreads = 8;
+  constexpr int kBursts = 10;
+  constexpr int kBurstSize = 12;
+  std::vector<std::vector<JobHandle>> handles(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&service, &handles, &circuit, t] {
+      auto& mine = handles[static_cast<std::size_t>(t)];
+      mine.reserve(kBursts * kBurstSize);
+      for (int burst = 0; burst < kBursts; ++burst) {
+        if (burst % 2 == 0) {
+          std::vector<Circuit> block;
+          block.reserve(kBurstSize);
+          for (int i = 0; i < kBurstSize; ++i) {
+            Circuit c = circuit;
+            c.set_name("t" + std::to_string(t) + "b" + std::to_string(burst) +
+                       "#" + std::to_string(i));
+            block.push_back(std::move(c));
+          }
+          for (JobHandle& h : service.submit_all(std::move(block))) {
+            mine.push_back(std::move(h));
+          }
+        } else {
+          for (int i = 0; i < kBurstSize; ++i) {
+            JobOptions jopts;
+            jopts.name = "t" + std::to_string(t) + "b" + std::to_string(burst) +
+                         "#" + std::to_string(i);
+            mine.push_back(service.submit(circuit, jopts));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  service.flush();
+
+  constexpr std::size_t kTotal = static_cast<std::size_t>(kThreads) * kBursts *
+                                 kBurstSize;
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobs_submitted, kTotal);
+  EXPECT_EQ(stats.jobs_completed, kTotal);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  std::set<std::uint64_t> ids;
+  for (const auto& per_thread : handles) {
+    for (const JobHandle& h : per_thread) {
+      EXPECT_EQ(h.status(), JobStatus::Done) << h.name();
+      EXPECT_TRUE(ids.insert(h.id()).second) << "duplicate id " << h.id();
+    }
+  }
+  EXPECT_EQ(ids.size(), kTotal);
+}
+
 TEST(ServiceIntake, ResultsDeterministicAcrossInterleavings) {
   // Same job set, different physical interleavings (whatever the scheduler
   // produces each run): with Canonical order, unique names, and one flush,

@@ -309,6 +309,65 @@ TEST(ParametricTranspile, ConcurrentBindsAreRaceFreeAndExact) {
   EXPECT_GT(stats.structural_hits, 0u);
 }
 
+TEST(ParametricTranspile, BindManyBitIdenticalToSequentialBinds) {
+  // bind_many() is the sweep fast path's workhorse: N bindings evaluated
+  // against one routed program with the evaluation arena and patch list
+  // hoisted out of the loop. Every engaged entry must be bit-identical to
+  // the corresponding bind() call, and a binding that flips a recorded
+  // optimizer decision (an angle landing on an identity) must leave its
+  // entry disengaged exactly where bind() returns nullopt — without
+  // disturbing its neighbors.
+  std::uint64_t seed = 5200;
+  const TranspileOptions topts = hardware_aware_options();
+  for (const Device& device : bundled_devices()) {
+    Rng rng(seed++);
+    const std::vector<int> partition = random_region(device, rng, 3);
+    const Circuit base = random_logical_circuit(3, rng, 30);
+    const std::optional<TranspileTemplate> tmpl =
+        TranspileTemplate::build(base, device, partition, topts);
+    ASSERT_TRUE(tmpl.has_value()) << device.name();
+
+    std::vector<Circuit> sweep;
+    std::vector<ParamBinding> bindings;
+    for (int i = 0; i < 12; ++i) {
+      Circuit c = rebound(base, rng, 0.1, 3.0);
+      if (i % 4 == 3) {
+        // Zero out the first parameterized rotation: lands on an identity
+        // the representative binding did not have, flipping a recorded
+        // decision for circuits where the optimizer logged one.
+        for (std::size_t op = 0; op < c.ops().size(); ++op) {
+          if (!c.ops()[op].params.empty()) {
+            c.set_param(op, 0, 0.0);
+            break;
+          }
+        }
+      }
+      bindings.emplace_back(c);
+      sweep.push_back(std::move(c));
+    }
+
+    std::vector<std::optional<TranspiledProgram>> batch;
+    tmpl->bind_many(bindings, batch);
+    ASSERT_EQ(batch.size(), sweep.size()) << device.name();
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const std::optional<TranspiledProgram> one =
+          tmpl->bind(bindings[i].values);
+      ASSERT_EQ(batch[i].has_value(), one.has_value())
+          << device.name() << " binding " << i;
+      if (one.has_value()) {
+        expect_programs_bit_identical(
+            *batch[i], *one, device.name() + " binding " + std::to_string(i));
+      }
+    }
+    // Slot-count mismatch disengages rather than evaluating garbage.
+    std::vector<ParamBinding> wrong(1);
+    wrong[0].values.assign(bindings[0].values.size() + 1, 0.5);
+    tmpl->bind_many(wrong, batch);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_FALSE(batch[0].has_value()) << device.name();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Fusion-plan materialization
 // ---------------------------------------------------------------------------
@@ -443,6 +502,168 @@ TEST(ParametricService, SweepResultsIdenticalWithCacheOnAndOff) {
   const auto off = sweep_through_service(false);
   ASSERT_EQ(on.size(), 24u);
   EXPECT_EQ(on, off);
+}
+
+// ---------------------------------------------------------------------------
+// Sweep fast path: submit_all batched binding vs one-by-one submission
+// ---------------------------------------------------------------------------
+
+/// Build `count` jobs over `structures` distinct ansatz structures
+/// (Hadamard-prefix variants, like the sweep benchmark), angles drawn from
+/// `rng` away from rotation identities, names prefixed per producer.
+std::vector<Circuit> sweep_jobs(Rng& rng, int structures, int count,
+                                const std::string& prefix) {
+  std::vector<Circuit> jobs;
+  const int params = ansatz_parameter_count(4, 2);
+  for (int i = 0; i < count; ++i) {
+    std::vector<double> angles(static_cast<std::size_t>(params));
+    for (double& a : angles) a = rng.uniform(0.1, 6.1);
+    Circuit c = make_ryrz_ansatz(4, 2, angles);
+    // Distinct Hadamard prefixes give distinct structural fingerprints.
+    const int s = i % structures;
+    for (int h = 0; h < s; ++h) c.h(h % 4);
+    c.measure_all();
+    c.set_name(prefix + std::to_string(i));
+    jobs.push_back(std::move(c));
+  }
+  return jobs;
+}
+
+void expect_cache_stats_equal(const ServiceStats& sweep,
+                              const ServiceStats& singles,
+                              const std::string& label) {
+  // Everything the epoch cache counts must be identical: the fast path
+  // delegates misses/hits/fallbacks to the per-call transpile() and bulk-
+  // commits structural hits, so the decision chain is exactly sequential.
+  // bind_ns is wall-clock and sweep_groups/batched_binds are *supposed* to
+  // differ — they are the fast path's own odometer.
+  EXPECT_EQ(sweep.transpile_cache.hits, singles.transpile_cache.hits) << label;
+  EXPECT_EQ(sweep.transpile_cache.misses, singles.transpile_cache.misses)
+      << label;
+  EXPECT_EQ(sweep.transpile_cache.structural_hits,
+            singles.transpile_cache.structural_hits)
+      << label;
+  EXPECT_EQ(sweep.transpile_cache.bind_fallbacks,
+            singles.transpile_cache.bind_fallbacks)
+      << label;
+  EXPECT_EQ(sweep.transpile_cache.evictions, singles.transpile_cache.evictions)
+      << label;
+  EXPECT_EQ(sweep.transpile_cache.entries, singles.transpile_cache.entries)
+      << label;
+}
+
+TEST(ParametricService, SubmitAllSweepBitIdenticalToSingles) {
+  // The tentpole contract: submit_all() sweep traffic through the batched
+  // template-bind fast path must be bit-identical to submitting the same
+  // circuits one at a time — same job ids, names, partitions, counts,
+  // metrics, and the same epoch-cache counter totals. Run with the cache
+  // on (fast path engaged) and off (fast path self-disables).
+  for (const std::size_t capacity : {std::size_t{1024}, std::size_t{0}}) {
+    const auto make_opts = [&] {
+      ServiceOptions opts;
+      opts.exec.shots = 96;
+      opts.num_workers = 1;  // single worker: cache counter totals are
+                             // deterministic (no racing first-sight misses)
+      opts.max_batch_size = 4;
+      opts.transpile_cache_capacity = capacity;
+      return opts;
+    };
+    Rng rng_a(424242);
+    Rng rng_b(424242);
+    const std::string label = "capacity=" + std::to_string(capacity);
+
+    ExecutionService sweep_svc(make_toronto27(), make_opts());
+    std::vector<JobHandle> sweep_handles =
+        sweep_svc.submit_all(sweep_jobs(rng_a, 3, 30, "job"));
+    sweep_svc.flush();
+
+    ExecutionService single_svc(make_toronto27(), make_opts());
+    std::vector<JobHandle> single_handles;
+    for (Circuit& c : sweep_jobs(rng_b, 3, 30, "job")) {
+      single_handles.push_back(single_svc.submit(std::move(c)));
+    }
+    single_svc.flush();
+
+    ASSERT_EQ(sweep_handles.size(), single_handles.size());
+    for (std::size_t i = 0; i < sweep_handles.size(); ++i) {
+      EXPECT_EQ(sweep_handles[i].id(), single_handles[i].id()) << label;
+      EXPECT_EQ(sweep_handles[i].name(), single_handles[i].name()) << label;
+      const JobResult& a = sweep_handles[i].result();
+      const JobResult& b = single_handles[i].result();
+      EXPECT_EQ(a.report.partition, b.report.partition) << label << " job " << i;
+      EXPECT_EQ(a.report.counts.data(), b.report.counts.data())
+          << label << " job " << i;
+      EXPECT_EQ(a.report.pst_value, b.report.pst_value) << label;
+      EXPECT_EQ(a.report.jsd_value, b.report.jsd_value) << label;
+      EXPECT_EQ(a.batch.batch_index, b.batch.batch_index) << label;
+      EXPECT_EQ(a.batch.batch_size, b.batch.batch_size) << label;
+    }
+    const ServiceStats sa = sweep_svc.stats();
+    const ServiceStats sb = single_svc.stats();
+    expect_cache_stats_equal(sa, sb, label);
+    if (capacity > 0) {
+      EXPECT_GT(sa.sweep_groups, 0u) << label;
+      EXPECT_GE(sa.batched_binds, 2 * sa.sweep_groups) << label;
+    } else {
+      EXPECT_EQ(sa.sweep_groups, 0u) << label;
+    }
+    // One-by-one submission never engages the fast path.
+    EXPECT_EQ(sb.sweep_groups, 0u) << label;
+    EXPECT_EQ(sb.batched_binds, 0u) << label;
+  }
+}
+
+TEST(ParametricService, SubmitAllSweepFuzzMultiProducer) {
+  // Randomized cross-check under concurrent submission: four producers
+  // each submit_all() their own sweep into one service while four
+  // producers submit the same circuits one at a time into another. With
+  // canonical ordering and distinct names, every job's result digest and
+  // the RNG-stream-bearing counts must match exactly, and the cache
+  // counter totals must agree. Run under TSan/ASan in CI.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 16;
+  const auto run = [&](bool batched) {
+    ServiceOptions opts;
+    opts.exec.shots = 64;
+    opts.num_workers = 1;
+    opts.max_batch_size = 4;
+    ExecutionService service(make_toronto27(), opts);
+    std::vector<std::vector<JobHandle>> handles(kProducers);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Rng rng(7700u + static_cast<std::uint64_t>(p));
+        std::vector<Circuit> jobs = sweep_jobs(
+            rng, 2, kPerProducer, "p" + std::to_string(p) + "-");
+        if (batched) {
+          handles[p] = service.submit_all(std::move(jobs));
+        } else {
+          for (Circuit& c : jobs) {
+            handles[p].push_back(service.submit(std::move(c)));
+          }
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    service.flush();
+    std::map<std::string, Digest> out;
+    for (const auto& per_producer : handles) {
+      for (const JobHandle& h : per_producer) {
+        const JobResult& r = h.result();
+        out[h.name()] = {r.report.partition, r.report.counts.data(),
+                         r.report.pst_value, r.report.jsd_value};
+      }
+    }
+    return std::pair{out, service.stats()};
+  };
+  const auto [sweep_digests, sweep_stats] = run(true);
+  const auto [single_digests, single_stats] = run(false);
+  ASSERT_EQ(sweep_digests.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_EQ(sweep_digests, single_digests);
+  expect_cache_stats_equal(sweep_stats, single_stats, "multi-producer");
+  EXPECT_GT(sweep_stats.sweep_groups, 0u);
+  EXPECT_EQ(single_stats.sweep_groups, 0u);
 }
 
 }  // namespace
